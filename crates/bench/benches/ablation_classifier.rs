@@ -1,0 +1,24 @@
+//! Ablation: read enhancement as a function of the first-stage hot/cold classifier
+//! (size check, two-level LRU, frequency table, multi-hash sketch).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vflash_sim::experiments::{ablation_classifier, ExperimentScale, Workload};
+
+fn ablation(c: &mut Criterion) {
+    let scale = ExperimentScale { requests: 1_500, ..ExperimentScale::quick() };
+    let mut group = c.benchmark_group("ablation_classifier");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(5));
+    group.bench_function("web-sql-server/all-classifiers", |b| {
+        b.iter(|| {
+            let rows =
+                ablation_classifier(Workload::WebSqlServer, &scale).expect("experiment runs");
+            std::hint::black_box(rows)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Ablation: read enhancement as a function of virtual blocks per physical block
+//! (1 = no speed grouping, 2 = the paper's design, 4 = finer grouping).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vflash_sim::experiments::{ablation_virtual_blocks, ExperimentScale, Workload};
+
+fn ablation(c: &mut Criterion) {
+    let scale = ExperimentScale { requests: 1_500, ..ExperimentScale::quick() };
+    let mut group = c.benchmark_group("ablation_virtual_blocks");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(5));
+    group.bench_function("web-sql-server/1-2-4", |b| {
+        b.iter(|| {
+            let rows = ablation_virtual_blocks(Workload::WebSqlServer, &scale)
+                .expect("experiment runs");
+            std::hint::black_box(rows)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figure 12: read performance enhancement of PPB over the conventional FTL, for both
+//! workloads and both page sizes at a 2x speed difference.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vflash_sim::experiments::{compare, ExperimentScale, Workload, PAGE_SIZES};
+
+fn bench_scale() -> ExperimentScale {
+    ExperimentScale { requests: 1_500, ..ExperimentScale::quick() }
+}
+
+fn fig12(c: &mut Criterion) {
+    let scale = bench_scale();
+    let mut group = c.benchmark_group("fig12_read_enhancement");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    for workload in Workload::ALL {
+        for &page_size in &PAGE_SIZES {
+            let id = format!("{}/{}KiB", workload.label(), page_size / 1024);
+            group.bench_function(id, |b| {
+                b.iter(|| {
+                    let comparison = compare(workload, page_size, 2.0, &scale)
+                        .expect("experiment runs");
+                    std::hint::black_box(comparison.read_enhancement_pct())
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig12);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Figure 14: web-server read latency, conventional vs PPB, speed difference 2x–5x.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vflash_sim::experiments::{compare, ExperimentScale, Workload, SPEED_RATIOS};
+
+fn fig14(c: &mut Criterion) {
+    let scale = ExperimentScale { requests: 1_500, ..ExperimentScale::quick() };
+    let mut group = c.benchmark_group("fig14_web_read_latency");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    for ratio in SPEED_RATIOS {
+        group.bench_function(format!("{ratio}x"), |b| {
+            b.iter(|| {
+                let comparison = compare(Workload::WebSqlServer, 16 * 1024, ratio, &scale)
+                    .expect("experiment runs");
+                std::hint::black_box((comparison.baseline.read_time, comparison.variant.read_time))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig14);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Figure 16: media-server write latency, conventional vs PPB, speed difference 2x–5x.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vflash_sim::experiments::{compare, ExperimentScale, Workload, SPEED_RATIOS};
+
+fn fig16(c: &mut Criterion) {
+    let scale = ExperimentScale { requests: 1_500, ..ExperimentScale::quick() };
+    let mut group = c.benchmark_group("fig16_media_write_latency");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    for ratio in SPEED_RATIOS {
+        group.bench_function(format!("{ratio}x"), |b| {
+            b.iter(|| {
+                let comparison = compare(Workload::MediaServer, 16 * 1024, ratio, &scale)
+                    .expect("experiment runs");
+                std::hint::black_box((comparison.baseline.write_time, comparison.variant.write_time))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig16);
+criterion_main!(benches);

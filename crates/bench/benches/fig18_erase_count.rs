@@ -1,0 +1,28 @@
+//! Figure 18: erased-block count, conventional vs PPB, both workloads.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vflash_sim::experiments::{compare, ExperimentScale, Workload};
+
+fn fig18(c: &mut Criterion) {
+    let scale = ExperimentScale { requests: 1_500, ..ExperimentScale::quick() };
+    let mut group = c.benchmark_group("fig18_erase_count");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    for workload in Workload::ALL {
+        group.bench_function(workload.label(), |b| {
+            b.iter(|| {
+                let comparison =
+                    compare(workload, 16 * 1024, 2.0, &scale).expect("experiment runs");
+                std::hint::black_box((
+                    comparison.baseline.erased_blocks,
+                    comparison.variant.erased_blocks,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig18);
+criterion_main!(benches);

@@ -1,0 +1,158 @@
+//! Regenerates every figure of the paper's evaluation section.
+//!
+//! ```text
+//! cargo run --release -p vflash-bench --bin experiments              # all figures
+//! cargo run --release -p vflash-bench --bin experiments -- fig13     # one figure
+//! cargo run --release -p vflash-bench --bin experiments -- --quick   # smaller scale
+//! ```
+
+use std::error::Error;
+
+use vflash_bench::{format_enhancement_rows, format_erase_rows, format_latency_sweep};
+use vflash_nand::NandConfig;
+use vflash_sim::experiments::{
+    ablation_classifier, ablation_virtual_blocks, enhancement_rows, erase_count_rows,
+    read_latency_sweep, write_latency_sweep, ExperimentScale, Workload,
+};
+use vflash_sim::Comparison;
+
+fn print_table1(scale: &ExperimentScale) {
+    let config: NandConfig = scale.device_config(16 * 1024, 2.0);
+    println!("== Table 1: experimental parameters (scaled; paper values in brackets) ==");
+    println!(
+        "flash size            {:>8.2} GB   [64 GB]",
+        config.capacity_bytes() as f64 / 1e9
+    );
+    println!("page size              {:>8} KB   [16 KB]", config.page_size_bytes() / 1024);
+    println!("pages per block        {:>8}      [384]", config.pages_per_block());
+    println!(
+        "page write latency     {:>8} us   [600 us]",
+        config.program_latency().as_micros_f64()
+    );
+    println!(
+        "page read latency      {:>8} us   [49 us]",
+        config.read_latency().as_micros_f64()
+    );
+    println!("data transfer rate     {:>8} MB/s [533 MB/s]", config.transfer_rate_mb_s());
+    println!(
+        "block erase time       {:>8} ms   [4 ms]",
+        config.erase_latency().as_millis_f64()
+    );
+    println!("trace requests         {:>8}", scale.requests);
+    println!();
+}
+
+fn fig12(scale: &ExperimentScale) -> Result<(), Box<dyn Error>> {
+    println!("== Figure 12: read performance enhancement (PPB vs conventional, 2x) ==");
+    let rows = enhancement_rows(scale)?;
+    print!("{}", format_enhancement_rows(&rows, Comparison::read_enhancement_pct));
+    println!();
+    Ok(())
+}
+
+fn fig15(scale: &ExperimentScale) -> Result<(), Box<dyn Error>> {
+    println!("== Figure 15: write performance enhancement (PPB vs conventional, 2x) ==");
+    let rows = enhancement_rows(scale)?;
+    print!("{}", format_enhancement_rows(&rows, Comparison::write_enhancement_pct));
+    println!();
+    Ok(())
+}
+
+fn fig13(scale: &ExperimentScale) -> Result<(), Box<dyn Error>> {
+    println!("== Figure 13: media-server read latency vs page access speed difference ==");
+    print!("{}", format_latency_sweep(&read_latency_sweep(Workload::MediaServer, scale)?));
+    println!();
+    Ok(())
+}
+
+fn fig14(scale: &ExperimentScale) -> Result<(), Box<dyn Error>> {
+    println!("== Figure 14: web-server read latency vs page access speed difference ==");
+    print!("{}", format_latency_sweep(&read_latency_sweep(Workload::WebSqlServer, scale)?));
+    println!();
+    Ok(())
+}
+
+fn fig16(scale: &ExperimentScale) -> Result<(), Box<dyn Error>> {
+    println!("== Figure 16: media-server write latency vs page access speed difference ==");
+    print!("{}", format_latency_sweep(&write_latency_sweep(Workload::MediaServer, scale)?));
+    println!();
+    Ok(())
+}
+
+fn fig17(scale: &ExperimentScale) -> Result<(), Box<dyn Error>> {
+    println!("== Figure 17: web-server write latency vs page access speed difference ==");
+    print!("{}", format_latency_sweep(&write_latency_sweep(Workload::WebSqlServer, scale)?));
+    println!();
+    Ok(())
+}
+
+fn fig18(scale: &ExperimentScale) -> Result<(), Box<dyn Error>> {
+    println!("== Figure 18: erased block count comparison (2x, 16 KB pages) ==");
+    print!("{}", format_erase_rows(&erase_count_rows(scale)?));
+    println!();
+    Ok(())
+}
+
+fn ablations(scale: &ExperimentScale) -> Result<(), Box<dyn Error>> {
+    println!("== Ablation: virtual blocks per physical block (web-sql-server, 4x) ==");
+    for (virtual_blocks, enhancement) in ablation_virtual_blocks(Workload::WebSqlServer, scale)? {
+        println!("{virtual_blocks} virtual block(s)   read enhancement {enhancement:>6.2}%");
+    }
+    println!();
+    println!("== Ablation: first-stage hot/cold classifier (web-sql-server, 4x) ==");
+    for (classifier, enhancement) in ablation_classifier(Workload::WebSqlServer, scale)? {
+        println!("{:<14}   read enhancement {enhancement:>6.2}%", classifier.label());
+    }
+    println!();
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|arg| arg == "--quick");
+    let scale = if quick { ExperimentScale::quick() } else { ExperimentScale::standard() };
+    let figures: Vec<&str> = args.iter().map(String::as_str).filter(|arg| *arg != "--quick").collect();
+    let run_all = figures.is_empty() || figures.contains(&"all");
+
+    print_table1(&scale);
+    let mut matched = run_all;
+    if run_all || figures.contains(&"fig12") {
+        fig12(&scale)?;
+        matched = true;
+    }
+    if run_all || figures.contains(&"fig13") {
+        fig13(&scale)?;
+        matched = true;
+    }
+    if run_all || figures.contains(&"fig14") {
+        fig14(&scale)?;
+        matched = true;
+    }
+    if run_all || figures.contains(&"fig15") {
+        fig15(&scale)?;
+        matched = true;
+    }
+    if run_all || figures.contains(&"fig16") {
+        fig16(&scale)?;
+        matched = true;
+    }
+    if run_all || figures.contains(&"fig17") {
+        fig17(&scale)?;
+        matched = true;
+    }
+    if run_all || figures.contains(&"fig18") {
+        fig18(&scale)?;
+        matched = true;
+    }
+    if run_all || figures.contains(&"ablation") {
+        ablations(&scale)?;
+        matched = true;
+    }
+    if !matched {
+        eprintln!(
+            "unknown experiment selection {figures:?}; expected fig12..fig18, ablation or all"
+        );
+        std::process::exit(2);
+    }
+    Ok(())
+}

@@ -1,0 +1,127 @@
+//! # vflash-bench
+//!
+//! Experiment harness and Criterion benches for the PPB reproduction.
+//!
+//! The library part only hosts the small formatting helpers shared between the
+//! `experiments` binary and the benches; the interesting code lives in
+//! [`vflash_sim::experiments`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use vflash_nand::Nanos;
+use vflash_sim::experiments::{EnhancementRow, EraseCountRow, LatencySweepRow};
+use vflash_sim::Comparison;
+
+/// Formats a duration as seconds with three decimals, the unit the paper's latency
+/// figures use.
+pub fn seconds(value: Nanos) -> String {
+    format!("{:.3}s", value.as_secs_f64())
+}
+
+/// Renders Figure 12/15 rows (read or write enhancement per workload and page size).
+pub fn format_enhancement_rows(
+    rows: &[EnhancementRow],
+    metric: impl Fn(&Comparison) -> f64,
+) -> String {
+    let mut out = String::from("workload          page-size   enhancement\n");
+    for row in rows {
+        out.push_str(&format!(
+            "{:<17} {:>6} KiB   {:>8.2}%\n",
+            row.workload.label(),
+            row.page_size_bytes / 1024,
+            metric(&row.comparison),
+        ));
+    }
+    out
+}
+
+/// Renders Figure 13/14/16/17 rows (latency vs speed difference).
+pub fn format_latency_sweep(rows: &[LatencySweepRow]) -> String {
+    let mut out = String::from("speed-diff   conventional-ftl   ftl-with-ppb   improvement\n");
+    for row in rows {
+        let improvement = if row.conventional == Nanos::ZERO {
+            0.0
+        } else {
+            (row.conventional.as_nanos() as f64 - row.ppb.as_nanos() as f64)
+                / row.conventional.as_nanos() as f64
+                * 100.0
+        };
+        out.push_str(&format!(
+            "{:>7.0}x   {:>16} {:>14}   {:>9.2}%\n",
+            row.speed_ratio,
+            seconds(row.conventional),
+            seconds(row.ppb),
+            improvement,
+        ));
+    }
+    out
+}
+
+/// Renders Figure 18 rows (erased block counts).
+pub fn format_erase_rows(rows: &[EraseCountRow]) -> String {
+    let mut out = String::from("workload          conventional-ftl   ftl-with-ppb\n");
+    for row in rows {
+        out.push_str(&format!(
+            "{:<17} {:>16} {:>14}\n",
+            row.workload.label(),
+            row.conventional,
+            row.ppb,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vflash_sim::experiments::Workload;
+    use vflash_sim::RunSummary;
+
+    fn summary(ftl: &str, read_us: u64) -> RunSummary {
+        let mut end = vflash_ftl::FtlMetrics::new();
+        end.record_host_read(Nanos::from_micros(read_us));
+        end.record_host_write(Nanos::from_micros(600));
+        RunSummary::from_metrics_delta(ftl, "t", &vflash_ftl::FtlMetrics::new(), &end)
+    }
+
+    #[test]
+    fn formatting_includes_every_row() {
+        let comparison = Comparison::new(summary("conventional", 100), summary("ppb", 80));
+        let rows = vec![EnhancementRow {
+            workload: Workload::MediaServer,
+            page_size_bytes: 16 * 1024,
+            comparison,
+        }];
+        let text = format_enhancement_rows(&rows, Comparison::read_enhancement_pct);
+        assert!(text.contains("media-server"));
+        assert!(text.contains("16 KiB"));
+        assert!(text.contains("20.00%"));
+    }
+
+    #[test]
+    fn latency_sweep_formatting_reports_improvement() {
+        let rows = vec![LatencySweepRow {
+            speed_ratio: 2.0,
+            conventional: Nanos::from_millis(200),
+            ppb: Nanos::from_millis(150),
+        }];
+        let text = format_latency_sweep(&rows);
+        assert!(text.contains("2x"));
+        assert!(text.contains("25.00%"));
+    }
+
+    #[test]
+    fn erase_formatting_lists_counts() {
+        let rows = vec![EraseCountRow { workload: Workload::WebSqlServer, conventional: 40, ppb: 41 }];
+        let text = format_erase_rows(&rows);
+        assert!(text.contains("web-sql-server"));
+        assert!(text.contains("40"));
+        assert!(text.contains("41"));
+    }
+
+    #[test]
+    fn seconds_formatting() {
+        assert_eq!(seconds(Nanos::from_millis(1500)), "1.500s");
+    }
+}

@@ -1,0 +1,206 @@
+//! The cold data area: an access-frequency table for cold and icy-cold entries.
+
+use std::collections::HashMap;
+
+use vflash_ftl::Lpn;
+
+use crate::hotness::Hotness;
+
+/// Cold-area bookkeeping (paper Figure 11).
+///
+/// Each tracked entry records how many times it has been re-read since it entered the
+/// cold area. Entries with at least `promote_reads` recorded reads are considered
+/// [`Hotness::Cold`] (write-once-read-**many**, worth serving from fast pages);
+/// entries below the threshold — and entries not tracked at all — are
+/// [`Hotness::IcyCold`].
+///
+/// The table is capacity-bounded: when it overflows, the least-read entry is dropped,
+/// which implicitly demotes it to icy-cold ("demote if full").
+///
+/// # Example
+///
+/// ```
+/// use vflash_ftl::Lpn;
+/// use vflash_ppb::{ColdArea, Hotness};
+///
+/// let mut area = ColdArea::new(64, 1);
+/// area.on_write(Lpn(5));
+/// assert_eq!(area.level_of(Lpn(5)), Some(Hotness::IcyCold));
+/// area.on_read(Lpn(5));
+/// assert_eq!(area.level_of(Lpn(5)), Some(Hotness::Cold));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColdArea {
+    reads: HashMap<Lpn, u32>,
+    capacity: usize,
+    promote_reads: u32,
+}
+
+impl ColdArea {
+    /// Creates the cold area with the given table capacity and promotion threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `promote_reads` is zero.
+    pub fn new(capacity: usize, promote_reads: u32) -> Self {
+        assert!(capacity > 0, "cold table capacity must be positive");
+        assert!(promote_reads > 0, "promotion threshold must be positive");
+        ColdArea { reads: HashMap::with_capacity(capacity.min(1024)), capacity, promote_reads }
+    }
+
+    /// Number of entries currently tracked.
+    pub fn len(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.reads.is_empty()
+    }
+
+    /// Whether `lpn` is tracked.
+    pub fn contains(&self, lpn: Lpn) -> bool {
+        self.reads.contains_key(&lpn)
+    }
+
+    /// The hotness level the cold area assigns to `lpn`, if tracked. Untracked LPNs
+    /// are treated as icy-cold by the caller.
+    pub fn level_of(&self, lpn: Lpn) -> Option<Hotness> {
+        self.reads.get(&lpn).map(|&reads| {
+            if reads >= self.promote_reads {
+                Hotness::Cold
+            } else {
+                Hotness::IcyCold
+            }
+        })
+    }
+
+    /// Number of recorded reads for `lpn`.
+    pub fn read_count(&self, lpn: Lpn) -> u32 {
+        self.reads.get(&lpn).copied().unwrap_or(0)
+    }
+
+    /// Starts (or restarts) tracking `lpn` after a cold-classified write. The read
+    /// counter resets because a rewrite produces a new version whose re-read behaviour
+    /// is yet unknown.
+    pub fn on_write(&mut self, lpn: Lpn) {
+        self.evict_if_needed_for(lpn);
+        self.reads.insert(lpn, 0);
+    }
+
+    /// Inserts `lpn` with an initial read credit, used when the hot area demotes an
+    /// entry (recently hot data is usually still re-read, so it enters as cold rather
+    /// than icy-cold).
+    pub fn insert_demoted(&mut self, lpn: Lpn) {
+        self.evict_if_needed_for(lpn);
+        self.reads.insert(lpn, self.promote_reads);
+    }
+
+    /// Records a read of `lpn` if it is tracked. Returns the new level, or `None` if
+    /// the LPN is not tracked by the cold area.
+    pub fn on_read(&mut self, lpn: Lpn) -> Option<Hotness> {
+        let reads = self.reads.get_mut(&lpn)?;
+        *reads = reads.saturating_add(1);
+        let level =
+            if *reads >= self.promote_reads { Hotness::Cold } else { Hotness::IcyCold };
+        Some(level)
+    }
+
+    /// Stops tracking `lpn` (used when it is re-classified hot). Returns `true` if it
+    /// was tracked.
+    pub fn remove(&mut self, lpn: Lpn) -> bool {
+        self.reads.remove(&lpn).is_some()
+    }
+
+    fn evict_if_needed_for(&mut self, lpn: Lpn) {
+        if self.reads.len() < self.capacity || self.reads.contains_key(&lpn) {
+            return;
+        }
+        // Drop the least-read entry: it is the best icy-cold candidate and losing its
+        // history is harmless (untracked entries are icy-cold anyway).
+        if let Some((&victim, _)) = self.reads.iter().min_by_key(|(lpn, reads)| (**reads, lpn.0)) {
+            self.reads.remove(&victim);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_enter_as_icy_cold() {
+        let mut area = ColdArea::new(16, 1);
+        area.on_write(Lpn(1));
+        assert_eq!(area.level_of(Lpn(1)), Some(Hotness::IcyCold));
+        assert_eq!(area.read_count(Lpn(1)), 0);
+        assert!(area.contains(Lpn(1)));
+        assert_eq!(area.len(), 1);
+    }
+
+    #[test]
+    fn reads_promote_to_cold_at_the_threshold() {
+        let mut area = ColdArea::new(16, 2);
+        area.on_write(Lpn(1));
+        assert_eq!(area.on_read(Lpn(1)), Some(Hotness::IcyCold));
+        assert_eq!(area.on_read(Lpn(1)), Some(Hotness::Cold));
+        assert_eq!(area.level_of(Lpn(1)), Some(Hotness::Cold));
+    }
+
+    #[test]
+    fn reads_of_untracked_entries_return_none() {
+        let mut area = ColdArea::new(16, 1);
+        assert_eq!(area.on_read(Lpn(7)), None);
+        assert_eq!(area.level_of(Lpn(7)), None);
+    }
+
+    #[test]
+    fn rewrites_reset_the_read_history() {
+        let mut area = ColdArea::new(16, 1);
+        area.on_write(Lpn(1));
+        area.on_read(Lpn(1));
+        assert_eq!(area.level_of(Lpn(1)), Some(Hotness::Cold));
+        area.on_write(Lpn(1));
+        assert_eq!(area.level_of(Lpn(1)), Some(Hotness::IcyCold));
+    }
+
+    #[test]
+    fn demoted_entries_enter_as_cold() {
+        let mut area = ColdArea::new(16, 2);
+        area.insert_demoted(Lpn(3));
+        assert_eq!(area.level_of(Lpn(3)), Some(Hotness::Cold));
+    }
+
+    #[test]
+    fn overflow_evicts_the_least_read_entry() {
+        let mut area = ColdArea::new(2, 1);
+        area.on_write(Lpn(1));
+        area.on_write(Lpn(2));
+        area.on_read(Lpn(1));
+        // Inserting a third entry evicts LPN2 (fewest reads), not LPN1.
+        area.on_write(Lpn(3));
+        assert!(area.contains(Lpn(1)));
+        assert!(!area.contains(Lpn(2)));
+        assert!(area.contains(Lpn(3)));
+        assert_eq!(area.len(), 2);
+    }
+
+    #[test]
+    fn rewriting_tracked_entry_at_capacity_does_not_evict_others() {
+        let mut area = ColdArea::new(2, 1);
+        area.on_write(Lpn(1));
+        area.on_write(Lpn(2));
+        area.on_write(Lpn(2));
+        assert!(area.contains(Lpn(1)));
+        assert!(area.contains(Lpn(2)));
+    }
+
+    #[test]
+    fn remove_untracks() {
+        let mut area = ColdArea::new(4, 1);
+        area.on_write(Lpn(1));
+        assert!(area.remove(Lpn(1)));
+        assert!(!area.remove(Lpn(1)));
+        assert!(area.is_empty());
+    }
+}

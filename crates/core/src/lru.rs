@@ -1,0 +1,294 @@
+//! An O(1) LRU list keyed by logical page number.
+//!
+//! The hot area tracks (potentially many thousands of) hot and iron-hot entries and
+//! touches one on every host request, so the usual `VecDeque::remove` approach would
+//! make request handling O(list length). This implementation keeps a doubly-linked
+//! list in a slab of nodes plus a `HashMap` from LPN to slot, giving O(1)
+//! touch / insert / evict / remove.
+
+use std::collections::HashMap;
+
+use vflash_ftl::Lpn;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Node {
+    lpn: Lpn,
+    prev: usize,
+    next: usize,
+}
+
+/// A fixed-capacity least-recently-used list of LPNs.
+///
+/// The *head* is the most recently used entry, the *tail* the least recently used.
+///
+/// # Example
+///
+/// ```
+/// use vflash_ftl::Lpn;
+/// use vflash_ppb::LruList;
+///
+/// let mut lru = LruList::new(2);
+/// assert_eq!(lru.insert(Lpn(1)), None);
+/// assert_eq!(lru.insert(Lpn(2)), None);
+/// // Touching LPN1 makes LPN2 the eviction candidate.
+/// lru.touch(Lpn(1));
+/// assert_eq!(lru.insert(Lpn(3)), Some(Lpn(2)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LruList {
+    nodes: Vec<Node>,
+    free_slots: Vec<usize>,
+    index: HashMap<Lpn, usize>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+}
+
+impl LruList {
+    /// Creates an empty list holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "lru capacity must be positive");
+        LruList {
+            nodes: Vec::with_capacity(capacity.min(1024)),
+            free_slots: Vec::new(),
+            index: HashMap::with_capacity(capacity.min(1024)),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Whether the list is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.len() >= self.capacity
+    }
+
+    /// Whether `lpn` is on the list.
+    pub fn contains(&self, lpn: Lpn) -> bool {
+        self.index.contains_key(&lpn)
+    }
+
+    /// The least recently used entry, if any.
+    pub fn least_recent(&self) -> Option<Lpn> {
+        (self.tail != NIL).then(|| self.nodes[self.tail].lpn)
+    }
+
+    /// The most recently used entry, if any.
+    pub fn most_recent(&self) -> Option<Lpn> {
+        (self.head != NIL).then(|| self.nodes[self.head].lpn)
+    }
+
+    fn detach(&mut self, slot: usize) {
+        let (prev, next) = (self.nodes[slot].prev, self.nodes[slot].next);
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.nodes[slot].prev = NIL;
+        self.nodes[slot].next = NIL;
+    }
+
+    fn attach_front(&mut self, slot: usize) {
+        self.nodes[slot].prev = NIL;
+        self.nodes[slot].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    /// Moves `lpn` to the most-recently-used position. Returns `false` if it was not
+    /// on the list.
+    pub fn touch(&mut self, lpn: Lpn) -> bool {
+        let Some(&slot) = self.index.get(&lpn) else { return false };
+        if self.head != slot {
+            self.detach(slot);
+            self.attach_front(slot);
+        }
+        true
+    }
+
+    /// Inserts `lpn` at the most-recently-used position (touching it if already
+    /// present). If the list overflows, the least recently used entry is evicted and
+    /// returned.
+    pub fn insert(&mut self, lpn: Lpn) -> Option<Lpn> {
+        if self.touch(lpn) {
+            return None;
+        }
+        let evicted = if self.is_full() { self.pop_least_recent() } else { None };
+        let slot = if let Some(slot) = self.free_slots.pop() {
+            self.nodes[slot] = Node { lpn, prev: NIL, next: NIL };
+            slot
+        } else {
+            self.nodes.push(Node { lpn, prev: NIL, next: NIL });
+            self.nodes.len() - 1
+        };
+        self.index.insert(lpn, slot);
+        self.attach_front(slot);
+        evicted
+    }
+
+    /// Removes and returns the least recently used entry.
+    pub fn pop_least_recent(&mut self) -> Option<Lpn> {
+        let slot = self.tail;
+        if slot == NIL {
+            return None;
+        }
+        let lpn = self.nodes[slot].lpn;
+        self.remove(lpn);
+        Some(lpn)
+    }
+
+    /// Removes `lpn` from the list. Returns `true` if it was present.
+    pub fn remove(&mut self, lpn: Lpn) -> bool {
+        let Some(slot) = self.index.remove(&lpn) else { return false };
+        self.detach(slot);
+        self.free_slots.push(slot);
+        true
+    }
+
+    /// Iterates from most recently used to least recently used.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { list: self, slot: self.head }
+    }
+}
+
+/// Iterator over an [`LruList`] from most to least recently used.
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    list: &'a LruList,
+    slot: usize,
+}
+
+impl<'a> Iterator for Iter<'a> {
+    type Item = Lpn;
+
+    fn next(&mut self) -> Option<Lpn> {
+        if self.slot == NIL {
+            return None;
+        }
+        let node = &self.list.nodes[self.slot];
+        self.slot = node.next;
+        Some(node.lpn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_touch_evict_cycle() {
+        let mut lru = LruList::new(3);
+        assert!(lru.is_empty());
+        assert_eq!(lru.insert(Lpn(1)), None);
+        assert_eq!(lru.insert(Lpn(2)), None);
+        assert_eq!(lru.insert(Lpn(3)), None);
+        assert!(lru.is_full());
+        assert_eq!(lru.least_recent(), Some(Lpn(1)));
+        assert!(lru.touch(Lpn(1)));
+        assert_eq!(lru.least_recent(), Some(Lpn(2)));
+        assert_eq!(lru.insert(Lpn(4)), Some(Lpn(2)));
+        assert_eq!(lru.len(), 3);
+        assert!(!lru.contains(Lpn(2)));
+    }
+
+    #[test]
+    fn reinserting_existing_entry_only_touches() {
+        let mut lru = LruList::new(2);
+        lru.insert(Lpn(1));
+        lru.insert(Lpn(2));
+        assert_eq!(lru.insert(Lpn(1)), None);
+        assert_eq!(lru.most_recent(), Some(Lpn(1)));
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn remove_and_slot_reuse() {
+        let mut lru = LruList::new(3);
+        lru.insert(Lpn(1));
+        lru.insert(Lpn(2));
+        lru.insert(Lpn(3));
+        assert!(lru.remove(Lpn(2)));
+        assert!(!lru.remove(Lpn(2)));
+        assert_eq!(lru.len(), 2);
+        lru.insert(Lpn(4));
+        let order: Vec<_> = lru.iter().collect();
+        assert_eq!(order, vec![Lpn(4), Lpn(3), Lpn(1)]);
+    }
+
+    #[test]
+    fn iteration_order_is_recency_order() {
+        let mut lru = LruList::new(4);
+        for lpn in [10, 20, 30, 40] {
+            lru.insert(Lpn(lpn));
+        }
+        lru.touch(Lpn(20));
+        let order: Vec<_> = lru.iter().collect();
+        assert_eq!(order, vec![Lpn(20), Lpn(40), Lpn(30), Lpn(10)]);
+    }
+
+    #[test]
+    fn pop_least_recent_drains_in_order() {
+        let mut lru = LruList::new(3);
+        for lpn in [1, 2, 3] {
+            lru.insert(Lpn(lpn));
+        }
+        assert_eq!(lru.pop_least_recent(), Some(Lpn(1)));
+        assert_eq!(lru.pop_least_recent(), Some(Lpn(2)));
+        assert_eq!(lru.pop_least_recent(), Some(Lpn(3)));
+        assert_eq!(lru.pop_least_recent(), None);
+        assert!(lru.is_empty());
+    }
+
+    #[test]
+    fn touch_of_absent_entry_is_false() {
+        let mut lru = LruList::new(2);
+        assert!(!lru.touch(Lpn(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = LruList::new(0);
+    }
+
+    #[test]
+    fn capacity_one_always_holds_most_recent() {
+        let mut lru = LruList::new(1);
+        assert_eq!(lru.insert(Lpn(1)), None);
+        assert_eq!(lru.insert(Lpn(2)), Some(Lpn(1)));
+        assert_eq!(lru.most_recent(), Some(Lpn(2)));
+        assert_eq!(lru.least_recent(), Some(Lpn(2)));
+    }
+}

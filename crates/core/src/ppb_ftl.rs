@@ -1,0 +1,582 @@
+//! The PPB flash translation layer.
+
+use vflash_ftl::hotcold::{HotColdClassifier, SizeCheck, Temperature};
+use vflash_ftl::{
+    BlockAllocator, FlashTranslationLayer, FtlError, FtlMetrics, GcOutcome, GreedyVictimPolicy,
+    Lpn, MappingTable, VictimPolicy,
+};
+use vflash_nand::{BlockAddr, NandDevice, Nanos, PageAddr};
+
+use crate::cold_area::ColdArea;
+use crate::config::PpbConfig;
+use crate::hot_area::HotArea;
+use crate::hotness::{Area, Hotness};
+use crate::placement::AreaWriter;
+use crate::virtual_block::VirtualBlockTable;
+
+/// The paper's FTL: conventional page mapping plus the Progressive Performance
+/// Boosting strategy.
+///
+/// On every host write the first-stage classifier (`C`, the request-size check by
+/// default) decides hot vs cold; the hot/cold areas refine the decision into the four
+/// hotness levels based on observed re-reads; and the [`AreaWriter`]s place the data
+/// on a virtual block of suitable speed — always respecting the rule that a physical
+/// block belongs to exactly one area. Promotions and demotions never move data by
+/// themselves: relocation happens when the data is next rewritten or garbage
+/// collected, which is why write latency and erase counts stay at the level of the
+/// conventional FTL.
+///
+/// # Example
+///
+/// ```
+/// use vflash_ftl::hotcold::TwoLevelLru;
+/// use vflash_ftl::{FlashTranslationLayer, Lpn};
+/// use vflash_nand::{NandConfig, NandDevice};
+/// use vflash_ppb::{PpbConfig, PpbFtl};
+///
+/// # fn main() -> Result<(), vflash_ftl::FtlError> {
+/// // Default first stage (size check):
+/// let ftl = PpbFtl::new(NandDevice::new(NandConfig::small()), PpbConfig::default())?;
+/// assert_eq!(ftl.name(), "ppb");
+///
+/// // Any other classifier plugs in unchanged:
+/// let lru = TwoLevelLru::new(512, 512);
+/// let _ftl = PpbFtl::with_classifier(
+///     NandDevice::new(NandConfig::small()),
+///     PpbConfig::default(),
+///     lru,
+/// )?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct PpbFtl<C = SizeCheck> {
+    device: NandDevice,
+    config: PpbConfig,
+    mapping: MappingTable,
+    allocator: BlockAllocator,
+    virtual_blocks: VirtualBlockTable,
+    hot_writer: AreaWriter,
+    cold_writer: AreaWriter,
+    hot_area: HotArea,
+    cold_area: ColdArea,
+    classifier: C,
+    victim_policy: GreedyVictimPolicy,
+    metrics: FtlMetrics,
+    logical_pages: u64,
+    /// Which area each physical block currently belongs to (by flat block index).
+    /// `None` means the block is free or has never been written since its last erase.
+    block_areas: Vec<Option<Area>>,
+}
+
+impl PpbFtl<SizeCheck> {
+    /// Builds the PPB FTL with the paper's case-study first stage: the request-size
+    /// check with the flash page size as threshold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FtlError::InvalidConfig`] for inconsistent configurations.
+    pub fn new(device: NandDevice, config: PpbConfig) -> Result<Self, FtlError> {
+        let page_size = device.config().page_size_bytes() as u32;
+        PpbFtl::with_classifier(device, config, SizeCheck::new(page_size))
+    }
+}
+
+impl<C: HotColdClassifier> PpbFtl<C> {
+    /// Builds the PPB FTL with an explicit first-stage hot/cold classifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FtlError::InvalidConfig`] for inconsistent configurations.
+    pub fn with_classifier(
+        device: NandDevice,
+        config: PpbConfig,
+        classifier: C,
+    ) -> Result<Self, FtlError> {
+        config.validate()?;
+        let nand = device.config();
+        let logical_pages = config.ftl.logical_pages(nand.total_pages());
+        if logical_pages == 0 {
+            return Err(FtlError::InvalidConfig {
+                reason: "over-provisioning leaves zero logical pages".to_string(),
+            });
+        }
+        if nand.total_blocks() <= config.ftl.gc_target_free_blocks + 2 {
+            return Err(FtlError::InvalidConfig {
+                reason: format!(
+                    "device has only {} blocks; the PPB strategy needs room for a hot and a cold write stream plus {} free GC blocks",
+                    nand.total_blocks(),
+                    config.ftl.gc_target_free_blocks
+                ),
+            });
+        }
+        if config.virtual_blocks_per_block > nand.pages_per_block() {
+            return Err(FtlError::InvalidConfig {
+                reason: "virtual_blocks_per_block exceeds pages_per_block".to_string(),
+            });
+        }
+        let mapping = MappingTable::new(
+            logical_pages,
+            nand.chips(),
+            nand.blocks_per_chip(),
+            nand.pages_per_block(),
+        );
+        let allocator = BlockAllocator::for_device(&device);
+        let virtual_blocks = VirtualBlockTable::new(nand, config.virtual_blocks_per_block);
+        let hot_writer =
+            AreaWriter::new("hot", &virtual_blocks, config.max_open_blocks_per_area);
+        let cold_writer =
+            AreaWriter::new("cold", &virtual_blocks, config.max_open_blocks_per_area);
+        let hot_area = HotArea::new(
+            config.hot_list_capacity(logical_pages),
+            config.iron_hot_list_capacity(logical_pages),
+        );
+        let cold_area = ColdArea::new(
+            config.cold_table_capacity(logical_pages),
+            config.cold_promote_reads,
+        );
+        let block_areas = vec![None; nand.total_blocks()];
+        Ok(PpbFtl {
+            device,
+            config,
+            mapping,
+            allocator,
+            virtual_blocks,
+            hot_writer,
+            cold_writer,
+            hot_area,
+            cold_area,
+            classifier,
+            victim_policy: GreedyVictimPolicy::new(),
+            metrics: FtlMetrics::new(),
+            logical_pages,
+            block_areas,
+        })
+    }
+
+    /// The PPB configuration.
+    pub fn config(&self) -> &PpbConfig {
+        &self.config
+    }
+
+    /// The mapping table, for inspection in tests and tools.
+    pub fn mapping(&self) -> &MappingTable {
+        &self.mapping
+    }
+
+    /// The virtual-block geometry helper.
+    pub fn virtual_blocks(&self) -> &VirtualBlockTable {
+        &self.virtual_blocks
+    }
+
+    /// The current hotness level the strategy assigns to `lpn`. LPNs never seen by
+    /// either area default to icy-cold, matching the paper's treatment of
+    /// write-once-read-few data.
+    pub fn hotness_of(&self, lpn: Lpn) -> Hotness {
+        self.hot_area
+            .level_of(lpn)
+            .or_else(|| self.cold_area.level_of(lpn))
+            .unwrap_or(Hotness::IcyCold)
+    }
+
+    /// Number of free blocks currently available for allocation.
+    pub fn free_blocks(&self) -> usize {
+        self.allocator.free_blocks()
+    }
+
+    /// The data area `block` is currently dedicated to, or `None` if the block has
+    /// not been written since its last erase. A physical block never holds data from
+    /// both areas at once — that is the core garbage-collection-preserving invariant
+    /// of the virtual-block design.
+    pub fn block_area(&self, block: BlockAddr) -> Option<Area> {
+        self.block_areas[block.flat_index(self.device.config().blocks_per_chip())]
+    }
+
+    fn check_range(&self, lpn: Lpn) -> Result<(), FtlError> {
+        if lpn.0 >= self.logical_pages {
+            Err(FtlError::LpnOutOfRange { lpn, logical_pages: self.logical_pages })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn desired_class(&self, level: Hotness) -> usize {
+        if level.prefers_fast_pages() {
+            self.virtual_blocks.per_block() - 1
+        } else {
+            0
+        }
+    }
+
+    /// Updates the area bookkeeping for a write and returns the level the data should
+    /// be placed at.
+    fn classify_and_track_write(&mut self, lpn: Lpn, request_bytes: u32) -> Hotness {
+        match self.classifier.classify_write(lpn, request_bytes) {
+            Temperature::Hot => {
+                self.cold_area.remove(lpn);
+                if let Some(evicted) = self.hot_area.on_write(lpn) {
+                    // "Demote if full": the evicted entry leaves the hot area but was
+                    // recently hot, so it enters the cold area at the cold level.
+                    self.cold_area.insert_demoted(evicted);
+                }
+            }
+            Temperature::Cold => {
+                // A cold-classified write of a previously hot LPN demotes it: large
+                // rewrites signal the data stopped behaving like metadata.
+                self.hot_area.remove(lpn);
+                self.cold_area.on_write(lpn);
+            }
+        }
+        self.hotness_of(lpn)
+    }
+
+    /// Writes `lpn` at hotness `level`, charging the device time to `latency`.
+    fn place_page(&mut self, lpn: Lpn, level: Hotness) -> Result<Nanos, FtlError> {
+        let desired = self.desired_class(level);
+        let writer = match level.area() {
+            Area::Hot => &mut self.hot_writer,
+            Area::Cold => &mut self.cold_writer,
+        };
+        let block = writer.target(desired, &self.device, &mut self.allocator)?;
+        let flat = block.flat_index(self.device.config().blocks_per_chip());
+        let owner = self.block_areas[flat].get_or_insert(level.area());
+        debug_assert_eq!(
+            *owner,
+            level.area(),
+            "block {block} owned by {owner} received {level} data"
+        );
+        let (page, program) = self.device.program_next(block)?;
+        let writer = match level.area() {
+            Area::Hot => &mut self.hot_writer,
+            Area::Cold => &mut self.cold_writer,
+        };
+        writer.after_program(block, &self.device, &self.virtual_blocks);
+        if let Some(previous) = self.mapping.map(lpn, block.page(page)) {
+            self.device.invalidate(previous)?;
+        }
+        Ok(program)
+    }
+
+    fn open_blocks(&self) -> Vec<BlockAddr> {
+        let mut open = self.hot_writer.open_blocks();
+        open.extend(self.cold_writer.open_blocks());
+        open
+    }
+
+    /// Reclaims blocks until the free pool reaches the configured target.
+    ///
+    /// Relocation is where the *progressive* movement happens: each surviving page is
+    /// rewritten according to its **current** hotness level, so data promoted or
+    /// demoted since it was written finally lands on a page of suitable speed — at
+    /// zero extra cost, because the page had to be copied anyway.
+    fn collect_garbage(&mut self) -> Result<GcOutcome, FtlError> {
+        let mut outcome = GcOutcome::default();
+        while self.allocator.free_blocks() < self.config.ftl.gc_target_free_blocks {
+            let exclude = self.open_blocks();
+            let Some(victim) = self.victim_policy.select_victim(&self.device, &exclude) else {
+                break;
+            };
+            outcome.merge(self.reclaim_block(victim)?);
+        }
+        Ok(outcome)
+    }
+
+    fn reclaim_block(&mut self, victim: BlockAddr) -> Result<GcOutcome, FtlError> {
+        let mut outcome = GcOutcome::default();
+        let residents: Vec<(PageAddr, Lpn)> = self
+            .mapping
+            .lpns_in_block(victim)
+            .map(|(page, lpn)| (victim.page(page), lpn))
+            .collect();
+        let mut migrated = 0u64;
+        for (source, lpn) in residents {
+            outcome.time += self.device.read(source)?;
+            let level = self.hotness_of(lpn);
+            let source_class = self.virtual_blocks.class_of_page(source.page()).0;
+            // place_page remaps the LPN and invalidates its previous location, which
+            // is exactly the source page being relocated.
+            outcome.time += self.place_page(lpn, level)?;
+            outcome.copied_pages += 1;
+            let destination = self.mapping.lookup(lpn).expect("page was just mapped");
+            let destination_class = self.virtual_blocks.class_of_page(destination.page()).0;
+            if destination_class != source_class {
+                migrated += 1;
+            }
+        }
+        outcome.time += self.device.erase(victim)?;
+        outcome.erased_blocks += 1;
+        self.block_areas[victim.flat_index(self.device.config().blocks_per_chip())] = None;
+        self.allocator.release(victim);
+        self.metrics.record_migration(migrated);
+        Ok(outcome)
+    }
+}
+
+impl<C: HotColdClassifier> FlashTranslationLayer for PpbFtl<C> {
+    fn name(&self) -> &str {
+        "ppb"
+    }
+
+    fn logical_pages(&self) -> u64 {
+        self.logical_pages
+    }
+
+    fn read(&mut self, lpn: Lpn) -> Result<Nanos, FtlError> {
+        self.check_range(lpn)?;
+        let addr = self.mapping.lookup(lpn).ok_or(FtlError::UnmappedRead { lpn })?;
+        let latency = self.device.read(addr)?;
+        self.metrics.record_host_read(latency);
+
+        // Re-access tracking: a read is the signal that promotes hot -> iron-hot and
+        // icy-cold -> cold. The data itself is not moved here (progressive migration).
+        self.classifier.record_read(lpn);
+        if self.hot_area.contains(lpn) {
+            self.hot_area.on_read(lpn);
+        } else {
+            self.cold_area.on_read(lpn);
+        }
+        Ok(latency)
+    }
+
+    fn write(&mut self, lpn: Lpn, request_bytes: u32) -> Result<Nanos, FtlError> {
+        self.check_range(lpn)?;
+        let mut latency = Nanos::ZERO;
+
+        if self.allocator.free_blocks() < self.config.ftl.gc_trigger_free_blocks {
+            let gc = self.collect_garbage()?;
+            latency += gc.time;
+            self.metrics.record_gc(gc.copied_pages, gc.erased_blocks, gc.time);
+        }
+
+        let level = self.classify_and_track_write(lpn, request_bytes);
+        latency += self.place_page(lpn, level)?;
+        self.metrics.record_host_write(latency);
+        Ok(latency)
+    }
+
+    fn metrics(&self) -> &FtlMetrics {
+        &self.metrics
+    }
+
+    fn device(&self) -> &NandDevice {
+        &self.device
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vflash_nand::NandConfig;
+
+    fn device(blocks: usize, pages: usize) -> NandDevice {
+        NandDevice::new(
+            NandConfig::builder()
+                .chips(1)
+                .blocks_per_chip(blocks)
+                .pages_per_block(pages)
+                .page_size_bytes(4096)
+                .speed_ratio(4.0)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    fn small_ftl() -> PpbFtl {
+        let config = PpbConfig {
+            ftl: vflash_ftl::FtlConfig { over_provisioning: 0.25, ..Default::default() },
+            ..PpbConfig::default()
+        };
+        PpbFtl::new(device(24, 8), config).unwrap()
+    }
+
+    #[test]
+    fn small_writes_are_hot_large_writes_are_cold() {
+        let mut ftl = small_ftl();
+        ftl.write(Lpn(1), 512).unwrap();
+        ftl.write(Lpn(2), 64 * 1024).unwrap();
+        assert_eq!(ftl.hotness_of(Lpn(1)), Hotness::Hot);
+        assert_eq!(ftl.hotness_of(Lpn(2)), Hotness::IcyCold);
+    }
+
+    #[test]
+    fn reads_promote_within_each_area() {
+        let mut ftl = small_ftl();
+        ftl.write(Lpn(1), 512).unwrap();
+        ftl.write(Lpn(2), 64 * 1024).unwrap();
+        ftl.read(Lpn(1)).unwrap();
+        ftl.read(Lpn(2)).unwrap();
+        assert_eq!(ftl.hotness_of(Lpn(1)), Hotness::IronHot);
+        assert_eq!(ftl.hotness_of(Lpn(2)), Hotness::Cold);
+    }
+
+    #[test]
+    fn untouched_lpns_default_to_icy_cold() {
+        let ftl = small_ftl();
+        assert_eq!(ftl.hotness_of(Lpn(40)), Hotness::IcyCold);
+    }
+
+    #[test]
+    fn promoted_data_moves_to_fast_pages_on_rewrite() {
+        let mut ftl = small_ftl();
+        // Establish iron-hot status with several hot writes + a read.
+        ftl.write(Lpn(1), 512).unwrap();
+        ftl.read(Lpn(1)).unwrap();
+        // Fill the slow half of the hot block with other hot data so the next
+        // iron-hot write can actually target the fast half.
+        for lpn in 10..14 {
+            ftl.write(Lpn(lpn), 512).unwrap();
+        }
+        ftl.write(Lpn(1), 512).unwrap();
+        let location = ftl.mapping().lookup(Lpn(1)).unwrap();
+        let class = ftl.virtual_blocks().class_of_page(location.page());
+        assert!(!class.is_slowest(), "iron-hot rewrite should land on the fast half");
+    }
+
+    #[test]
+    fn hot_and_cold_data_never_share_a_physical_block() {
+        let mut ftl = small_ftl();
+        let logical = ftl.logical_pages();
+        // Interleave hot (small) and cold (large) writes across the logical space.
+        for i in 0..(logical * 3) {
+            let lpn = Lpn(i % logical);
+            if i.is_multiple_of(2) {
+                ftl.write(lpn, 512).unwrap();
+            } else {
+                ftl.write(lpn, 128 * 1024).unwrap();
+            }
+        }
+        // Every block with resident data is owned by exactly one area, and every LPN
+        // the strategy still tracks as hot lives in a hot-area block. (Cold-tracked
+        // LPNs may temporarily sit in hot-area blocks right after a demotion — that is
+        // the "progressive" part — but hot classifications always trigger a rewrite
+        // into the hot area, so the converse holds unconditionally.)
+        for block in ftl.device().block_addrs() {
+            let residents: Vec<_> = ftl.mapping().lpns_in_block(block).collect();
+            if residents.is_empty() {
+                continue;
+            }
+            let owner = ftl.block_area(block).expect("resident data implies an owner area");
+            for (_, lpn) in residents {
+                if ftl.hotness_of(lpn).area() == Area::Hot {
+                    assert_eq!(
+                        owner,
+                        Area::Hot,
+                        "hot {lpn} resides in a {owner} block {block}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sustained_overwrites_survive_gc_and_stay_readable() {
+        let mut ftl = small_ftl();
+        let logical = ftl.logical_pages();
+        for i in 0..(logical * 8) {
+            let lpn = Lpn(i % logical);
+            let size = if lpn.0.is_multiple_of(3) { 512 } else { 32 * 1024 };
+            ftl.write(lpn, size).unwrap();
+            if i % 5 == 0 {
+                ftl.read(lpn).unwrap();
+            }
+        }
+        assert!(ftl.metrics().gc_erased_blocks > 0, "GC never ran");
+        for i in 0..logical {
+            ftl.read(Lpn(i)).unwrap();
+        }
+        ftl.mapping().check_consistency().unwrap();
+    }
+
+    #[test]
+    fn gc_relocates_survivors_according_to_current_hotness() {
+        let mut ftl = small_ftl();
+        let logical = ftl.logical_pages();
+        // Fill the whole logical space, then read a prefix so it is promoted to cold
+        // (write-once-read-many), then churn the rest in a scrambled order so garbage
+        // collection has to copy surviving valid pages.
+        for i in 0..logical {
+            ftl.write(Lpn(i), 128 * 1024).unwrap();
+        }
+        for _ in 0..2 {
+            for i in 0..16 {
+                ftl.read(Lpn(i)).unwrap();
+            }
+        }
+        let churn = logical - 16;
+        let stride = 37; // coprime with the churn range, scrambles block residency
+        for round in 0..(churn * 8) {
+            let lpn = Lpn(16 + (round * stride) % churn);
+            ftl.write(lpn, 128 * 1024).unwrap();
+        }
+        let metrics = ftl.metrics();
+        assert!(metrics.gc_copied_pages > 0, "workload never forced GC to copy valid pages");
+        assert!(
+            metrics.migrated_pages > 0,
+            "GC never migrated data across speed classes (copied {}, erased {})",
+            metrics.gc_copied_pages,
+            metrics.gc_erased_blocks
+        );
+    }
+
+    #[test]
+    fn read_latency_beats_conventional_when_read_hot_and_write_only_data_mix() {
+        use vflash_ftl::{ConventionalFtl, FtlConfig};
+
+        // Same device geometry and workload for both FTLs.
+        let make_device = || device(32, 16);
+        let mut conventional =
+            ConventionalFtl::new(make_device(), FtlConfig { over_provisioning: 0.25, ..Default::default() })
+                .unwrap();
+        let mut ppb = PpbFtl::new(
+            make_device(),
+            PpbConfig {
+                ftl: FtlConfig { over_provisioning: 0.25, ..Default::default() },
+                ..PpbConfig::default()
+            },
+        )
+        .unwrap();
+
+        let logical = conventional.logical_pages().min(ppb.logical_pages());
+        let read_hot = 16u64; // metadata-like: frequently written *and* read
+        let write_only = 16u64; // cache-like: frequently written, never read
+        let run = |ftl: &mut dyn FlashTranslationLayer| {
+            // Fill the space cold, then drive a mix of iron-hot and hot traffic.
+            for i in 0..logical {
+                ftl.write(Lpn(i), 256 * 1024).unwrap();
+            }
+            for round in 0..(logical * 4) {
+                let cache = Lpn(100 + round % write_only);
+                ftl.write(cache, 512).unwrap();
+                let metadata = Lpn(round % read_hot);
+                ftl.write(metadata, 512).unwrap();
+                ftl.read(metadata).unwrap();
+                ftl.read(metadata).unwrap();
+            }
+            ftl.metrics().host_read_time
+        };
+        let conventional_time = run(&mut conventional);
+        let ppb_time = run(&mut ppb);
+        assert!(
+            ppb_time < conventional_time,
+            "PPB read time {ppb_time} should beat conventional {conventional_time}"
+        );
+    }
+
+    #[test]
+    fn out_of_range_lpns_are_rejected() {
+        let mut ftl = small_ftl();
+        let beyond = Lpn(ftl.logical_pages());
+        assert!(matches!(ftl.write(beyond, 512), Err(FtlError::LpnOutOfRange { .. })));
+        assert!(matches!(ftl.read(beyond), Err(FtlError::LpnOutOfRange { .. })));
+        assert!(matches!(ftl.read(Lpn(0)), Err(FtlError::UnmappedRead { .. })));
+    }
+
+    #[test]
+    fn tiny_devices_are_rejected() {
+        let tiny = device(4, 4);
+        assert!(matches!(
+            PpbFtl::new(tiny, PpbConfig::default()),
+            Err(FtlError::InvalidConfig { .. })
+        ));
+    }
+}

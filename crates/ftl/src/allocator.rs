@@ -1,0 +1,116 @@
+//! Free-block pool management.
+
+use std::collections::VecDeque;
+
+use vflash_nand::{BlockAddr, NandDevice};
+
+/// Tracks which physical blocks are free and hands them out to write streams.
+///
+/// The allocator is deliberately policy-free: it neither knows about hotness nor about
+/// virtual blocks. Higher layers (the conventional FTL's single active block, or the
+/// PPB strategy's five virtual-block lists) decide *which stream* asks for a block;
+/// the allocator only guarantees each free block is handed out once until it is
+/// released again after an erase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockAllocator {
+    free: VecDeque<BlockAddr>,
+    total_blocks: usize,
+}
+
+impl BlockAllocator {
+    /// Builds an allocator whose free pool contains every block of `device`.
+    ///
+    /// Blocks are handed out in address order, which keeps allocation deterministic
+    /// and reproducible across runs.
+    pub fn for_device(device: &NandDevice) -> Self {
+        let free: VecDeque<BlockAddr> = device.block_addrs().collect();
+        let total_blocks = free.len();
+        BlockAllocator { free, total_blocks }
+    }
+
+    /// Builds an allocator over an explicit block list (used in tests and by FTLs
+    /// that reserve some blocks for other purposes).
+    pub fn from_blocks<I: IntoIterator<Item = BlockAddr>>(blocks: I) -> Self {
+        let free: VecDeque<BlockAddr> = blocks.into_iter().collect();
+        let total_blocks = free.len();
+        BlockAllocator { free, total_blocks }
+    }
+
+    /// Number of blocks currently free.
+    pub fn free_blocks(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Number of blocks this allocator manages in total.
+    pub fn total_blocks(&self) -> usize {
+        self.total_blocks
+    }
+
+    /// Takes a free block, or `None` if the pool is empty.
+    pub fn allocate(&mut self) -> Option<BlockAddr> {
+        self.free.pop_front()
+    }
+
+    /// Returns an erased block to the free pool.
+    ///
+    /// The caller must only release blocks that were previously allocated from this
+    /// pool and have been erased; releasing twice would let two write streams share a
+    /// block, so it is checked in debug builds.
+    pub fn release(&mut self, block: BlockAddr) {
+        debug_assert!(
+            !self.free.contains(&block),
+            "block {block} released twice"
+        );
+        self.free.push_back(block);
+    }
+
+    /// Whether the pool still tracks `block` as free.
+    pub fn is_free(&self, block: BlockAddr) -> bool {
+        self.free.contains(&block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vflash_nand::{ChipId, NandConfig};
+
+    #[test]
+    fn pool_covers_whole_device() {
+        let device = NandDevice::new(NandConfig::small());
+        let allocator = BlockAllocator::for_device(&device);
+        assert_eq!(allocator.free_blocks(), device.config().total_blocks());
+        assert_eq!(allocator.total_blocks(), device.config().total_blocks());
+    }
+
+    #[test]
+    fn allocate_release_cycle() {
+        let blocks: Vec<_> = (0..4).map(|i| BlockAddr::new(ChipId(0), i)).collect();
+        let mut allocator = BlockAllocator::from_blocks(blocks.clone());
+        let first = allocator.allocate().unwrap();
+        assert_eq!(first, blocks[0]);
+        assert_eq!(allocator.free_blocks(), 3);
+        assert!(!allocator.is_free(first));
+        allocator.release(first);
+        assert_eq!(allocator.free_blocks(), 4);
+        assert!(allocator.is_free(first));
+    }
+
+    #[test]
+    fn exhausting_the_pool_returns_none() {
+        let mut allocator =
+            BlockAllocator::from_blocks([BlockAddr::new(ChipId(0), 0)]);
+        assert!(allocator.allocate().is_some());
+        assert!(allocator.allocate().is_none());
+    }
+
+    #[test]
+    fn allocation_order_is_deterministic() {
+        let device = NandDevice::new(NandConfig::small());
+        let mut a = BlockAllocator::for_device(&device);
+        let mut b = BlockAllocator::for_device(&device);
+        for _ in 0..10 {
+            assert_eq!(a.allocate(), b.allocate());
+        }
+    }
+}

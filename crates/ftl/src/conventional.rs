@@ -1,0 +1,368 @@
+//! The conventional page-mapping FTL: the paper's comparison baseline.
+
+use vflash_nand::{BlockAddr, NandDevice, Nanos};
+
+use crate::allocator::BlockAllocator;
+use crate::config::FtlConfig;
+use crate::error::FtlError;
+use crate::gc::{GcOutcome, GreedyVictimPolicy, VictimPolicy};
+use crate::mapping::MappingTable;
+use crate::metrics::FtlMetrics;
+use crate::traits::FlashTranslationLayer;
+use crate::types::Lpn;
+
+/// A conventional page-mapping FTL with greedy garbage collection.
+///
+/// This is the baseline the paper compares against: it performs out-of-place updates
+/// into a single active block and reclaims space with greedy victim selection, but it
+/// **assumes every page has the same access speed** — data lands on whatever page the
+/// write pointer happens to reach, so fast bottom-layer pages are wasted on cold data
+/// as often as they serve hot data.
+///
+/// # Example
+///
+/// ```
+/// use vflash_ftl::{ConventionalFtl, FlashTranslationLayer, FtlConfig, Lpn};
+/// use vflash_nand::{NandConfig, NandDevice};
+///
+/// # fn main() -> Result<(), vflash_ftl::FtlError> {
+/// let device = NandDevice::new(NandConfig::small());
+/// let mut ftl = ConventionalFtl::new(device, FtlConfig::default())?;
+/// for lpn in 0..100 {
+///     ftl.write(Lpn(lpn), 4096)?;
+/// }
+/// assert_eq!(ftl.metrics().host_writes, 100);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ConventionalFtl {
+    device: NandDevice,
+    config: FtlConfig,
+    mapping: MappingTable,
+    allocator: BlockAllocator,
+    active: Option<BlockAddr>,
+    gc_active: Option<BlockAddr>,
+    victim_policy: GreedyVictimPolicy,
+    metrics: FtlMetrics,
+    logical_pages: u64,
+}
+
+impl ConventionalFtl {
+    /// Builds the FTL on top of `device`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FtlError::InvalidConfig`] if the configuration is inconsistent or
+    /// leaves no usable logical capacity.
+    pub fn new(device: NandDevice, config: FtlConfig) -> Result<Self, FtlError> {
+        config.validate()?;
+        let nand = device.config();
+        let logical_pages = config.logical_pages(nand.total_pages());
+        if logical_pages == 0 {
+            return Err(FtlError::InvalidConfig {
+                reason: "over-provisioning leaves zero logical pages".to_string(),
+            });
+        }
+        if nand.total_blocks() <= config.gc_target_free_blocks + 1 {
+            return Err(FtlError::InvalidConfig {
+                reason: format!(
+                    "device has only {} blocks; gc target of {} leaves no room for data",
+                    nand.total_blocks(),
+                    config.gc_target_free_blocks
+                ),
+            });
+        }
+        let mapping = MappingTable::new(
+            logical_pages,
+            nand.chips(),
+            nand.blocks_per_chip(),
+            nand.pages_per_block(),
+        );
+        let allocator = BlockAllocator::for_device(&device);
+        Ok(ConventionalFtl {
+            device,
+            config,
+            mapping,
+            allocator,
+            active: None,
+            gc_active: None,
+            victim_policy: GreedyVictimPolicy::new(),
+            metrics: FtlMetrics::new(),
+            logical_pages,
+        })
+    }
+
+    /// The FTL configuration.
+    pub fn config(&self) -> &FtlConfig {
+        &self.config
+    }
+
+    /// The mapping table (for inspection in tests and tools).
+    pub fn mapping(&self) -> &MappingTable {
+        &self.mapping
+    }
+
+    /// Number of free blocks currently available for allocation.
+    pub fn free_blocks(&self) -> usize {
+        self.allocator.free_blocks()
+    }
+
+    fn check_range(&self, lpn: Lpn) -> Result<(), FtlError> {
+        if lpn.0 >= self.logical_pages {
+            Err(FtlError::LpnOutOfRange { lpn, logical_pages: self.logical_pages })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn excluded_blocks(&self) -> Vec<BlockAddr> {
+        let mut excluded = Vec::with_capacity(2);
+        if let Some(block) = self.active {
+            excluded.push(block);
+        }
+        if let Some(block) = self.gc_active {
+            excluded.push(block);
+        }
+        excluded
+    }
+
+    /// Returns a block with at least one free page for the given stream, allocating a
+    /// fresh block when the current one is full.
+    fn writable_block(
+        device: &NandDevice,
+        allocator: &mut BlockAllocator,
+        slot: &mut Option<BlockAddr>,
+    ) -> Result<BlockAddr, FtlError> {
+        if let Some(block) = *slot {
+            if device.block(block)?.next_page().is_some() {
+                return Ok(block);
+            }
+        }
+        let fresh = allocator.allocate().ok_or(FtlError::OutOfSpace)?;
+        *slot = Some(fresh);
+        Ok(fresh)
+    }
+
+    /// Reclaims blocks until the free pool reaches the configured target, charging the
+    /// work to the returned outcome.
+    fn collect_garbage(&mut self) -> Result<GcOutcome, FtlError> {
+        let mut outcome = GcOutcome::default();
+        while self.allocator.free_blocks() < self.config.gc_target_free_blocks {
+            let exclude = self.excluded_blocks();
+            let Some(victim) = self.victim_policy.select_victim(&self.device, &exclude) else {
+                break;
+            };
+            outcome.merge(self.reclaim_block(victim)?);
+        }
+        Ok(outcome)
+    }
+
+    /// Relocates every valid page out of `victim`, erases it and returns it to the
+    /// free pool.
+    fn reclaim_block(&mut self, victim: BlockAddr) -> Result<GcOutcome, FtlError> {
+        let mut outcome = GcOutcome::default();
+        let residents: Vec<_> = self.mapping.lpns_in_block(victim).collect();
+        for (page, lpn) in residents {
+            let source = victim.page(page);
+            outcome.time += self.device.read(source)?;
+            let destination = Self::writable_block(
+                &self.device,
+                &mut self.allocator,
+                &mut self.gc_active,
+            )?;
+            let (new_page, program) = self.device.program_next(destination)?;
+            outcome.time += program;
+            self.device.invalidate(source)?;
+            self.mapping.map(lpn, destination.page(new_page));
+            outcome.copied_pages += 1;
+        }
+        outcome.time += self.device.erase(victim)?;
+        outcome.erased_blocks += 1;
+        self.allocator.release(victim);
+        Ok(outcome)
+    }
+}
+
+impl FlashTranslationLayer for ConventionalFtl {
+    fn name(&self) -> &str {
+        "conventional"
+    }
+
+    fn logical_pages(&self) -> u64 {
+        self.logical_pages
+    }
+
+    fn read(&mut self, lpn: Lpn) -> Result<Nanos, FtlError> {
+        self.check_range(lpn)?;
+        let addr = self.mapping.lookup(lpn).ok_or(FtlError::UnmappedRead { lpn })?;
+        let latency = self.device.read(addr)?;
+        self.metrics.record_host_read(latency);
+        Ok(latency)
+    }
+
+    fn write(&mut self, lpn: Lpn, _request_bytes: u32) -> Result<Nanos, FtlError> {
+        self.check_range(lpn)?;
+        let mut latency = Nanos::ZERO;
+
+        if self.allocator.free_blocks() < self.config.gc_trigger_free_blocks {
+            let gc = self.collect_garbage()?;
+            latency += gc.time;
+            self.metrics.record_gc(gc.copied_pages, gc.erased_blocks, gc.time);
+        }
+
+        let block =
+            Self::writable_block(&self.device, &mut self.allocator, &mut self.active)?;
+        let (page, program) = self.device.program_next(block)?;
+        latency += program;
+
+        if let Some(previous) = self.mapping.map(lpn, block.page(page)) {
+            self.device.invalidate(previous)?;
+        }
+        self.metrics.record_host_write(latency);
+        Ok(latency)
+    }
+
+    fn metrics(&self) -> &FtlMetrics {
+        &self.metrics
+    }
+
+    fn device(&self) -> &NandDevice {
+        &self.device
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vflash_nand::NandConfig;
+
+    fn small_ftl() -> ConventionalFtl {
+        // 1 chip x 16 blocks x 8 pages = 128 physical pages, ~20% OP -> 102 logical
+        let device = NandDevice::new(
+            NandConfig::builder()
+                .chips(1)
+                .blocks_per_chip(16)
+                .pages_per_block(8)
+                .page_size_bytes(4096)
+                .speed_ratio(4.0)
+                .build()
+                .unwrap(),
+        );
+        let config = FtlConfig { over_provisioning: 0.2, ..FtlConfig::default() };
+        ConventionalFtl::new(device, config).unwrap()
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut ftl = small_ftl();
+        let write = ftl.write(Lpn(7), 4096).unwrap();
+        let read = ftl.read(Lpn(7)).unwrap();
+        assert!(write > read);
+        assert_eq!(ftl.metrics().host_writes, 1);
+        assert_eq!(ftl.metrics().host_reads, 1);
+    }
+
+    #[test]
+    fn read_of_never_written_lpn_is_an_error() {
+        let mut ftl = small_ftl();
+        assert!(matches!(ftl.read(Lpn(3)), Err(FtlError::UnmappedRead { .. })));
+    }
+
+    #[test]
+    fn out_of_range_lpns_are_rejected() {
+        let mut ftl = small_ftl();
+        let beyond = Lpn(ftl.logical_pages());
+        assert!(matches!(ftl.write(beyond, 4096), Err(FtlError::LpnOutOfRange { .. })));
+        assert!(matches!(ftl.read(beyond), Err(FtlError::LpnOutOfRange { .. })));
+    }
+
+    #[test]
+    fn overwrites_invalidate_old_locations() {
+        let mut ftl = small_ftl();
+        ftl.write(Lpn(1), 4096).unwrap();
+        let first = ftl.mapping().lookup(Lpn(1)).unwrap();
+        ftl.write(Lpn(1), 4096).unwrap();
+        let second = ftl.mapping().lookup(Lpn(1)).unwrap();
+        assert_ne!(first, second);
+        // The old physical page is now invalid.
+        let block = ftl.device().block(first.block()).unwrap();
+        assert_eq!(block.invalid_pages(), 1);
+        ftl.mapping().check_consistency().unwrap();
+    }
+
+    #[test]
+    fn sustained_overwrites_trigger_gc_and_never_run_out_of_space() {
+        let mut ftl = small_ftl();
+        let logical = ftl.logical_pages();
+        // Write 10x the logical capacity, uniformly.
+        for i in 0..(logical * 10) {
+            ftl.write(Lpn(i % logical), 4096).unwrap();
+        }
+        assert!(ftl.metrics().gc_erased_blocks > 0, "GC never ran");
+        assert!(ftl.metrics().host_writes == logical * 10);
+        assert!(ftl.free_blocks() >= 1);
+        ftl.mapping().check_consistency().unwrap();
+        // Every LPN is still readable after heavy GC.
+        for i in 0..logical {
+            ftl.read(Lpn(i)).unwrap();
+        }
+    }
+
+    #[test]
+    fn gc_preserves_data_integrity_under_skewed_overwrites() {
+        let mut ftl = small_ftl();
+        let logical = ftl.logical_pages();
+        // Fill once, then hammer a small hot set.
+        for i in 0..logical {
+            ftl.write(Lpn(i), 4096).unwrap();
+        }
+        for round in 0..(logical * 8) {
+            ftl.write(Lpn(round % 10), 4096).unwrap();
+        }
+        for i in 0..logical {
+            assert!(ftl.read(Lpn(i)).is_ok(), "LPN{i} lost after GC");
+        }
+        assert_eq!(ftl.mapping().mapped_pages(), logical);
+    }
+
+    #[test]
+    fn write_amplification_is_reported() {
+        let mut ftl = small_ftl();
+        let logical = ftl.logical_pages();
+        for i in 0..(logical * 6) {
+            ftl.write(Lpn(i % logical), 4096).unwrap();
+        }
+        let waf = ftl.metrics().write_amplification();
+        assert!(waf >= 1.0, "WAF below 1: {waf}");
+    }
+
+    #[test]
+    fn gc_time_is_charged_to_triggering_writes() {
+        let mut ftl = small_ftl();
+        let logical = ftl.logical_pages();
+        for i in 0..(logical * 6) {
+            ftl.write(Lpn(i % logical), 4096).unwrap();
+        }
+        let metrics = ftl.metrics();
+        assert!(metrics.gc_time > Nanos::ZERO);
+        assert!(metrics.host_write_time > metrics.gc_time);
+    }
+
+    #[test]
+    fn too_small_devices_are_rejected() {
+        let device = NandDevice::new(
+            NandConfig::builder()
+                .chips(1)
+                .blocks_per_chip(3)
+                .pages_per_block(4)
+                .page_size_bytes(4096)
+                .build()
+                .unwrap(),
+        );
+        assert!(matches!(
+            ConventionalFtl::new(device, FtlConfig::default()),
+            Err(FtlError::InvalidConfig { .. })
+        ));
+    }
+}

@@ -1,0 +1,93 @@
+//! FTL error type.
+
+use std::error::Error;
+use std::fmt;
+
+use vflash_nand::NandError;
+
+use crate::types::Lpn;
+
+/// Errors returned by flash translation layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FtlError {
+    /// The underlying device rejected an operation. Reaching this from the public FTL
+    /// API indicates an FTL bug, so the device error is preserved for diagnosis.
+    Nand(NandError),
+    /// A logical page number is beyond the exported logical capacity.
+    LpnOutOfRange {
+        /// The offending logical page number.
+        lpn: Lpn,
+        /// Number of logical pages exported by the FTL.
+        logical_pages: u64,
+    },
+    /// A read targeted a logical page that has never been written.
+    UnmappedRead {
+        /// The logical page number that has no mapping.
+        lpn: Lpn,
+    },
+    /// Garbage collection could not reclaim space and no free pages remain.
+    OutOfSpace,
+    /// The FTL configuration is inconsistent with the device (e.g. over-provisioning
+    /// leaves no logical capacity).
+    InvalidConfig {
+        /// Explanation of the rejected parameter combination.
+        reason: String,
+    },
+}
+
+impl fmt::Display for FtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FtlError::Nand(err) => write!(f, "nand device error: {err}"),
+            FtlError::LpnOutOfRange { lpn, logical_pages } => {
+                write!(f, "{lpn} out of range (device exports {logical_pages} logical pages)")
+            }
+            FtlError::UnmappedRead { lpn } => write!(f, "read of unmapped {lpn}"),
+            FtlError::OutOfSpace => write!(f, "no free pages remain after garbage collection"),
+            FtlError::InvalidConfig { reason } => write!(f, "invalid ftl configuration: {reason}"),
+        }
+    }
+}
+
+impl Error for FtlError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FtlError::Nand(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<NandError> for FtlError {
+    fn from(err: NandError) -> Self {
+        FtlError::Nand(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let err = FtlError::LpnOutOfRange { lpn: Lpn(99), logical_pages: 10 };
+        assert!(err.to_string().contains("LPN99"));
+        assert!(err.to_string().contains("10 logical pages"));
+        assert!(FtlError::OutOfSpace.to_string().contains("free pages"));
+    }
+
+    #[test]
+    fn nand_errors_are_wrapped_with_source() {
+        let nand = NandError::InvalidConfig { reason: "x".into() };
+        let err: FtlError = nand.clone().into();
+        assert_eq!(err, FtlError::Nand(nand));
+        assert!(Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FtlError>();
+    }
+}

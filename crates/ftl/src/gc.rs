@@ -1,0 +1,155 @@
+//! Garbage-collection building blocks.
+//!
+//! The relocation loop itself differs between FTLs (the conventional FTL copies valid
+//! pages into a single destination stream, while the PPB strategy uses garbage
+//! collection as its opportunity to migrate data towards pages of suitable speed), so
+//! this module only provides the shared pieces: victim selection policies and the
+//! [`GcOutcome`] accounting type.
+
+use vflash_nand::{BlockAddr, BlockState, NandDevice, Nanos};
+
+/// Summary of one garbage-collection pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GcOutcome {
+    /// Blocks erased.
+    pub erased_blocks: u64,
+    /// Valid pages copied to new locations.
+    pub copied_pages: u64,
+    /// Total device time consumed (reads + programs + erases).
+    pub time: Nanos,
+}
+
+impl GcOutcome {
+    /// Merges another outcome into this one.
+    pub fn merge(&mut self, other: GcOutcome) {
+        self.erased_blocks += other.erased_blocks;
+        self.copied_pages += other.copied_pages;
+        self.time += other.time;
+    }
+}
+
+/// Strategy for choosing which block to reclaim next.
+pub trait VictimPolicy {
+    /// Picks a victim block, or `None` if no block is worth (or capable of being)
+    /// reclaimed. `exclude` lists blocks that must not be chosen — typically the
+    /// currently-open write streams.
+    fn select_victim(&self, device: &NandDevice, exclude: &[BlockAddr]) -> Option<BlockAddr>;
+}
+
+/// The classic greedy policy: reclaim the full block with the most invalid pages.
+///
+/// Blocks with zero invalid pages are never selected (erasing them would only move
+/// data around without freeing anything).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GreedyVictimPolicy;
+
+impl GreedyVictimPolicy {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        GreedyVictimPolicy
+    }
+}
+
+impl VictimPolicy for GreedyVictimPolicy {
+    fn select_victim(&self, device: &NandDevice, exclude: &[BlockAddr]) -> Option<BlockAddr> {
+        let mut best: Option<(BlockAddr, usize)> = None;
+        for addr in device.block_addrs() {
+            if exclude.contains(&addr) {
+                continue;
+            }
+            let block = device.block(addr).expect("iterating device addresses");
+            if block.state() != BlockState::Full {
+                continue;
+            }
+            let invalid = block.invalid_pages();
+            if invalid == 0 {
+                continue;
+            }
+            match best {
+                Some((_, best_invalid)) if invalid <= best_invalid => {}
+                _ => best = Some((addr, invalid)),
+            }
+        }
+        best.map(|(addr, _)| addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vflash_nand::{ChipId, NandConfig, NandDevice, PageId};
+
+    fn device() -> NandDevice {
+        NandDevice::new(
+            NandConfig::builder()
+                .chips(1)
+                .blocks_per_chip(4)
+                .pages_per_block(4)
+                .page_size_bytes(4096)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    fn fill_block(device: &mut NandDevice, block: BlockAddr, invalid: usize) {
+        for _ in 0..4 {
+            device.program_next(block).unwrap();
+        }
+        for page in 0..invalid {
+            device.invalidate(block.page(PageId(page))).unwrap();
+        }
+    }
+
+    #[test]
+    fn greedy_prefers_most_invalid_full_block() {
+        let mut dev = device();
+        let b0 = BlockAddr::new(ChipId(0), 0);
+        let b1 = BlockAddr::new(ChipId(0), 1);
+        let b2 = BlockAddr::new(ChipId(0), 2);
+        fill_block(&mut dev, b0, 1);
+        fill_block(&mut dev, b1, 3);
+        fill_block(&mut dev, b2, 2);
+        let policy = GreedyVictimPolicy::new();
+        assert_eq!(policy.select_victim(&dev, &[]), Some(b1));
+    }
+
+    #[test]
+    fn excluded_blocks_are_never_selected() {
+        let mut dev = device();
+        let b0 = BlockAddr::new(ChipId(0), 0);
+        let b1 = BlockAddr::new(ChipId(0), 1);
+        fill_block(&mut dev, b0, 4);
+        fill_block(&mut dev, b1, 1);
+        let policy = GreedyVictimPolicy::new();
+        assert_eq!(policy.select_victim(&dev, &[b0]), Some(b1));
+    }
+
+    #[test]
+    fn blocks_without_invalid_pages_are_ignored() {
+        let mut dev = device();
+        let b0 = BlockAddr::new(ChipId(0), 0);
+        fill_block(&mut dev, b0, 0);
+        let policy = GreedyVictimPolicy::new();
+        assert_eq!(policy.select_victim(&dev, &[]), None);
+    }
+
+    #[test]
+    fn open_blocks_are_not_victims() {
+        let mut dev = device();
+        let b0 = BlockAddr::new(ChipId(0), 0);
+        dev.program_next(b0).unwrap();
+        dev.invalidate(b0.page(PageId(0))).unwrap();
+        let policy = GreedyVictimPolicy::new();
+        assert_eq!(policy.select_victim(&dev, &[]), None);
+    }
+
+    #[test]
+    fn outcome_merging_accumulates() {
+        let mut a = GcOutcome { erased_blocks: 1, copied_pages: 3, time: Nanos::from_millis(4) };
+        let b = GcOutcome { erased_blocks: 2, copied_pages: 0, time: Nanos::from_millis(8) };
+        a.merge(b);
+        assert_eq!(a.erased_blocks, 3);
+        assert_eq!(a.copied_pages, 3);
+        assert_eq!(a.time, Nanos::from_millis(12));
+    }
+}

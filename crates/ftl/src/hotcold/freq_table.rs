@@ -1,0 +1,145 @@
+//! Table-based access-frequency hot/cold identification.
+
+use std::collections::HashMap;
+
+use crate::hotcold::{HotColdClassifier, Temperature};
+use crate::types::Lpn;
+
+/// A per-LPN write counter table with periodic exponential aging.
+///
+/// Pages whose write count reaches the threshold are classified hot. Every
+/// `aging_period` observed writes, all counters are halved so that pages which stop
+/// being written eventually cool down (following the aging idea of the table-based
+/// history schemes, e.g. Hsieh et al., SAC 2005).
+///
+/// # Example
+///
+/// ```
+/// use vflash_ftl::hotcold::{FreqTable, HotColdClassifier, Temperature};
+/// use vflash_ftl::Lpn;
+///
+/// let mut table = FreqTable::new(3, 1_000);
+/// assert_eq!(table.classify_write(Lpn(9), 4096), Temperature::Cold);
+/// assert_eq!(table.classify_write(Lpn(9), 4096), Temperature::Cold);
+/// assert_eq!(table.classify_write(Lpn(9), 4096), Temperature::Hot);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FreqTable {
+    counts: HashMap<Lpn, u32>,
+    threshold: u32,
+    aging_period: u64,
+    writes_since_aging: u64,
+}
+
+impl FreqTable {
+    /// Creates the table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero or `aging_period` is zero.
+    pub fn new(threshold: u32, aging_period: u64) -> Self {
+        assert!(threshold > 0, "threshold must be positive");
+        assert!(aging_period > 0, "aging period must be positive");
+        FreqTable { counts: HashMap::new(), threshold, aging_period, writes_since_aging: 0 }
+    }
+
+    /// The current write count of `lpn` (zero if never seen).
+    pub fn count(&self, lpn: Lpn) -> u32 {
+        self.counts.get(&lpn).copied().unwrap_or(0)
+    }
+
+    /// Number of LPNs currently tracked.
+    pub fn tracked(&self) -> usize {
+        self.counts.len()
+    }
+
+    fn age(&mut self) {
+        self.counts.retain(|_, count| {
+            *count /= 2;
+            *count > 0
+        });
+    }
+}
+
+impl HotColdClassifier for FreqTable {
+    fn name(&self) -> &str {
+        "freq-table"
+    }
+
+    fn classify_write(&mut self, lpn: Lpn, _request_bytes: u32) -> Temperature {
+        self.writes_since_aging += 1;
+        if self.writes_since_aging >= self.aging_period {
+            self.writes_since_aging = 0;
+            self.age();
+        }
+        let count = self.counts.entry(lpn).or_insert(0);
+        *count = count.saturating_add(1);
+        if *count >= self.threshold {
+            Temperature::Hot
+        } else {
+            Temperature::Cold
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reaches_hot_after_threshold_writes() {
+        let mut table = FreqTable::new(2, 1_000);
+        assert_eq!(table.classify_write(Lpn(1), 4096), Temperature::Cold);
+        assert_eq!(table.classify_write(Lpn(1), 4096), Temperature::Hot);
+        assert_eq!(table.count(Lpn(1)), 2);
+        assert_eq!(table.name(), "freq-table");
+    }
+
+    #[test]
+    fn independent_lpns_do_not_interfere() {
+        let mut table = FreqTable::new(2, 1_000);
+        table.classify_write(Lpn(1), 4096);
+        assert_eq!(table.classify_write(Lpn(2), 4096), Temperature::Cold);
+        assert_eq!(table.tracked(), 2);
+    }
+
+    #[test]
+    fn aging_halves_counts_and_drops_zeroes() {
+        let mut table = FreqTable::new(4, 4);
+        // Three writes to LPN1, then a fourth write (to LPN2) triggers aging first.
+        for _ in 0..3 {
+            table.classify_write(Lpn(1), 4096);
+        }
+        table.classify_write(Lpn(2), 4096);
+        // LPN1 count was halved from 3 to 1, LPN2 was inserted after the aging pass.
+        assert_eq!(table.count(Lpn(1)), 1);
+        assert_eq!(table.count(Lpn(2)), 1);
+        // Entries that decay to zero are dropped from the table.
+        for _ in 0..4 {
+            table.classify_write(Lpn(3), 4096);
+        }
+        for _ in 0..8 {
+            table.classify_write(Lpn(4), 4096);
+        }
+        assert_eq!(table.count(Lpn(2)), 0);
+    }
+
+    #[test]
+    fn cooled_down_pages_return_to_cold() {
+        let mut table = FreqTable::new(3, 2);
+        for _ in 0..3 {
+            table.classify_write(Lpn(7), 4096);
+        }
+        // Plenty of unrelated traffic ages LPN7 back below the threshold.
+        for other in 100..120 {
+            table.classify_write(Lpn(other), 4096);
+        }
+        assert_eq!(table.classify_write(Lpn(7), 4096), Temperature::Cold);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn zero_threshold_rejected() {
+        let _ = FreqTable::new(0, 10);
+    }
+}

@@ -1,0 +1,62 @@
+//! # vflash-ftl
+//!
+//! A baseline **flash translation layer** (FTL) for the 3D charge-trap NAND model in
+//! [`vflash_nand`], plus the building blocks shared by more advanced FTLs:
+//!
+//! * [`MappingTable`] — page-level logical-to-physical mapping with a reverse map for
+//!   garbage collection,
+//! * [`BlockAllocator`] — free-block pool and active-block management,
+//! * [`gc`] — greedy victim selection and valid-page relocation,
+//! * [`hotcold`] — classical two-level hot/cold data identification mechanisms
+//!   (request-size check, two-level LRU, access-frequency table, multi-hash counting),
+//!   which the PPB strategy reuses as its first identification stage,
+//! * [`ConventionalFtl`] — the paper's comparison baseline: a page-mapping FTL with
+//!   greedy garbage collection that assumes every page has the same access speed.
+//!
+//! The [`FlashTranslationLayer`] trait is the interface the trace-driven simulator
+//! drives; the PPB strategy in `vflash-ppb` implements the same trait so the two can
+//! be compared under identical workloads.
+//!
+//! # Example
+//!
+//! ```
+//! use vflash_ftl::{ConventionalFtl, FlashTranslationLayer, FtlConfig, Lpn};
+//! use vflash_nand::{NandConfig, NandDevice};
+//!
+//! # fn main() -> Result<(), vflash_ftl::FtlError> {
+//! let device = NandDevice::new(NandConfig::small());
+//! let mut ftl = ConventionalFtl::new(device, FtlConfig::default())?;
+//!
+//! let write_latency = ftl.write(Lpn(0), 4096)?;
+//! let read_latency = ftl.read(Lpn(0))?;
+//! assert!(write_latency > read_latency);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gc;
+pub mod hotcold;
+
+mod allocator;
+mod config;
+mod conventional;
+mod error;
+mod mapping;
+mod metrics;
+mod traits;
+mod types;
+mod wear;
+
+pub use allocator::BlockAllocator;
+pub use config::FtlConfig;
+pub use conventional::ConventionalFtl;
+pub use error::FtlError;
+pub use gc::{GcOutcome, GreedyVictimPolicy, VictimPolicy};
+pub use mapping::MappingTable;
+pub use metrics::FtlMetrics;
+pub use traits::FlashTranslationLayer;
+pub use types::Lpn;
+pub use wear::{WearAwareVictimPolicy, WearStats};

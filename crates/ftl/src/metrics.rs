@@ -1,0 +1,119 @@
+//! Host-visible FTL metrics.
+
+use vflash_nand::Nanos;
+
+/// Counters and accumulated latencies maintained by an FTL.
+///
+/// *Host* metrics cover the requests issued by the workload; *GC* metrics cover the
+/// background work (valid-page copies and erases) triggered by those requests. The
+/// paper's evaluation reports exactly these quantities: total read latency, total
+/// write latency (including GC time charged to writes) and the erased-block count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FtlMetrics {
+    /// Host page reads served.
+    pub host_reads: u64,
+    /// Host page writes served.
+    pub host_writes: u64,
+    /// Total latency of host reads.
+    pub host_read_time: Nanos,
+    /// Total latency of host writes, including garbage-collection time incurred while
+    /// serving them.
+    pub host_write_time: Nanos,
+    /// Valid pages copied by garbage collection.
+    pub gc_copied_pages: u64,
+    /// Blocks erased by garbage collection.
+    pub gc_erased_blocks: u64,
+    /// Total time spent inside garbage collection.
+    pub gc_time: Nanos,
+    /// Pages relocated by hotness-driven migration (zero for the conventional FTL).
+    pub migrated_pages: u64,
+}
+
+impl FtlMetrics {
+    /// A zeroed metrics block.
+    pub fn new() -> Self {
+        FtlMetrics::default()
+    }
+
+    /// Mean host read latency (zero if no reads were served).
+    pub fn mean_read_latency(&self) -> Nanos {
+        if self.host_reads == 0 {
+            Nanos::ZERO
+        } else {
+            self.host_read_time / self.host_reads
+        }
+    }
+
+    /// Mean host write latency (zero if no writes were served).
+    pub fn mean_write_latency(&self) -> Nanos {
+        if self.host_writes == 0 {
+            Nanos::ZERO
+        } else {
+            self.host_write_time / self.host_writes
+        }
+    }
+
+    /// Write amplification factor: physical page programs per host write, where the
+    /// physical count is host writes plus GC copies. Hotness-driven migrations are a
+    /// subset of the GC copies (they only happen when a page had to be copied
+    /// anyway), so they are *not* added again.
+    pub fn write_amplification(&self) -> f64 {
+        if self.host_writes == 0 {
+            0.0
+        } else {
+            (self.host_writes + self.gc_copied_pages) as f64 / self.host_writes as f64
+        }
+    }
+
+    /// Records one host read and its latency.
+    pub fn record_host_read(&mut self, latency: Nanos) {
+        self.host_reads += 1;
+        self.host_read_time += latency;
+    }
+
+    /// Records one host write and its latency (GC time included by the caller).
+    pub fn record_host_write(&mut self, latency: Nanos) {
+        self.host_writes += 1;
+        self.host_write_time += latency;
+    }
+
+    /// Records the outcome of a garbage-collection pass.
+    pub fn record_gc(&mut self, copied: u64, erased: u64, time: Nanos) {
+        self.gc_copied_pages += copied;
+        self.gc_erased_blocks += erased;
+        self.gc_time += time;
+    }
+
+    /// Records pages relocated by hotness-driven migration.
+    pub fn record_migration(&mut self, pages: u64) {
+        self.migrated_pages += pages;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means_handle_zero_counts() {
+        let metrics = FtlMetrics::new();
+        assert_eq!(metrics.mean_read_latency(), Nanos::ZERO);
+        assert_eq!(metrics.mean_write_latency(), Nanos::ZERO);
+        assert_eq!(metrics.write_amplification(), 0.0);
+    }
+
+    #[test]
+    fn recording_accumulates() {
+        let mut metrics = FtlMetrics::new();
+        metrics.record_host_read(Nanos::from_micros(50));
+        metrics.record_host_read(Nanos::from_micros(150));
+        metrics.record_host_write(Nanos::from_micros(800));
+        metrics.record_gc(3, 1, Nanos::from_millis(5));
+        assert_eq!(metrics.host_reads, 2);
+        assert_eq!(metrics.mean_read_latency(), Nanos::from_micros(100));
+        assert_eq!(metrics.host_writes, 1);
+        assert_eq!(metrics.gc_copied_pages, 3);
+        assert_eq!(metrics.gc_erased_blocks, 1);
+        assert_eq!(metrics.write_amplification(), 4.0);
+    }
+}

@@ -1,0 +1,63 @@
+//! The interface shared by all flash translation layers in the workspace.
+
+use vflash_nand::{NandDevice, Nanos};
+
+use crate::error::FtlError;
+use crate::metrics::FtlMetrics;
+use crate::types::Lpn;
+
+/// A flash translation layer that the trace-driven simulator can exercise.
+///
+/// Both the conventional baseline ([`crate::ConventionalFtl`]) and the PPB strategy
+/// (`vflash_ppb::PpbFtl`) implement this trait, which is what makes the paper's
+/// "conventional FTL vs FTL with PPB strategy" comparison a one-line swap in the
+/// experiment harness.
+///
+/// The trait is object-safe so harness code can hold `Box<dyn FlashTranslationLayer>`.
+pub trait FlashTranslationLayer {
+    /// A short human-readable name used in experiment reports
+    /// (e.g. `"conventional"`, `"ppb"`).
+    fn name(&self) -> &str;
+
+    /// Number of logical pages exported to the host.
+    fn logical_pages(&self) -> u64;
+
+    /// Serves a host read of one logical page, returning the latency charged to the
+    /// host.
+    ///
+    /// # Errors
+    ///
+    /// * [`FtlError::LpnOutOfRange`] if `lpn` is beyond the exported capacity.
+    /// * [`FtlError::UnmappedRead`] if the page has never been written.
+    fn read(&mut self, lpn: Lpn) -> Result<Nanos, FtlError>;
+
+    /// Serves a host write of one logical page, returning the latency charged to the
+    /// host (including any garbage-collection time incurred).
+    ///
+    /// `request_bytes` is the size of the *original* host request this page write
+    /// belongs to; first-stage hot/cold classifiers such as the request-size check use
+    /// it as their hint.
+    ///
+    /// # Errors
+    ///
+    /// * [`FtlError::LpnOutOfRange`] if `lpn` is beyond the exported capacity.
+    /// * [`FtlError::OutOfSpace`] if garbage collection cannot free any space.
+    fn write(&mut self, lpn: Lpn, request_bytes: u32) -> Result<Nanos, FtlError>;
+
+    /// Cumulative host and GC metrics.
+    fn metrics(&self) -> &FtlMetrics;
+
+    /// The underlying device, for wear and state inspection.
+    fn device(&self) -> &NandDevice;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trait_is_object_safe() {
+        fn _takes_boxed(_: &mut dyn FlashTranslationLayer) {}
+        fn _holds_boxed(_: Box<dyn FlashTranslationLayer>) {}
+    }
+}

@@ -1,0 +1,40 @@
+//! Logical address types.
+
+use std::fmt;
+
+/// A logical page number: the host-visible page index the FTL maps onto physical
+/// pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Lpn(pub u64);
+
+impl Lpn {
+    /// The logical page number as a plain index.
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Lpn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LPN{}", self.0)
+    }
+}
+
+impl From<u64> for Lpn {
+    fn from(value: u64) -> Self {
+        Lpn(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let lpn = Lpn::from(17u64);
+        assert_eq!(lpn.as_usize(), 17);
+        assert_eq!(lpn.to_string(), "LPN17");
+        assert!(Lpn(3) < Lpn(4));
+    }
+}

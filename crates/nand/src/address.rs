@@ -1,0 +1,170 @@
+//! Typed physical addresses.
+//!
+//! The FTL juggles several integer-like quantities (chip indices, block indices,
+//! page offsets, gate-stack layers, logical block addresses). Newtypes keep them from
+//! being mixed up at compile time ([C-NEWTYPE]).
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+use std::fmt;
+
+/// Index of a flash chip (die) within the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ChipId(pub usize);
+
+impl fmt::Display for ChipId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+/// Index of a page *within a block* (0 = first programmed page = top gate-stack layer).
+///
+/// In 3D charge-trap NAND the page index inside a block corresponds directly to the
+/// gate-stack layer of the vertical channel: page 0 sits at the top of the stack where
+/// the etched channel is widest (weakest field, slowest access) and the last page sits
+/// at the bottom where the channel is narrowest (strongest field, fastest access).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PageId(pub usize);
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Index of a gate-stack layer. Identical numeric range as [`PageId`] but used where
+/// the *physical* layer is meant rather than the programming order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LayerId(pub usize);
+
+impl fmt::Display for LayerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+impl From<PageId> for LayerId {
+    fn from(page: PageId) -> Self {
+        LayerId(page.0)
+    }
+}
+
+/// Address of a physical block: a chip plus the block index within that chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BlockAddr {
+    chip: ChipId,
+    index: usize,
+}
+
+impl BlockAddr {
+    /// Creates a block address from a chip and a block index within that chip.
+    pub const fn new(chip: ChipId, index: usize) -> Self {
+        BlockAddr { chip, index }
+    }
+
+    /// The chip this block resides on.
+    pub const fn chip(self) -> ChipId {
+        self.chip
+    }
+
+    /// The block index within its chip.
+    pub const fn index(self) -> usize {
+        self.index
+    }
+
+    /// The address of a page within this block.
+    pub const fn page(self, page: PageId) -> PageAddr {
+        PageAddr { block: self, page }
+    }
+
+    /// Flattens the address to a device-wide block ordinal, given the number of blocks
+    /// per chip. Useful as a dense map key.
+    pub const fn flat_index(self, blocks_per_chip: usize) -> usize {
+        self.chip.0 * blocks_per_chip + self.index
+    }
+}
+
+impl fmt::Display for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/B{}", self.chip, self.index)
+    }
+}
+
+/// Address of a physical page: a block plus the page index within that block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PageAddr {
+    block: BlockAddr,
+    page: PageId,
+}
+
+impl PageAddr {
+    /// Creates a page address.
+    pub const fn new(block: BlockAddr, page: PageId) -> Self {
+        PageAddr { block, page }
+    }
+
+    /// The block containing this page.
+    pub const fn block(self) -> BlockAddr {
+        self.block
+    }
+
+    /// The page index within the block.
+    pub const fn page(self) -> PageId {
+        self.page
+    }
+
+    /// The gate-stack layer this page occupies.
+    pub const fn layer(self) -> LayerId {
+        LayerId(self.page.0)
+    }
+}
+
+impl fmt::Display for PageAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.block, self.page)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_addr_accessors() {
+        let block = BlockAddr::new(ChipId(2), 7);
+        assert_eq!(block.chip(), ChipId(2));
+        assert_eq!(block.index(), 7);
+        assert_eq!(block.flat_index(10), 27);
+    }
+
+    #[test]
+    fn page_addr_composition() {
+        let block = BlockAddr::new(ChipId(1), 3);
+        let page = block.page(PageId(5));
+        assert_eq!(page.block(), block);
+        assert_eq!(page.page(), PageId(5));
+        assert_eq!(page.layer(), LayerId(5));
+    }
+
+    #[test]
+    fn display_formats_are_compact() {
+        let page = BlockAddr::new(ChipId(0), 12).page(PageId(3));
+        assert_eq!(page.to_string(), "C0/B12/P3");
+        assert_eq!(LayerId(4).to_string(), "L4");
+    }
+
+    #[test]
+    fn layer_from_page_preserves_index() {
+        assert_eq!(LayerId::from(PageId(9)), LayerId(9));
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_chip_block_page() {
+        let a = BlockAddr::new(ChipId(0), 5).page(PageId(9));
+        let b = BlockAddr::new(ChipId(1), 0).page(PageId(0));
+        assert!(a < b);
+        let c = BlockAddr::new(ChipId(0), 5).page(PageId(10));
+        assert!(a < c);
+    }
+}

@@ -1,0 +1,269 @@
+//! Physical block state: sequential programming, validity accounting and wear.
+
+use std::fmt;
+
+use crate::address::PageId;
+use crate::error::NandError;
+use crate::page::{Page, PageState};
+
+/// Aggregate state of a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlockState {
+    /// All pages are free (the block was just erased or never programmed).
+    Free,
+    /// Some pages have been programmed and free pages remain.
+    Open,
+    /// Every page has been programmed (valid or invalid); the block must be erased
+    /// before it can accept new writes.
+    Full,
+}
+
+impl fmt::Display for BlockState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let label = match self {
+            BlockState::Free => "free",
+            BlockState::Open => "open",
+            BlockState::Full => "full",
+        };
+        f.write_str(label)
+    }
+}
+
+/// A physical erase block: an ordered run of pages sharing one vertical channel.
+///
+/// The block enforces the two fundamental NAND constraints:
+///
+/// * **sequential programming** — pages must be programmed in increasing page order
+///   (`write_pointer` tracks the next programmable page), and
+/// * **erase-before-write** — a page can only return to [`PageState::Free`] through a
+///   whole-block erase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    pages: Vec<Page>,
+    write_pointer: usize,
+    valid_pages: usize,
+    erase_count: u64,
+}
+
+impl Block {
+    /// Creates an erased block with `pages_per_block` pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages_per_block` is zero.
+    pub fn new(pages_per_block: usize) -> Self {
+        assert!(pages_per_block > 0, "a block needs at least one page");
+        Block {
+            pages: vec![Page::new(); pages_per_block],
+            write_pointer: 0,
+            valid_pages: 0,
+            erase_count: 0,
+        }
+    }
+
+    /// Number of pages in the block.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Whether the block holds zero pages. Always false for a constructed block; the
+    /// method exists for API completeness alongside [`Block::len`].
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// The state of one page.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NandError::PageOutOfRange`] if `page` is outside the block.
+    pub fn page_state(&self, page: PageId) -> Result<PageState, NandError> {
+        self.pages
+            .get(page.0)
+            .map(Page::state)
+            .ok_or(NandError::PageOutOfRange { page, pages_per_block: self.pages.len() })
+    }
+
+    /// Aggregate block state.
+    pub fn state(&self) -> BlockState {
+        if self.write_pointer == 0 {
+            BlockState::Free
+        } else if self.write_pointer < self.pages.len() {
+            BlockState::Open
+        } else {
+            BlockState::Full
+        }
+    }
+
+    /// The next page that a program operation must target, or `None` if the block is
+    /// full.
+    pub fn next_page(&self) -> Option<PageId> {
+        if self.write_pointer < self.pages.len() {
+            Some(PageId(self.write_pointer))
+        } else {
+            None
+        }
+    }
+
+    /// Number of pages holding live data.
+    pub fn valid_pages(&self) -> usize {
+        self.valid_pages
+    }
+
+    /// Number of pages holding stale data.
+    pub fn invalid_pages(&self) -> usize {
+        self.write_pointer - self.valid_pages
+    }
+
+    /// Number of pages still available for programming.
+    pub fn free_pages(&self) -> usize {
+        self.pages.len() - self.write_pointer
+    }
+
+    /// How many times this block has been erased (wear).
+    pub fn erase_count(&self) -> u64 {
+        self.erase_count
+    }
+
+    /// Whether every programmed page is stale, making the block an ideal, copy-free
+    /// garbage-collection victim.
+    pub fn is_fully_invalid(&self) -> bool {
+        self.state() == BlockState::Full && self.valid_pages == 0
+    }
+
+    /// Programs the page at the write pointer, marking it valid.
+    ///
+    /// # Errors
+    ///
+    /// * [`NandError::BlockFull`]-like conditions are reported by the device layer,
+    ///   which knows the block address; here a full block returns
+    ///   `Err(NandError::PageOutOfRange)` only through [`Block::program`].
+    pub(crate) fn program_next(&mut self) -> Option<PageId> {
+        let page = self.next_page()?;
+        self.pages[page.0].set_state(PageState::Valid);
+        self.write_pointer += 1;
+        self.valid_pages += 1;
+        Some(page)
+    }
+
+    /// Marks a valid page as invalid (out-of-place update or relocation source).
+    pub(crate) fn invalidate(&mut self, page: PageId) -> Result<(), PageState> {
+        match self.pages[page.0].state() {
+            PageState::Valid => {
+                self.pages[page.0].set_state(PageState::Invalid);
+                self.valid_pages -= 1;
+                Ok(())
+            }
+            other => Err(other),
+        }
+    }
+
+    /// Erases the block, freeing every page and incrementing the wear counter.
+    pub(crate) fn erase(&mut self) {
+        for page in &mut self.pages {
+            page.set_state(PageState::Free);
+        }
+        self.write_pointer = 0;
+        self.valid_pages = 0;
+        self.erase_count += 1;
+    }
+
+    /// Iterates over page ids of valid pages (ascending).
+    pub fn valid_page_ids(&self) -> impl Iterator<Item = PageId> + '_ {
+        self.pages
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_valid())
+            .map(|(i, _)| PageId(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_block_is_free() {
+        let block = Block::new(8);
+        assert_eq!(block.state(), BlockState::Free);
+        assert_eq!(block.next_page(), Some(PageId(0)));
+        assert_eq!(block.free_pages(), 8);
+        assert_eq!(block.valid_pages(), 0);
+        assert_eq!(block.erase_count(), 0);
+    }
+
+    #[test]
+    fn programming_advances_write_pointer_in_order() {
+        let mut block = Block::new(4);
+        assert_eq!(block.program_next(), Some(PageId(0)));
+        assert_eq!(block.program_next(), Some(PageId(1)));
+        assert_eq!(block.state(), BlockState::Open);
+        assert_eq!(block.program_next(), Some(PageId(2)));
+        assert_eq!(block.program_next(), Some(PageId(3)));
+        assert_eq!(block.state(), BlockState::Full);
+        assert_eq!(block.program_next(), None);
+    }
+
+    #[test]
+    fn invalidate_only_applies_to_valid_pages() {
+        let mut block = Block::new(4);
+        block.program_next();
+        assert!(block.invalidate(PageId(0)).is_ok());
+        assert_eq!(block.invalidate(PageId(0)), Err(PageState::Invalid));
+        assert_eq!(block.invalidate(PageId(2)), Err(PageState::Free));
+        assert_eq!(block.valid_pages(), 0);
+        assert_eq!(block.invalid_pages(), 1);
+    }
+
+    #[test]
+    fn erase_resets_state_and_counts_wear() {
+        let mut block = Block::new(4);
+        for _ in 0..4 {
+            block.program_next();
+        }
+        for i in 0..4 {
+            block.invalidate(PageId(i)).unwrap();
+        }
+        assert!(block.is_fully_invalid());
+        block.erase();
+        assert_eq!(block.state(), BlockState::Free);
+        assert_eq!(block.erase_count(), 1);
+        assert_eq!(block.free_pages(), 4);
+        assert_eq!(block.page_state(PageId(0)).unwrap(), PageState::Free);
+    }
+
+    #[test]
+    fn valid_page_ids_lists_only_live_pages() {
+        let mut block = Block::new(6);
+        for _ in 0..5 {
+            block.program_next();
+        }
+        block.invalidate(PageId(1)).unwrap();
+        block.invalidate(PageId(3)).unwrap();
+        let ids: Vec<_> = block.valid_page_ids().collect();
+        assert_eq!(ids, vec![PageId(0), PageId(2), PageId(4)]);
+    }
+
+    #[test]
+    fn page_state_out_of_range_is_an_error() {
+        let block = Block::new(4);
+        assert!(matches!(
+            block.page_state(PageId(4)),
+            Err(NandError::PageOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn counts_always_sum_to_len() {
+        let mut block = Block::new(10);
+        for _ in 0..7 {
+            block.program_next();
+        }
+        block.invalidate(PageId(2)).unwrap();
+        block.invalidate(PageId(5)).unwrap();
+        assert_eq!(
+            block.valid_pages() + block.invalid_pages() + block.free_pages(),
+            block.len()
+        );
+    }
+}

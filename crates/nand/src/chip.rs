@@ -1,0 +1,102 @@
+//! A flash chip (die): an array of erase blocks.
+
+use crate::block::{Block, BlockState};
+
+/// One NAND die holding `blocks_per_chip` blocks.
+///
+/// The chip is a thin container; timing and state-machine enforcement live in
+/// [`crate::NandDevice`], which also knows the latency model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chip {
+    blocks: Vec<Block>,
+}
+
+impl Chip {
+    /// Creates a chip of erased blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(blocks_per_chip: usize, pages_per_block: usize) -> Self {
+        assert!(blocks_per_chip > 0, "a chip needs at least one block");
+        Chip { blocks: (0..blocks_per_chip).map(|_| Block::new(pages_per_block)).collect() }
+    }
+
+    /// Number of blocks on the chip.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the chip holds zero blocks (never true for a constructed chip).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Immutable access to a block by index.
+    pub fn block(&self, index: usize) -> Option<&Block> {
+        self.blocks.get(index)
+    }
+
+    pub(crate) fn block_mut(&mut self, index: usize) -> Option<&mut Block> {
+        self.blocks.get_mut(index)
+    }
+
+    /// Iterates over the chip's blocks in index order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Block> {
+        self.blocks.iter()
+    }
+
+    /// Number of blocks currently in the [`BlockState::Free`] state.
+    pub fn free_blocks(&self) -> usize {
+        self.blocks.iter().filter(|b| b.state() == BlockState::Free).count()
+    }
+
+    /// Sum of erase counts over all blocks (total wear of the chip).
+    pub fn total_erases(&self) -> u64 {
+        self.blocks.iter().map(Block::erase_count).sum()
+    }
+}
+
+impl<'a> IntoIterator for &'a Chip {
+    type Item = &'a Block;
+    type IntoIter = std::slice::Iter<'a, Block>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.blocks.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_chip_has_all_free_blocks() {
+        let chip = Chip::new(8, 4);
+        assert_eq!(chip.len(), 8);
+        assert_eq!(chip.free_blocks(), 8);
+        assert_eq!(chip.total_erases(), 0);
+        assert!(!chip.is_empty());
+    }
+
+    #[test]
+    fn block_access_is_bounds_checked() {
+        let chip = Chip::new(2, 4);
+        assert!(chip.block(1).is_some());
+        assert!(chip.block(2).is_none());
+    }
+
+    #[test]
+    fn iteration_covers_every_block() {
+        let chip = Chip::new(5, 2);
+        assert_eq!(chip.iter().count(), 5);
+        assert_eq!((&chip).into_iter().count(), 5);
+    }
+
+    #[test]
+    fn free_block_count_tracks_programming() {
+        let mut chip = Chip::new(3, 2);
+        chip.block_mut(0).unwrap().program_next();
+        assert_eq!(chip.free_blocks(), 2);
+    }
+}

@@ -1,0 +1,405 @@
+//! Device configuration.
+
+use crate::error::NandError;
+use crate::latency::{LatencyModel, SpeedProfile};
+use crate::time::Nanos;
+
+/// Geometry and timing parameters of a 3D charge-trap NAND device.
+///
+/// The default values follow Table 1 of the paper (Samsung V-NAND derived): 64 GB
+/// capacity, 16 KB pages, 384 pages per block, 600 µs page program, 49 µs page read,
+/// a 533 MB/s interface (Table 1's "533 Mbps" per-pin toggle rate across the 8-bit
+/// bus) and 4 ms block erase. Use [`NandConfig::builder`] to scale the geometry down
+/// for unit tests or up for capacity studies.
+///
+/// # Example
+///
+/// ```
+/// use vflash_nand::NandConfig;
+///
+/// # fn main() -> Result<(), vflash_nand::NandError> {
+/// let config = NandConfig::builder()
+///     .chips(2)
+///     .blocks_per_chip(64)
+///     .pages_per_block(32)
+///     .page_size_bytes(8 * 1024)
+///     .speed_ratio(2.0)
+///     .build()?;
+/// assert_eq!(config.total_blocks(), 128);
+/// assert_eq!(config.capacity_bytes(), 128 * 32 * 8 * 1024);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NandConfig {
+    chips: usize,
+    blocks_per_chip: usize,
+    pages_per_block: usize,
+    page_size_bytes: usize,
+    read_latency: Nanos,
+    program_latency: Nanos,
+    erase_latency: Nanos,
+    transfer_rate_mb_s: f64,
+    speed_ratio: f64,
+    speed_profile: SpeedProfile,
+}
+
+impl NandConfig {
+    /// Starts building a configuration from the Table 1 defaults.
+    pub fn builder() -> NandConfigBuilder {
+        NandConfigBuilder::default()
+    }
+
+    /// The full-size configuration of Table 1 of the paper: 4 chips x 2730 blocks x
+    /// 384 pages x 16 KB ≈ 64 GB, 49 µs read, 600 µs program, 4 ms erase, 533 Mbps.
+    ///
+    /// The paper's 64 GB does not divide evenly into 6 MB blocks, so this uses the
+    /// nearest block count below it (10 920 blocks ≈ 63.98 GB).
+    pub fn table1() -> Self {
+        NandConfig::builder()
+            .build()
+            .expect("table 1 defaults are valid")
+    }
+
+    /// A deliberately small configuration (1 chip, 64 blocks, 16 pages, 4 KB pages)
+    /// for unit tests and doc examples where simulating a 64 GB device would be
+    /// wasteful.
+    pub fn small() -> Self {
+        NandConfig::builder()
+            .chips(1)
+            .blocks_per_chip(64)
+            .pages_per_block(16)
+            .page_size_bytes(4 * 1024)
+            .build()
+            .expect("small test configuration is valid")
+    }
+
+    /// Number of chips (dies).
+    pub fn chips(&self) -> usize {
+        self.chips
+    }
+
+    /// Number of blocks per chip.
+    pub fn blocks_per_chip(&self) -> usize {
+        self.blocks_per_chip
+    }
+
+    /// Number of pages per block (equal to the number of gate-stack layers).
+    pub fn pages_per_block(&self) -> usize {
+        self.pages_per_block
+    }
+
+    /// Page size in bytes.
+    pub fn page_size_bytes(&self) -> usize {
+        self.page_size_bytes
+    }
+
+    /// Nominal (slowest-layer) page read latency.
+    pub fn read_latency(&self) -> Nanos {
+        self.read_latency
+    }
+
+    /// Nominal (slowest-layer) page program latency.
+    pub fn program_latency(&self) -> Nanos {
+        self.program_latency
+    }
+
+    /// Block erase latency.
+    pub fn erase_latency(&self) -> Nanos {
+        self.erase_latency
+    }
+
+    /// Interface data rate in megabytes per second.
+    ///
+    /// The paper's Table 1 lists "533 Mbps", which is the per-pin signalling rate of
+    /// the Samsung V-NAND toggle interface; across the 8-bit bus that corresponds to
+    /// 533 MB/s, which is the figure that matters for page transfer time.
+    pub fn transfer_rate_mb_s(&self) -> f64 {
+        self.transfer_rate_mb_s
+    }
+
+    /// Top-layer/bottom-layer access speed ratio (2.0–5.0 in the paper).
+    pub fn speed_ratio(&self) -> f64 {
+        self.speed_ratio
+    }
+
+    /// The per-layer latency profile.
+    pub fn speed_profile(&self) -> SpeedProfile {
+        self.speed_profile
+    }
+
+    /// Total number of blocks in the device.
+    pub fn total_blocks(&self) -> usize {
+        self.chips * self.blocks_per_chip
+    }
+
+    /// Total number of pages in the device.
+    pub fn total_pages(&self) -> usize {
+        self.total_blocks() * self.pages_per_block
+    }
+
+    /// Raw capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.total_pages() as u64 * self.page_size_bytes as u64
+    }
+
+    /// Time to move one page over the chip interface at the configured data rate.
+    pub fn transfer_latency(&self) -> Nanos {
+        let seconds = self.page_size_bytes as f64 / (self.transfer_rate_mb_s * 1_000_000.0);
+        Nanos::from_micros_f64(seconds * 1_000_000.0)
+    }
+
+    /// Builds the per-layer latency model for this configuration.
+    pub fn latency_model(&self) -> LatencyModel {
+        LatencyModel::new(
+            self.read_latency,
+            self.program_latency,
+            self.erase_latency,
+            self.transfer_latency(),
+            self.pages_per_block,
+            self.speed_ratio,
+            self.speed_profile,
+        )
+    }
+}
+
+impl Default for NandConfig {
+    fn default() -> Self {
+        NandConfig::table1()
+    }
+}
+
+/// Builder for [`NandConfig`].
+///
+/// All setters take and return the builder by value so calls can be chained; `build`
+/// validates the combination.
+#[derive(Debug, Clone)]
+pub struct NandConfigBuilder {
+    chips: usize,
+    blocks_per_chip: usize,
+    pages_per_block: usize,
+    page_size_bytes: usize,
+    read_latency: Nanos,
+    program_latency: Nanos,
+    erase_latency: Nanos,
+    transfer_rate_mb_s: f64,
+    speed_ratio: f64,
+    speed_profile: SpeedProfile,
+}
+
+impl Default for NandConfigBuilder {
+    fn default() -> Self {
+        // Table 1 of the paper.
+        NandConfigBuilder {
+            chips: 4,
+            blocks_per_chip: 2730,
+            pages_per_block: 384,
+            page_size_bytes: 16 * 1024,
+            read_latency: Nanos::from_micros(49),
+            program_latency: Nanos::from_micros(600),
+            erase_latency: Nanos::from_millis(4),
+            transfer_rate_mb_s: 533.0,
+            speed_ratio: 2.0,
+            speed_profile: SpeedProfile::Linear,
+        }
+    }
+}
+
+impl NandConfigBuilder {
+    /// Sets the number of chips (dies).
+    pub fn chips(mut self, chips: usize) -> Self {
+        self.chips = chips;
+        self
+    }
+
+    /// Sets the number of blocks per chip.
+    pub fn blocks_per_chip(mut self, blocks: usize) -> Self {
+        self.blocks_per_chip = blocks;
+        self
+    }
+
+    /// Sets the number of pages per block (= gate-stack layers).
+    pub fn pages_per_block(mut self, pages: usize) -> Self {
+        self.pages_per_block = pages;
+        self
+    }
+
+    /// Sets the page size in bytes.
+    pub fn page_size_bytes(mut self, bytes: usize) -> Self {
+        self.page_size_bytes = bytes;
+        self
+    }
+
+    /// Sets the nominal (slowest-layer) page read latency.
+    pub fn read_latency(mut self, latency: Nanos) -> Self {
+        self.read_latency = latency;
+        self
+    }
+
+    /// Sets the nominal (slowest-layer) page program latency.
+    pub fn program_latency(mut self, latency: Nanos) -> Self {
+        self.program_latency = latency;
+        self
+    }
+
+    /// Sets the block erase latency.
+    pub fn erase_latency(mut self, latency: Nanos) -> Self {
+        self.erase_latency = latency;
+        self
+    }
+
+    /// Sets the interface data rate in megabytes per second.
+    pub fn transfer_rate_mb_s(mut self, mb_per_second: f64) -> Self {
+        self.transfer_rate_mb_s = mb_per_second;
+        self
+    }
+
+    /// Sets the top/bottom layer speed ratio (>= 1.0).
+    pub fn speed_ratio(mut self, ratio: f64) -> Self {
+        self.speed_ratio = ratio;
+        self
+    }
+
+    /// Sets the per-layer latency profile.
+    pub fn speed_profile(mut self, profile: SpeedProfile) -> Self {
+        self.speed_profile = profile;
+        self
+    }
+
+    /// Validates the parameters and produces a [`NandConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NandError::InvalidConfig`] if any dimension is zero, the speed ratio
+    /// is below 1.0 or not finite, the transfer rate is not positive, or a stepped
+    /// profile has zero steps.
+    pub fn build(self) -> Result<NandConfig, NandError> {
+        fn invalid(reason: &str) -> NandError {
+            NandError::InvalidConfig { reason: reason.to_string() }
+        }
+        if self.chips == 0 {
+            return Err(invalid("chips must be positive"));
+        }
+        if self.blocks_per_chip == 0 {
+            return Err(invalid("blocks_per_chip must be positive"));
+        }
+        if self.pages_per_block == 0 {
+            return Err(invalid("pages_per_block must be positive"));
+        }
+        if self.page_size_bytes == 0 {
+            return Err(invalid("page_size_bytes must be positive"));
+        }
+        if !self.speed_ratio.is_finite() || self.speed_ratio < 1.0 {
+            return Err(invalid("speed_ratio must be finite and >= 1.0"));
+        }
+        if !self.transfer_rate_mb_s.is_finite() || self.transfer_rate_mb_s <= 0.0 {
+            return Err(invalid("transfer_rate_mb_s must be finite and positive"));
+        }
+        if let SpeedProfile::Stepped { steps } = self.speed_profile {
+            if steps == 0 {
+                return Err(invalid("stepped speed profile needs at least one step"));
+            }
+        }
+        Ok(NandConfig {
+            chips: self.chips,
+            blocks_per_chip: self.blocks_per_chip,
+            pages_per_block: self.pages_per_block,
+            page_size_bytes: self.page_size_bytes,
+            read_latency: self.read_latency,
+            program_latency: self.program_latency,
+            erase_latency: self.erase_latency,
+            transfer_rate_mb_s: self.transfer_rate_mb_s,
+            speed_ratio: self.speed_ratio,
+            speed_profile: self.speed_profile,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::PageId;
+
+    #[test]
+    fn table1_matches_paper_parameters() {
+        let c = NandConfig::table1();
+        assert_eq!(c.pages_per_block(), 384);
+        assert_eq!(c.page_size_bytes(), 16 * 1024);
+        assert_eq!(c.read_latency(), Nanos::from_micros(49));
+        assert_eq!(c.program_latency(), Nanos::from_micros(600));
+        assert_eq!(c.erase_latency(), Nanos::from_millis(4));
+        assert_eq!(c.transfer_rate_mb_s(), 533.0);
+        // 16 KiB at 533 MB/s ≈ 30.7 µs
+        let transfer_us = c.transfer_latency().as_micros_f64();
+        assert!((transfer_us - 30.7).abs() < 0.2, "transfer latency was {transfer_us} us");
+        // ~64 GB
+        let gb = c.capacity_bytes() as f64 / (1024.0 * 1024.0 * 1024.0);
+        assert!(gb > 63.0 && gb < 64.5, "capacity was {gb} GB");
+    }
+
+    #[test]
+    fn default_is_table1() {
+        assert_eq!(NandConfig::default(), NandConfig::table1());
+    }
+
+    #[test]
+    fn transfer_latency_follows_data_rate() {
+        let c = NandConfig::builder()
+            .page_size_bytes(8 * 1024)
+            .transfer_rate_mb_s(400.0)
+            .build()
+            .unwrap();
+        // 8 KiB at 400 MB/s = 20.48 us
+        let us = c.transfer_latency().as_micros_f64();
+        assert!((us - 20.48).abs() < 0.1, "transfer latency was {us} us");
+    }
+
+    #[test]
+    fn latency_model_inherits_geometry() {
+        let c = NandConfig::small();
+        let m = c.latency_model();
+        assert_eq!(m.pages_per_block(), c.pages_per_block());
+        assert_eq!(m.read_latency(PageId(0)), c.read_latency());
+    }
+
+    #[test]
+    fn zero_dimensions_are_rejected() {
+        for (name, builder) in [
+            ("chips", NandConfig::builder().chips(0)),
+            ("blocks", NandConfig::builder().blocks_per_chip(0)),
+            ("pages", NandConfig::builder().pages_per_block(0)),
+            ("page size", NandConfig::builder().page_size_bytes(0)),
+        ] {
+            assert!(
+                matches!(builder.build(), Err(NandError::InvalidConfig { .. })),
+                "{name} = 0 should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_speed_ratio_rejected() {
+        assert!(NandConfig::builder().speed_ratio(0.9).build().is_err());
+        assert!(NandConfig::builder().speed_ratio(f64::NAN).build().is_err());
+    }
+
+    #[test]
+    fn bad_transfer_rate_rejected() {
+        assert!(NandConfig::builder().transfer_rate_mb_s(0.0).build().is_err());
+        assert!(NandConfig::builder().transfer_rate_mb_s(-5.0).build().is_err());
+    }
+
+    #[test]
+    fn capacity_math() {
+        let c = NandConfig::builder()
+            .chips(2)
+            .blocks_per_chip(10)
+            .pages_per_block(4)
+            .page_size_bytes(4096)
+            .build()
+            .unwrap();
+        assert_eq!(c.total_blocks(), 20);
+        assert_eq!(c.total_pages(), 80);
+        assert_eq!(c.capacity_bytes(), 80 * 4096);
+    }
+}

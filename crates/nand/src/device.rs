@@ -1,0 +1,385 @@
+//! The device: chips + latency model + flash state machine.
+
+use crate::address::{BlockAddr, ChipId, PageAddr, PageId};
+use crate::block::{Block, BlockState};
+use crate::chip::Chip;
+use crate::config::NandConfig;
+use crate::error::NandError;
+use crate::latency::LatencyModel;
+use crate::stats::DeviceStats;
+use crate::time::Nanos;
+
+/// A 3D charge-trap NAND device: an array of chips with an asymmetric per-layer
+/// latency model and cumulative statistics.
+///
+/// Every operation returns the latency it would take on real hardware, so callers
+/// (FTLs, simulators) can account time without the device owning a clock.
+///
+/// # Example
+///
+/// ```
+/// use vflash_nand::{NandConfig, NandDevice};
+///
+/// # fn main() -> Result<(), vflash_nand::NandError> {
+/// let mut device = NandDevice::new(NandConfig::small());
+/// let block = device.any_free_block().expect("fresh device");
+/// let (page, latency) = device.program_next(block)?;
+/// assert!(latency > vflash_nand::Nanos::ZERO);
+/// device.invalidate(block.page(page))?;
+/// let erase_latency = device.erase(block)?;
+/// assert_eq!(erase_latency, device.config().erase_latency());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct NandDevice {
+    config: NandConfig,
+    latency: LatencyModel,
+    chips: Vec<Chip>,
+    stats: DeviceStats,
+}
+
+impl NandDevice {
+    /// Builds a device with every block erased.
+    pub fn new(config: NandConfig) -> Self {
+        let latency = config.latency_model();
+        let chips = (0..config.chips())
+            .map(|_| Chip::new(config.blocks_per_chip(), config.pages_per_block()))
+            .collect();
+        NandDevice { config, latency, chips, stats: DeviceStats::new() }
+    }
+
+    /// The configuration this device was built from.
+    pub fn config(&self) -> &NandConfig {
+        &self.config
+    }
+
+    /// The per-layer latency model.
+    pub fn latency(&self) -> &LatencyModel {
+        &self.latency
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> &DeviceStats {
+        &self.stats
+    }
+
+    /// Resets the cumulative statistics to zero without touching flash state.
+    pub fn reset_stats(&mut self) {
+        self.stats = DeviceStats::new();
+    }
+
+    /// Immutable access to one chip.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NandError::ChipOutOfRange`] for an invalid chip id.
+    pub fn chip(&self, chip: ChipId) -> Result<&Chip, NandError> {
+        self.chips
+            .get(chip.0)
+            .ok_or(NandError::ChipOutOfRange { chip: chip.0, chips: self.chips.len() })
+    }
+
+    /// Immutable access to one block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NandError::ChipOutOfRange`] or [`NandError::BlockOutOfRange`] for
+    /// invalid addresses.
+    pub fn block(&self, addr: BlockAddr) -> Result<&Block, NandError> {
+        let chip = self.chip(addr.chip())?;
+        chip.block(addr.index()).ok_or(NandError::BlockOutOfRange {
+            block: addr,
+            blocks_per_chip: self.config.blocks_per_chip(),
+        })
+    }
+
+    fn block_mut(&mut self, addr: BlockAddr) -> Result<&mut Block, NandError> {
+        let chips = self.chips.len();
+        let blocks_per_chip = self.config.blocks_per_chip();
+        let chip = self
+            .chips
+            .get_mut(addr.chip().0)
+            .ok_or(NandError::ChipOutOfRange { chip: addr.chip().0, chips })?;
+        chip.block_mut(addr.index())
+            .ok_or(NandError::BlockOutOfRange { block: addr, blocks_per_chip })
+    }
+
+    /// Iterates over the addresses of all blocks in the device, chip by chip.
+    pub fn block_addrs(&self) -> impl Iterator<Item = BlockAddr> + '_ {
+        let blocks_per_chip = self.config.blocks_per_chip();
+        (0..self.chips.len()).flat_map(move |c| {
+            (0..blocks_per_chip).map(move |b| BlockAddr::new(ChipId(c), b))
+        })
+    }
+
+    /// Returns the address of any block in the [`BlockState::Free`] state, scanning
+    /// chips round-robin, or `None` if no free block exists.
+    pub fn any_free_block(&self) -> Option<BlockAddr> {
+        self.block_addrs().find(|&addr| {
+            self.block(addr).map(|b| b.state() == BlockState::Free).unwrap_or(false)
+        })
+    }
+
+    /// Number of blocks currently free (fully erased).
+    pub fn free_block_count(&self) -> usize {
+        self.chips.iter().map(Chip::free_blocks).sum()
+    }
+
+    /// Total erase operations performed across the device (total wear).
+    pub fn total_erases(&self) -> u64 {
+        self.chips.iter().map(Chip::total_erases).sum()
+    }
+
+    /// Reads a page, returning the latency (cell sensing + bus transfer).
+    ///
+    /// # Errors
+    ///
+    /// * Address errors for out-of-range chips/blocks/pages.
+    /// * [`NandError::PageNotValid`] if the page does not hold live data.
+    pub fn read(&mut self, addr: PageAddr) -> Result<Nanos, NandError> {
+        let pages_per_block = self.config.pages_per_block();
+        if addr.page().0 >= pages_per_block {
+            return Err(NandError::PageOutOfRange { page: addr.page(), pages_per_block });
+        }
+        let block = self.block(addr.block())?;
+        let state = block.page_state(addr.page())?;
+        if !matches!(state, crate::page::PageState::Valid) {
+            return Err(NandError::PageNotValid { page: addr, actual: state.label() });
+        }
+        let latency = self.latency.read_total(addr.page());
+        self.stats.record_read(latency);
+        Ok(latency)
+    }
+
+    /// Programs a specific page of a block, returning the latency.
+    ///
+    /// The page must be exactly the block's next free page; 3D NAND blocks are
+    /// programmed strictly in layer order.
+    ///
+    /// # Errors
+    ///
+    /// * Address errors for out-of-range chips/blocks/pages.
+    /// * [`NandError::BlockFull`] if the block has no free pages.
+    /// * [`NandError::ProgramOrderViolation`] if `page` is not the next free page.
+    pub fn program(&mut self, block: BlockAddr, page: PageId) -> Result<Nanos, NandError> {
+        let pages_per_block = self.config.pages_per_block();
+        if page.0 >= pages_per_block {
+            return Err(NandError::PageOutOfRange { page, pages_per_block });
+        }
+        {
+            let blk = self.block(block)?;
+            match blk.next_page() {
+                None => return Err(NandError::BlockFull { block }),
+                Some(expected) if expected != page => {
+                    return Err(NandError::ProgramOrderViolation {
+                        block,
+                        requested: page,
+                        expected,
+                    })
+                }
+                Some(_) => {}
+            }
+        }
+        self.block_mut(block)?.program_next();
+        let latency = self.latency.program_total(page);
+        self.stats.record_program(latency);
+        Ok(latency)
+    }
+
+    /// Programs the next free page of a block, returning the page id chosen and the
+    /// latency.
+    ///
+    /// # Errors
+    ///
+    /// * Address errors for out-of-range chips/blocks.
+    /// * [`NandError::BlockFull`] if the block has no free pages.
+    pub fn program_next(&mut self, block: BlockAddr) -> Result<(PageId, Nanos), NandError> {
+        let next = self
+            .block(block)?
+            .next_page()
+            .ok_or(NandError::BlockFull { block })?;
+        let latency = self.program(block, next)?;
+        Ok((next, latency))
+    }
+
+    /// Marks a valid page as invalid (stale). This models the mapping-table update of
+    /// an out-of-place write and takes no device time.
+    ///
+    /// # Errors
+    ///
+    /// * Address errors for out-of-range chips/blocks/pages.
+    /// * [`NandError::PageNotValid`] if the page is free or already invalid.
+    pub fn invalidate(&mut self, addr: PageAddr) -> Result<(), NandError> {
+        let pages_per_block = self.config.pages_per_block();
+        if addr.page().0 >= pages_per_block {
+            return Err(NandError::PageOutOfRange { page: addr.page(), pages_per_block });
+        }
+        // Confirm the block exists first so the error is about addressing, not state.
+        self.block(addr.block())?;
+        let block = self.block_mut(addr.block())?;
+        block
+            .invalidate(addr.page())
+            .map_err(|state| NandError::PageNotValid { page: addr, actual: state.label() })
+    }
+
+    /// Erases a block, returning the erase latency.
+    ///
+    /// The caller (normally the garbage collector) must have relocated or invalidated
+    /// every valid page first; erasing live data is almost always an FTL bug, so it is
+    /// rejected rather than silently performed.
+    ///
+    /// # Errors
+    ///
+    /// * Address errors for out-of-range chips/blocks.
+    /// * [`NandError::EraseWithValidPages`] if live pages remain in the block.
+    pub fn erase(&mut self, block: BlockAddr) -> Result<Nanos, NandError> {
+        let valid = self.block(block)?.valid_pages();
+        if valid > 0 {
+            return Err(NandError::EraseWithValidPages { block, valid_pages: valid });
+        }
+        self.block_mut(block)?.erase();
+        let latency = self.latency.erase_latency();
+        self.stats.record_erase(latency);
+        Ok(latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::SpeedProfile;
+
+    fn small_device() -> NandDevice {
+        let config = NandConfig::builder()
+            .chips(2)
+            .blocks_per_chip(4)
+            .pages_per_block(4)
+            .page_size_bytes(4096)
+            .speed_ratio(4.0)
+            .speed_profile(SpeedProfile::Linear)
+            .build()
+            .unwrap();
+        NandDevice::new(config)
+    }
+
+    #[test]
+    fn fresh_device_is_fully_free() {
+        let device = small_device();
+        assert_eq!(device.free_block_count(), 8);
+        assert_eq!(device.total_erases(), 0);
+        assert!(device.any_free_block().is_some());
+        assert_eq!(device.block_addrs().count(), 8);
+    }
+
+    #[test]
+    fn read_requires_valid_page() {
+        let mut device = small_device();
+        let block = device.any_free_block().unwrap();
+        let err = device.read(block.page(PageId(0))).unwrap_err();
+        assert!(matches!(err, NandError::PageNotValid { .. }));
+        device.program(block, PageId(0)).unwrap();
+        assert!(device.read(block.page(PageId(0))).is_ok());
+    }
+
+    #[test]
+    fn program_enforces_layer_order() {
+        let mut device = small_device();
+        let block = device.any_free_block().unwrap();
+        let err = device.program(block, PageId(2)).unwrap_err();
+        assert!(matches!(err, NandError::ProgramOrderViolation { .. }));
+        device.program(block, PageId(0)).unwrap();
+        device.program(block, PageId(1)).unwrap();
+        device.program(block, PageId(2)).unwrap();
+        device.program(block, PageId(3)).unwrap();
+        assert!(matches!(
+            device.program(block, PageId(3)),
+            Err(NandError::BlockFull { .. })
+        ));
+    }
+
+    #[test]
+    fn bottom_pages_are_faster_than_top_pages() {
+        let mut device = small_device();
+        let block = device.any_free_block().unwrap();
+        let top = device.program(block, PageId(0)).unwrap();
+        device.program(block, PageId(1)).unwrap();
+        device.program(block, PageId(2)).unwrap();
+        let bottom = device.program(block, PageId(3)).unwrap();
+        assert!(bottom < top, "bottom program {bottom} should beat top {top}");
+
+        let top_read = device.read(block.page(PageId(0))).unwrap();
+        let bottom_read = device.read(block.page(PageId(3))).unwrap();
+        assert!(bottom_read < top_read);
+    }
+
+    #[test]
+    fn erase_rejects_blocks_with_live_data() {
+        let mut device = small_device();
+        let block = device.any_free_block().unwrap();
+        device.program(block, PageId(0)).unwrap();
+        assert!(matches!(
+            device.erase(block),
+            Err(NandError::EraseWithValidPages { valid_pages: 1, .. })
+        ));
+        device.invalidate(block.page(PageId(0))).unwrap();
+        assert_eq!(device.erase(block).unwrap(), device.config().erase_latency());
+        assert_eq!(device.total_erases(), 1);
+        // The block is usable again.
+        assert!(device.program(block, PageId(0)).is_ok());
+    }
+
+    #[test]
+    fn invalidate_twice_is_an_error() {
+        let mut device = small_device();
+        let block = device.any_free_block().unwrap();
+        device.program(block, PageId(0)).unwrap();
+        device.invalidate(block.page(PageId(0))).unwrap();
+        assert!(matches!(
+            device.invalidate(block.page(PageId(0))),
+            Err(NandError::PageNotValid { actual: "invalid", .. })
+        ));
+    }
+
+    #[test]
+    fn addressing_errors_are_reported() {
+        let mut device = small_device();
+        let bad_chip = BlockAddr::new(ChipId(9), 0);
+        assert!(matches!(device.read(bad_chip.page(PageId(0))), Err(NandError::ChipOutOfRange { .. })));
+        let bad_block = BlockAddr::new(ChipId(0), 99);
+        assert!(matches!(device.program(bad_block, PageId(0)), Err(NandError::BlockOutOfRange { .. })));
+        let good_block = device.any_free_block().unwrap();
+        assert!(matches!(
+            device.program(good_block, PageId(99)),
+            Err(NandError::PageOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn stats_track_operations_and_time() {
+        let mut device = small_device();
+        let block = device.any_free_block().unwrap();
+        let p = device.program(block, PageId(0)).unwrap();
+        let r = device.read(block.page(PageId(0))).unwrap();
+        device.invalidate(block.page(PageId(0))).unwrap();
+        let e = device.erase(block).unwrap();
+        let stats = device.stats();
+        assert_eq!(stats.counts.reads, 1);
+        assert_eq!(stats.counts.programs, 1);
+        assert_eq!(stats.counts.erases, 1);
+        assert_eq!(stats.busy_time(), p + r + e);
+        device.reset_stats();
+        assert_eq!(device.stats().counts.page_ops(), 0);
+    }
+
+    #[test]
+    fn program_next_walks_the_block() {
+        let mut device = small_device();
+        let block = device.any_free_block().unwrap();
+        for expected in 0..4 {
+            let (page, _) = device.program_next(block).unwrap();
+            assert_eq!(page, PageId(expected));
+        }
+        assert!(matches!(device.program_next(block), Err(NandError::BlockFull { .. })));
+    }
+}

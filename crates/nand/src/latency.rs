@@ -1,0 +1,374 @@
+//! The asymmetric per-layer latency model.
+//!
+//! The vertical channel of a 3D charge-trap block is etched from the top of the gate
+//! stack, so its diameter shrinks towards the bottom layers. A narrower channel
+//! concentrates the electric field, which makes program and read operations on the
+//! bottom layers faster. The paper reports the bottom layer being **2x to 5x** faster
+//! than the top layer depending on the layer count.
+//!
+//! [`LatencyModel`] turns that physical observation into numbers: given a page index
+//! (equivalently, its gate-stack layer), it produces the read/program latency for that
+//! page by scaling the nominal datasheet latency with a per-layer speed factor derived
+//! from a [`SpeedProfile`].
+//!
+//! Convention used throughout the workspace: **page 0 is the top layer (slowest)** and
+//! the last page of the block is the bottom layer (fastest), matching the paper's
+//! "the last page of one block could be much faster than the first page".
+
+use crate::address::PageId;
+use crate::time::Nanos;
+
+/// How the per-layer speed factor varies across the gate stack.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum SpeedProfile {
+    /// Latency shrinks linearly from the top layer to the bottom layer.
+    ///
+    /// This is the default and the profile used for the paper-reproduction
+    /// experiments.
+    Linear,
+    /// Latency shrinks geometrically, modelling a channel diameter that tapers
+    /// exponentially with etch depth.
+    Exponential,
+    /// The linear profile quantised into `steps` equal-latency groups of adjacent
+    /// layers, modelling string-stacked devices where a few decks share one etch.
+    Stepped {
+        /// Number of distinct latency plateaus (at least 1).
+        steps: usize,
+    },
+    /// Every layer has the nominal latency. This is the "conventional" symmetric
+    /// assumption; useful as an ablation baseline.
+    Uniform,
+}
+
+#[allow(clippy::derivable_impls)] // spelled out so the default choice is documented
+impl Default for SpeedProfile {
+    fn default() -> Self {
+        SpeedProfile::Linear
+    }
+}
+
+/// A group of adjacent layers with similar access speed.
+///
+/// Class 0 is the **slowest** group (top of the stack); higher classes are faster.
+/// The PPB virtual-block concept groups the pages of one physical block into such
+/// classes (two by default: slow half and fast half).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SpeedClass(pub usize);
+
+impl SpeedClass {
+    /// Computes the speed class of a page when the block is divided into
+    /// `classes` equal groups of adjacent layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is zero or `pages_per_block` is zero.
+    pub fn of(page: PageId, pages_per_block: usize, classes: usize) -> SpeedClass {
+        assert!(classes > 0, "classes must be positive");
+        assert!(pages_per_block > 0, "pages_per_block must be positive");
+        let group_size = pages_per_block.div_ceil(classes);
+        SpeedClass((page.0 / group_size).min(classes - 1))
+    }
+
+    /// Whether this is the slowest class.
+    pub const fn is_slowest(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// Per-layer latency model for one block geometry.
+///
+/// # Example
+///
+/// ```
+/// use vflash_nand::{LatencyModel, Nanos, PageId, SpeedProfile};
+///
+/// let model = LatencyModel::new(
+///     Nanos::from_micros(49),   // nominal read
+///     Nanos::from_micros(600),  // nominal program
+///     Nanos::from_millis(4),    // erase
+///     Nanos::from_micros(246),  // bus transfer of one page
+///     64,                       // pages (layers) per block
+///     4.0,                      // bottom layer is 4x faster than top layer
+///     SpeedProfile::Linear,
+/// );
+/// let top = model.read_latency(PageId(0));
+/// let bottom = model.read_latency(PageId(63));
+/// assert_eq!(top, Nanos::from_micros(49));
+/// assert_eq!(top.as_nanos(), bottom.as_nanos() * 4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyModel {
+    nominal_read: Nanos,
+    nominal_program: Nanos,
+    erase: Nanos,
+    transfer: Nanos,
+    pages_per_block: usize,
+    speed_ratio: f64,
+    profile: SpeedProfile,
+    /// Pre-computed per-page latency multiplier in `[1/speed_ratio, 1.0]`.
+    factors: Vec<f64>,
+}
+
+impl LatencyModel {
+    /// Builds a latency model.
+    ///
+    /// `speed_ratio` is the top-layer/bottom-layer latency ratio (2.0–5.0 in the
+    /// paper). The nominal latencies apply to the *slowest* (top) layer; faster layers
+    /// scale down from there.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages_per_block` is zero, `speed_ratio < 1.0`, or a stepped profile
+    /// specifies zero steps.
+    pub fn new(
+        nominal_read: Nanos,
+        nominal_program: Nanos,
+        erase: Nanos,
+        transfer: Nanos,
+        pages_per_block: usize,
+        speed_ratio: f64,
+        profile: SpeedProfile,
+    ) -> Self {
+        assert!(pages_per_block > 0, "pages_per_block must be positive");
+        assert!(
+            speed_ratio.is_finite() && speed_ratio >= 1.0,
+            "speed_ratio must be >= 1.0"
+        );
+        if let SpeedProfile::Stepped { steps } = profile {
+            assert!(steps > 0, "stepped profile needs at least one step");
+        }
+        let factors = (0..pages_per_block)
+            .map(|i| Self::factor_at(i, pages_per_block, speed_ratio, profile))
+            .collect();
+        LatencyModel {
+            nominal_read,
+            nominal_program,
+            erase,
+            transfer,
+            pages_per_block,
+            speed_ratio,
+            profile,
+            factors,
+        }
+    }
+
+    fn factor_at(index: usize, pages: usize, ratio: f64, profile: SpeedProfile) -> f64 {
+        if pages == 1 {
+            return 1.0;
+        }
+        let fastest = 1.0 / ratio;
+        let position = index as f64 / (pages - 1) as f64; // 0.0 = top/slow, 1.0 = bottom/fast
+        match profile {
+            SpeedProfile::Uniform => 1.0,
+            SpeedProfile::Linear => 1.0 - position * (1.0 - fastest),
+            SpeedProfile::Exponential => fastest.powf(position),
+            SpeedProfile::Stepped { steps } => {
+                let step = ((position * steps as f64).floor() as usize).min(steps - 1);
+                let step_position = if steps == 1 {
+                    0.0
+                } else {
+                    step as f64 / (steps - 1) as f64
+                };
+                1.0 - step_position * (1.0 - fastest)
+            }
+        }
+    }
+
+    /// The per-page latency multiplier in `[1/speed_ratio, 1.0]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is outside the block.
+    pub fn speed_factor(&self, page: PageId) -> f64 {
+        self.factors[page.0]
+    }
+
+    /// Cell read latency of `page` (excluding bus transfer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is outside the block.
+    pub fn read_latency(&self, page: PageId) -> Nanos {
+        self.nominal_read.scale(self.speed_factor(page))
+    }
+
+    /// Cell program latency of `page` (excluding bus transfer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is outside the block.
+    pub fn program_latency(&self, page: PageId) -> Nanos {
+        self.nominal_program.scale(self.speed_factor(page))
+    }
+
+    /// Block erase latency. Erase operates on the whole vertical channel at once, so
+    /// it does not vary per layer.
+    pub fn erase_latency(&self) -> Nanos {
+        self.erase
+    }
+
+    /// Time to move one page of data over the chip interface. Bus speed does not
+    /// depend on the layer.
+    pub fn transfer_latency(&self) -> Nanos {
+        self.transfer
+    }
+
+    /// Total latency of servicing a page read: cell sensing plus bus transfer.
+    pub fn read_total(&self, page: PageId) -> Nanos {
+        self.read_latency(page) + self.transfer
+    }
+
+    /// Total latency of servicing a page program: bus transfer plus cell programming.
+    pub fn program_total(&self, page: PageId) -> Nanos {
+        self.program_latency(page) + self.transfer
+    }
+
+    /// Number of pages (layers) per block this model was built for.
+    pub fn pages_per_block(&self) -> usize {
+        self.pages_per_block
+    }
+
+    /// The configured top/bottom speed ratio.
+    pub fn speed_ratio(&self) -> f64 {
+        self.speed_ratio
+    }
+
+    /// The configured speed profile.
+    pub fn profile(&self) -> SpeedProfile {
+        self.profile
+    }
+
+    /// The speed class of `page` when the block is divided into `classes` groups.
+    pub fn speed_class(&self, page: PageId, classes: usize) -> SpeedClass {
+        SpeedClass::of(page, self.pages_per_block, classes)
+    }
+
+    /// Mean speed factor across all pages of a block: useful for reasoning about the
+    /// aggregate bandwidth a block can deliver.
+    pub fn mean_speed_factor(&self) -> f64 {
+        self.factors.iter().sum::<f64>() / self.factors.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(pages: usize, ratio: f64, profile: SpeedProfile) -> LatencyModel {
+        LatencyModel::new(
+            Nanos::from_micros(49),
+            Nanos::from_micros(600),
+            Nanos::from_millis(4),
+            Nanos::from_micros(246),
+            pages,
+            ratio,
+            profile,
+        )
+    }
+
+    #[test]
+    fn linear_endpoints_match_ratio() {
+        let m = model(384, 4.0, SpeedProfile::Linear);
+        assert_eq!(m.speed_factor(PageId(0)), 1.0);
+        assert!((m.speed_factor(PageId(383)) - 0.25).abs() < 1e-12);
+        assert_eq!(m.read_latency(PageId(0)), Nanos::from_micros(49));
+    }
+
+    #[test]
+    fn factors_monotonically_decrease_towards_bottom() {
+        for profile in [
+            SpeedProfile::Linear,
+            SpeedProfile::Exponential,
+            SpeedProfile::Stepped { steps: 4 },
+        ] {
+            let m = model(64, 3.0, profile);
+            for i in 1..64 {
+                assert!(
+                    m.speed_factor(PageId(i)) <= m.speed_factor(PageId(i - 1)) + 1e-12,
+                    "profile {profile:?} not monotone at page {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_profile_has_no_spread() {
+        let m = model(64, 5.0, SpeedProfile::Uniform);
+        assert_eq!(m.speed_factor(PageId(0)), 1.0);
+        assert_eq!(m.speed_factor(PageId(63)), 1.0);
+        assert_eq!(m.read_latency(PageId(63)), Nanos::from_micros(49));
+    }
+
+    #[test]
+    fn exponential_endpoints_match_ratio() {
+        let m = model(100, 2.0, SpeedProfile::Exponential);
+        assert!((m.speed_factor(PageId(0)) - 1.0).abs() < 1e-12);
+        assert!((m.speed_factor(PageId(99)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stepped_profile_produces_exactly_n_distinct_factors() {
+        let m = model(384, 4.0, SpeedProfile::Stepped { steps: 4 });
+        let mut distinct: Vec<f64> = (0..384).map(|i| m.speed_factor(PageId(i))).collect();
+        distinct.dedup();
+        assert_eq!(distinct.len(), 4);
+        assert_eq!(distinct[0], 1.0);
+        assert!((distinct[3] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_page_block_is_nominal() {
+        let m = model(1, 5.0, SpeedProfile::Linear);
+        assert_eq!(m.speed_factor(PageId(0)), 1.0);
+    }
+
+    #[test]
+    fn totals_include_transfer() {
+        let m = model(8, 2.0, SpeedProfile::Linear);
+        assert_eq!(
+            m.read_total(PageId(0)),
+            Nanos::from_micros(49) + Nanos::from_micros(246)
+        );
+        assert_eq!(
+            m.program_total(PageId(0)),
+            Nanos::from_micros(600) + Nanos::from_micros(246)
+        );
+    }
+
+    #[test]
+    fn erase_is_layer_independent() {
+        let m = model(8, 5.0, SpeedProfile::Linear);
+        assert_eq!(m.erase_latency(), Nanos::from_millis(4));
+    }
+
+    #[test]
+    fn speed_class_partitions_block_in_half() {
+        assert_eq!(SpeedClass::of(PageId(0), 384, 2), SpeedClass(0));
+        assert_eq!(SpeedClass::of(PageId(191), 384, 2), SpeedClass(0));
+        assert_eq!(SpeedClass::of(PageId(192), 384, 2), SpeedClass(1));
+        assert_eq!(SpeedClass::of(PageId(383), 384, 2), SpeedClass(1));
+    }
+
+    #[test]
+    fn speed_class_handles_uneven_division() {
+        // 10 pages into 4 classes: group size ceil(10/4) = 3 -> classes 0,0,0,1,1,1,2,2,2,3
+        assert_eq!(SpeedClass::of(PageId(2), 10, 4), SpeedClass(0));
+        assert_eq!(SpeedClass::of(PageId(3), 10, 4), SpeedClass(1));
+        assert_eq!(SpeedClass::of(PageId(9), 10, 4), SpeedClass(3));
+    }
+
+    #[test]
+    fn mean_speed_factor_between_extremes() {
+        let m = model(64, 4.0, SpeedProfile::Linear);
+        let mean = m.mean_speed_factor();
+        assert!(mean > 0.25 && mean < 1.0);
+        assert!((mean - 0.625).abs() < 0.01); // linear average of 1.0 and 0.25
+    }
+
+    #[test]
+    #[should_panic(expected = "speed_ratio")]
+    fn ratio_below_one_rejected() {
+        let _ = model(8, 0.5, SpeedProfile::Linear);
+    }
+}

@@ -1,0 +1,209 @@
+//! Simulation time represented as integer nanoseconds.
+//!
+//! Latency arithmetic happens millions of times per simulated trace, so a compact
+//! `Copy` newtype over `u64` nanoseconds is used instead of `std::time::Duration`
+//! (which is twice as wide and lacks saturating arithmetic ergonomics for this use
+//! case) or floating point (which accumulates rounding error over long traces).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A span of simulated time in nanoseconds.
+///
+/// # Example
+///
+/// ```
+/// use vflash_nand::Nanos;
+///
+/// let read = Nanos::from_micros(49);
+/// let transfer = Nanos::from_micros(246);
+/// assert_eq!((read + transfer).as_micros_f64(), 295.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Nanos(pub u64);
+
+impl Nanos {
+    /// Zero duration.
+    pub const ZERO: Nanos = Nanos(0);
+
+    /// Creates a duration from whole microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        Nanos(us * 1_000)
+    }
+
+    /// Creates a duration from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Nanos(ms * 1_000_000)
+    }
+
+    /// Creates a duration from fractional microseconds, rounding to the nearest
+    /// nanosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `us` is negative or not finite.
+    pub fn from_micros_f64(us: f64) -> Self {
+        assert!(us.is_finite() && us >= 0.0, "duration must be non-negative and finite");
+        Nanos((us * 1_000.0).round() as u64)
+    }
+
+    /// The raw nanosecond count.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This duration expressed in microseconds (lossy).
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// This duration expressed in milliseconds (lossy).
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// This duration expressed in seconds (lossy).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Saturating subtraction; returns [`Nanos::ZERO`] instead of underflowing.
+    pub fn saturating_sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Multiplies the duration by a non-negative scale factor, rounding to the
+    /// nearest nanosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    pub fn scale(self, factor: f64) -> Nanos {
+        assert!(factor.is_finite() && factor >= 0.0, "scale factor must be non-negative");
+        Nanos((self.0 as f64 * factor).round() as u64)
+    }
+}
+
+impl fmt::Display for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+impl Add for Nanos {
+    type Output = Nanos;
+    fn add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Nanos {
+    fn add_assign(&mut self, rhs: Nanos) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Nanos {
+    type Output = Nanos;
+    fn sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Nanos {
+    fn sub_assign(&mut self, rhs: Nanos) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Nanos {
+    type Output = Nanos;
+    fn mul(self, rhs: u64) -> Nanos {
+        Nanos(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Nanos {
+    type Output = Nanos;
+    fn div(self, rhs: u64) -> Nanos {
+        Nanos(self.0 / rhs)
+    }
+}
+
+impl Sum for Nanos {
+    fn sum<I: Iterator<Item = Nanos>>(iter: I) -> Nanos {
+        iter.fold(Nanos::ZERO, |acc, x| acc + x)
+    }
+}
+
+impl From<u64> for Nanos {
+    fn from(ns: u64) -> Self {
+        Nanos(ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Nanos::from_micros(1), Nanos(1_000));
+        assert_eq!(Nanos::from_millis(1), Nanos(1_000_000));
+        assert_eq!(Nanos::from_micros_f64(1.5), Nanos(1_500));
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let a = Nanos::from_micros(10);
+        let b = Nanos::from_micros(4);
+        assert_eq!(a + b, Nanos::from_micros(14));
+        assert_eq!(a - b, Nanos::from_micros(6));
+        assert_eq!(a * 3, Nanos::from_micros(30));
+        assert_eq!(a / 2, Nanos::from_micros(5));
+        assert_eq!(b.saturating_sub(a), Nanos::ZERO);
+    }
+
+    #[test]
+    fn scaling_rounds_to_nearest() {
+        assert_eq!(Nanos(10).scale(0.25), Nanos(3)); // 2.5 rounds up
+        assert_eq!(Nanos(1_000).scale(2.0), Nanos(2_000));
+    }
+
+    #[test]
+    fn conversions_are_consistent() {
+        let t = Nanos::from_micros(600);
+        assert_eq!(t.as_micros_f64(), 600.0);
+        assert_eq!(t.as_millis_f64(), 0.6);
+        assert!((t.as_secs_f64() - 0.0006).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: Nanos = [Nanos(1), Nanos(2), Nanos(3)].into_iter().sum();
+        assert_eq!(total, Nanos(6));
+    }
+
+    #[test]
+    fn display_uses_readable_units() {
+        assert_eq!(Nanos(500).to_string(), "500ns");
+        assert_eq!(Nanos::from_micros(49).to_string(), "49.000us");
+        assert_eq!(Nanos::from_millis(4).to_string(), "4.000ms");
+        assert_eq!(Nanos::from_millis(4_000).to_string(), "4.000s");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_micros_panics() {
+        let _ = Nanos::from_micros_f64(-1.0);
+    }
+}

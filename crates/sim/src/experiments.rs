@@ -1,0 +1,494 @@
+//! Ready-made parameter sweeps reproducing the paper's evaluation (Figures 12–18).
+//!
+//! Every figure of the evaluation section has a function here that produces its data
+//! rows; the `experiments` binary in `vflash-bench` prints them and the Criterion
+//! benches time them. The sweeps are parameterised by an [`ExperimentScale`] so unit
+//! tests and benches can run a scaled-down version of the same code path that the
+//! full harness uses.
+//!
+//! The original MSR-Cambridge traces are replaced by the synthetic generators in
+//! [`vflash_trace::synthetic`]; see `DESIGN.md` for the substitution rationale.
+
+use vflash_ftl::hotcold::{FreqTable, MultiHash, TwoLevelLru};
+use vflash_ftl::{ConventionalFtl, FtlConfig, FtlError};
+use vflash_nand::{NandConfig, NandDevice, Nanos};
+use vflash_ppb::{PpbConfig, PpbFtl};
+use vflash_trace::synthetic::{self, SyntheticConfig};
+use vflash_trace::Trace;
+
+use crate::replay::{Replayer, RunOptions};
+use crate::report::{Comparison, RunSummary};
+
+/// The speed-difference sweep used throughout the evaluation (2x to 5x).
+pub const SPEED_RATIOS: [f64; 4] = [2.0, 3.0, 4.0, 5.0];
+
+/// The page sizes compared in Figures 12 and 15.
+pub const PAGE_SIZES: [usize; 2] = [8 * 1024, 16 * 1024];
+
+/// The two workloads of the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// Large, sequential, read-dominant media-server workload.
+    MediaServer,
+    /// Small, random, re-read-heavy web/SQL-server workload.
+    WebSqlServer,
+}
+
+impl Workload {
+    /// Both workloads, in the order the paper's figures list them.
+    pub const ALL: [Workload; 2] = [Workload::MediaServer, Workload::WebSqlServer];
+
+    /// The label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Workload::MediaServer => "media-server",
+            Workload::WebSqlServer => "web-sql-server",
+        }
+    }
+
+    /// Generates the synthetic trace for this workload at the given scale.
+    pub fn trace(self, scale: &ExperimentScale) -> Trace {
+        let config = SyntheticConfig {
+            requests: scale.requests,
+            seed: scale.seed,
+            working_set_bytes: scale.working_set_bytes,
+        };
+        match self {
+            Workload::MediaServer => synthetic::media_server(config),
+            Workload::WebSqlServer => synthetic::web_sql_server(config),
+        }
+    }
+}
+
+impl std::fmt::Display for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// First-stage classifier choices for the classifier ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Classifier {
+    /// Request-size check (the paper's case study).
+    SizeCheck,
+    /// Two-level LRU.
+    TwoLevelLru,
+    /// Per-LPN frequency table.
+    FreqTable,
+    /// Multi-hash counting sketch.
+    MultiHash,
+}
+
+impl Classifier {
+    /// All classifier choices.
+    pub const ALL: [Classifier; 4] =
+        [Classifier::SizeCheck, Classifier::TwoLevelLru, Classifier::FreqTable, Classifier::MultiHash];
+
+    /// The label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Classifier::SizeCheck => "size-check",
+            Classifier::TwoLevelLru => "two-level-lru",
+            Classifier::FreqTable => "freq-table",
+            Classifier::MultiHash => "multi-hash",
+        }
+    }
+}
+
+/// How large an experiment to run: trace length, working-set size and device
+/// geometry. The device is sized relative to the working set so garbage collection is
+/// exercised without making runs unreasonably slow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExperimentScale {
+    /// Number of trace requests per run.
+    pub requests: usize,
+    /// Logical working-set size touched by the workload generators, in bytes.
+    pub working_set_bytes: u64,
+    /// Raw device capacity as a multiple of the working set (must be > 1 to leave
+    /// room for over-provisioning). The MSR enterprise traces touch only a small
+    /// fraction of the 64 GB device of Table 1, so a generous default (2.0) is the
+    /// faithful choice; pushing this towards 1.0 stresses garbage collection far
+    /// beyond what the paper's setup does.
+    pub capacity_headroom: f64,
+    /// Pages (gate-stack layers) per block.
+    pub pages_per_block: usize,
+    /// Number of chips.
+    pub chips: usize,
+    /// Seed for the synthetic workload generators.
+    pub seed: u64,
+}
+
+impl ExperimentScale {
+    /// A fast configuration for unit tests and Criterion benches (a few thousand
+    /// requests, tens of megabytes).
+    pub fn quick() -> Self {
+        ExperimentScale {
+            requests: 4_000,
+            working_set_bytes: 24 * 1024 * 1024,
+            capacity_headroom: 2.0,
+            pages_per_block: 32,
+            chips: 1,
+            seed: 42,
+        }
+    }
+
+    /// The default configuration for the `experiments` binary: large enough for the
+    /// trends to be stable, small enough to run all figures in a few minutes.
+    pub fn standard() -> Self {
+        ExperimentScale {
+            requests: 60_000,
+            working_set_bytes: 128 * 1024 * 1024,
+            capacity_headroom: 2.0,
+            pages_per_block: 64,
+            chips: 2,
+            seed: 42,
+        }
+    }
+
+    /// Builds the device configuration for a given page size and speed ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scale parameters produce an invalid device configuration (for
+    /// example a zero block count); the provided presets never do.
+    pub fn device_config(&self, page_size_bytes: usize, speed_ratio: f64) -> NandConfig {
+        let raw_bytes = (self.working_set_bytes as f64 * self.capacity_headroom) as u64;
+        let block_bytes = (self.pages_per_block * page_size_bytes) as u64;
+        let total_blocks = (raw_bytes / block_bytes).max(8) as usize;
+        let blocks_per_chip = total_blocks.div_ceil(self.chips);
+        NandConfig::builder()
+            .chips(self.chips)
+            .blocks_per_chip(blocks_per_chip)
+            .pages_per_block(self.pages_per_block)
+            .page_size_bytes(page_size_bytes)
+            .speed_ratio(speed_ratio)
+            .build()
+            .expect("experiment scale produces a valid device configuration")
+    }
+}
+
+impl Default for ExperimentScale {
+    fn default() -> Self {
+        ExperimentScale::standard()
+    }
+}
+
+fn replayer() -> Replayer {
+    Replayer::new(RunOptions::default())
+}
+
+/// Replays `trace` against the conventional FTL on a device built from `config`.
+///
+/// # Errors
+///
+/// Propagates FTL construction and replay errors.
+pub fn run_conventional(trace: &Trace, config: &NandConfig) -> Result<RunSummary, FtlError> {
+    let ftl = ConventionalFtl::new(NandDevice::new(config.clone()), FtlConfig::default())?;
+    replayer().run(ftl, trace)
+}
+
+/// Replays `trace` against the PPB FTL (default configuration and classifier) on a
+/// device built from `config`.
+///
+/// # Errors
+///
+/// Propagates FTL construction and replay errors.
+pub fn run_ppb(trace: &Trace, config: &NandConfig) -> Result<RunSummary, FtlError> {
+    run_ppb_with(trace, config, PpbConfig::default(), Classifier::SizeCheck)
+}
+
+/// Replays `trace` against the PPB FTL with an explicit configuration and first-stage
+/// classifier. Used by the ablation benches.
+///
+/// # Errors
+///
+/// Propagates FTL construction and replay errors.
+pub fn run_ppb_with(
+    trace: &Trace,
+    config: &NandConfig,
+    ppb: PpbConfig,
+    classifier: Classifier,
+) -> Result<RunSummary, FtlError> {
+    let device = NandDevice::new(config.clone());
+    let page_size = config.page_size_bytes() as u32;
+    match classifier {
+        Classifier::SizeCheck => replayer().run(PpbFtl::new(device, ppb)?, trace),
+        Classifier::TwoLevelLru => {
+            let lru = TwoLevelLru::new(4096, 4096);
+            replayer().run(PpbFtl::with_classifier(device, ppb, lru)?, trace)
+        }
+        Classifier::FreqTable => {
+            let table = FreqTable::new(2, 100_000);
+            replayer().run(PpbFtl::with_classifier(device, ppb, table)?, trace)
+        }
+        Classifier::MultiHash => {
+            let sketch = MultiHash::new(1 << 16, 2, 2, 100_000);
+            let _ = page_size;
+            replayer().run(PpbFtl::with_classifier(device, ppb, sketch)?, trace)
+        }
+    }
+}
+
+/// Runs conventional vs PPB on one workload / page size / speed ratio and returns the
+/// comparison.
+///
+/// # Errors
+///
+/// Propagates FTL construction and replay errors.
+pub fn compare(
+    workload: Workload,
+    page_size_bytes: usize,
+    speed_ratio: f64,
+    scale: &ExperimentScale,
+) -> Result<Comparison, FtlError> {
+    let trace = workload.trace(scale);
+    let config = scale.device_config(page_size_bytes, speed_ratio);
+    let baseline = run_conventional(&trace, &config)?;
+    let variant = run_ppb(&trace, &config)?;
+    Ok(Comparison::new(baseline, variant))
+}
+
+/// One row of Figure 12 / Figure 15: a workload, a page size, and the comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnhancementRow {
+    /// Workload the row belongs to.
+    pub workload: Workload,
+    /// Page size in bytes.
+    pub page_size_bytes: usize,
+    /// The baseline/variant comparison.
+    pub comparison: Comparison,
+}
+
+/// Figure 12 (read) and Figure 15 (write) share the same runs: both workloads at both
+/// page sizes, 2x speed difference.
+///
+/// # Errors
+///
+/// Propagates FTL construction and replay errors.
+pub fn enhancement_rows(scale: &ExperimentScale) -> Result<Vec<EnhancementRow>, FtlError> {
+    let mut rows = Vec::new();
+    for workload in Workload::ALL {
+        for &page_size in &PAGE_SIZES {
+            let comparison = compare(workload, page_size, 2.0, scale)?;
+            rows.push(EnhancementRow { workload, page_size_bytes: page_size, comparison });
+        }
+    }
+    Ok(rows)
+}
+
+/// One row of the latency-versus-speed-difference figures (13, 14, 16, 17).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencySweepRow {
+    /// Top/bottom speed ratio for this row.
+    pub speed_ratio: f64,
+    /// Total latency under the conventional FTL.
+    pub conventional: Nanos,
+    /// Total latency under the PPB FTL.
+    pub ppb: Nanos,
+}
+
+/// Figures 13 and 14: total **read** latency of one workload for speed differences
+/// 2x–5x, conventional vs PPB (16 KB pages).
+///
+/// # Errors
+///
+/// Propagates FTL construction and replay errors.
+pub fn read_latency_sweep(
+    workload: Workload,
+    scale: &ExperimentScale,
+) -> Result<Vec<LatencySweepRow>, FtlError> {
+    latency_sweep(workload, scale, |summary| summary.read_time)
+}
+
+/// Figures 16 and 17: total **write** latency of one workload for speed differences
+/// 2x–5x, conventional vs PPB (16 KB pages).
+///
+/// # Errors
+///
+/// Propagates FTL construction and replay errors.
+pub fn write_latency_sweep(
+    workload: Workload,
+    scale: &ExperimentScale,
+) -> Result<Vec<LatencySweepRow>, FtlError> {
+    latency_sweep(workload, scale, |summary| summary.write_time)
+}
+
+fn latency_sweep(
+    workload: Workload,
+    scale: &ExperimentScale,
+    metric: impl Fn(&RunSummary) -> Nanos,
+) -> Result<Vec<LatencySweepRow>, FtlError> {
+    let mut rows = Vec::new();
+    for &ratio in &SPEED_RATIOS {
+        let comparison = compare(workload, 16 * 1024, ratio, scale)?;
+        rows.push(LatencySweepRow {
+            speed_ratio: ratio,
+            conventional: metric(&comparison.baseline),
+            ppb: metric(&comparison.variant),
+        });
+    }
+    Ok(rows)
+}
+
+/// One row of Figure 18: erased-block counts per workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EraseCountRow {
+    /// Workload the row belongs to.
+    pub workload: Workload,
+    /// Blocks erased under the conventional FTL.
+    pub conventional: u64,
+    /// Blocks erased under the PPB FTL.
+    pub ppb: u64,
+}
+
+/// Figure 18: erased block counts for both workloads (2x speed difference, 16 KB
+/// pages).
+///
+/// # Errors
+///
+/// Propagates FTL construction and replay errors.
+pub fn erase_count_rows(scale: &ExperimentScale) -> Result<Vec<EraseCountRow>, FtlError> {
+    let mut rows = Vec::new();
+    for workload in Workload::ALL {
+        let comparison = compare(workload, 16 * 1024, 2.0, scale)?;
+        rows.push(EraseCountRow {
+            workload,
+            conventional: comparison.baseline.erased_blocks,
+            ppb: comparison.variant.erased_blocks,
+        });
+    }
+    Ok(rows)
+}
+
+/// Ablation: read enhancement as a function of the number of virtual blocks per
+/// physical block (the paper notes the 2-way split as the overhead/benefit sweet
+/// spot).
+///
+/// # Errors
+///
+/// Propagates FTL construction and replay errors.
+pub fn ablation_virtual_blocks(
+    workload: Workload,
+    scale: &ExperimentScale,
+) -> Result<Vec<(usize, f64)>, FtlError> {
+    let trace = workload.trace(scale);
+    let config = scale.device_config(16 * 1024, 4.0);
+    let baseline = run_conventional(&trace, &config)?;
+    let mut rows = Vec::new();
+    for virtual_blocks in [1usize, 2, 4] {
+        let ppb_config = PpbConfig {
+            virtual_blocks_per_block: virtual_blocks,
+            max_open_blocks_per_area: virtual_blocks.max(2),
+            ..PpbConfig::default()
+        };
+        let variant = run_ppb_with(&trace, &config, ppb_config, Classifier::SizeCheck)?;
+        let comparison = Comparison::new(baseline.clone(), variant);
+        rows.push((virtual_blocks, comparison.read_enhancement_pct()));
+    }
+    Ok(rows)
+}
+
+/// Ablation: read enhancement as a function of the first-stage hot/cold classifier.
+///
+/// # Errors
+///
+/// Propagates FTL construction and replay errors.
+pub fn ablation_classifier(
+    workload: Workload,
+    scale: &ExperimentScale,
+) -> Result<Vec<(Classifier, f64)>, FtlError> {
+    let trace = workload.trace(scale);
+    let config = scale.device_config(16 * 1024, 4.0);
+    let baseline = run_conventional(&trace, &config)?;
+    let mut rows = Vec::new();
+    for classifier in Classifier::ALL {
+        let variant = run_ppb_with(&trace, &config, PpbConfig::default(), classifier)?;
+        let comparison = Comparison::new(baseline.clone(), variant);
+        rows.push((classifier, comparison.read_enhancement_pct()));
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_produces_a_reasonable_device() {
+        let scale = ExperimentScale::quick();
+        let config = scale.device_config(16 * 1024, 3.0);
+        assert_eq!(config.pages_per_block(), 32);
+        assert_eq!(config.speed_ratio(), 3.0);
+        assert!(config.capacity_bytes() > scale.working_set_bytes);
+    }
+
+    #[test]
+    fn workload_traces_have_the_requested_length() {
+        let scale = ExperimentScale { requests: 500, ..ExperimentScale::quick() };
+        for workload in Workload::ALL {
+            assert_eq!(workload.trace(&scale).len(), 500);
+            assert!(!workload.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn compare_runs_both_ftls_on_the_same_trace() {
+        let scale = ExperimentScale { requests: 800, ..ExperimentScale::quick() };
+        let comparison = compare(Workload::WebSqlServer, 16 * 1024, 2.0, &scale).unwrap();
+        assert_eq!(comparison.baseline.ftl, "conventional");
+        assert_eq!(comparison.variant.ftl, "ppb");
+        assert_eq!(comparison.baseline.host_reads, comparison.variant.host_reads);
+        assert_eq!(comparison.baseline.host_writes, comparison.variant.host_writes);
+    }
+
+    #[test]
+    fn ppb_improves_reads_without_hurting_writes_on_the_web_workload() {
+        // Long enough for promotions, rewrites and GC to shape placement; the effect
+        // does not exist in the first few thousand requests of a cold device.
+        let scale = ExperimentScale {
+            requests: 10_000,
+            working_set_bytes: 20 * 1024 * 1024,
+            ..ExperimentScale::quick()
+        };
+        let comparison = compare(Workload::WebSqlServer, 16 * 1024, 4.0, &scale).unwrap();
+        assert!(
+            comparison.read_enhancement_pct() > 0.0,
+            "expected a read win, got {:.2}%",
+            comparison.read_enhancement_pct()
+        );
+        assert!(
+            comparison.write_enhancement_pct().abs() < 5.0,
+            "write latency should be near-identical, got {:.2}%",
+            comparison.write_enhancement_pct()
+        );
+    }
+
+    #[test]
+    fn erase_counts_stay_comparable() {
+        let scale = ExperimentScale { requests: 3_000, ..ExperimentScale::quick() };
+        for row in erase_count_rows(&scale).unwrap() {
+            let conventional = row.conventional.max(1) as f64;
+            let increase = (row.ppb as f64 - conventional) / conventional * 100.0;
+            assert!(
+                increase < 25.0,
+                "{}: erase count increased by {increase:.1}%",
+                row.workload
+            );
+        }
+    }
+
+    #[test]
+    fn sweeps_cover_every_speed_ratio() {
+        let scale = ExperimentScale { requests: 600, ..ExperimentScale::quick() };
+        let rows = read_latency_sweep(Workload::WebSqlServer, &scale).unwrap();
+        let ratios: Vec<f64> = rows.iter().map(|row| row.speed_ratio).collect();
+        assert_eq!(ratios, SPEED_RATIOS.to_vec());
+    }
+
+    #[test]
+    fn classifier_labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            Classifier::ALL.iter().map(|classifier| classifier.label()).collect();
+        assert_eq!(labels.len(), Classifier::ALL.len());
+    }
+}

@@ -1,0 +1,57 @@
+//! # vflash-sim
+//!
+//! Trace-driven SSD simulation for comparing flash translation layers on the 3D
+//! charge-trap NAND model.
+//!
+//! The crate has three layers:
+//!
+//! * [`Replayer`] — replays an I/O [`Trace`](vflash_trace::Trace) against any
+//!   [`FlashTranslationLayer`](vflash_ftl::FlashTranslationLayer), translating byte
+//!   ranges into logical pages, optionally pre-filling the address space so reads of
+//!   never-written data behave like reads of pre-existing data (the standard warm-up
+//!   used by trace-driven flash simulators).
+//! * [`RunSummary`] / [`Comparison`] — the measurements the paper reports: total and
+//!   mean read/write latency, erased-block counts, GC copies and write amplification,
+//!   plus enhancement percentages between a baseline and a variant.
+//! * [`experiments`] — ready-made parameter sweeps that regenerate every figure of
+//!   the paper's evaluation (Figures 12–18) at a configurable scale.
+//!
+//! # Example
+//!
+//! ```
+//! use vflash_ftl::{ConventionalFtl, FtlConfig};
+//! use vflash_nand::{NandConfig, NandDevice};
+//! use vflash_sim::{Replayer, RunOptions};
+//! use vflash_trace::synthetic::{self, SyntheticConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let trace = synthetic::web_sql_server(SyntheticConfig {
+//!     requests: 2_000,
+//!     working_set_bytes: 8 * 1024 * 1024,
+//!     ..Default::default()
+//! });
+//! let device = NandDevice::new(
+//!     NandConfig::builder()
+//!         .chips(1)
+//!         .blocks_per_chip(96)
+//!         .pages_per_block(32)
+//!         .page_size_bytes(16 * 1024)
+//!         .build()?,
+//! );
+//! let ftl = ConventionalFtl::new(device, FtlConfig::default())?;
+//! let summary = Replayer::new(RunOptions::default()).run(ftl, &trace)?;
+//! assert!(summary.host_reads > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+mod replay;
+mod report;
+
+pub use replay::{Replayer, RunOptions};
+pub use report::{Comparison, RunSummary};

@@ -1,0 +1,222 @@
+//! Run summaries and baseline/variant comparisons.
+
+use std::fmt;
+
+use vflash_ftl::FtlMetrics;
+use vflash_nand::Nanos;
+
+/// The measurements of one trace replay against one FTL.
+///
+/// These are exactly the quantities the paper's evaluation plots: total read/write
+/// latency (Figures 13, 14, 16, 17), their relative enhancement (Figures 12 and 15)
+/// and the erased block count (Figure 18).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSummary {
+    /// Name of the FTL that served the trace (e.g. `"conventional"` or `"ppb"`).
+    pub ftl: String,
+    /// Name of the trace that was replayed.
+    pub trace: String,
+    /// Host page reads served.
+    pub host_reads: u64,
+    /// Host page writes served.
+    pub host_writes: u64,
+    /// Total host read latency.
+    pub read_time: Nanos,
+    /// Total host write latency (garbage collection included).
+    pub write_time: Nanos,
+    /// Mean host read latency.
+    pub mean_read_latency: Nanos,
+    /// Mean host write latency.
+    pub mean_write_latency: Nanos,
+    /// Blocks erased by garbage collection.
+    pub erased_blocks: u64,
+    /// Valid pages copied by garbage collection.
+    pub gc_copied_pages: u64,
+    /// Pages migrated across speed classes during garbage collection.
+    pub migrated_pages: u64,
+    /// Write amplification factor.
+    pub write_amplification: f64,
+}
+
+impl RunSummary {
+    /// Builds a summary from the delta between two metric snapshots (end minus
+    /// start), which is how the replayer excludes warm-up traffic from the report.
+    pub fn from_metrics_delta(
+        ftl: impl Into<String>,
+        trace: impl Into<String>,
+        start: &FtlMetrics,
+        end: &FtlMetrics,
+    ) -> RunSummary {
+        let host_reads = end.host_reads - start.host_reads;
+        let host_writes = end.host_writes - start.host_writes;
+        let read_time = end.host_read_time - start.host_read_time;
+        let write_time = end.host_write_time - start.host_write_time;
+        let gc_copied_pages = end.gc_copied_pages - start.gc_copied_pages;
+        let migrated_pages = end.migrated_pages - start.migrated_pages;
+        RunSummary {
+            ftl: ftl.into(),
+            trace: trace.into(),
+            host_reads,
+            host_writes,
+            read_time,
+            write_time,
+            mean_read_latency: if host_reads == 0 { Nanos::ZERO } else { read_time / host_reads },
+            mean_write_latency: if host_writes == 0 {
+                Nanos::ZERO
+            } else {
+                write_time / host_writes
+            },
+            erased_blocks: end.gc_erased_blocks - start.gc_erased_blocks,
+            gc_copied_pages,
+            migrated_pages,
+            // Migrated pages are a subset of the GC copies, so they are not added
+            // again to the physical write count.
+            write_amplification: if host_writes == 0 {
+                0.0
+            } else {
+                (host_writes + gc_copied_pages) as f64 / host_writes as f64
+            },
+        }
+    }
+}
+
+impl fmt::Display for RunSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{}: {} reads ({} total, {} mean), {} writes ({} total, {} mean), {} erases, WAF {:.3}",
+            self.trace,
+            self.ftl,
+            self.host_reads,
+            self.read_time,
+            self.mean_read_latency,
+            self.host_writes,
+            self.write_time,
+            self.mean_write_latency,
+            self.erased_blocks,
+            self.write_amplification,
+        )
+    }
+}
+
+/// A baseline-versus-variant comparison of two runs of the same trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// The baseline run (the paper's "conventional FTL").
+    pub baseline: RunSummary,
+    /// The variant run (the paper's "FTL with PPB strategy").
+    pub variant: RunSummary,
+}
+
+impl Comparison {
+    /// Pairs a baseline run with a variant run.
+    pub fn new(baseline: RunSummary, variant: RunSummary) -> Self {
+        Comparison { baseline, variant }
+    }
+
+    fn enhancement_pct(baseline: Nanos, variant: Nanos) -> f64 {
+        if baseline == Nanos::ZERO {
+            0.0
+        } else {
+            (baseline.as_nanos() as f64 - variant.as_nanos() as f64) / baseline.as_nanos() as f64
+                * 100.0
+        }
+    }
+
+    /// Read performance enhancement in percent (positive = the variant is faster).
+    /// This is the quantity plotted in Figure 12.
+    pub fn read_enhancement_pct(&self) -> f64 {
+        Self::enhancement_pct(self.baseline.read_time, self.variant.read_time)
+    }
+
+    /// Write performance enhancement in percent (positive = the variant is faster).
+    /// This is the quantity plotted in Figure 15.
+    pub fn write_enhancement_pct(&self) -> f64 {
+        Self::enhancement_pct(self.baseline.write_time, self.variant.write_time)
+    }
+
+    /// Relative change in erased blocks in percent (positive = the variant erased
+    /// more). The paper's Figure 18 argues this stays near zero.
+    pub fn erase_increase_pct(&self) -> f64 {
+        if self.baseline.erased_blocks == 0 {
+            0.0
+        } else {
+            (self.variant.erased_blocks as f64 - self.baseline.erased_blocks as f64)
+                / self.baseline.erased_blocks as f64
+                * 100.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(reads: u64, read_us: u64, writes: u64, write_us: u64, erased: u64) -> FtlMetrics {
+        let mut m = FtlMetrics::new();
+        for _ in 0..reads {
+            m.record_host_read(Nanos::from_micros(read_us));
+        }
+        for _ in 0..writes {
+            m.record_host_write(Nanos::from_micros(write_us));
+        }
+        m.record_gc(0, erased, Nanos::ZERO);
+        m
+    }
+
+    #[test]
+    fn summary_from_delta_excludes_warmup() {
+        let start = metrics(10, 100, 10, 600, 2);
+        let mut end = start;
+        end.record_host_read(Nanos::from_micros(50));
+        end.record_host_write(Nanos::from_micros(700));
+        end.record_gc(3, 1, Nanos::from_millis(4));
+        let summary = RunSummary::from_metrics_delta("ppb", "web", &start, &end);
+        assert_eq!(summary.host_reads, 1);
+        assert_eq!(summary.host_writes, 1);
+        assert_eq!(summary.read_time, Nanos::from_micros(50));
+        assert_eq!(summary.write_time, Nanos::from_micros(700));
+        assert_eq!(summary.erased_blocks, 1);
+        assert_eq!(summary.gc_copied_pages, 3);
+        assert_eq!(summary.write_amplification, 4.0);
+        assert!(summary.to_string().contains("web/ppb"));
+    }
+
+    #[test]
+    fn zero_request_summaries_do_not_divide_by_zero() {
+        let m = FtlMetrics::new();
+        let summary = RunSummary::from_metrics_delta("x", "y", &m, &m);
+        assert_eq!(summary.mean_read_latency, Nanos::ZERO);
+        assert_eq!(summary.mean_write_latency, Nanos::ZERO);
+        assert_eq!(summary.write_amplification, 0.0);
+    }
+
+    #[test]
+    fn enhancement_percentages() {
+        let baseline = RunSummary::from_metrics_delta(
+            "conventional",
+            "t",
+            &FtlMetrics::new(),
+            &metrics(10, 100, 10, 600, 10),
+        );
+        let variant = RunSummary::from_metrics_delta(
+            "ppb",
+            "t",
+            &FtlMetrics::new(),
+            &metrics(10, 80, 10, 600, 11),
+        );
+        let comparison = Comparison::new(baseline, variant);
+        assert!((comparison.read_enhancement_pct() - 20.0).abs() < 1e-9);
+        assert!(comparison.write_enhancement_pct().abs() < 1e-9);
+        assert!((comparison.erase_increase_pct() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_baselines_report_zero_enhancement() {
+        let empty = RunSummary::from_metrics_delta("a", "t", &FtlMetrics::new(), &FtlMetrics::new());
+        let comparison = Comparison::new(empty.clone(), empty);
+        assert_eq!(comparison.read_enhancement_pct(), 0.0);
+        assert_eq!(comparison.write_enhancement_pct(), 0.0);
+        assert_eq!(comparison.erase_increase_pct(), 0.0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Parser for the MSR-Cambridge block trace format.
+//!
+//! The traces published by Narayanan et al. ("Write Off-Loading: Practical Power
+//! Management for Enterprise Storage", TOS 2008) are CSV files with one request per
+//! line:
+//!
+//! ```text
+//! Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime
+//! 128166372003061629,mds,0,Read,7014609920,24576,41286
+//! ```
+//!
+//! * `Timestamp` — Windows FILETIME (100 ns ticks since 1601-01-01),
+//! * `Type` — `Read` or `Write` (case-insensitive),
+//! * `Offset`, `Size` — bytes,
+//! * `ResponseTime` — measured service time in microseconds (ignored here; the
+//!   simulator computes its own).
+//!
+//! The real MSR traces cannot be redistributed with this repository; the synthetic
+//! generators in [`crate::synthetic`] stand in for them, but this parser lets the
+//! original files be used unmodified when available.
+
+use std::error::Error;
+use std::fmt;
+use std::io::BufRead;
+
+use crate::request::{IoOp, IoRequest, Trace};
+
+/// Error produced while parsing an MSR-Cambridge CSV trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong with it.
+    pub reason: String,
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid msr trace line {}: {}", self.line, self.reason)
+    }
+}
+
+impl Error for ParseTraceError {}
+
+/// Parses an MSR-Cambridge CSV trace from a reader.
+///
+/// Timestamps are re-based so the first request arrives at time zero. Blank lines are
+/// skipped. Requests with zero size are skipped (they occasionally appear in the raw
+/// traces and carry no FTL-visible work).
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] for malformed lines (wrong field count, unparsable
+/// numbers, unknown request type) and wraps I/O errors from the reader in the same
+/// error with the failing line number.
+///
+/// # Example
+///
+/// ```
+/// use vflash_trace::msr;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let csv = "\
+/// 128166372003061629,mds,0,Read,7014609920,24576,41286
+/// 128166372016853766,mds,0,Write,1317441536,8192,1763";
+/// let trace = msr::parse(csv.as_bytes(), "mds_0")?;
+/// assert_eq!(trace.len(), 2);
+/// assert_eq!(trace.requests()[0].at_nanos, 0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse<R: BufRead>(reader: R, name: &str) -> Result<Trace, ParseTraceError> {
+    let mut requests = Vec::new();
+    let mut first_timestamp: Option<u64> = None;
+
+    for (index, line) in reader.lines().enumerate() {
+        let line_number = index + 1;
+        let line = line.map_err(|e| ParseTraceError {
+            line: line_number,
+            reason: format!("read error: {e}"),
+        })?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').collect();
+        if fields.len() < 6 {
+            return Err(ParseTraceError {
+                line: line_number,
+                reason: format!("expected at least 6 comma-separated fields, found {}", fields.len()),
+            });
+        }
+        let timestamp: u64 = fields[0].trim().parse().map_err(|_| ParseTraceError {
+            line: line_number,
+            reason: format!("bad timestamp `{}`", fields[0]),
+        })?;
+        let op = match fields[3].trim().to_ascii_lowercase().as_str() {
+            "read" | "r" => IoOp::Read,
+            "write" | "w" => IoOp::Write,
+            other => {
+                return Err(ParseTraceError {
+                    line: line_number,
+                    reason: format!("unknown request type `{other}`"),
+                })
+            }
+        };
+        let offset: u64 = fields[4].trim().parse().map_err(|_| ParseTraceError {
+            line: line_number,
+            reason: format!("bad offset `{}`", fields[4]),
+        })?;
+        let size: u64 = fields[5].trim().parse().map_err(|_| ParseTraceError {
+            line: line_number,
+            reason: format!("bad size `{}`", fields[5]),
+        })?;
+        if size == 0 {
+            continue;
+        }
+        let size = u32::try_from(size).map_err(|_| ParseTraceError {
+            line: line_number,
+            reason: format!("request size {size} does not fit in 32 bits"),
+        })?;
+
+        let base = *first_timestamp.get_or_insert(timestamp);
+        // FILETIME ticks are 100 ns each.
+        let at_nanos = timestamp.saturating_sub(base).saturating_mul(100);
+        requests.push(IoRequest::new(at_nanos, op, offset, size));
+    }
+
+    Ok(Trace::new(name, requests))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+128166372003061629,mds,0,Read,7014609920,24576,41286
+128166372016853766,mds,0,Write,1317441536,8192,1763
+
+128166372026937550,mds,0,READ,1317441536,8192,993
+";
+
+    #[test]
+    fn parses_well_formed_lines_and_rebases_time() {
+        let trace = parse(SAMPLE.as_bytes(), "mds_0").unwrap();
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.name(), "mds_0");
+        let reqs = trace.requests();
+        assert_eq!(reqs[0].at_nanos, 0);
+        assert_eq!(reqs[0].op, IoOp::Read);
+        assert_eq!(reqs[0].offset, 7014609920);
+        assert_eq!(reqs[0].length, 24576);
+        // (128166372016853766 - 128166372003061629) ticks * 100 ns
+        assert_eq!(reqs[1].at_nanos, 13_792_137 * 100);
+        // case-insensitive op parsing
+        assert_eq!(reqs[2].op, IoOp::Read);
+    }
+
+    #[test]
+    fn zero_size_requests_are_skipped() {
+        let csv = "1,host,0,Read,0,0,10\n2,host,0,Write,4096,4096,10\n";
+        let trace = parse(csv.as_bytes(), "t").unwrap();
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace.requests()[0].op, IoOp::Write);
+    }
+
+    #[test]
+    fn malformed_lines_report_line_numbers() {
+        let csv = "1,host,0,Read,0,4096,10\nnot,a,valid,line\n";
+        let err = parse(csv.as_bytes(), "t").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn unknown_op_is_rejected() {
+        let csv = "1,host,0,Trim,0,4096,10\n";
+        let err = parse(csv.as_bytes(), "t").unwrap_err();
+        assert!(err.reason.contains("unknown request type"));
+    }
+
+    #[test]
+    fn bad_numbers_are_rejected() {
+        for csv in [
+            "abc,host,0,Read,0,4096,10\n",
+            "1,host,0,Read,xyz,4096,10\n",
+            "1,host,0,Read,0,many,10\n",
+        ] {
+            assert!(parse(csv.as_bytes(), "t").is_err(), "should reject: {csv}");
+        }
+    }
+}

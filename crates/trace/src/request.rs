@@ -1,0 +1,219 @@
+//! I/O request and trace containers.
+
+use std::fmt;
+
+use crate::stats::TraceStats;
+
+/// Direction of an I/O request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoOp {
+    /// A block read.
+    Read,
+    /// A block write.
+    Write,
+}
+
+impl fmt::Display for IoOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            IoOp::Read => "read",
+            IoOp::Write => "write",
+        })
+    }
+}
+
+/// A single block-level I/O request.
+///
+/// Offsets and lengths are in bytes, matching the MSR-Cambridge trace format; the FTL
+/// converts them into logical page numbers with [`IoRequest::logical_pages`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IoRequest {
+    /// Arrival time in nanoseconds from the start of the trace.
+    pub at_nanos: u64,
+    /// Read or write.
+    pub op: IoOp,
+    /// Byte offset of the first byte accessed.
+    pub offset: u64,
+    /// Number of bytes accessed (never zero).
+    pub length: u32,
+}
+
+impl IoRequest {
+    /// Creates a request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length` is zero: zero-length I/O has no meaning for an FTL and is
+    /// always a generator or parser bug.
+    pub fn new(at_nanos: u64, op: IoOp, offset: u64, length: u32) -> Self {
+        assert!(length > 0, "I/O requests must access at least one byte");
+        IoRequest { at_nanos, op, offset, length }
+    }
+
+    /// The half-open byte range `[offset, offset + length)` accessed by this request.
+    pub fn byte_range(&self) -> std::ops::Range<u64> {
+        self.offset..self.offset + u64::from(self.length)
+    }
+
+    /// The logical page numbers touched by this request for the given page size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_size` is zero.
+    pub fn logical_pages(&self, page_size: usize) -> std::ops::Range<u64> {
+        assert!(page_size > 0, "page size must be positive");
+        let page_size = page_size as u64;
+        let first = self.offset / page_size;
+        let last = (self.offset + u64::from(self.length) - 1) / page_size;
+        first..last + 1
+    }
+
+    /// Whether the request is smaller than one page — the size-check heuristic the
+    /// paper uses as its first-stage hot/cold classifier treats sub-page requests as
+    /// hot.
+    pub fn is_sub_page(&self, page_size: usize) -> bool {
+        (self.length as usize) < page_size
+    }
+}
+
+/// An ordered sequence of I/O requests.
+///
+/// Construction goes through [`Trace::new`] (validating time ordering is *not*
+/// required — real traces contain ties and minor inversions — but requests must be
+/// non-empty length, which [`IoRequest::new`] already enforces).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Trace {
+    name: String,
+    requests: Vec<IoRequest>,
+}
+
+impl Trace {
+    /// Creates a trace from a name and request list.
+    pub fn new(name: impl Into<String>, requests: Vec<IoRequest>) -> Self {
+        Trace { name: name.into(), requests }
+    }
+
+    /// Human-readable name of the workload (e.g. `"media-server"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the trace contains no requests.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Iterates over the requests in arrival order.
+    pub fn iter(&self) -> std::slice::Iter<'_, IoRequest> {
+        self.requests.iter()
+    }
+
+    /// Borrow the raw request slice.
+    pub fn requests(&self) -> &[IoRequest] {
+        &self.requests
+    }
+
+    /// Computes summary statistics for the trace.
+    pub fn stats(&self) -> TraceStats {
+        TraceStats::from_requests(&self.requests)
+    }
+
+    /// Returns a copy of this trace truncated to at most `limit` requests, useful for
+    /// keeping benchmark iterations short.
+    pub fn truncated(&self, limit: usize) -> Trace {
+        Trace {
+            name: self.name.clone(),
+            requests: self.requests.iter().take(limit).copied().collect(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a IoRequest;
+    type IntoIter = std::slice::Iter<'a, IoRequest>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.requests.iter()
+    }
+}
+
+impl IntoIterator for Trace {
+    type Item = IoRequest;
+    type IntoIter = std::vec::IntoIter<IoRequest>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.requests.into_iter()
+    }
+}
+
+impl FromIterator<IoRequest> for Trace {
+    fn from_iter<T: IntoIterator<Item = IoRequest>>(iter: T) -> Self {
+        Trace { name: String::from("unnamed"), requests: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<IoRequest> for Trace {
+    fn extend<T: IntoIterator<Item = IoRequest>>(&mut self, iter: T) {
+        self.requests.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_range_and_pages() {
+        let req = IoRequest::new(0, IoOp::Write, 16 * 1024, 4 * 1024);
+        assert_eq!(req.byte_range(), 16384..20480);
+        assert_eq!(req.logical_pages(16 * 1024), 1..2);
+        assert_eq!(req.logical_pages(4 * 1024), 4..5);
+        assert!(req.is_sub_page(16 * 1024));
+        assert!(!req.is_sub_page(4 * 1024));
+    }
+
+    #[test]
+    fn request_spanning_multiple_pages() {
+        let req = IoRequest::new(0, IoOp::Read, 10_000, 40_000);
+        // bytes [10000, 50000) with 16 KiB pages -> pages 0..4 (byte 49999 is page 3)
+        assert_eq!(req.logical_pages(16 * 1024), 0..4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one byte")]
+    fn zero_length_requests_are_rejected() {
+        let _ = IoRequest::new(0, IoOp::Read, 0, 0);
+    }
+
+    #[test]
+    fn trace_collection_traits() {
+        let reqs = [
+            IoRequest::new(0, IoOp::Write, 0, 4096),
+            IoRequest::new(10, IoOp::Read, 0, 4096),
+        ];
+        let trace: Trace = reqs.iter().copied().collect();
+        assert_eq!(trace.len(), 2);
+        assert!(!trace.is_empty());
+        let mut extended = trace.clone();
+        extended.extend([IoRequest::new(20, IoOp::Read, 4096, 4096)]);
+        assert_eq!(extended.len(), 3);
+        assert_eq!(extended.iter().count(), 3);
+        assert_eq!(extended.into_iter().count(), 3);
+    }
+
+    #[test]
+    fn truncation_preserves_prefix() {
+        let reqs: Vec<_> =
+            (0..10).map(|i| IoRequest::new(i, IoOp::Read, i * 4096, 4096)).collect();
+        let trace = Trace::new("t", reqs.clone());
+        let cut = trace.truncated(3);
+        assert_eq!(cut.len(), 3);
+        assert_eq!(cut.requests(), &reqs[..3]);
+        assert_eq!(cut.name(), "t");
+    }
+}

@@ -1,0 +1,340 @@
+//! Seeded synthetic workload generators.
+//!
+//! These generators stand in for the MSR-Cambridge *media server* and *web/SQL
+//! server* traces used in the paper's evaluation (the originals are not
+//! redistributable). They reproduce the workload properties the PPB strategy actually
+//! responds to:
+//!
+//! * **media server** — large, mostly sequential reads of write-once-read-many
+//!   content, occasional sequential ingest of new files, a small frequently-updated
+//!   metadata region. Low write traffic, moderate re-read skew.
+//! * **web/SQL server** — small random requests, strongly Zipf-skewed hot set that is
+//!   both updated and re-read (hot / iron-hot data), a frequently-read-and-written
+//!   metadata region, plus occasional cold backup streams that are written once and
+//!   rarely read again (icy-cold data).
+//!
+//! Every generator is deterministic given the [`SyntheticConfig::seed`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::request::{IoOp, IoRequest, Trace};
+use crate::zipf::Zipf;
+
+const KIB: u64 = 1024;
+const MIB: u64 = 1024 * 1024;
+
+/// Shared knobs for the synthetic generators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyntheticConfig {
+    /// Number of requests to generate.
+    pub requests: usize,
+    /// RNG seed; equal seeds give byte-identical traces.
+    pub seed: u64,
+    /// Size of the logical address space the workload touches, in bytes. Keep this
+    /// below the simulated device's usable capacity.
+    pub working_set_bytes: u64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig { requests: 50_000, seed: 42, working_set_bytes: 256 * MIB }
+    }
+}
+
+/// Parameters for the generic [`skewed`] generator, used for ablations and custom
+/// scenarios.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SkewedParams {
+    /// Fraction of requests that are reads, in `[0, 1]`.
+    pub read_ratio: f64,
+    /// Zipf exponent of the popularity skew (0 = uniform).
+    pub zipf_exponent: f64,
+    /// Smallest request size in bytes.
+    pub min_request_bytes: u32,
+    /// Largest request size in bytes.
+    pub max_request_bytes: u32,
+    /// Granularity at which popularity is assigned, in bytes (the "item" size of the
+    /// Zipf distribution).
+    pub region_bytes: u64,
+}
+
+impl Default for SkewedParams {
+    fn default() -> Self {
+        SkewedParams {
+            read_ratio: 0.6,
+            zipf_exponent: 1.0,
+            min_request_bytes: 4 * KIB as u32,
+            max_request_bytes: 16 * KIB as u32,
+            region_bytes: 16 * KIB,
+        }
+    }
+}
+
+fn advance_clock(rng: &mut StdRng, now: &mut u64) -> u64 {
+    // Inter-arrival gap between 20 µs and 200 µs; the simulator is open-loop so only
+    // the ordering matters, but realistic spacing keeps timestamps meaningful.
+    *now += rng.gen_range(20_000..200_000);
+    *now
+}
+
+/// Generic Zipf-skewed random workload.
+///
+/// # Panics
+///
+/// Panics if the parameters are degenerate (zero-sized working set, zero requests,
+/// `min_request_bytes > max_request_bytes`, or a read ratio outside `[0, 1]`).
+pub fn skewed(config: SyntheticConfig, params: SkewedParams) -> Trace {
+    assert!(config.requests > 0, "requests must be positive");
+    assert!(config.working_set_bytes >= params.region_bytes, "working set smaller than one region");
+    assert!(params.min_request_bytes > 0, "min_request_bytes must be positive");
+    assert!(
+        params.min_request_bytes <= params.max_request_bytes,
+        "min_request_bytes must not exceed max_request_bytes"
+    );
+    assert!(
+        (0.0..=1.0).contains(&params.read_ratio),
+        "read_ratio must be within [0, 1]"
+    );
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let regions = (config.working_set_bytes / params.region_bytes).max(1) as usize;
+    let zipf = Zipf::new(regions, params.zipf_exponent);
+    let mut now = 0u64;
+    let mut requests = Vec::with_capacity(config.requests);
+
+    for _ in 0..config.requests {
+        let region = zipf.sample(&mut rng) as u64;
+        let offset = region * params.region_bytes;
+        let length = if params.min_request_bytes == params.max_request_bytes {
+            params.min_request_bytes
+        } else {
+            rng.gen_range(params.min_request_bytes..=params.max_request_bytes)
+        };
+        let op = if rng.gen_bool(params.read_ratio) { IoOp::Read } else { IoOp::Write };
+        let at = advance_clock(&mut rng, &mut now);
+        requests.push(IoRequest::new(at, op, offset, length));
+    }
+
+    Trace::new("skewed", requests)
+}
+
+/// Synthetic stand-in for the MSR media-server trace.
+///
+/// The address space is carved into "media files" of 4 MiB. Most requests stream a
+/// popular file sequentially in 64–256 KiB reads; around 8% of requests ingest new
+/// content with sequential writes, and a small metadata region at the front of the
+/// address space receives frequent 4 KiB reads and writes.
+pub fn media_server(config: SyntheticConfig) -> Trace {
+    assert!(config.requests > 0, "requests must be positive");
+    const FILE_BYTES: u64 = 4 * MIB;
+    const METADATA_BYTES: u64 = MIB;
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let data_bytes = config.working_set_bytes.saturating_sub(METADATA_BYTES).max(FILE_BYTES);
+    let files = (data_bytes / FILE_BYTES).max(1) as usize;
+    let popularity = Zipf::new(files, 0.9);
+    let mut now = 0u64;
+    let mut requests = Vec::with_capacity(config.requests);
+    // Per-file streaming cursor so consecutive reads of the same file are sequential.
+    let mut cursors = vec![0u64; files];
+
+    while requests.len() < config.requests {
+        let roll: f64 = rng.gen();
+        let at = advance_clock(&mut rng, &mut now);
+        if roll < 0.04 {
+            // Metadata read or write: small, extremely hot.
+            let offset = rng.gen_range(0..METADATA_BYTES / (4 * KIB)) * 4 * KIB;
+            let op = if rng.gen_bool(0.5) { IoOp::Read } else { IoOp::Write };
+            requests.push(IoRequest::new(at, op, offset, 4 * KIB as u32));
+        } else if roll < 0.055 {
+            // Ingest: write a whole new file sequentially in 256 KiB chunks. The event
+            // probability is low because each event emits a burst of 16 write requests.
+            let file = rng.gen_range(0..files) as u64;
+            let base = METADATA_BYTES + file * FILE_BYTES;
+            let chunk = 256 * KIB;
+            let mut written = 0;
+            while written < FILE_BYTES && requests.len() < config.requests {
+                let at = advance_clock(&mut rng, &mut now);
+                requests.push(IoRequest::new(at, IoOp::Write, base + written, chunk as u32));
+                written += chunk;
+            }
+            cursors[file as usize] = 0;
+        } else {
+            // Streaming read of a popular file.
+            let file = popularity.sample(&mut rng);
+            let base = METADATA_BYTES + file as u64 * FILE_BYTES;
+            let chunk = *[64 * KIB, 128 * KIB, 256 * KIB]
+                .get(rng.gen_range(0..3))
+                .expect("chunk table is non-empty");
+            let cursor = cursors[file];
+            let offset = base + cursor;
+            cursors[file] = (cursor + chunk) % FILE_BYTES;
+            requests.push(IoRequest::new(at, IoOp::Read, offset, chunk as u32));
+        }
+    }
+
+    requests.truncate(config.requests);
+    Trace::new("media-server", requests)
+}
+
+/// Synthetic stand-in for the MSR web/SQL-server trace.
+///
+/// The address space is carved into the data classes an enterprise web/SQL server
+/// actually stores (the same classes the paper uses to motivate its four hotness
+/// levels):
+///
+/// * a small **metadata** region — small requests, frequently read *and* written,
+/// * a **temp/cache** region — small requests, frequently written, almost never read,
+/// * a **table** region — Zipf-popular database pages, read-dominant with occasional
+///   small updates,
+/// * an **asset** region — write-once-read-many content served with larger requests
+///   and strong popularity skew,
+/// * a **backup** region — sequential bulk writes that are essentially never read.
+pub fn web_sql_server(config: SyntheticConfig) -> Trace {
+    assert!(config.requests > 0, "requests must be positive");
+    const METADATA_BYTES: u64 = 2 * MIB;
+    const REGION: u64 = 8 * KIB;
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let data_bytes = config.working_set_bytes.saturating_sub(METADATA_BYTES).max(4 * REGION);
+    // Split the data space: 15% temp, 25% tables, 45% assets, 15% backups.
+    let temp_bytes = data_bytes * 15 / 100;
+    let table_bytes = data_bytes * 25 / 100;
+    let asset_bytes = data_bytes * 45 / 100;
+    let backup_bytes = data_bytes - temp_bytes - table_bytes - asset_bytes;
+    let temp_base = METADATA_BYTES;
+    let table_base = temp_base + temp_bytes;
+    let asset_base = table_base + table_bytes;
+    let backup_base = asset_base + asset_bytes;
+
+    let temp_popularity = Zipf::new((temp_bytes / REGION).max(1) as usize, 0.8);
+    let table_popularity = Zipf::new((table_bytes / REGION).max(1) as usize, 1.1);
+    let asset_popularity = Zipf::new((asset_bytes / (64 * KIB)).max(1) as usize, 1.0);
+
+    let mut now = 0u64;
+    let mut requests = Vec::with_capacity(config.requests);
+    let mut backup_cursor = 0u64;
+
+    while requests.len() < config.requests {
+        let roll: f64 = rng.gen();
+        let at = advance_clock(&mut rng, &mut now);
+        if roll < 0.10 {
+            // Metadata: small, frequently read and written (iron-hot behaviour).
+            let offset = rng.gen_range(0..METADATA_BYTES / (4 * KIB)) * 4 * KIB;
+            let op = if rng.gen_bool(0.55) { IoOp::Read } else { IoOp::Write };
+            requests.push(IoRequest::new(at, op, offset, 4 * KIB as u32));
+        } else if roll < 0.35 {
+            // Temp/cache files: small, frequently overwritten, rarely read back
+            // (hot behaviour).
+            let region = temp_popularity.sample(&mut rng) as u64;
+            let offset = temp_base + region * REGION;
+            let op = if rng.gen_bool(0.92) { IoOp::Write } else { IoOp::Read };
+            requests.push(IoRequest::new(at, op, offset, 8 * KIB as u32));
+        } else if roll < 0.70 {
+            // Database tables: Zipf-popular pages, read-dominant with small updates.
+            let region = table_popularity.sample(&mut rng) as u64;
+            let offset = table_base + region * REGION;
+            let op = if rng.gen_bool(0.80) { IoOp::Read } else { IoOp::Write };
+            let size = *[4 * KIB, 8 * KIB].get(rng.gen_range(0..2)).expect("non-empty") as u32;
+            requests.push(IoRequest::new(at, op, offset, size));
+        } else if roll < 0.90 {
+            // Served assets: write-once-read-many, larger requests, strong popularity
+            // skew (cold behaviour — the popular ones deserve fast pages).
+            let chunk = asset_popularity.sample(&mut rng) as u64;
+            let offset = asset_base + chunk * 64 * KIB;
+            let op = if rng.gen_bool(0.95) { IoOp::Read } else { IoOp::Write };
+            requests.push(IoRequest::new(at, op, offset, 64 * KIB as u32));
+        } else {
+            // Backups: sequential bulk writes, essentially never read (icy-cold).
+            let offset = backup_base + (backup_cursor % backup_bytes.max(64 * KIB));
+            backup_cursor += 64 * KIB;
+            requests.push(IoRequest::new(at, IoOp::Write, offset, 64 * KIB as u32));
+        }
+    }
+
+    requests.truncate(config.requests);
+    Trace::new("web-sql-server", requests)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let config = SyntheticConfig { requests: 2_000, seed: 9, ..Default::default() };
+        assert_eq!(media_server(config), media_server(config));
+        assert_eq!(web_sql_server(config), web_sql_server(config));
+        let other_seed = SyntheticConfig { seed: 10, ..config };
+        assert_ne!(web_sql_server(config), web_sql_server(other_seed));
+    }
+
+    #[test]
+    fn generators_respect_request_count_and_working_set() {
+        let config = SyntheticConfig {
+            requests: 3_000,
+            seed: 1,
+            working_set_bytes: 64 * MIB,
+        };
+        for trace in [media_server(config), web_sql_server(config), skewed(config, SkewedParams::default())] {
+            assert_eq!(trace.len(), 3_000, "{} wrong length", trace.name());
+            for req in &trace {
+                assert!(
+                    req.offset < config.working_set_bytes,
+                    "{} escaped the working set: offset {}",
+                    trace.name(),
+                    req.offset
+                );
+                assert!(req.length > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn media_server_is_read_dominant_and_sequential() {
+        let trace = media_server(SyntheticConfig { requests: 20_000, seed: 3, ..Default::default() });
+        let stats = trace.stats();
+        assert!(stats.read_ratio() > 0.6, "read ratio was {}", stats.read_ratio());
+        assert!(stats.mean_request_bytes > 32.0 * KIB as f64);
+    }
+
+    #[test]
+    fn web_sql_server_is_small_random_and_reread_heavy() {
+        let trace = web_sql_server(SyntheticConfig { requests: 20_000, seed: 3, ..Default::default() });
+        let stats = trace.stats();
+        assert!(stats.mean_request_bytes < 32.0 * KIB as f64);
+        assert!(stats.reread_fraction > 0.5, "reread fraction was {}", stats.reread_fraction);
+        assert!(stats.read_ratio() > 0.4 && stats.read_ratio() < 0.8);
+    }
+
+    #[test]
+    fn web_trace_has_more_locality_than_uniform_skewed() {
+        let config = SyntheticConfig { requests: 10_000, seed: 11, ..Default::default() };
+        let uniform = skewed(
+            config,
+            SkewedParams { zipf_exponent: 0.0, ..SkewedParams::default() },
+        );
+        let web = web_sql_server(config);
+        assert!(web.stats().reread_fraction > uniform.stats().reread_fraction);
+    }
+
+    #[test]
+    fn timestamps_are_monotonically_increasing() {
+        let trace = web_sql_server(SyntheticConfig { requests: 5_000, seed: 2, ..Default::default() });
+        let mut last = 0;
+        for req in &trace {
+            assert!(req.at_nanos >= last);
+            last = req.at_nanos;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "read_ratio")]
+    fn skewed_rejects_bad_read_ratio() {
+        let _ = skewed(
+            SyntheticConfig::default(),
+            SkewedParams { read_ratio: 1.5, ..SkewedParams::default() },
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! Media-server scenario: replay the synthetic media-server workload (the stand-in
+//! for the MSR media-server trace) against both the conventional FTL and the PPB FTL
+//! and compare the outcome.
+//!
+//! ```text
+//! cargo run --release --example media_server
+//! ```
+
+use std::error::Error;
+
+use vflash::sim::experiments::{run_conventional, run_ppb, ExperimentScale, Workload};
+use vflash::sim::Comparison;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let scale = ExperimentScale {
+        requests: 20_000,
+        working_set_bytes: 64 * 1024 * 1024,
+        ..ExperimentScale::quick()
+    };
+    let trace = Workload::MediaServer.trace(&scale);
+    let stats = trace.stats();
+    println!(
+        "media-server workload: {} requests, {:.0}% reads, mean request {:.0} KiB, reread fraction {:.2}",
+        trace.len(),
+        stats.read_ratio() * 100.0,
+        stats.mean_request_bytes / 1024.0,
+        stats.reread_fraction,
+    );
+
+    let config = scale.device_config(16 * 1024, 2.0);
+    println!(
+        "device: {} blocks x {} pages x {} KiB ({:.1} MiB raw), 2x speed difference\n",
+        config.total_blocks(),
+        config.pages_per_block(),
+        config.page_size_bytes() / 1024,
+        config.capacity_bytes() as f64 / (1024.0 * 1024.0),
+    );
+
+    let baseline = run_conventional(&trace, &config)?;
+    let variant = run_ppb(&trace, &config)?;
+    println!("conventional FTL : {baseline}");
+    println!("FTL with PPB     : {variant}");
+
+    let comparison = Comparison::new(baseline, variant);
+    println!("\nread enhancement   {:>6.2}%", comparison.read_enhancement_pct());
+    println!("write enhancement  {:>6.2}%", comparison.write_enhancement_pct());
+    println!("erase count change {:>6.2}%", comparison.erase_increase_pct());
+    Ok(())
+}

@@ -1,0 +1,43 @@
+//! Speed-difference sweep: how the PPB advantage grows as the top-to-bottom layer
+//! speed ratio increases from 2x to 5x (the paper's Figures 13/14 in miniature).
+//!
+//! ```text
+//! cargo run --release --example speed_sweep
+//! ```
+
+use std::error::Error;
+
+use vflash::nand::Nanos;
+use vflash::sim::experiments::{read_latency_sweep, ExperimentScale, Workload, SPEED_RATIOS};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let scale = ExperimentScale {
+        requests: 10_000,
+        working_set_bytes: 48 * 1024 * 1024,
+        ..ExperimentScale::quick()
+    };
+    println!("read latency vs page access speed difference ({} requests per run)\n", scale.requests);
+    println!("{:<16} {:>10} {:>18} {:>16} {:>12}", "workload", "speed diff", "conventional FTL", "FTL with PPB", "improvement");
+    for workload in Workload::ALL {
+        let rows = read_latency_sweep(workload, &scale)?;
+        for row in rows {
+            let improvement = if row.conventional == Nanos::ZERO {
+                0.0
+            } else {
+                (row.conventional.as_nanos() as f64 - row.ppb.as_nanos() as f64)
+                    / row.conventional.as_nanos() as f64
+                    * 100.0
+            };
+            println!(
+                "{:<16} {:>9.0}x {:>17.3}s {:>15.3}s {:>11.2}%",
+                workload.label(),
+                row.speed_ratio,
+                row.conventional.as_secs_f64(),
+                row.ppb.as_secs_f64(),
+                improvement,
+            );
+        }
+    }
+    let _ = SPEED_RATIOS;
+    Ok(())
+}

@@ -1,0 +1,41 @@
+//! # vflash
+//!
+//! Umbrella crate for the reproduction of *"Boosting the Performance of 3D Charge
+//! Trap NAND Flash with Asymmetric Feature Process Size Characteristic"* (DAC 2017).
+//!
+//! It simply re-exports the workspace crates so downstream users can depend on a
+//! single crate:
+//!
+//! * [`nand`] — the 3D charge-trap NAND device model with per-layer latency,
+//! * [`trace`] — MSR-style trace parsing and synthetic enterprise workloads,
+//! * [`ftl`] — the conventional page-mapping FTL baseline and hot/cold classifiers,
+//! * [`ppb`] — the Progressive Performance Boosting strategy (the paper's
+//!   contribution),
+//! * [`sim`] — the trace-driven simulator and the experiment sweeps that regenerate
+//!   every figure of the paper's evaluation.
+//!
+//! # Example
+//!
+//! ```
+//! use vflash::ftl::{FlashTranslationLayer, Lpn};
+//! use vflash::nand::{NandConfig, NandDevice};
+//! use vflash::ppb::{PpbConfig, PpbFtl};
+//!
+//! # fn main() -> Result<(), vflash::ftl::FtlError> {
+//! let device = NandDevice::new(NandConfig::small());
+//! let mut ftl = PpbFtl::new(device, PpbConfig::default())?;
+//! ftl.write(Lpn(0), 512)?;
+//! let latency = ftl.read(Lpn(0))?;
+//! assert!(latency > vflash::nand::Nanos::ZERO);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use vflash_ftl as ftl;
+pub use vflash_nand as nand;
+pub use vflash_ppb as ppb;
+pub use vflash_sim as sim;
+pub use vflash_trace as trace;

@@ -1,0 +1,115 @@
+//! Cross-crate integration tests: the whole stack (device model, trace generators,
+//! FTLs, replayer) wired together, checking the paper's headline claims hold in
+//! direction on scaled-down experiments.
+
+use vflash::sim::experiments::{
+    compare, erase_count_rows, read_latency_sweep, write_latency_sweep, ExperimentScale, Workload,
+};
+
+fn test_scale() -> ExperimentScale {
+    // Long enough for promotions, rewrites and garbage collection to shape data
+    // placement; small enough to keep the whole suite fast.
+    ExperimentScale {
+        requests: 10_000,
+        working_set_bytes: 20 * 1024 * 1024,
+        ..ExperimentScale::quick()
+    }
+}
+
+/// The headline claim: PPB improves read performance on the re-read-heavy web/SQL
+/// workload while leaving write latency essentially unchanged.
+#[test]
+fn ppb_improves_web_reads_without_write_penalty() {
+    let comparison = compare(Workload::WebSqlServer, 16 * 1024, 4.0, &test_scale()).unwrap();
+    assert!(
+        comparison.read_enhancement_pct() > 1.0,
+        "expected a clear read win, got {:.2}%",
+        comparison.read_enhancement_pct()
+    );
+    assert!(
+        comparison.write_enhancement_pct().abs() < 5.0,
+        "write latency should stay near-identical, got {:.2}%",
+        comparison.write_enhancement_pct()
+    );
+}
+
+/// PPB never makes reads slower on the media-server workload either (the gain is
+/// smaller because the workload is dominated by large sequential reads).
+#[test]
+fn ppb_does_not_hurt_media_server_reads() {
+    let comparison = compare(Workload::MediaServer, 16 * 1024, 2.0, &test_scale()).unwrap();
+    assert!(
+        comparison.read_enhancement_pct() > -1.0,
+        "media-server reads regressed by {:.2}%",
+        comparison.read_enhancement_pct()
+    );
+}
+
+/// Figure 13/14 trend: the PPB read advantage grows (or at least does not shrink to a
+/// loss) as the speed difference widens from 2x to 5x.
+#[test]
+fn read_advantage_holds_across_speed_ratios() {
+    let rows = read_latency_sweep(Workload::WebSqlServer, &test_scale()).unwrap();
+    assert_eq!(rows.len(), 4);
+    for row in &rows {
+        assert!(
+            row.ppb <= row.conventional,
+            "at {}x the PPB read latency {} exceeded conventional {}",
+            row.speed_ratio,
+            row.ppb,
+            row.conventional
+        );
+    }
+    // The absolute gap at 5x should be at least as large as at 2x.
+    let gap_2x = rows[0].conventional.as_nanos() as i128 - rows[0].ppb.as_nanos() as i128;
+    let gap_5x = rows[3].conventional.as_nanos() as i128 - rows[3].ppb.as_nanos() as i128;
+    assert!(
+        gap_5x >= gap_2x,
+        "read-latency gap shrank from {gap_2x} at 2x to {gap_5x} at 5x"
+    );
+}
+
+/// Figure 16/17 trend: write latency stays essentially identical across the sweep.
+#[test]
+fn write_latency_is_preserved_across_speed_ratios() {
+    for workload in Workload::ALL {
+        let rows = write_latency_sweep(workload, &test_scale()).unwrap();
+        for row in rows {
+            let baseline = row.conventional.as_nanos() as f64;
+            let delta = (row.ppb.as_nanos() as f64 - baseline).abs() / baseline * 100.0;
+            assert!(
+                delta < 5.0,
+                "{workload}: write latency changed by {delta:.2}% at {}x",
+                row.speed_ratio
+            );
+        }
+    }
+}
+
+/// Figure 18 trend: PPB does not inflate the erased-block count, i.e. garbage
+/// collection efficiency is preserved.
+#[test]
+fn erase_counts_are_not_inflated() {
+    for row in erase_count_rows(&test_scale()).unwrap() {
+        let baseline = row.conventional.max(1) as f64;
+        let increase = (row.ppb as f64 - baseline) / baseline * 100.0;
+        assert!(
+            increase <= 20.0,
+            "{}: erased blocks grew by {increase:.1}% ({} -> {})",
+            row.workload,
+            row.conventional,
+            row.ppb
+        );
+    }
+}
+
+/// Both FTLs serve exactly the same request stream — a sanity check that the
+/// comparison is apples to apples.
+#[test]
+fn both_ftls_serve_identical_request_counts() {
+    let comparison = compare(Workload::MediaServer, 8 * 1024, 3.0, &test_scale()).unwrap();
+    assert_eq!(comparison.baseline.host_reads, comparison.variant.host_reads);
+    assert_eq!(comparison.baseline.host_writes, comparison.variant.host_writes);
+    assert!(comparison.baseline.host_reads > 0);
+    assert!(comparison.baseline.host_writes > 0);
+}

@@ -142,4 +142,20 @@ mod tests {
     fn zero_threshold_rejected() {
         let _ = FreqTable::new(0, 10);
     }
+
+    /// Audit regression: the degenerate aging period of 1 halves the table before
+    /// *every* increment, so a count is rebuilt from 0 each write and sits at 1 in
+    /// steady state — classification must stay Cold without any underflow, stale
+    /// Hot verdict, or unbounded table growth.
+    #[test]
+    fn aging_every_write_pins_counts_without_underflow() {
+        let mut table = FreqTable::new(2, 1);
+        assert_eq!(table.classify_write(Lpn(3), 4096), Temperature::Cold); // count 1
+        assert_eq!(table.classify_write(Lpn(3), 4096), Temperature::Cold); // 1/2=0, +1
+        for _ in 0..10 {
+            assert_eq!(table.classify_write(Lpn(3), 4096), Temperature::Cold);
+            assert_eq!(table.count(Lpn(3)), 1);
+        }
+        assert_eq!(table.tracked(), 1);
+    }
 }

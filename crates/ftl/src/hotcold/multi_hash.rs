@@ -99,7 +99,9 @@ impl HotColdClassifier for MultiHash {
         for h in 0..self.hashes {
             let bucket = self.bucket(lpn, h);
             let counter = &mut self.counters[bucket];
-            *counter = (*counter + 1).min(COUNTER_MAX);
+            // saturating_add, not `+ 1`: a plain add only avoids u8 overflow while
+            // COUNTER_MAX stays below u8::MAX, which is too easy to break silently.
+            *counter = counter.saturating_add(1).min(COUNTER_MAX);
         }
         if self.estimate(lpn) >= self.threshold {
             Temperature::Hot
@@ -162,5 +164,23 @@ mod tests {
     #[should_panic(expected = "threshold must fit")]
     fn threshold_above_counter_max_rejected() {
         let _ = MultiHash::new(16, 2, 16, 100);
+    }
+
+    /// Audit regression: a threshold exactly at the counter maximum must still be
+    /// reachable — saturation keeps counters at 15, and `estimate >= threshold`
+    /// must hold once they get there (an off-by-one here would make hot
+    /// unreachable at the boundary).
+    #[test]
+    fn threshold_at_counter_max_is_reachable() {
+        let mut sketch = MultiHash::new(4096, 2, COUNTER_MAX, 1_000_000);
+        for _ in 0..(COUNTER_MAX - 1) {
+            assert_eq!(sketch.classify_write(Lpn(9), 4096), Temperature::Cold);
+        }
+        assert_eq!(sketch.classify_write(Lpn(9), 4096), Temperature::Hot);
+        // Further writes saturate at 15 and stay hot rather than wrapping to 0.
+        for _ in 0..40 {
+            assert_eq!(sketch.classify_write(Lpn(9), 4096), Temperature::Hot);
+        }
+        assert_eq!(sketch.estimate(Lpn(9)), COUNTER_MAX);
     }
 }

@@ -84,4 +84,18 @@ mod tests {
     fn zero_threshold_rejected() {
         let _ = SizeCheck::new(0);
     }
+
+    /// Audit regression: the extreme thresholds behave sanely — a threshold of 1
+    /// classifies everything cold (no request is smaller than one byte), and a
+    /// `u32::MAX` threshold classifies everything except a `u32::MAX` request hot.
+    #[test]
+    fn extreme_thresholds() {
+        let mut everything_cold = SizeCheck::new(1);
+        assert_eq!(everything_cold.classify_write(Lpn(0), 1), Temperature::Cold);
+        assert_eq!(everything_cold.classify_write(Lpn(0), u32::MAX), Temperature::Cold);
+
+        let mut everything_hot = SizeCheck::new(u32::MAX);
+        assert_eq!(everything_hot.classify_write(Lpn(0), u32::MAX - 1), Temperature::Hot);
+        assert_eq!(everything_hot.classify_write(Lpn(0), u32::MAX), Temperature::Cold);
+    }
 }

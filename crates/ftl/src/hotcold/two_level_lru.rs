@@ -160,4 +160,24 @@ mod tests {
     fn zero_capacity_rejected() {
         let _ = TwoLevelLru::new(0, 4);
     }
+
+    /// Audit regression: with both capacities at the minimum of 1, a promotion into
+    /// a full hot list must demote the old occupant into the (also size-1) candidate
+    /// list without either list exceeding its capacity or the demoted entry
+    /// vanishing entirely.
+    #[test]
+    fn minimum_capacities_promote_and_demote_without_overflow() {
+        let mut lru = TwoLevelLru::new(1, 1);
+        lru.classify_write(Lpn(1), 4096);
+        assert_eq!(lru.classify_write(Lpn(1), 4096), Temperature::Hot);
+        // Promoting LPN2 displaces LPN1 from the hot list into the candidate slot.
+        lru.classify_write(Lpn(2), 4096);
+        assert_eq!(lru.classify_write(Lpn(2), 4096), Temperature::Hot);
+        assert_eq!(lru.hot_len(), 1);
+        assert_eq!(lru.candidate_len(), 1);
+        assert!(lru.is_hot(Lpn(2)));
+        assert!(!lru.is_hot(Lpn(1)));
+        // The demoted page kept its candidacy, so one write re-promotes it.
+        assert_eq!(lru.classify_write(Lpn(1), 4096), Temperature::Hot);
+    }
 }

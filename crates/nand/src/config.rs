@@ -383,6 +383,16 @@ mod tests {
         assert!(NandConfig::builder().speed_ratio(f64::NAN).build().is_err());
     }
 
+    /// Regression test for the `Stepped { steps: 0 }` underflow: the builder must
+    /// return a clean configuration error, never reach the per-layer factor math.
+    #[test]
+    fn stepped_zero_steps_rejected() {
+        let result = NandConfig::builder()
+            .speed_profile(SpeedProfile::Stepped { steps: 0 })
+            .build();
+        assert!(matches!(result, Err(NandError::InvalidConfig { .. })));
+    }
+
     #[test]
     fn bad_transfer_rate_rejected() {
         assert!(NandConfig::builder().transfer_rate_mb_s(0.0).build().is_err());

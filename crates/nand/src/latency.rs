@@ -164,6 +164,11 @@ impl LatencyModel {
             SpeedProfile::Linear => 1.0 - position * (1.0 - fastest),
             SpeedProfile::Exponential => fastest.powf(position),
             SpeedProfile::Stepped { steps } => {
+                // Constructors reject `steps == 0`; catch an unvalidated call
+                // path loudly in debug builds, and clamp in release so the
+                // subtraction below can never underflow.
+                debug_assert!(steps > 0, "stepped profile needs at least one step");
+                let steps = steps.max(1);
                 let step = ((position * steps as f64).floor() as usize).min(steps - 1);
                 let step_position = if steps == 1 {
                     0.0
@@ -370,5 +375,32 @@ mod tests {
     #[should_panic(expected = "speed_ratio")]
     fn ratio_below_one_rejected() {
         let _ = model(8, 0.5, SpeedProfile::Linear);
+    }
+
+    /// Regression test: `Stepped { steps: 0 }` must be rejected with the documented
+    /// construction panic, not an arithmetic underflow inside `factor_at` (the
+    /// `steps - 1` at the heart of the stepped profile).
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn stepped_zero_steps_rejected_at_construction() {
+        let _ = model(8, 2.0, SpeedProfile::Stepped { steps: 0 });
+    }
+
+    /// A single plateau is the degenerate-but-valid edge of the stepped profile:
+    /// every layer keeps the nominal latency (equivalent to `Uniform`).
+    #[test]
+    fn stepped_single_step_is_uniform() {
+        let m = model(8, 4.0, SpeedProfile::Stepped { steps: 1 });
+        for i in 0..8 {
+            assert_eq!(m.speed_factor(PageId(i)), 1.0, "page {i} should be nominal");
+        }
+    }
+
+    /// More steps than pages must not push any factor outside `[1/ratio, 1]`.
+    #[test]
+    fn stepped_more_steps_than_pages_stays_bounded() {
+        let m = model(2, 4.0, SpeedProfile::Stepped { steps: 8 });
+        assert_eq!(m.speed_factor(PageId(0)), 1.0);
+        assert!((m.speed_factor(PageId(1)) - 0.25).abs() < 1e-12);
     }
 }

@@ -1,0 +1,169 @@
+//! Minimal, dependency-free stand-in for the `criterion` benchmarking crate.
+//!
+//! The build environment has no network access, so this vendored crate keeps the nine
+//! `[[bench]]` targets compiling and runnable with the `criterion` API subset they
+//! use: [`Criterion::benchmark_group`], group tuning knobs
+//! ([`BenchmarkGroup::sample_size`] and friends), [`BenchmarkGroup::bench_function`],
+//! [`Bencher::iter`] and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! It measures wall-clock time with `std::time::Instant` and prints a short
+//! mean/min/max summary per benchmark — no statistics, plots or HTML reports. Swap in
+//! the real crate (same manifest line, crates.io source) when network access exists.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Entry point handed to benchmark functions.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep runs quick: the real criterion defaults to 100 samples plus warm-up.
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        let sample_size = self.sample_size;
+        println!("benchmark group: {name}");
+        BenchmarkGroup { criterion: self, name, sample_size }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        run_benchmark(&id.into(), sample_size, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing tuning parameters.
+pub struct BenchmarkGroup<'a> {
+    #[allow(dead_code)]
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; this stub does no warm-up.
+    pub fn warm_up_time(&mut self, _duration: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; this stub times exactly `sample_size` runs.
+    pub fn measurement_time(&mut self, _duration: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        run_benchmark(&id, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
+    let mut bencher = Bencher { samples: Vec::with_capacity(sample_size), target: sample_size };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("  {id}: no samples recorded");
+        return;
+    }
+    let total: Duration = bencher.samples.iter().sum();
+    let mean = total / bencher.samples.len() as u32;
+    let min = bencher.samples.iter().min().expect("non-empty");
+    let max = bencher.samples.iter().max().expect("non-empty");
+    println!(
+        "  {id}: mean {mean:?} (min {min:?}, max {max:?}, {} samples)",
+        bencher.samples.len()
+    );
+}
+
+/// Times closures; handed to the function passed to `bench_function`.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target: usize,
+}
+
+impl Bencher {
+    /// Runs `routine` `sample_size` times, recording the wall-clock time of each run.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.target {
+            let start = Instant::now();
+            let value = routine();
+            self.samples.push(start.elapsed());
+            drop(std::hint::black_box(value));
+        }
+    }
+}
+
+/// Prevents the compiler from optimising away a benchmarked value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Collects benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for a bench target from one or more group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes `--bench` (and possibly filters); ignore them.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_records_requested_sample_count() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("demo");
+        group.sample_size(3).warm_up_time(Duration::from_millis(1)).measurement_time(Duration::from_millis(1));
+        let mut runs = 0;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        group.finish();
+        assert_eq!(runs, 3);
+    }
+}

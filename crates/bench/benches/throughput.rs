@@ -1,0 +1,81 @@
+//! Throughput of the experiment grid: serial replay versus the multi-threaded
+//! [`ParallelRunner`], reported in host requests per second of wall-clock time.
+//!
+//! This is the bench behind the README's Performance numbers. It replays the full
+//! FTL × workload grid on a 4-chip device at (near-)standard scale, once on the
+//! calling thread and once fanned out over all available cores, and prints the
+//! aggregate requests/sec for both along with the speedup. The per-replay hot path
+//! (O(1) free-block allocation, O(candidates) GC victim scans) and the grid-level
+//! parallelism both show up here.
+//!
+//! `VFLASH_BENCH_SMOKE=1` (the CI smoke mode) shrinks the grid so the target
+//! finishes in seconds.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, smoke_mode, Criterion};
+use vflash_sim::experiments::ExperimentScale;
+use vflash_sim::{ExperimentGrid, ParallelRunner};
+
+/// A 4-chip device at standard scale (smoke mode shrinks the trace length so CI
+/// stays fast; the geometry is unchanged).
+fn grid() -> ExperimentGrid {
+    let mut scale = ExperimentScale { chips: 4, ..ExperimentScale::standard() };
+    if smoke_mode() {
+        scale.requests = 2_000;
+        scale.working_set_bytes = 24 * 1024 * 1024;
+    }
+    ExperimentGrid::full(scale)
+}
+
+fn grid_requests(grid: &ExperimentGrid) -> u64 {
+    grid.cells().iter().map(|cell| cell.scale.requests as u64).sum()
+}
+
+fn requests_per_sec(requests: u64, elapsed: Duration) -> f64 {
+    requests as f64 / elapsed.as_secs_f64().max(f64::MIN_POSITIVE)
+}
+
+fn throughput(c: &mut Criterion) {
+    let grid = grid();
+    let requests = grid_requests(&grid);
+    let runner = ParallelRunner::with_available_parallelism();
+    // run() clamps its workers to the cell count; report what actually runs.
+    let threads = runner.threads().min(grid.cells().len());
+
+    // Best (minimum) sample of each mode: the least-interfered-with measurement,
+    // matching how throughput is conventionally reported.
+    let mut serial_elapsed = Duration::MAX;
+    let mut parallel_elapsed = Duration::MAX;
+
+    let mut group = c.benchmark_group("throughput");
+    group.sample_size(if smoke_mode() { 1 } else { 3 });
+    group.bench_function("grid_serial", |b| {
+        b.iter(|| {
+            let start = Instant::now();
+            let results = ParallelRunner::run_serial(&grid).expect("grid runs");
+            serial_elapsed = serial_elapsed.min(start.elapsed());
+            results
+        });
+    });
+    // Stable id (no thread count) so BENCH_baseline.json keys stay comparable
+    // across machines; the thread count is printed in the summary below.
+    group.bench_function("grid_parallel", |b| {
+        b.iter(|| {
+            let start = Instant::now();
+            let results = runner.run(&grid).expect("grid runs");
+            parallel_elapsed = parallel_elapsed.min(start.elapsed());
+            results
+        });
+    });
+    group.finish();
+
+    let serial = requests_per_sec(requests, serial_elapsed);
+    let parallel = requests_per_sec(requests, parallel_elapsed);
+    println!("  throughput/serial:   {serial:>12.0} requests/sec ({requests} requests)");
+    println!("  throughput/parallel: {parallel:>12.0} requests/sec ({threads} threads)");
+    println!("  throughput/speedup:  {:>12.2}x", parallel / serial.max(f64::MIN_POSITIVE));
+}
+
+criterion_group!(benches, throughput);
+criterion_main!(benches);

@@ -1,10 +1,18 @@
 //! The cold data area: an access-frequency table for cold and icy-cold entries.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use vflash_ftl::Lpn;
 
 use crate::hotness::Hotness;
+
+/// Where one tracked entry lives: its clamped read count (= bucket index) and its
+/// position inside that bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Slot {
+    count: u32,
+    pos: usize,
+}
 
 /// Cold-area bookkeeping (paper Figure 11).
 ///
@@ -14,8 +22,19 @@ use crate::hotness::Hotness;
 /// entries below the threshold — and entries not tracked at all — are
 /// [`Hotness::IcyCold`].
 ///
-/// The table is capacity-bounded: when it overflows, the least-read entry is dropped,
+/// The table is capacity-bounded: when it overflows, a least-read entry is dropped,
 /// which implicitly demotes it to icy-cold ("demote if full").
+///
+/// # Complexity
+///
+/// The table sits on the host write path and its capacity scales with the logical
+/// address space, so every operation — including overflow eviction — must be O(1).
+/// Entries are therefore kept in per-read-count buckets: read counts are clamped to
+/// the promotion threshold (beyond it the level no longer changes), bucket moves on
+/// reads are position-mapped swaps, and eviction pops from the lowest occupied
+/// bucket, choosing an arbitrary but deterministic least-read victim. Only occupied
+/// buckets are stored, so memory stays O(entries) and eviction costs
+/// O(log occupied-buckets) no matter how large the promotion threshold is.
 ///
 /// # Example
 ///
@@ -29,9 +48,17 @@ use crate::hotness::Hotness;
 /// area.on_read(Lpn(5));
 /// assert_eq!(area.level_of(Lpn(5)), Some(Hotness::Cold));
 /// ```
+///
+/// Equality is structural and includes the bucket order: two tables tracking the
+/// same counts but built by different operation histories evict different victims
+/// on overflow, so they are genuinely different states and compare unequal.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ColdArea {
-    reads: HashMap<Lpn, u32>,
+    slots: HashMap<Lpn, Slot>,
+    /// `buckets[count]` holds every entry whose clamped read count is `count`.
+    /// Empty buckets are removed, so the first entry is always the lowest occupied
+    /// count (the eviction source).
+    buckets: BTreeMap<u32, Vec<Lpn>>,
     capacity: usize,
     promote_reads: u32,
 }
@@ -45,29 +72,34 @@ impl ColdArea {
     pub fn new(capacity: usize, promote_reads: u32) -> Self {
         assert!(capacity > 0, "cold table capacity must be positive");
         assert!(promote_reads > 0, "promotion threshold must be positive");
-        ColdArea { reads: HashMap::with_capacity(capacity.min(1024)), capacity, promote_reads }
+        ColdArea {
+            slots: HashMap::with_capacity(capacity.min(1024)),
+            buckets: BTreeMap::new(),
+            capacity,
+            promote_reads,
+        }
     }
 
     /// Number of entries currently tracked.
     pub fn len(&self) -> usize {
-        self.reads.len()
+        self.slots.len()
     }
 
     /// Whether the table is empty.
     pub fn is_empty(&self) -> bool {
-        self.reads.is_empty()
+        self.slots.is_empty()
     }
 
     /// Whether `lpn` is tracked.
     pub fn contains(&self, lpn: Lpn) -> bool {
-        self.reads.contains_key(&lpn)
+        self.slots.contains_key(&lpn)
     }
 
     /// The hotness level the cold area assigns to `lpn`, if tracked. Untracked LPNs
     /// are treated as icy-cold by the caller.
     pub fn level_of(&self, lpn: Lpn) -> Option<Hotness> {
-        self.reads.get(&lpn).map(|&reads| {
-            if reads >= self.promote_reads {
+        self.slots.get(&lpn).map(|slot| {
+            if slot.count >= self.promote_reads {
                 Hotness::Cold
             } else {
                 Hotness::IcyCold
@@ -75,9 +107,10 @@ impl ColdArea {
         })
     }
 
-    /// Number of recorded reads for `lpn`.
+    /// Number of recorded reads for `lpn`, clamped to the promotion threshold (more
+    /// reads no longer change the entry's level, so they are not counted).
     pub fn read_count(&self, lpn: Lpn) -> u32 {
-        self.reads.get(&lpn).copied().unwrap_or(0)
+        self.slots.get(&lpn).map(|slot| slot.count).unwrap_or(0)
     }
 
     /// Starts (or restarts) tracking `lpn` after a cold-classified write. The read
@@ -85,7 +118,7 @@ impl ColdArea {
     /// is yet unknown.
     pub fn on_write(&mut self, lpn: Lpn) {
         self.evict_if_needed_for(lpn);
-        self.reads.insert(lpn, 0);
+        self.set_count(lpn, 0);
     }
 
     /// Inserts `lpn` with an initial read credit, used when the hot area demotes an
@@ -93,34 +126,66 @@ impl ColdArea {
     /// than icy-cold).
     pub fn insert_demoted(&mut self, lpn: Lpn) {
         self.evict_if_needed_for(lpn);
-        self.reads.insert(lpn, self.promote_reads);
+        self.set_count(lpn, self.promote_reads);
     }
 
     /// Records a read of `lpn` if it is tracked. Returns the new level, or `None` if
     /// the LPN is not tracked by the cold area.
     pub fn on_read(&mut self, lpn: Lpn) -> Option<Hotness> {
-        let reads = self.reads.get_mut(&lpn)?;
-        *reads = reads.saturating_add(1);
-        let level =
-            if *reads >= self.promote_reads { Hotness::Cold } else { Hotness::IcyCold };
-        Some(level)
+        let count = self.slots.get(&lpn)?.count;
+        let bumped = count.saturating_add(1).min(self.promote_reads);
+        if bumped != count {
+            self.set_count(lpn, bumped);
+        }
+        Some(if bumped >= self.promote_reads { Hotness::Cold } else { Hotness::IcyCold })
     }
 
     /// Stops tracking `lpn` (used when it is re-classified hot). Returns `true` if it
     /// was tracked.
     pub fn remove(&mut self, lpn: Lpn) -> bool {
-        self.reads.remove(&lpn).is_some()
+        let Some(slot) = self.slots.remove(&lpn) else { return false };
+        self.detach(lpn, slot);
+        true
+    }
+
+    /// Removes `lpn` from its bucket (the map entry is handled by the caller).
+    fn detach(&mut self, lpn: Lpn, slot: Slot) {
+        let bucket = self.buckets.get_mut(&slot.count).expect("tracked entries have a bucket");
+        debug_assert_eq!(bucket[slot.pos], lpn);
+        bucket.swap_remove(slot.pos);
+        if let Some(&moved) = bucket.get(slot.pos) {
+            self.slots.get_mut(&moved).expect("bucket entries are tracked").pos = slot.pos;
+        } else if bucket.is_empty() {
+            self.buckets.remove(&slot.count);
+        }
+    }
+
+    /// Inserts `lpn` with the given clamped count, or moves it to that bucket.
+    fn set_count(&mut self, lpn: Lpn, count: u32) {
+        if let Some(slot) = self.slots.get(&lpn).copied() {
+            if slot.count == count {
+                return;
+            }
+            self.detach(lpn, slot);
+        }
+        let bucket = self.buckets.entry(count).or_default();
+        bucket.push(lpn);
+        self.slots.insert(lpn, Slot { count, pos: bucket.len() - 1 });
     }
 
     fn evict_if_needed_for(&mut self, lpn: Lpn) {
-        if self.reads.len() < self.capacity || self.reads.contains_key(&lpn) {
+        if self.slots.len() < self.capacity || self.slots.contains_key(&lpn) {
             return;
         }
-        // Drop the least-read entry: it is the best icy-cold candidate and losing its
-        // history is harmless (untracked entries are icy-cold anyway).
-        if let Some((&victim, _)) = self.reads.iter().min_by_key(|(lpn, reads)| (**reads, lpn.0)) {
-            self.reads.remove(&victim);
+        // Drop a least-read entry: it is the best icy-cold candidate and losing its
+        // history is harmless (untracked entries are icy-cold anyway). Buckets are
+        // never left empty, so the first one holds the lowest read count.
+        let Some((&count, bucket)) = self.buckets.iter_mut().next() else { return };
+        let victim = bucket.pop().expect("buckets are never left empty");
+        if bucket.is_empty() {
+            self.buckets.remove(&count);
         }
+        self.slots.remove(&victim);
     }
 }
 
@@ -172,7 +237,7 @@ mod tests {
     }
 
     #[test]
-    fn overflow_evicts_the_least_read_entry() {
+    fn overflow_evicts_a_least_read_entry() {
         let mut area = ColdArea::new(2, 1);
         area.on_write(Lpn(1));
         area.on_write(Lpn(2));
@@ -202,5 +267,102 @@ mod tests {
         assert!(area.remove(Lpn(1)));
         assert!(!area.remove(Lpn(1)));
         assert!(area.is_empty());
+    }
+
+    #[test]
+    fn read_counts_clamp_at_the_promotion_threshold() {
+        let mut area = ColdArea::new(4, 2);
+        area.on_write(Lpn(1));
+        for _ in 0..10 {
+            area.on_read(Lpn(1));
+        }
+        assert_eq!(area.read_count(Lpn(1)), 2);
+        assert_eq!(area.level_of(Lpn(1)), Some(Hotness::Cold));
+    }
+
+    #[test]
+    fn eviction_prefers_lower_buckets_even_after_bucket_churn() {
+        let mut area = ColdArea::new(3, 2);
+        area.on_write(Lpn(1));
+        area.on_write(Lpn(2));
+        area.on_write(Lpn(3));
+        // LPN1 and LPN3 gain reads; LPN2 stays at zero and must be the victim.
+        area.on_read(Lpn(1));
+        area.on_read(Lpn(3));
+        area.on_read(Lpn(3));
+        area.on_write(Lpn(4));
+        assert!(!area.contains(Lpn(2)));
+        assert!(area.contains(Lpn(1)));
+        assert!(area.contains(Lpn(3)));
+        assert!(area.contains(Lpn(4)));
+    }
+
+    #[test]
+    fn bucket_positions_stay_consistent_under_interleaved_removal() {
+        let mut area = ColdArea::new(8, 1);
+        for lpn in 0..6 {
+            area.on_write(Lpn(lpn));
+        }
+        // Remove from the middle of the zero bucket, then keep operating on the
+        // entries whose positions were patched by the swap_remove.
+        assert!(area.remove(Lpn(2)));
+        assert!(area.remove(Lpn(0)));
+        for lpn in [1u64, 3, 4, 5] {
+            assert_eq!(area.on_read(Lpn(lpn)), Some(Hotness::Cold), "lpn {lpn}");
+        }
+        assert_eq!(area.len(), 4);
+    }
+
+    /// The bucketed table behaves exactly like a naive map with clamped counts.
+    #[test]
+    fn matches_a_naive_model_under_random_ops() {
+        use std::collections::HashMap;
+        let capacity = 8usize;
+        let promote = 2u32;
+        let mut area = ColdArea::new(capacity, promote);
+        let mut model: HashMap<u64, u32> = HashMap::new();
+        let mut state = 0x1234_5678_u64;
+        for _ in 0..4_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let lpn = (state >> 33) % 12;
+            match state % 4 {
+                0 => {
+                    if model.len() >= capacity && !model.contains_key(&lpn) {
+                        let min = model.values().min().copied().unwrap();
+                        // The model cannot predict *which* least-read entry the
+                        // bucketed table drops, only that one of them goes.
+                        area.on_write(Lpn(lpn));
+                        let dropped: Vec<u64> = model
+                            .keys()
+                            .filter(|k| !area.contains(Lpn(**k)))
+                            .copied()
+                            .collect();
+                        assert_eq!(dropped.len(), 1);
+                        assert_eq!(model[&dropped[0]], min, "evicted a non-minimal entry");
+                        model.remove(&dropped[0]);
+                        model.insert(lpn, 0);
+                    } else {
+                        area.on_write(Lpn(lpn));
+                        model.insert(lpn, 0);
+                    }
+                }
+                1 => {
+                    area.on_read(Lpn(lpn));
+                    if let Some(count) = model.get_mut(&lpn) {
+                        *count = (*count + 1).min(promote);
+                    }
+                }
+                2 => {
+                    assert_eq!(area.remove(Lpn(lpn)), model.remove(&lpn).is_some());
+                }
+                _ => {
+                    assert_eq!(area.contains(Lpn(lpn)), model.contains_key(&lpn));
+                }
+            }
+            assert_eq!(area.len(), model.len());
+            for (&lpn, &count) in &model {
+                assert_eq!(area.read_count(Lpn(lpn)), count, "count of {lpn}");
+            }
+        }
     }
 }

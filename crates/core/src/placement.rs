@@ -18,7 +18,7 @@
 
 use std::collections::VecDeque;
 
-use vflash_ftl::{BlockAllocator, FtlError};
+use vflash_ftl::FtlError;
 use vflash_nand::{BlockAddr, NandDevice};
 
 use crate::virtual_block::VirtualBlockTable;
@@ -104,15 +104,13 @@ impl AreaWriter {
     ///
     /// # Errors
     ///
-    /// Returns [`FtlError::OutOfSpace`] if a new block is needed but the allocator has
-    /// none left.
+    /// Returns [`FtlError::OutOfSpace`] if a new block is needed but the device's
+    /// free pool is empty.
     pub fn target(
         &mut self,
         desired: usize,
-        device: &NandDevice,
-        allocator: &mut BlockAllocator,
+        device: &mut NandDevice,
     ) -> Result<BlockAddr, FtlError> {
-        let _ = device;
         let classes = self.open.len();
         debug_assert!(desired < classes, "desired class out of range");
         // Case 1: the desired class has an open virtual block.
@@ -123,7 +121,7 @@ impl AreaWriter {
         // Case 2: slow-preferring writes may open a new block within the budget,
         // because a fresh block always starts programming at its slow virtual block.
         if desired == 0 && total_open < self.max_open_blocks {
-            return self.allocate_block(allocator);
+            return self.allocate_block(device);
         }
         // Case 3: divert to the nearest open class.
         let mut order: Vec<usize> = (0..classes).collect();
@@ -134,11 +132,11 @@ impl AreaWriter {
             }
         }
         // Nothing open anywhere in the area: allocate a fresh physical block.
-        self.allocate_block(allocator)
+        self.allocate_block(device)
     }
 
-    fn allocate_block(&mut self, allocator: &mut BlockAllocator) -> Result<BlockAddr, FtlError> {
-        let fresh = allocator.allocate().ok_or(FtlError::OutOfSpace)?;
+    fn allocate_block(&mut self, device: &mut NandDevice) -> Result<BlockAddr, FtlError> {
+        let fresh = device.allocate_block().ok_or(FtlError::OutOfSpace)?;
         self.blocks_owned += 1;
         self.open[0].push_back(fresh);
         Ok(fresh)
@@ -176,7 +174,7 @@ mod tests {
     use super::*;
     use vflash_nand::{NandConfig, NandDevice};
 
-    fn setup() -> (NandDevice, VirtualBlockTable, BlockAllocator) {
+    fn setup() -> (NandDevice, VirtualBlockTable) {
         let config = NandConfig::builder()
             .chips(1)
             .blocks_per_chip(8)
@@ -186,8 +184,7 @@ mod tests {
             .unwrap();
         let device = NandDevice::new(config);
         let table = VirtualBlockTable::new(device.config(), 2);
-        let allocator = BlockAllocator::for_device(&device);
-        (device, table, allocator)
+        (device, table)
     }
 
     /// Programs one page via the writer, returning the block that received it.
@@ -196,9 +193,8 @@ mod tests {
         desired: usize,
         device: &mut NandDevice,
         table: &VirtualBlockTable,
-        allocator: &mut BlockAllocator,
     ) -> BlockAddr {
-        let block = writer.target(desired, device, allocator).unwrap();
+        let block = writer.target(desired, device).unwrap();
         device.program_next(block).unwrap();
         writer.after_program(block, device, table);
         block
@@ -206,9 +202,9 @@ mod tests {
 
     #[test]
     fn first_write_allocates_a_block_at_the_slow_class() {
-        let (mut device, table, mut allocator) = setup();
+        let (mut device, table) = setup();
         let mut writer = AreaWriter::new("hot", &table, 2);
-        let block = write_one(&mut writer, 1, &mut device, &table, &mut allocator);
+        let block = write_one(&mut writer, 1, &mut device, &table);
         assert_eq!(writer.blocks_owned(), 1);
         // Even though the write wanted the fast class, the block starts at page 0.
         assert_eq!(device.block(block).unwrap().valid_pages(), 1);
@@ -219,88 +215,88 @@ mod tests {
 
     #[test]
     fn block_advances_from_slow_class_to_fast_class() {
-        let (mut device, table, mut allocator) = setup();
+        let (mut device, table) = setup();
         let mut writer = AreaWriter::new("hot", &table, 2);
         // 4 slow writes fill the slow half of the 8-page block.
         for _ in 0..4 {
-            write_one(&mut writer, 0, &mut device, &table, &mut allocator);
+            write_one(&mut writer, 0, &mut device, &table);
         }
         assert!(!writer.has_open(0));
         assert!(writer.has_open(1));
         // A fast-preferring write now lands on the fast half of the same block.
-        let block = write_one(&mut writer, 1, &mut device, &table, &mut allocator);
+        let block = write_one(&mut writer, 1, &mut device, &table);
         assert_eq!(writer.blocks_owned(), 1, "no extra block should be allocated");
         assert_eq!(device.block(block).unwrap().valid_pages(), 5);
     }
 
     #[test]
     fn pipeline_keeps_slow_and_fast_streams_on_different_blocks() {
-        let (mut device, table, mut allocator) = setup();
+        let (mut device, table) = setup();
         let mut writer = AreaWriter::new("hot", &table, 2);
         // Fill the slow half of the first block; it advances to the fast class.
         let mut first = None;
         for _ in 0..4 {
-            first = Some(write_one(&mut writer, 0, &mut device, &table, &mut allocator));
+            first = Some(write_one(&mut writer, 0, &mut device, &table));
         }
         let first = first.unwrap();
         // The next slow-preferring write opens a second block (Figure 8, step 3)
         // instead of spilling into the fast half of the first.
-        let second = write_one(&mut writer, 0, &mut device, &table, &mut allocator);
+        let second = write_one(&mut writer, 0, &mut device, &table);
         assert_ne!(first, second);
         assert_eq!(writer.blocks_owned(), 2);
         // Fast-preferring writes keep landing on the first block's fast half.
-        let fast_target = write_one(&mut writer, 1, &mut device, &table, &mut allocator);
+        let fast_target = write_one(&mut writer, 1, &mut device, &table);
         assert_eq!(fast_target, first);
         assert_eq!(writer.open_blocks().len(), 2);
     }
 
     #[test]
     fn single_open_block_budget_degenerates_to_sequential_fill() {
-        let (mut device, table, mut allocator) = setup();
+        let (mut device, table) = setup();
         let mut writer = AreaWriter::new("cold", &table, 1);
         for _ in 0..8 {
-            write_one(&mut writer, 0, &mut device, &table, &mut allocator);
+            write_one(&mut writer, 0, &mut device, &table);
         }
         assert!(writer.open_blocks().is_empty(), "full block must be retired");
         assert_eq!(writer.blocks_owned(), 1);
-        write_one(&mut writer, 0, &mut device, &table, &mut allocator);
+        write_one(&mut writer, 0, &mut device, &table);
         assert_eq!(writer.blocks_owned(), 2);
     }
 
     #[test]
     fn diversion_respects_the_open_block_budget() {
-        let (mut device, table, mut allocator) = setup();
+        let (mut device, table) = setup();
         let mut writer = AreaWriter::new("hot", &table, 1);
         // Fill the slow half so only the fast class is open.
         for _ in 0..4 {
-            write_one(&mut writer, 0, &mut device, &table, &mut allocator);
+            write_one(&mut writer, 0, &mut device, &table);
         }
         // With a budget of one open block, a slow-preferring write is diverted into
         // the fast half rather than opening a new physical block (Algorithm 1).
-        let block = write_one(&mut writer, 0, &mut device, &table, &mut allocator);
+        let block = write_one(&mut writer, 0, &mut device, &table);
         assert_eq!(writer.blocks_owned(), 1);
         assert_eq!(device.block(block).unwrap().valid_pages(), 5);
     }
 
     #[test]
     fn fast_writes_divert_to_slow_pages_rather_than_allocating() {
-        let (mut device, table, mut allocator) = setup();
+        let (mut device, table) = setup();
         let mut writer = AreaWriter::new("hot", &table, 2);
         // Only a slow virtual block is open; an iron-hot write must use it
         // (Algorithm 1: "if Iron-hot list has no free space, divert to Hot VB").
-        let first = write_one(&mut writer, 0, &mut device, &table, &mut allocator);
-        let diverted = write_one(&mut writer, 1, &mut device, &table, &mut allocator);
+        let first = write_one(&mut writer, 0, &mut device, &table);
+        let diverted = write_one(&mut writer, 1, &mut device, &table);
         assert_eq!(first, diverted);
         assert_eq!(writer.blocks_owned(), 1);
     }
 
     #[test]
     fn out_of_space_is_reported() {
-        let (device, table, _) = setup();
-        let mut empty = BlockAllocator::from_blocks([]);
+        let (mut device, table) = setup();
+        while device.allocate_block().is_some() {}
         let mut writer = AreaWriter::new("hot", &table, 2);
         assert!(matches!(
-            writer.target(0, &device, &mut empty),
+            writer.target(0, &mut device),
             Err(FtlError::OutOfSpace)
         ));
     }
@@ -316,13 +312,12 @@ mod tests {
             .unwrap();
         let mut device = NandDevice::new(config);
         let table = VirtualBlockTable::new(device.config(), 4);
-        let mut allocator = BlockAllocator::for_device(&device);
         let mut writer = AreaWriter::new("hot", &table, 1);
         assert_eq!(writer.classes(), 4);
         // With a budget of one open block, eight fast-preferring writes walk the block
         // through every class until it is full and retired.
         for _ in 0..8 {
-            write_one(&mut writer, 3, &mut device, &table, &mut allocator);
+            write_one(&mut writer, 3, &mut device, &table);
         }
         assert_eq!(writer.blocks_owned(), 1);
         assert!(writer.open_blocks().is_empty());
@@ -331,7 +326,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one open block")]
     fn zero_open_block_budget_rejected() {
-        let (_, table, _) = setup();
+        let (_, table) = setup();
         let _ = AreaWriter::new("hot", &table, 0);
     }
 }

@@ -2,8 +2,8 @@
 
 use vflash_ftl::hotcold::{HotColdClassifier, SizeCheck, Temperature};
 use vflash_ftl::{
-    BlockAllocator, FlashTranslationLayer, FtlError, FtlMetrics, GcOutcome, GreedyVictimPolicy,
-    Lpn, MappingTable, VictimPolicy,
+    FlashTranslationLayer, FtlError, FtlMetrics, GcOutcome, GreedyVictimPolicy, Lpn,
+    MappingTable, VictimPolicy,
 };
 use vflash_nand::{BlockAddr, NandDevice, Nanos, PageAddr};
 
@@ -54,7 +54,6 @@ pub struct PpbFtl<C = SizeCheck> {
     device: NandDevice,
     config: PpbConfig,
     mapping: MappingTable,
-    allocator: BlockAllocator,
     virtual_blocks: VirtualBlockTable,
     hot_writer: AreaWriter,
     cold_writer: AreaWriter,
@@ -121,7 +120,6 @@ impl<C: HotColdClassifier> PpbFtl<C> {
             nand.blocks_per_chip(),
             nand.pages_per_block(),
         );
-        let allocator = BlockAllocator::for_device(&device);
         let virtual_blocks = VirtualBlockTable::new(nand, config.virtual_blocks_per_block);
         let hot_writer =
             AreaWriter::new("hot", &virtual_blocks, config.max_open_blocks_per_area);
@@ -140,7 +138,6 @@ impl<C: HotColdClassifier> PpbFtl<C> {
             device,
             config,
             mapping,
-            allocator,
             virtual_blocks,
             hot_writer,
             cold_writer,
@@ -179,9 +176,10 @@ impl<C: HotColdClassifier> PpbFtl<C> {
             .unwrap_or(Hotness::IcyCold)
     }
 
-    /// Number of free blocks currently available for allocation.
+    /// Number of free blocks currently available for allocation. O(chips): the
+    /// device tracks the count, no block scan happens.
     pub fn free_blocks(&self) -> usize {
-        self.allocator.free_blocks()
+        self.device.available_blocks()
     }
 
     /// The data area `block` is currently dedicated to, or `None` if the block has
@@ -237,7 +235,7 @@ impl<C: HotColdClassifier> PpbFtl<C> {
             Area::Hot => &mut self.hot_writer,
             Area::Cold => &mut self.cold_writer,
         };
-        let block = writer.target(desired, &self.device, &mut self.allocator)?;
+        let block = writer.target(desired, &mut self.device)?;
         let flat = block.flat_index(self.device.config().blocks_per_chip());
         let owner = self.block_areas[flat].get_or_insert(level.area());
         debug_assert_eq!(
@@ -271,7 +269,7 @@ impl<C: HotColdClassifier> PpbFtl<C> {
     /// zero extra cost, because the page had to be copied anyway.
     fn collect_garbage(&mut self) -> Result<GcOutcome, FtlError> {
         let mut outcome = GcOutcome::default();
-        while self.allocator.free_blocks() < self.config.ftl.gc_target_free_blocks {
+        while self.device.available_blocks() < self.config.ftl.gc_target_free_blocks {
             let exclude = self.open_blocks();
             let Some(victim) = self.victim_policy.select_victim(&self.device, &exclude) else {
                 break;
@@ -303,10 +301,10 @@ impl<C: HotColdClassifier> PpbFtl<C> {
                 migrated += 1;
             }
         }
+        // The erase returns the victim to the device's free pool.
         outcome.time += self.device.erase(victim)?;
         outcome.erased_blocks += 1;
         self.block_areas[victim.flat_index(self.device.config().blocks_per_chip())] = None;
-        self.allocator.release(victim);
         self.metrics.record_migration(migrated);
         Ok(outcome)
     }
@@ -342,7 +340,7 @@ impl<C: HotColdClassifier> FlashTranslationLayer for PpbFtl<C> {
         self.check_range(lpn)?;
         let mut latency = Nanos::ZERO;
 
-        if self.allocator.free_blocks() < self.config.ftl.gc_trigger_free_blocks {
+        if self.device.available_blocks() < self.config.ftl.gc_trigger_free_blocks {
             let gc = self.collect_garbage()?;
             latency += gc.time;
             self.metrics.record_gc(gc.copied_pages, gc.erased_blocks, gc.time);

@@ -7,10 +7,16 @@ use vflash_nand::{BlockAddr, NandDevice};
 /// Tracks which physical blocks are free and hands them out to write streams.
 ///
 /// The allocator is deliberately policy-free: it neither knows about hotness nor about
-/// virtual blocks. Higher layers (the conventional FTL's single active block, or the
-/// PPB strategy's five virtual-block lists) decide *which stream* asks for a block;
-/// the allocator only guarantees each free block is handed out once until it is
+/// virtual blocks. Higher layers decide *which stream* asks for a block; the
+/// allocator only guarantees each free block is handed out once until it is
 /// released again after an erase.
+///
+/// Since the device grew its own per-chip free-block pools
+/// ([`NandDevice::allocate_block`]), the FTLs in this workspace allocate straight
+/// from the device — which also rotates allocations across chips so programs can
+/// overlap in time. This standalone pool remains for tools and tests that manage an
+/// explicit block subset (e.g. reserving blocks for other purposes) and for FTLs
+/// built outside this workspace.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BlockAllocator {
     free: VecDeque<BlockAddr>,

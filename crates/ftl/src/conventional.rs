@@ -2,7 +2,6 @@
 
 use vflash_nand::{BlockAddr, NandDevice, Nanos};
 
-use crate::allocator::BlockAllocator;
 use crate::config::FtlConfig;
 use crate::error::FtlError;
 use crate::gc::{GcOutcome, GreedyVictimPolicy, VictimPolicy};
@@ -40,7 +39,6 @@ pub struct ConventionalFtl {
     device: NandDevice,
     config: FtlConfig,
     mapping: MappingTable,
-    allocator: BlockAllocator,
     active: Option<BlockAddr>,
     gc_active: Option<BlockAddr>,
     victim_policy: GreedyVictimPolicy,
@@ -79,12 +77,10 @@ impl ConventionalFtl {
             nand.blocks_per_chip(),
             nand.pages_per_block(),
         );
-        let allocator = BlockAllocator::for_device(&device);
         Ok(ConventionalFtl {
             device,
             config,
             mapping,
-            allocator,
             active: None,
             gc_active: None,
             victim_policy: GreedyVictimPolicy::new(),
@@ -103,9 +99,10 @@ impl ConventionalFtl {
         &self.mapping
     }
 
-    /// Number of free blocks currently available for allocation.
+    /// Number of free blocks currently available for allocation. O(chips): the
+    /// device tracks the count, no block scan happens.
     pub fn free_blocks(&self) -> usize {
-        self.allocator.free_blocks()
+        self.device.available_blocks()
     }
 
     fn check_range(&self, lpn: Lpn) -> Result<(), FtlError> {
@@ -128,10 +125,9 @@ impl ConventionalFtl {
     }
 
     /// Returns a block with at least one free page for the given stream, allocating a
-    /// fresh block when the current one is full.
+    /// fresh block from the device free-list when the current one is full.
     fn writable_block(
-        device: &NandDevice,
-        allocator: &mut BlockAllocator,
+        device: &mut NandDevice,
         slot: &mut Option<BlockAddr>,
     ) -> Result<BlockAddr, FtlError> {
         if let Some(block) = *slot {
@@ -139,7 +135,7 @@ impl ConventionalFtl {
                 return Ok(block);
             }
         }
-        let fresh = allocator.allocate().ok_or(FtlError::OutOfSpace)?;
+        let fresh = device.allocate_block().ok_or(FtlError::OutOfSpace)?;
         *slot = Some(fresh);
         Ok(fresh)
     }
@@ -148,7 +144,7 @@ impl ConventionalFtl {
     /// work to the returned outcome.
     fn collect_garbage(&mut self) -> Result<GcOutcome, FtlError> {
         let mut outcome = GcOutcome::default();
-        while self.allocator.free_blocks() < self.config.gc_target_free_blocks {
+        while self.device.available_blocks() < self.config.gc_target_free_blocks {
             let exclude = self.excluded_blocks();
             let Some(victim) = self.victim_policy.select_victim(&self.device, &exclude) else {
                 break;
@@ -166,20 +162,18 @@ impl ConventionalFtl {
         for (page, lpn) in residents {
             let source = victim.page(page);
             outcome.time += self.device.read(source)?;
-            let destination = Self::writable_block(
-                &self.device,
-                &mut self.allocator,
-                &mut self.gc_active,
-            )?;
+            let destination =
+                Self::writable_block(&mut self.device, &mut self.gc_active)?;
             let (new_page, program) = self.device.program_next(destination)?;
             outcome.time += program;
             self.device.invalidate(source)?;
             self.mapping.map(lpn, destination.page(new_page));
             outcome.copied_pages += 1;
         }
+        // The erase returns the victim to the device's free pool; no separate
+        // release step exists any more.
         outcome.time += self.device.erase(victim)?;
         outcome.erased_blocks += 1;
-        self.allocator.release(victim);
         Ok(outcome)
     }
 }
@@ -205,14 +199,13 @@ impl FlashTranslationLayer for ConventionalFtl {
         self.check_range(lpn)?;
         let mut latency = Nanos::ZERO;
 
-        if self.allocator.free_blocks() < self.config.gc_trigger_free_blocks {
+        if self.device.available_blocks() < self.config.gc_trigger_free_blocks {
             let gc = self.collect_garbage()?;
             latency += gc.time;
             self.metrics.record_gc(gc.copied_pages, gc.erased_blocks, gc.time);
         }
 
-        let block =
-            Self::writable_block(&self.device, &mut self.allocator, &mut self.active)?;
+        let block = Self::writable_block(&mut self.device, &mut self.active)?;
         let (page, program) = self.device.program_next(block)?;
         latency += program;
 

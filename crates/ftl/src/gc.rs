@@ -39,7 +39,11 @@ pub trait VictimPolicy {
 /// The classic greedy policy: reclaim the full block with the most invalid pages.
 ///
 /// Blocks with zero invalid pages are never selected (erasing them would only move
-/// data around without freeing anything).
+/// data around without freeing anything). Selection walks the device's
+/// [`gc_candidates`](NandDevice::gc_candidates) index — full blocks with at least
+/// one invalid page — so its cost is O(candidates), not O(blocks). Ties on the
+/// invalid-page count are broken towards the lowest address, keeping victim choice
+/// independent of the candidate index's internal ordering.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct GreedyVictimPolicy;
 
@@ -53,20 +57,17 @@ impl GreedyVictimPolicy {
 impl VictimPolicy for GreedyVictimPolicy {
     fn select_victim(&self, device: &NandDevice, exclude: &[BlockAddr]) -> Option<BlockAddr> {
         let mut best: Option<(BlockAddr, usize)> = None;
-        for addr in device.block_addrs() {
+        for addr in device.gc_candidates() {
             if exclude.contains(&addr) {
                 continue;
             }
-            let block = device.block(addr).expect("iterating device addresses");
-            if block.state() != BlockState::Full {
-                continue;
-            }
+            let block = device.block(addr).expect("candidate addresses are valid");
+            debug_assert_eq!(block.state(), BlockState::Full);
             let invalid = block.invalid_pages();
-            if invalid == 0 {
-                continue;
-            }
+            debug_assert!(invalid > 0);
             match best {
-                Some((_, best_invalid)) if invalid <= best_invalid => {}
+                Some((best_addr, best_invalid))
+                    if invalid < best_invalid || (invalid == best_invalid && addr > best_addr) => {}
                 _ => best = Some((addr, invalid)),
             }
         }

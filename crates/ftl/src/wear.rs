@@ -94,24 +94,24 @@ impl Default for WearAwareVictimPolicy {
 
 impl VictimPolicy for WearAwareVictimPolicy {
     fn select_victim(&self, device: &NandDevice, exclude: &[BlockAddr]) -> Option<BlockAddr> {
-        let min_erases = device
-            .block_addrs()
-            .map(|addr| device.block(addr).expect("iterating device addresses").erase_count())
-            .min()
-            .unwrap_or(0);
+        // Like the greedy policy, selection walks the device's O(candidates)
+        // gc_candidates() index instead of every block. The wear baseline (the
+        // documented "minimum erases" term) shifts every candidate's score by the
+        // same constant, so dropping it changes no selection; scores here use the
+        // raw erase count. Ties break towards the lowest address so the choice is
+        // independent of the index's internal ordering.
         let mut best: Option<(BlockAddr, f64)> = None;
-        for addr in device.block_addrs() {
+        for addr in device.gc_candidates() {
             if exclude.contains(&addr) {
                 continue;
             }
-            let block = device.block(addr).expect("iterating device addresses");
-            if block.state() != BlockState::Full || block.invalid_pages() == 0 {
-                continue;
-            }
-            let wear_penalty = (block.erase_count() - min_erases) as f64 * self.wear_weight;
-            let score = block.invalid_pages() as f64 - wear_penalty;
+            let block = device.block(addr).expect("candidate addresses are valid");
+            debug_assert!(block.state() == BlockState::Full && block.invalid_pages() > 0);
+            let score =
+                block.invalid_pages() as f64 - block.erase_count() as f64 * self.wear_weight;
             match best {
-                Some((_, best_score)) if score <= best_score => {}
+                Some((best_addr, best_score))
+                    if score < best_score || (score == best_score && addr > best_addr) => {}
                 _ => best = Some((addr, score)),
             }
         }

@@ -1,25 +1,84 @@
-//! A flash chip (die): an array of erase blocks.
+//! A flash chip (die): an array of erase blocks with O(1) free-block accounting
+//! and an independent busy clock.
+//!
+//! The chip is no longer a thin container: it owns the bookkeeping that makes the
+//! device's hot paths constant-time —
+//!
+//! * a **free-block pool** (FIFO with lazy deletion) so allocation pops in O(1)
+//!   instead of scanning every block,
+//! * **per-state counters** so occupancy queries (`free_blocks`) and wear totals
+//!   (`total_erases`) are O(1),
+//! * a **garbage-collection candidate index** (full blocks holding at least one
+//!   invalid page, position-mapped for O(1) insert/remove) so victim selection is
+//!   O(candidates) instead of O(blocks), and
+//! * a **busy clock** accumulating the device time this chip spent servicing
+//!   operations. Chips service operations independently, so the device-level
+//!   makespan (`max` over chip busy times) models chip-level interleaving: a
+//!   multi-chip device finishes a batch of operations as soon as its busiest chip
+//!   does, not after the serial sum.
+//!
+//! Timing and state-machine *enforcement* still live in [`crate::NandDevice`],
+//! which knows the latency model; the chip only maintains the accounting.
 
+use std::collections::VecDeque;
+
+use crate::address::PageId;
 use crate::block::{Block, BlockState};
+use crate::page::PageState;
+use crate::time::Nanos;
+
+/// Sentinel for "not currently in the candidate index".
+const NO_CANDIDATE: usize = usize::MAX;
 
 /// One NAND die holding `blocks_per_chip` blocks.
 ///
-/// The chip is a thin container; timing and state-machine enforcement live in
-/// [`crate::NandDevice`], which also knows the latency model.
+/// Equality is structural and includes the free-pool order: two chips whose blocks
+/// are in identical states but whose pools were built by different operation
+/// histories hand out blocks in different orders, so they are genuinely different
+/// states and compare unequal.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Chip {
     blocks: Vec<Block>,
+    /// FIFO of block indices available for allocation. Entries are lazily deleted:
+    /// `in_pool` is the source of truth, and stale entries are skipped on pop.
+    free_pool: VecDeque<usize>,
+    /// Whether each block is logically in `free_pool`.
+    in_pool: Vec<bool>,
+    /// Number of logically pooled (allocatable) blocks.
+    available: usize,
+    /// Number of blocks in [`BlockState::Free`] (including allocated-but-unwritten
+    /// blocks leased out via [`Chip::allocate`]).
+    free_count: usize,
+    /// Indices of full blocks with at least one invalid page — exactly the blocks a
+    /// greedy garbage collector can reclaim with benefit.
+    candidates: Vec<usize>,
+    /// Position of each block in `candidates`, or [`NO_CANDIDATE`].
+    candidate_pos: Vec<usize>,
+    /// Total erases performed on this chip.
+    erases: u64,
+    /// Total simulated time this chip spent busy servicing operations.
+    busy_time: Nanos,
 }
 
 impl Chip {
-    /// Creates a chip of erased blocks.
+    /// Creates a chip of erased blocks, all pooled for allocation.
     ///
     /// # Panics
     ///
     /// Panics if either dimension is zero.
     pub fn new(blocks_per_chip: usize, pages_per_block: usize) -> Self {
         assert!(blocks_per_chip > 0, "a chip needs at least one block");
-        Chip { blocks: (0..blocks_per_chip).map(|_| Block::new(pages_per_block)).collect() }
+        Chip {
+            blocks: (0..blocks_per_chip).map(|_| Block::new(pages_per_block)).collect(),
+            free_pool: (0..blocks_per_chip).collect(),
+            in_pool: vec![true; blocks_per_chip],
+            available: blocks_per_chip,
+            free_count: blocks_per_chip,
+            candidates: Vec::new(),
+            candidate_pos: vec![NO_CANDIDATE; blocks_per_chip],
+            erases: 0,
+            busy_time: Nanos::ZERO,
+        }
     }
 
     /// Number of blocks on the chip.
@@ -37,23 +96,157 @@ impl Chip {
         self.blocks.get(index)
     }
 
-    pub(crate) fn block_mut(&mut self, index: usize) -> Option<&mut Block> {
-        self.blocks.get_mut(index)
-    }
-
     /// Iterates over the chip's blocks in index order.
     pub fn iter(&self) -> std::slice::Iter<'_, Block> {
         self.blocks.iter()
     }
 
-    /// Number of blocks currently in the [`BlockState::Free`] state.
+    /// Number of blocks currently in the [`BlockState::Free`] state. O(1).
     pub fn free_blocks(&self) -> usize {
-        self.blocks.iter().filter(|b| b.state() == BlockState::Free).count()
+        self.free_count
     }
 
-    /// Sum of erase counts over all blocks (total wear of the chip).
+    /// Number of blocks available for allocation. O(1).
+    ///
+    /// This differs from [`Chip::free_blocks`] by the blocks that have been handed
+    /// out via [`Chip::allocate`] but not programmed yet: those are still erased but
+    /// no longer allocatable.
+    pub fn available_blocks(&self) -> usize {
+        self.available
+    }
+
+    /// Sum of erase counts over all blocks (total wear of the chip). O(1).
     pub fn total_erases(&self) -> u64 {
-        self.blocks.iter().map(Block::erase_count).sum()
+        self.erases
+    }
+
+    /// Total simulated time this chip has spent servicing reads, programs and
+    /// erases. Chips operate independently, so the device-wide makespan is the
+    /// maximum of these, not the sum.
+    pub fn busy_time(&self) -> Nanos {
+        self.busy_time
+    }
+
+    /// Pops a free block from the pool, or `None` if none is allocatable.
+    ///
+    /// The block stays in [`BlockState::Free`] until programmed but will not be
+    /// handed out again until an erase returns it to the pool.
+    pub(crate) fn allocate(&mut self) -> Option<usize> {
+        while let Some(index) = self.free_pool.pop_front() {
+            if self.in_pool[index] {
+                self.in_pool[index] = false;
+                self.available -= 1;
+                self.drop_stale_front();
+                return Some(index);
+            }
+            // Stale entry: the block left the pool logically (direct program) and
+            // its queue slot is only dropped now.
+        }
+        None
+    }
+
+    /// Drops stale entries from the front of the pool so [`Chip::peek_free`] finds a
+    /// live entry in O(1). Amortised free: every dropped entry was pushed exactly
+    /// once, and direct programs (the only source of staleness) go stale at the
+    /// front in the peek-then-program idiom.
+    fn drop_stale_front(&mut self) {
+        while let Some(&front) = self.free_pool.front() {
+            if self.in_pool[front] {
+                break;
+            }
+            self.free_pool.pop_front();
+        }
+    }
+
+    /// The index of some allocatable free block without removing it from the pool.
+    ///
+    /// Amortised O(1): mutations keep the front of the pool live, so stale entries
+    /// are only walked when they appear mid-queue (a block programmed directly
+    /// without being peeked or allocated first) — and each such entry is dropped by
+    /// a later mutation.
+    pub fn peek_free(&self) -> Option<usize> {
+        self.free_pool.iter().copied().find(|&index| self.in_pool[index])
+    }
+
+    /// Iterates over garbage-collection candidates: full blocks with at least one
+    /// invalid page. Order is maintenance order, not address order — callers that
+    /// need deterministic tie-breaking should compare addresses explicitly.
+    pub fn gc_candidates(&self) -> impl Iterator<Item = usize> + '_ {
+        self.candidates.iter().copied()
+    }
+
+    /// Accumulates operation latency on this chip's busy clock.
+    pub(crate) fn add_busy(&mut self, latency: Nanos) {
+        self.busy_time += latency;
+    }
+
+    /// Programs the next free page of a block, maintaining the accounting.
+    pub(crate) fn program_block(&mut self, index: usize) -> Option<PageId> {
+        let was_free = self.blocks[index].state() == BlockState::Free;
+        let page = self.blocks[index].program_next()?;
+        if was_free {
+            self.free_count -= 1;
+            if self.in_pool[index] {
+                // Programmed without allocation (tests, tools): logical removal now,
+                // the queue entry is skipped lazily.
+                self.in_pool[index] = false;
+                self.available -= 1;
+                self.drop_stale_front();
+            }
+        }
+        self.maybe_add_candidate(index);
+        Some(page)
+    }
+
+    /// Invalidates a page, maintaining the candidate index.
+    pub(crate) fn invalidate_page(
+        &mut self,
+        index: usize,
+        page: PageId,
+    ) -> Result<(), PageState> {
+        self.blocks[index].invalidate(page)?;
+        self.maybe_add_candidate(index);
+        Ok(())
+    }
+
+    /// Erases a block, returning it to the free pool and candidate-delisting it.
+    pub(crate) fn erase_block(&mut self, index: usize) {
+        let was_free = self.blocks[index].state() == BlockState::Free;
+        self.blocks[index].erase();
+        self.erases += 1;
+        if !was_free {
+            self.free_count += 1;
+        }
+        self.remove_candidate(index);
+        if !self.in_pool[index] {
+            self.in_pool[index] = true;
+            self.available += 1;
+            self.free_pool.push_back(index);
+        }
+        self.drop_stale_front();
+    }
+
+    fn maybe_add_candidate(&mut self, index: usize) {
+        let block = &self.blocks[index];
+        if block.state() == BlockState::Full
+            && block.invalid_pages() > 0
+            && self.candidate_pos[index] == NO_CANDIDATE
+        {
+            self.candidate_pos[index] = self.candidates.len();
+            self.candidates.push(index);
+        }
+    }
+
+    fn remove_candidate(&mut self, index: usize) {
+        let pos = self.candidate_pos[index];
+        if pos == NO_CANDIDATE {
+            return;
+        }
+        self.candidates.swap_remove(pos);
+        self.candidate_pos[index] = NO_CANDIDATE;
+        if let Some(&moved) = self.candidates.get(pos) {
+            self.candidate_pos[moved] = pos;
+        }
     }
 }
 
@@ -70,12 +263,25 @@ impl<'a> IntoIterator for &'a Chip {
 mod tests {
     use super::*;
 
+    /// Brute-force recount of blocks in the `Free` state.
+    fn recount_free(chip: &Chip) -> usize {
+        chip.iter().filter(|b| b.state() == BlockState::Free).count()
+    }
+
+    fn fill_block(chip: &mut Chip, index: usize, pages: usize) {
+        for _ in 0..pages {
+            chip.program_block(index).unwrap();
+        }
+    }
+
     #[test]
     fn new_chip_has_all_free_blocks() {
         let chip = Chip::new(8, 4);
         assert_eq!(chip.len(), 8);
         assert_eq!(chip.free_blocks(), 8);
+        assert_eq!(chip.available_blocks(), 8);
         assert_eq!(chip.total_erases(), 0);
+        assert_eq!(chip.busy_time(), Nanos::ZERO);
         assert!(!chip.is_empty());
     }
 
@@ -96,7 +302,146 @@ mod tests {
     #[test]
     fn free_block_count_tracks_programming() {
         let mut chip = Chip::new(3, 2);
-        chip.block_mut(0).unwrap().program_next();
+        chip.program_block(0).unwrap();
         assert_eq!(chip.free_blocks(), 2);
+        assert_eq!(chip.free_blocks(), recount_free(&chip));
+        assert_eq!(chip.available_blocks(), 2, "directly programmed block leaves the pool");
+    }
+
+    #[test]
+    fn allocation_is_fifo_and_exhaustible() {
+        let mut chip = Chip::new(3, 2);
+        assert_eq!(chip.allocate(), Some(0));
+        assert_eq!(chip.allocate(), Some(1));
+        assert_eq!(chip.allocate(), Some(2));
+        assert_eq!(chip.allocate(), None);
+        // All blocks are still erased; only the pool is empty.
+        assert_eq!(chip.free_blocks(), 3);
+        assert_eq!(chip.available_blocks(), 0);
+    }
+
+    #[test]
+    fn erase_returns_blocks_to_the_back_of_the_pool() {
+        let mut chip = Chip::new(2, 1);
+        let a = chip.allocate().unwrap();
+        chip.program_block(a).unwrap();
+        chip.invalidate_page(a, PageId(0)).unwrap();
+        chip.erase_block(a);
+        assert_eq!(chip.total_erases(), 1);
+        // Block 1 was never taken, so it is handed out before the recycled block 0.
+        assert_eq!(chip.allocate(), Some(1));
+        assert_eq!(chip.allocate(), Some(0));
+    }
+
+    #[test]
+    fn stale_pool_entries_are_skipped() {
+        let mut chip = Chip::new(3, 2);
+        // Program block 1 directly (never allocated): its queue entry goes stale.
+        chip.program_block(1).unwrap();
+        assert_eq!(chip.allocate(), Some(0));
+        assert_eq!(chip.allocate(), Some(2), "stale entry for block 1 must be skipped");
+        assert_eq!(chip.allocate(), None);
+    }
+
+    #[test]
+    fn peek_free_skips_stale_entries_without_mutating() {
+        let mut chip = Chip::new(2, 2);
+        chip.program_block(0).unwrap();
+        assert_eq!(chip.peek_free(), Some(1));
+        assert_eq!(chip.peek_free(), Some(1), "peek must not consume");
+        chip.program_block(1).unwrap();
+        assert_eq!(chip.peek_free(), None);
+    }
+
+    #[test]
+    fn peek_then_program_never_accumulates_stale_front_entries() {
+        // The classic `any_free_block()` + `program_next()` idiom: each program goes
+        // stale at the front of the pool and must be compacted away immediately so
+        // a device fill stays O(blocks), not O(blocks^2).
+        let mut chip = Chip::new(64, 1);
+        for expected in 0..64 {
+            let peeked = chip.peek_free().unwrap();
+            assert_eq!(peeked, expected);
+            chip.program_block(peeked).unwrap();
+            assert_eq!(chip.free_pool.front().is_some(), expected + 1 < 64);
+            if let Some(&front) = chip.free_pool.front() {
+                assert!(chip.in_pool[front], "front of the pool must stay live");
+            }
+        }
+        assert_eq!(chip.peek_free(), None);
+        assert!(chip.free_pool.is_empty(), "all stale entries were compacted");
+    }
+
+    #[test]
+    fn gc_candidates_track_full_blocks_with_invalid_pages() {
+        let mut chip = Chip::new(3, 2);
+        assert_eq!(chip.gc_candidates().count(), 0);
+        fill_block(&mut chip, 0, 2);
+        // Full but fully valid: not a candidate.
+        assert_eq!(chip.gc_candidates().count(), 0);
+        chip.invalidate_page(0, PageId(0)).unwrap();
+        assert_eq!(chip.gc_candidates().collect::<Vec<_>>(), vec![0]);
+        // A second invalidation must not duplicate the entry.
+        chip.invalidate_page(0, PageId(1)).unwrap();
+        assert_eq!(chip.gc_candidates().collect::<Vec<_>>(), vec![0]);
+        chip.erase_block(0);
+        assert_eq!(chip.gc_candidates().count(), 0);
+    }
+
+    #[test]
+    fn invalidating_an_open_block_defers_candidacy_until_full() {
+        let mut chip = Chip::new(2, 3);
+        chip.program_block(0).unwrap();
+        chip.invalidate_page(0, PageId(0)).unwrap();
+        assert_eq!(chip.gc_candidates().count(), 0, "open blocks are not candidates");
+        chip.program_block(0).unwrap();
+        chip.program_block(0).unwrap();
+        assert_eq!(
+            chip.gc_candidates().collect::<Vec<_>>(),
+            vec![0],
+            "filling the block must promote it to candidacy"
+        );
+    }
+
+    #[test]
+    fn candidate_removal_keeps_positions_consistent() {
+        let mut chip = Chip::new(4, 1);
+        for index in 0..4 {
+            fill_block(&mut chip, index, 1);
+            chip.invalidate_page(index, PageId(0)).unwrap();
+        }
+        assert_eq!(chip.gc_candidates().count(), 4);
+        // Remove from the middle (swap_remove moves the last entry into the hole).
+        chip.erase_block(1);
+        let mut left: Vec<_> = chip.gc_candidates().collect();
+        left.sort_unstable();
+        assert_eq!(left, vec![0, 2, 3]);
+        chip.erase_block(3);
+        let mut left: Vec<_> = chip.gc_candidates().collect();
+        left.sort_unstable();
+        assert_eq!(left, vec![0, 2]);
+    }
+
+    #[test]
+    fn busy_time_accumulates() {
+        let mut chip = Chip::new(1, 1);
+        chip.add_busy(Nanos::from_micros(10));
+        chip.add_busy(Nanos::from_micros(5));
+        assert_eq!(chip.busy_time(), Nanos::from_micros(15));
+    }
+
+    #[test]
+    fn counters_match_brute_force_through_a_lifecycle() {
+        let mut chip = Chip::new(4, 2);
+        let a = chip.allocate().unwrap();
+        fill_block(&mut chip, a, 2);
+        chip.program_block(1).unwrap();
+        assert_eq!(chip.free_blocks(), recount_free(&chip));
+        chip.invalidate_page(a, PageId(0)).unwrap();
+        chip.invalidate_page(a, PageId(1)).unwrap();
+        chip.erase_block(a);
+        assert_eq!(chip.free_blocks(), recount_free(&chip));
+        assert_eq!(chip.free_blocks(), 3);
+        assert_eq!(chip.available_blocks(), 3, "block 1 is open; a, 2 and 3 are pooled");
     }
 }

@@ -1,7 +1,7 @@
 //! The device: chips + latency model + flash state machine.
 
 use crate::address::{BlockAddr, ChipId, PageAddr, PageId};
-use crate::block::{Block, BlockState};
+use crate::block::Block;
 use crate::chip::Chip;
 use crate::config::NandConfig;
 use crate::error::NandError;
@@ -14,6 +14,27 @@ use crate::time::Nanos;
 ///
 /// Every operation returns the latency it would take on real hardware, so callers
 /// (FTLs, simulators) can account time without the device owning a clock.
+///
+/// # Free-block accounting
+///
+/// Each chip maintains a free-block pool and per-state counters, so
+/// [`NandDevice::allocate_block`], [`NandDevice::any_free_block`],
+/// [`NandDevice::free_block_count`] and [`NandDevice::available_blocks`] are O(1)
+/// (amortised) instead of scanning every block, and
+/// [`NandDevice::gc_candidates`] yields exactly the blocks a garbage collector can
+/// reclaim with benefit (full, at least one invalid page) in O(candidates).
+///
+/// # Chip-level interleaving
+///
+/// Chips are independent dies behind a shared channel: operations on *different*
+/// chips overlap in time, while operations on the same chip serialise. The device
+/// models this with a per-chip busy clock — every operation adds its latency to
+/// its chip's clock, and [`NandDevice::makespan`] (the maximum clock) is the time
+/// at which a device servicing the whole operation stream with perfect chip
+/// interleaving would go idle. The serial sum remains available as
+/// [`DeviceStats::busy_time`]. [`NandDevice::allocate_block`] hands out blocks
+/// round-robin across chips so consecutive writes actually land on different
+/// chips and can overlap.
 ///
 /// # Example
 ///
@@ -37,6 +58,8 @@ pub struct NandDevice {
     latency: LatencyModel,
     chips: Vec<Chip>,
     stats: DeviceStats,
+    /// Next chip to try for round-robin block allocation.
+    next_alloc_chip: usize,
 }
 
 impl NandDevice {
@@ -46,7 +69,7 @@ impl NandDevice {
         let chips = (0..config.chips())
             .map(|_| Chip::new(config.blocks_per_chip(), config.pages_per_block()))
             .collect();
-        NandDevice { config, latency, chips, stats: DeviceStats::new() }
+        NandDevice { config, latency, chips, stats: DeviceStats::new(), next_alloc_chip: 0 }
     }
 
     /// The configuration this device was built from.
@@ -94,15 +117,18 @@ impl NandDevice {
         })
     }
 
-    fn block_mut(&mut self, addr: BlockAddr) -> Result<&mut Block, NandError> {
+    /// Validates `addr` and returns the owning chip mutably.
+    fn chip_for(&mut self, addr: BlockAddr) -> Result<&mut Chip, NandError> {
         let chips = self.chips.len();
         let blocks_per_chip = self.config.blocks_per_chip();
         let chip = self
             .chips
             .get_mut(addr.chip().0)
             .ok_or(NandError::ChipOutOfRange { chip: addr.chip().0, chips })?;
-        chip.block_mut(addr.index())
-            .ok_or(NandError::BlockOutOfRange { block: addr, blocks_per_chip })
+        if addr.index() >= chip.len() {
+            return Err(NandError::BlockOutOfRange { block: addr, blocks_per_chip });
+        }
+        Ok(chip)
     }
 
     /// Iterates over the addresses of all blocks in the device, chip by chip.
@@ -113,22 +139,78 @@ impl NandDevice {
         })
     }
 
-    /// Returns the address of any block in the [`BlockState::Free`] state, scanning
-    /// chips round-robin, or `None` if no free block exists.
+    /// Returns the address of an allocatable block in the [`BlockState::Free`]
+    /// state, or `None` if none exists. Amortised O(1): each chip keeps a free-block
+    /// pool, so no block scan happens.
+    ///
+    /// Blocks leased out via [`NandDevice::allocate_block`] but not yet programmed
+    /// are *not* returned, so repeated `allocate_block` calls and `any_free_block`
+    /// agree on what is actually available.
     pub fn any_free_block(&self) -> Option<BlockAddr> {
-        self.block_addrs().find(|&addr| {
-            self.block(addr).map(|b| b.state() == BlockState::Free).unwrap_or(false)
+        self.chips.iter().enumerate().find_map(|(chip, c)| {
+            c.peek_free().map(|index| BlockAddr::new(ChipId(chip), index))
         })
     }
 
-    /// Number of blocks currently free (fully erased).
+    /// Takes a free block out of the allocation pool, rotating round-robin across
+    /// chips so consecutive allocations land on different chips (and their
+    /// programs can overlap in time). O(chips) worst case, O(1) typically.
+    ///
+    /// The block remains in [`BlockState::Free`] until programmed; it returns to
+    /// the pool automatically when it is next erased.
+    pub fn allocate_block(&mut self) -> Option<BlockAddr> {
+        let chips = self.chips.len();
+        for offset in 0..chips {
+            let chip = (self.next_alloc_chip + offset) % chips;
+            if let Some(index) = self.chips[chip].allocate() {
+                self.next_alloc_chip = (chip + 1) % chips;
+                return Some(BlockAddr::new(ChipId(chip), index));
+            }
+        }
+        None
+    }
+
+    /// Number of blocks currently free (fully erased), including blocks leased out
+    /// by [`NandDevice::allocate_block`] that have not been programmed yet. O(chips).
     pub fn free_block_count(&self) -> usize {
         self.chips.iter().map(Chip::free_blocks).sum()
     }
 
-    /// Total erase operations performed across the device (total wear).
+    /// Number of blocks available for allocation (free and not leased out). O(chips).
+    pub fn available_blocks(&self) -> usize {
+        self.chips.iter().map(Chip::available_blocks).sum()
+    }
+
+    /// Iterates over garbage-collection candidates: full blocks with at least one
+    /// invalid page, i.e. exactly the blocks a greedy collector can reclaim with
+    /// benefit. O(candidates); iteration order is maintenance order, so policies
+    /// that need deterministic tie-breaking must compare addresses explicitly.
+    pub fn gc_candidates(&self) -> impl Iterator<Item = BlockAddr> + '_ {
+        self.chips.iter().enumerate().flat_map(|(chip, c)| {
+            c.gc_candidates().map(move |index| BlockAddr::new(ChipId(chip), index))
+        })
+    }
+
+    /// Total erase operations performed across the device (total wear). O(chips).
     pub fn total_erases(&self) -> u64 {
         self.chips.iter().map(Chip::total_erases).sum()
+    }
+
+    /// Total busy time of one chip.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NandError::ChipOutOfRange`] for an invalid chip id.
+    pub fn chip_busy_time(&self, chip: ChipId) -> Result<Nanos, NandError> {
+        self.chip(chip).map(Chip::busy_time)
+    }
+
+    /// The time at which a device overlapping operations across its chips goes
+    /// idle: the maximum per-chip busy time. For a single-chip device this equals
+    /// [`DeviceStats::busy_time`](crate::DeviceStats::busy_time); for a multi-chip
+    /// device with well-spread traffic it approaches `busy_time / chips`.
+    pub fn makespan(&self) -> Nanos {
+        self.chips.iter().map(Chip::busy_time).max().unwrap_or(Nanos::ZERO)
     }
 
     /// Reads a page, returning the latency (cell sensing + bus transfer).
@@ -149,6 +231,7 @@ impl NandDevice {
         }
         let latency = self.latency.read_total(addr.page());
         self.stats.record_read(latency);
+        self.chips[addr.block().chip().0].add_busy(latency);
         Ok(latency)
     }
 
@@ -181,9 +264,10 @@ impl NandDevice {
                 Some(_) => {}
             }
         }
-        self.block_mut(block)?.program_next();
+        self.chip_for(block)?.program_block(block.index());
         let latency = self.latency.program_total(page);
         self.stats.record_program(latency);
+        self.chips[block.chip().0].add_busy(latency);
         Ok(latency)
     }
 
@@ -215,15 +299,14 @@ impl NandDevice {
         if addr.page().0 >= pages_per_block {
             return Err(NandError::PageOutOfRange { page: addr.page(), pages_per_block });
         }
-        // Confirm the block exists first so the error is about addressing, not state.
-        self.block(addr.block())?;
-        let block = self.block_mut(addr.block())?;
-        block
-            .invalidate(addr.page())
+        self.chip_for(addr.block())?
+            .invalidate_page(addr.block().index(), addr.page())
             .map_err(|state| NandError::PageNotValid { page: addr, actual: state.label() })
     }
 
-    /// Erases a block, returning the erase latency.
+    /// Erases a block, returning the erase latency. The block re-enters the
+    /// allocation pool of its chip, so no separate release step is needed after
+    /// garbage collection.
     ///
     /// The caller (normally the garbage collector) must have relocated or invalidated
     /// every valid page first; erasing live data is almost always an FTL bug, so it is
@@ -238,9 +321,10 @@ impl NandDevice {
         if valid > 0 {
             return Err(NandError::EraseWithValidPages { block, valid_pages: valid });
         }
-        self.block_mut(block)?.erase();
+        self.chip_for(block)?.erase_block(block.index());
         let latency = self.latency.erase_latency();
         self.stats.record_erase(latency);
+        self.chips[block.chip().0].add_busy(latency);
         Ok(latency)
     }
 }
@@ -370,6 +454,77 @@ mod tests {
         assert_eq!(stats.busy_time(), p + r + e);
         device.reset_stats();
         assert_eq!(device.stats().counts.page_ops(), 0);
+    }
+
+    #[test]
+    fn allocation_rotates_across_chips() {
+        let mut device = small_device();
+        let a = device.allocate_block().unwrap();
+        let b = device.allocate_block().unwrap();
+        let c = device.allocate_block().unwrap();
+        assert_eq!(a, BlockAddr::new(ChipId(0), 0));
+        assert_eq!(b, BlockAddr::new(ChipId(1), 0));
+        assert_eq!(c, BlockAddr::new(ChipId(0), 1));
+        // Leased blocks are still erased but no longer allocatable.
+        assert_eq!(device.free_block_count(), 8);
+        assert_eq!(device.available_blocks(), 5);
+        assert_ne!(device.any_free_block(), Some(a));
+    }
+
+    #[test]
+    fn allocation_pool_drains_and_refills_through_erase() {
+        let mut device = small_device();
+        let mut taken = Vec::new();
+        while let Some(block) = device.allocate_block() {
+            taken.push(block);
+        }
+        assert_eq!(taken.len(), 8);
+        assert_eq!(device.available_blocks(), 0);
+        assert!(device.any_free_block().is_none());
+        // Erasing a (still free) leased block returns it to its chip's pool.
+        device.erase(taken[0]).unwrap();
+        assert_eq!(device.available_blocks(), 1);
+        assert_eq!(device.allocate_block(), Some(taken[0]));
+    }
+
+    #[test]
+    fn gc_candidates_list_full_blocks_with_invalid_pages() {
+        let mut device = small_device();
+        let block = device.any_free_block().unwrap();
+        for _ in 0..4 {
+            device.program_next(block).unwrap();
+        }
+        assert_eq!(device.gc_candidates().count(), 0, "fully valid blocks are kept");
+        device.invalidate(block.page(PageId(1))).unwrap();
+        assert_eq!(device.gc_candidates().collect::<Vec<_>>(), vec![block]);
+        device.invalidate(block.page(PageId(0))).unwrap();
+        device.invalidate(block.page(PageId(2))).unwrap();
+        device.invalidate(block.page(PageId(3))).unwrap();
+        device.erase(block).unwrap();
+        assert_eq!(device.gc_candidates().count(), 0);
+    }
+
+    #[test]
+    fn makespan_tracks_the_busiest_chip() {
+        let mut device = small_device();
+        let a = device.allocate_block().unwrap(); // chip 0
+        let b = device.allocate_block().unwrap(); // chip 1
+        assert_ne!(a.chip(), b.chip());
+        let (_, first) = device.program_next(a).unwrap();
+        let (_, second) = device.program_next(b).unwrap();
+        // Both programs target page 0 of their block, so the chips are equally busy
+        // and the makespan is one program, not two.
+        assert_eq!(first, second);
+        assert_eq!(device.makespan(), first);
+        assert_eq!(device.stats().busy_time(), first + second);
+        assert_eq!(device.chip_busy_time(a.chip()).unwrap(), first);
+        // A second program on chip 0 makes it the busiest chip.
+        let (_, third) = device.program_next(a).unwrap();
+        assert_eq!(device.makespan(), first + third);
+        assert!(matches!(
+            device.chip_busy_time(ChipId(9)),
+            Err(NandError::ChipOutOfRange { .. })
+        ));
     }
 
     #[test]

@@ -23,6 +23,18 @@
 //!   (erase-before-write, in-order page programming, valid/invalid/free pages) and
 //!   cumulative timing/wear statistics.
 //!
+//! # Chip-level interleaving
+//!
+//! Chips (dies) are independent: operations on different chips overlap in time,
+//! while operations on the same chip serialise. Each [`Chip`] therefore carries a
+//! busy clock that accumulates the latency of every operation it services, and
+//! [`NandDevice::makespan`] — the maximum clock across chips — is the completion
+//! time of the whole operation stream under perfect chip interleaving (the serial
+//! sum remains available via [`DeviceStats::busy_time`]). To make the overlap real,
+//! [`NandDevice::allocate_block`] hands out free blocks round-robin across chips,
+//! so consecutive writes land on different dies. Free blocks, per-state counts and
+//! garbage-collection candidates are tracked per chip in O(1) — see [`Chip`].
+//!
 //! # Example
 //!
 //! ```

@@ -152,6 +152,108 @@ proptest! {
         }
     }
 
+    /// Whatever interleaving of allocate / program / invalidate / erase an FTL
+    /// issues, each chip's O(1) free-block counter equals a brute-force recount of
+    /// blocks in the `Free` state, the garbage-collection candidate index equals a
+    /// brute-force scan for full blocks with invalid pages, and the allocatable
+    /// count never exceeds the free count.
+    #[test]
+    fn free_list_accounting_matches_brute_force(
+        ops in proptest::collection::vec((0u8..4, 0usize..8, 0usize..6), 1..300),
+        chips in 1usize..4,
+    ) {
+        use vflash_nand::BlockState;
+
+        let blocks_per_chip = 4usize;
+        let pages_per_block = 3usize;
+        let config = NandConfig::builder()
+            .chips(chips)
+            .blocks_per_chip(blocks_per_chip)
+            .pages_per_block(pages_per_block)
+            .page_size_bytes(4096)
+            .build()
+            .unwrap();
+        let mut device = NandDevice::new(config);
+        let mut leased: Vec<BlockAddr> = Vec::new();
+
+        for (op, raw_block, raw_page) in ops {
+            match op {
+                0 => {
+                    if let Some(block) = device.allocate_block() {
+                        // The pool never hands out a block that is not erased, and
+                        // never hands the same block out twice before an erase.
+                        prop_assert_eq!(
+                            device.block(block).unwrap().state(),
+                            BlockState::Free
+                        );
+                        prop_assert!(!leased.contains(&block), "double allocation");
+                        leased.push(block);
+                    }
+                }
+                1 => {
+                    let block = BlockAddr::new(
+                        ChipId(raw_page % chips),
+                        raw_block % blocks_per_chip,
+                    );
+                    let _ = device.program_next(block);
+                }
+                2 => {
+                    let block = BlockAddr::new(
+                        ChipId(raw_block % chips),
+                        raw_block % blocks_per_chip,
+                    );
+                    let _ = device.invalidate(block.page(PageId(raw_page % pages_per_block)));
+                }
+                _ => {
+                    let block = BlockAddr::new(
+                        ChipId(raw_page % chips),
+                        raw_block % blocks_per_chip,
+                    );
+                    if device.erase(block).is_ok() {
+                        leased.retain(|&b| b != block);
+                    }
+                }
+            }
+
+            // Per-chip O(1) counters vs. brute-force recount.
+            for chip_index in 0..chips {
+                let chip = device.chip(ChipId(chip_index)).unwrap();
+                let recount = chip.iter().filter(|b| b.state() == BlockState::Free).count();
+                prop_assert_eq!(chip.free_blocks(), recount, "chip {} free count", chip_index);
+                prop_assert!(chip.available_blocks() <= chip.free_blocks());
+            }
+            prop_assert_eq!(
+                device.free_block_count(),
+                device.block_addrs()
+                    .filter(|&a| device.block(a).unwrap().state() == BlockState::Free)
+                    .count()
+            );
+
+            // Candidate index vs. brute-force scan.
+            let mut candidates: Vec<BlockAddr> = device.gc_candidates().collect();
+            candidates.sort();
+            let mut expected: Vec<BlockAddr> = device
+                .block_addrs()
+                .filter(|&a| {
+                    let b = device.block(a).unwrap();
+                    b.state() == BlockState::Full && b.invalid_pages() > 0
+                })
+                .collect();
+            expected.sort();
+            prop_assert_eq!(candidates, expected);
+
+            // The allocatable pool is exactly the free blocks minus leased ones.
+            prop_assert_eq!(
+                device.available_blocks(),
+                device.free_block_count()
+                    - leased
+                        .iter()
+                        .filter(|&&b| device.block(b).unwrap().state() == BlockState::Free)
+                        .count()
+            );
+        }
+    }
+
     /// Device statistics busy time equals the sum of latencies returned to callers.
     #[test]
     fn stats_busy_time_matches_returned_latencies(rounds in 1usize..20) {

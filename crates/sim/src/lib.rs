@@ -15,6 +15,9 @@
 //!   plus enhancement percentages between a baseline and a variant.
 //! * [`experiments`] — ready-made parameter sweeps that regenerate every figure of
 //!   the paper's evaluation (Figures 12–18) at a configurable scale.
+//! * [`ParallelRunner`] / [`ExperimentGrid`] — fan the FTL × trace × scale grid out
+//!   over `std::thread` workers with deterministic per-cell seeds; results are
+//!   bit-identical to a serial run, only faster.
 //!
 //! # Example
 //!
@@ -50,8 +53,10 @@
 
 pub mod experiments;
 
+mod parallel;
 mod replay;
 mod report;
 
+pub use parallel::{run_cell, CellResult, ExperimentGrid, FtlKind, GridCell, ParallelRunner};
 pub use replay::{Replayer, RunOptions};
 pub use report::{Comparison, RunSummary};

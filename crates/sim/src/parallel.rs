@@ -1,0 +1,346 @@
+//! Multi-threaded execution of the experiment grid.
+//!
+//! The paper's evaluation replays every trace against every FTL at several scales —
+//! a grid of completely independent simulations. [`ExperimentGrid`] enumerates the
+//! cells (FTL × workload × scale) and [`ParallelRunner`] fans them out over
+//! `std::thread` workers. Each cell derives its workload seed deterministically
+//! from the scale's base seed and the cell's position in the grid, and results are
+//! collected by cell index, so the output is **bit-identical** to running the same
+//! grid serially — only the wall-clock time changes.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+use vflash_ftl::FtlError;
+
+use crate::experiments::{run_conventional, run_ppb, ExperimentScale, Workload};
+use crate::report::RunSummary;
+
+/// Which flash translation layer a grid cell exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FtlKind {
+    /// The conventional page-mapping baseline.
+    Conventional,
+    /// The paper's FTL with the PPB strategy (default configuration).
+    Ppb,
+}
+
+impl FtlKind {
+    /// Both FTLs, baseline first.
+    pub const ALL: [FtlKind; 2] = [FtlKind::Conventional, FtlKind::Ppb];
+
+    /// The label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FtlKind::Conventional => "conventional",
+            FtlKind::Ppb => "ppb",
+        }
+    }
+}
+
+/// The experiment grid: every combination of FTL, workload and scale, replayed on a
+/// device with the given page size and speed ratio.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentGrid {
+    /// FTLs to run.
+    pub ftls: Vec<FtlKind>,
+    /// Workloads (traces) to replay.
+    pub workloads: Vec<Workload>,
+    /// Scales to run each FTL × workload pair at.
+    pub scales: Vec<ExperimentScale>,
+    /// Flash page size in bytes.
+    pub page_size_bytes: usize,
+    /// Top/bottom page speed ratio.
+    pub speed_ratio: f64,
+}
+
+impl ExperimentGrid {
+    /// The full grid of the paper's evaluation at one scale: both FTLs × both
+    /// workloads, 16 KB pages, 2x speed difference.
+    pub fn full(scale: ExperimentScale) -> Self {
+        ExperimentGrid {
+            ftls: FtlKind::ALL.to_vec(),
+            workloads: Workload::ALL.to_vec(),
+            scales: vec![scale],
+            page_size_bytes: 16 * 1024,
+            speed_ratio: 2.0,
+        }
+    }
+
+    /// Enumerates the cells in deterministic order: scales outermost, then
+    /// workloads, then FTLs.
+    pub fn cells(&self) -> Vec<GridCell> {
+        let mut cells = Vec::new();
+        for &scale in &self.scales {
+            for &workload in &self.workloads {
+                for &ftl in &self.ftls {
+                    let index = cells.len();
+                    cells.push(GridCell {
+                        index,
+                        ftl,
+                        workload,
+                        scale: ExperimentScale {
+                            seed: cell_seed(scale.seed, index as u64),
+                            ..scale
+                        },
+                    });
+                }
+            }
+        }
+        cells
+    }
+}
+
+/// One cell of the experiment grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridCell {
+    /// Position of the cell in the grid's enumeration order.
+    pub index: usize,
+    /// FTL under test.
+    pub ftl: FtlKind,
+    /// Workload replayed.
+    pub workload: Workload,
+    /// Scale for this cell, with the per-cell seed already substituted.
+    pub scale: ExperimentScale,
+}
+
+/// The outcome of one grid cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// The cell that produced this result.
+    pub cell: GridCell,
+    /// The replay summary.
+    pub summary: RunSummary,
+}
+
+/// Derives a per-cell workload seed from the grid's base seed and the cell index.
+///
+/// splitmix64 finalisation: any two distinct (base, index) pairs give well-mixed,
+/// reproducible seeds regardless of thread scheduling.
+fn cell_seed(base: u64, index: u64) -> u64 {
+    let mut z = base ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs one cell: generates the trace at the cell's seed and replays it.
+///
+/// # Errors
+///
+/// Propagates FTL construction and replay errors.
+pub fn run_cell(cell: &GridCell, grid: &ExperimentGrid) -> Result<CellResult, FtlError> {
+    let trace = cell.workload.trace(&cell.scale);
+    let config = cell.scale.device_config(grid.page_size_bytes, grid.speed_ratio);
+    let summary = match cell.ftl {
+        FtlKind::Conventional => run_conventional(&trace, &config)?,
+        FtlKind::Ppb => run_ppb(&trace, &config)?,
+    };
+    Ok(CellResult { cell: *cell, summary })
+}
+
+/// Fans the experiment grid out over a pool of `std::thread` workers.
+///
+/// Workers claim cells from a shared atomic counter (no work partitioning bias for
+/// heterogeneous cell costs), and results are stitched back together in cell-index
+/// order, so the output is independent of thread scheduling and identical to
+/// [`ParallelRunner::run_serial`].
+///
+/// # Example
+///
+/// ```
+/// use vflash_sim::experiments::ExperimentScale;
+/// use vflash_sim::{ExperimentGrid, ParallelRunner};
+///
+/// let scale = ExperimentScale { requests: 200, ..ExperimentScale::quick() };
+/// let grid = ExperimentGrid::full(scale);
+/// let results = ParallelRunner::new(2).run(&grid).unwrap();
+/// assert_eq!(results.len(), 4); // 2 FTLs x 2 workloads x 1 scale
+/// assert_eq!(results, ParallelRunner::run_serial(&grid).unwrap());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelRunner {
+    threads: usize,
+}
+
+impl ParallelRunner {
+    /// Creates a runner with the given worker count (at least one).
+    pub fn new(threads: usize) -> Self {
+        ParallelRunner { threads: threads.max(1) }
+    }
+
+    /// Creates a runner sized to the machine's available parallelism.
+    pub fn with_available_parallelism() -> Self {
+        let threads = thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        ParallelRunner::new(threads)
+    }
+
+    /// The worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every cell of `grid` across the worker pool and returns the results in
+    /// cell-index order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the lowest-indexed failing cell. A failure stops
+    /// workers from claiming further cells (in-flight cells still finish), so a
+    /// misconfigured grid does not burn through the remaining work.
+    pub fn run(&self, grid: &ExperimentGrid) -> Result<Vec<CellResult>, FtlError> {
+        let cells = grid.cells();
+        if cells.is_empty() {
+            return Ok(Vec::new());
+        }
+        let workers = self.threads.min(cells.len());
+        if workers == 1 {
+            return Self::run_serial(grid);
+        }
+        let next = AtomicUsize::new(0);
+        let failed = AtomicBool::new(false);
+        let slots: Vec<Mutex<Option<Result<CellResult, FtlError>>>> =
+            cells.iter().map(|_| Mutex::new(None)).collect();
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    if failed.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(cell) = cells.get(index) else { break };
+                    let result = run_cell(cell, grid);
+                    if result.is_err() {
+                        failed.store(true, Ordering::Relaxed);
+                    }
+                    *slots[index].lock().expect("result slot poisoned") = Some(result);
+                });
+            }
+        });
+        let mut results = Vec::with_capacity(cells.len());
+        for slot in slots {
+            // On abort, unclaimed cells past the failure have empty slots; the
+            // lowest-indexed error below surfaces before they matter, because a
+            // failed cell always has a lower index than any skipped cell.
+            let Some(outcome) = slot.into_inner().expect("result slot poisoned") else {
+                break;
+            };
+            results.push(outcome?);
+        }
+        Ok(results)
+    }
+
+    /// Runs every cell of `grid` on the calling thread, in cell-index order. This
+    /// is the reference the parallel path must match bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the first failing cell.
+    pub fn run_serial(grid: &ExperimentGrid) -> Result<Vec<CellResult>, FtlError> {
+        grid.cells().iter().map(|cell| run_cell(cell, grid)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_scale() -> ExperimentScale {
+        ExperimentScale {
+            requests: 300,
+            working_set_bytes: 8 * 1024 * 1024,
+            chips: 2,
+            ..ExperimentScale::quick()
+        }
+    }
+
+    #[test]
+    fn grid_enumerates_ftls_innermost() {
+        let grid = ExperimentGrid::full(tiny_scale());
+        let cells = grid.cells();
+        assert_eq!(cells.len(), 4);
+        assert_eq!(cells[0].ftl, FtlKind::Conventional);
+        assert_eq!(cells[1].ftl, FtlKind::Ppb);
+        assert_eq!(cells[0].workload, cells[1].workload);
+        assert!(cells.iter().enumerate().all(|(i, c)| c.index == i));
+    }
+
+    #[test]
+    fn cell_seeds_are_deterministic_and_distinct() {
+        let grid = ExperimentGrid::full(tiny_scale());
+        let a = grid.cells();
+        let b = grid.cells();
+        assert_eq!(a, b);
+        let seeds: std::collections::HashSet<u64> =
+            a.iter().map(|cell| cell.scale.seed).collect();
+        assert_eq!(seeds.len(), a.len(), "per-cell seeds must not collide");
+    }
+
+    #[test]
+    fn baseline_and_variant_of_one_workload_share_a_seed_free_comparison() {
+        // Different cells intentionally get different seeds; the figure-style
+        // comparisons that need a *shared* trace keep using `experiments::compare`.
+        let grid = ExperimentGrid::full(tiny_scale());
+        let results = ParallelRunner::run_serial(&grid).unwrap();
+        for result in &results {
+            assert_eq!(result.summary.ftl, result.cell.ftl.label());
+            assert!(result.summary.host_writes + result.summary.host_reads > 0);
+        }
+    }
+
+    #[test]
+    fn parallel_results_match_serial_byte_for_byte() {
+        let grid = ExperimentGrid::full(tiny_scale());
+        let serial = ParallelRunner::run_serial(&grid).unwrap();
+        let parallel = ParallelRunner::new(4).run(&grid).unwrap();
+        assert_eq!(serial, parallel);
+        // Bit-identical also in the rendered form (what files and reports contain).
+        let render = |results: &[CellResult]| {
+            results
+                .iter()
+                .map(|r| format!("{:?}\n", r))
+                .collect::<String>()
+        };
+        assert_eq!(render(&serial).into_bytes(), render(&parallel).into_bytes());
+    }
+
+    #[test]
+    fn failing_cells_surface_their_error_in_both_modes() {
+        // Headroom below 1.0 builds a device smaller than the working set, so the
+        // prefill runs out of space in every cell.
+        let broken = ExperimentScale { capacity_headroom: 0.5, ..tiny_scale() };
+        let grid = ExperimentGrid::full(broken);
+        assert!(matches!(
+            ParallelRunner::run_serial(&grid),
+            Err(vflash_ftl::FtlError::OutOfSpace)
+        ));
+        assert!(matches!(
+            ParallelRunner::new(4).run(&grid),
+            Err(vflash_ftl::FtlError::OutOfSpace)
+        ));
+    }
+
+    #[test]
+    fn empty_grids_are_fine() {
+        let grid = ExperimentGrid {
+            ftls: Vec::new(),
+            workloads: Workload::ALL.to_vec(),
+            scales: vec![tiny_scale()],
+            page_size_bytes: 16 * 1024,
+            speed_ratio: 2.0,
+        };
+        assert!(ParallelRunner::new(8).run(&grid).unwrap().is_empty());
+    }
+
+    #[test]
+    fn single_thread_runner_degenerates_to_serial() {
+        let grid = ExperimentGrid {
+            scales: vec![ExperimentScale { requests: 120, ..tiny_scale() }],
+            ..ExperimentGrid::full(tiny_scale())
+        };
+        let serial = ParallelRunner::run_serial(&grid).unwrap();
+        assert_eq!(ParallelRunner::new(1).run(&grid).unwrap(), serial);
+        assert_eq!(ParallelRunner::new(0).threads(), 1, "zero threads is clamped");
+    }
+}

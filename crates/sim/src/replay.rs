@@ -1,9 +1,50 @@
 //! Trace replay against an FTL.
 
 use vflash_ftl::{FlashTranslationLayer, FtlError, Lpn};
+use vflash_nand::{ChipId, Nanos};
 use vflash_trace::{IoOp, Trace};
 
 use crate::report::RunSummary;
+
+/// A word-packed bitmap over logical page numbers.
+///
+/// The prefill pass needs one bit per logical page; on multi-million-page devices a
+/// `Vec<bool>` would spend a byte per page, so pages are packed 64 to a `u64` (8x
+/// less memory and far fewer cache lines touched by the marking pass).
+#[derive(Debug, Clone)]
+struct PageBitmap {
+    words: Vec<u64>,
+}
+
+impl PageBitmap {
+    fn new(pages: u64) -> Self {
+        PageBitmap { words: vec![0; (pages as usize).div_ceil(64)] }
+    }
+
+    fn set(&mut self, page: u64) {
+        self.words[(page / 64) as usize] |= 1 << (page % 64);
+    }
+
+    #[cfg(test)]
+    fn get(&self, page: u64) -> bool {
+        self.words[(page / 64) as usize] & (1 << (page % 64)) != 0
+    }
+
+    /// Iterates over set pages in ascending order, skipping empty words wholesale.
+    fn iter_set(&self) -> impl Iterator<Item = u64> + '_ {
+        self.words.iter().enumerate().flat_map(|(word_index, &word)| {
+            let base = word_index as u64 * 64;
+            std::iter::successors(
+                (word != 0).then_some(word),
+                |bits| {
+                    let rest = bits & (bits - 1);
+                    (rest != 0).then_some(rest)
+                },
+            )
+            .map(move |bits| base + u64::from(bits.trailing_zeros()))
+        })
+    }
+}
 
 /// Options controlling how a trace is replayed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -12,6 +53,12 @@ pub struct RunOptions {
     /// so that reads of data the trace never wrote behave like reads of pre-existing
     /// data instead of errors. The warm-up traffic is excluded from the reported
     /// summary. Enabled by default.
+    ///
+    /// The warm-up exists to serve reads, so a trace containing no read at all skips
+    /// it even when this flag is set: the replay then runs against a fresh device.
+    /// Callers who want a write-only workload measured on a preconditioned device
+    /// should age the device explicitly (replay a fill trace first via
+    /// [`Replayer::run_mut`]).
     pub prefill: bool,
     /// Request size (bytes) used for the warm-up writes. Large by default so the
     /// warm-up data is classified cold and does not pre-bias the hot/cold state.
@@ -85,6 +132,7 @@ impl Replayer {
         }
 
         let start = *ftl.metrics();
+        let busy_start = Self::chip_busy_times(ftl);
         for request in trace {
             for page in request.logical_pages(page_size) {
                 let lpn = Lpn(page % logical_pages);
@@ -103,11 +151,38 @@ impl Replayer {
             }
         }
         let end = *ftl.metrics();
-        Ok(RunSummary::from_metrics_delta(ftl.name(), trace.name(), &start, &end))
+        let mut summary =
+            RunSummary::from_metrics_delta(ftl.name(), trace.name(), &start, &end);
+        summary.device_makespan = Self::makespan_delta(ftl, &busy_start);
+        Ok(summary)
+    }
+
+    /// Snapshot of every chip's busy time, used to compute the measured-phase
+    /// makespan as a delta (excluding prefill traffic).
+    fn chip_busy_times<F: FlashTranslationLayer + ?Sized>(ftl: &F) -> Vec<Nanos> {
+        let device = ftl.device();
+        (0..device.config().chips())
+            .map(|chip| {
+                device.chip_busy_time(ChipId(chip)).expect("chip ids come from the config")
+            })
+            .collect()
+    }
+
+    fn makespan_delta<F: FlashTranslationLayer + ?Sized>(ftl: &F, start: &[Nanos]) -> Nanos {
+        Self::chip_busy_times(ftl)
+            .iter()
+            .zip(start)
+            .map(|(&end, &begin)| end.saturating_sub(begin))
+            .max()
+            .unwrap_or(Nanos::ZERO)
     }
 
     /// Writes every logical page the trace touches exactly once (in ascending order),
     /// so later reads always find mapped data.
+    ///
+    /// Traces without a single read skip the warm-up entirely: the prefill exists
+    /// only so reads of never-written data behave like reads of pre-existing data,
+    /// and a write-only trace has none.
     fn prefill<F: FlashTranslationLayer + ?Sized>(
         &self,
         ftl: &mut F,
@@ -115,16 +190,17 @@ impl Replayer {
         page_size: usize,
         logical_pages: u64,
     ) -> Result<(), FtlError> {
-        let mut touched = vec![false; logical_pages as usize];
+        if !trace.iter().any(|request| request.op == IoOp::Read) {
+            return Ok(());
+        }
+        let mut touched = PageBitmap::new(logical_pages);
         for request in trace {
             for page in request.logical_pages(page_size) {
-                touched[(page % logical_pages) as usize] = true;
+                touched.set(page % logical_pages);
             }
         }
-        for (index, touched) in touched.iter().enumerate() {
-            if *touched {
-                ftl.write(Lpn(index as u64), self.options.prefill_request_bytes)?;
-            }
+        for page in touched.iter_set() {
+            ftl.write(Lpn(page), self.options.prefill_request_bytes)?;
         }
         Ok(())
     }
@@ -200,6 +276,57 @@ mod tests {
         let t = trace(vec![IoRequest::new(0, IoOp::Write, capacity_bytes * 3 + 4096, 4096)]);
         let summary = Replayer::new(RunOptions::default()).run(ftl, &t).unwrap();
         assert_eq!(summary.host_writes, 1);
+    }
+
+    #[test]
+    fn bitmap_sets_and_iterates_in_ascending_order() {
+        let mut bitmap = PageBitmap::new(200);
+        for page in [0u64, 1, 63, 64, 65, 127, 128, 199] {
+            bitmap.set(page);
+        }
+        assert!(bitmap.get(63));
+        assert!(!bitmap.get(62));
+        let set: Vec<u64> = bitmap.iter_set().collect();
+        assert_eq!(set, vec![0, 1, 63, 64, 65, 127, 128, 199]);
+    }
+
+    #[test]
+    fn empty_bitmap_iterates_nothing() {
+        let bitmap = PageBitmap::new(500);
+        assert_eq!(bitmap.iter_set().count(), 0);
+    }
+
+    #[test]
+    fn write_only_traces_skip_the_prefill_pass() {
+        let ftl = small_ftl();
+        let t = trace(vec![
+            IoRequest::new(0, IoOp::Write, 0, 8192),
+            IoRequest::new(1, IoOp::Write, 32 * 1024, 4096),
+        ]);
+        let mut ftl = ftl;
+        let summary = Replayer::new(RunOptions::default()).run_mut(&mut ftl, &t).unwrap();
+        assert_eq!(summary.host_writes, 3);
+        // No warm-up traffic happened at all: the device saw exactly the trace's
+        // three page programs.
+        assert_eq!(ftl.device().stats().counts.programs, 3);
+    }
+
+    #[test]
+    fn summary_reports_the_measured_phase_makespan() {
+        let mut ftl = small_ftl();
+        let replayer = Replayer::new(RunOptions::default());
+        let t = trace(vec![
+            IoRequest::new(0, IoOp::Write, 0, 4 * 4096),
+            IoRequest::new(1, IoOp::Read, 0, 4096),
+        ]);
+        let summary = replayer.run_mut(&mut ftl, &t).unwrap();
+        // Single-chip device: the makespan equals the serial host latency.
+        assert_eq!(summary.device_makespan, summary.read_time + summary.write_time);
+        assert!(summary.host_ops_per_sec() > 0.0);
+        // A second replay reports only its own makespan, not cumulative time.
+        let again = replayer.run_mut(&mut ftl, &t).unwrap();
+        assert!(again.device_makespan < summary.device_makespan * 2);
+        assert!(again.device_makespan > Nanos::ZERO);
     }
 
     #[test]

@@ -36,6 +36,12 @@ pub struct RunSummary {
     pub migrated_pages: u64,
     /// Write amplification factor.
     pub write_amplification: f64,
+    /// Device time consumed with chip-level interleaving: the largest per-chip busy
+    /// time accumulated during the measured phase. On a single-chip device this is
+    /// the serial sum of operation latencies; on a multi-chip device it is the time
+    /// the busiest chip needed, since the chips service operations independently.
+    /// [`Nanos::ZERO`] when the summary was not produced by a replay.
+    pub device_makespan: Nanos,
 }
 
 impl RunSummary {
@@ -76,6 +82,19 @@ impl RunSummary {
             } else {
                 (host_writes + gc_copied_pages) as f64 / host_writes as f64
             },
+            device_makespan: Nanos::ZERO,
+        }
+    }
+
+    /// Host page operations (reads + writes, counted per logical page, not per
+    /// request) served per second of simulated device time (chip-interleaved), or
+    /// zero when no makespan was recorded. Divide by the workload's mean pages per
+    /// request to get a request rate.
+    pub fn host_ops_per_sec(&self) -> f64 {
+        if self.device_makespan == Nanos::ZERO {
+            0.0
+        } else {
+            (self.host_reads + self.host_writes) as f64 / self.device_makespan.as_secs_f64()
         }
     }
 }

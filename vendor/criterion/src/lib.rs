@@ -9,6 +9,15 @@
 //! It measures wall-clock time with `std::time::Instant` and prints a short
 //! mean/min/max summary per benchmark — no statistics, plots or HTML reports. Swap in
 //! the real crate (same manifest line, crates.io source) when network access exists.
+//!
+//! Two environment variables tune the stub for CI baseline tracking:
+//!
+//! * `VFLASH_BENCH_SMOKE=1` caps every benchmark at a single sample, so all bench
+//!   targets can run as a smoke test in seconds.
+//! * `VFLASH_BENCH_JSON=<path>` merges each benchmark's mean wall-clock time into a
+//!   flat JSON map `{"bench id": nanos, ...}` at that path. Each bench target process
+//!   re-reads and rewrites the file, so one `cargo bench --workspace` run accumulates
+//!   every target's results into a single baseline file that future PRs can diff.
 
 #![forbid(unsafe_code)]
 
@@ -85,7 +94,15 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// Whether `VFLASH_BENCH_SMOKE` is set, capping benchmarks at one sample. Bench
+/// targets that shrink their own workload in smoke mode should consult this too, so
+/// there is exactly one parsing rule for the variable.
+pub fn smoke_mode() -> bool {
+    std::env::var("VFLASH_BENCH_SMOKE").map(|v| v != "0" && !v.is_empty()).unwrap_or(false)
+}
+
 fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
+    let sample_size = if smoke_mode() { 1 } else { sample_size };
     let mut bencher = Bencher { samples: Vec::with_capacity(sample_size), target: sample_size };
     f(&mut bencher);
     if bencher.samples.is_empty() {
@@ -100,6 +117,75 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F)
         "  {id}: mean {mean:?} (min {min:?}, max {max:?}, {} samples)",
         bencher.samples.len()
     );
+    if let Ok(path) = std::env::var("VFLASH_BENCH_JSON") {
+        if !path.is_empty() {
+            if let Err(error) = baseline::record(&path, id, mean.as_nanos() as u64) {
+                eprintln!("  {id}: failed to update {path}: {error}");
+            }
+        }
+    }
+}
+
+mod baseline {
+    //! Accumulation of benchmark means into a flat `{"bench": nanos}` JSON map.
+
+    use std::collections::BTreeMap;
+    use std::io;
+
+    /// Merges `(id, nanos)` into the JSON map at `path`, creating it if needed.
+    ///
+    /// Bench ids are sanitised into the parser's key alphabet (quotes, commas,
+    /// colons, braces and backslashes become `_`), so no id can corrupt the file
+    /// and poison later merges of the same `cargo bench` run.
+    pub(crate) fn record(path: &str, id: &str, nanos: u64) -> io::Result<()> {
+        let mut map = match std::fs::read_to_string(path) {
+            Ok(contents) => parse(&contents)
+                .ok_or_else(|| io::Error::other(format!("{path} is not a flat JSON map")))?,
+            Err(error) if error.kind() == io::ErrorKind::NotFound => BTreeMap::new(),
+            Err(error) => return Err(error),
+        };
+        map.insert(sanitize(id), nanos);
+        std::fs::write(path, render(&map))
+    }
+
+    /// Replaces every character the flat-map format reserves with `_`.
+    pub(crate) fn sanitize(id: &str) -> String {
+        id.chars()
+            .map(|c| match c {
+                '"' | ',' | ':' | '{' | '}' | '\\' => '_',
+                c if c.is_control() => '_',
+                c => c,
+            })
+            .collect()
+    }
+
+    /// Parses the subset of JSON the stub writes: one flat map of string keys to
+    /// non-negative integers.
+    pub(crate) fn parse(contents: &str) -> Option<BTreeMap<String, u64>> {
+        let inner = contents.trim().strip_prefix('{')?.strip_suffix('}')?.trim();
+        let mut map = BTreeMap::new();
+        if inner.is_empty() {
+            return Some(map);
+        }
+        for entry in inner.split(',') {
+            let (key, value) = entry.split_once(':')?;
+            let key = key.trim().strip_prefix('"')?.strip_suffix('"')?;
+            let value: u64 = value.trim().parse().ok()?;
+            map.insert(key.to_string(), value);
+        }
+        Some(map)
+    }
+
+    pub(crate) fn render(map: &BTreeMap<String, u64>) -> String {
+        let mut out = String::from("{\n");
+        for (index, (key, value)) in map.iter().enumerate() {
+            let comma = if index + 1 < map.len() { "," } else { "" };
+            out.push_str(&format!("  \"{key}\": {value}{comma}\n"));
+        }
+        out.push('}');
+        out.push('\n');
+        out
+    }
 }
 
 /// Times closures; handed to the function passed to `bench_function`.
@@ -165,5 +251,41 @@ mod tests {
         });
         group.finish();
         assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn baseline_round_trips() {
+        let mut map = std::collections::BTreeMap::new();
+        map.insert("fig12/web/16KiB".to_string(), 123_456u64);
+        map.insert("throughput/grid_serial".to_string(), 9u64);
+        let rendered = baseline::render(&map);
+        assert_eq!(baseline::parse(&rendered), Some(map));
+        assert_eq!(baseline::parse("{}").map(|m| m.len()), Some(0));
+        assert!(baseline::parse("not json").is_none());
+    }
+
+    #[test]
+    fn baseline_ids_with_reserved_characters_are_sanitised() {
+        assert_eq!(baseline::sanitize("fig13/ratio 2:1"), "fig13/ratio 2_1");
+        assert_eq!(baseline::sanitize("grid, 4 chips"), "grid_ 4 chips");
+        assert_eq!(baseline::sanitize(r#"a"b\c"#), "a_b_c");
+        let mut map = std::collections::BTreeMap::new();
+        map.insert(baseline::sanitize("x:y,z"), 7u64);
+        let rendered = baseline::render(&map);
+        assert_eq!(baseline::parse(&rendered), Some(map), "sanitised keys round-trip");
+    }
+
+    #[test]
+    fn baseline_record_merges_across_calls() {
+        let path = std::env::temp_dir().join(format!("vflash_bench_{}.json", std::process::id()));
+        let path = path.to_str().unwrap().to_string();
+        std::fs::remove_file(&path).ok();
+        baseline::record(&path, "a", 1).unwrap();
+        baseline::record(&path, "b", 2).unwrap();
+        baseline::record(&path, "a", 3).unwrap();
+        let map = baseline::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(map.get("a"), Some(&3));
+        assert_eq!(map.get("b"), Some(&2));
     }
 }

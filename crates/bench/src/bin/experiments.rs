@@ -3,16 +3,21 @@
 //! ```text
 //! cargo run --release -p vflash-bench --bin experiments              # all figures
 //! cargo run --release -p vflash-bench --bin experiments -- fig13     # one figure
+//! cargo run --release -p vflash-bench --bin experiments -- qd        # queue-depth sweep
 //! cargo run --release -p vflash-bench --bin experiments -- --quick   # smaller scale
 //! ```
 
 use std::error::Error;
 
-use vflash_bench::{format_enhancement_rows, format_erase_rows, format_latency_sweep};
+use vflash_bench::{
+    format_enhancement_rows, format_erase_rows, format_latency_sweep, format_policy_erase_rows,
+    format_queue_depth_rows,
+};
 use vflash_nand::NandConfig;
 use vflash_sim::experiments::{
-    ablation_classifier, ablation_virtual_blocks, enhancement_rows, erase_count_rows,
-    read_latency_sweep, write_latency_sweep, ExperimentScale, Workload,
+    ablation_classifier, ablation_virtual_blocks, enhancement_rows, erase_count_by_policy,
+    queue_depth_sweep, read_latency_sweep, write_latency_sweep, EraseCountRow, ExperimentScale,
+    GcPolicy, Workload,
 };
 use vflash_sim::Comparison;
 
@@ -87,9 +92,39 @@ fn fig17(scale: &ExperimentScale) -> Result<(), Box<dyn Error>> {
 }
 
 fn fig18(scale: &ExperimentScale) -> Result<(), Box<dyn Error>> {
+    // The ablation's greedy rows are exactly the classic Figure 18 data
+    // (asserted in vflash-sim's tests), so one sweep feeds both tables.
+    let by_policy = erase_count_by_policy(scale)?;
+    let classic: Vec<EraseCountRow> = by_policy
+        .iter()
+        .filter(|row| row.policy == GcPolicy::Greedy)
+        .map(|row| EraseCountRow {
+            workload: row.workload,
+            conventional: row.conventional,
+            ppb: row.ppb,
+        })
+        .collect();
     println!("== Figure 18: erased block count comparison (2x, 16 KB pages) ==");
-    print!("{}", format_erase_rows(&erase_count_rows(scale)?));
+    print!("{}", format_erase_rows(&classic));
     println!();
+    println!("== Figure 18 ablation: GC victim policy (greedy / wear-aware / cost-benefit) ==");
+    print!("{}", format_policy_erase_rows(&by_policy));
+    println!();
+    Ok(())
+}
+
+fn qd(scale: &ExperimentScale) -> Result<(), Box<dyn Error>> {
+    // The serial figures keep the paper's chip count; the queue-depth sweep is
+    // about chip overlap, so give it a wider device when the scale is narrow.
+    let scale = ExperimentScale { chips: scale.chips.max(8), ..*scale };
+    for workload in Workload::ALL {
+        println!(
+            "== Queue-depth sweep: {workload}, {} chips, 16 KB pages, 2x ==",
+            scale.chips
+        );
+        print!("{}", format_queue_depth_rows(&queue_depth_sweep(workload, &scale)?));
+        println!();
+    }
     Ok(())
 }
 
@@ -148,9 +183,13 @@ fn main() -> Result<(), Box<dyn Error>> {
         ablations(&scale)?;
         matched = true;
     }
+    if run_all || figures.contains(&"qd") {
+        qd(&scale)?;
+        matched = true;
+    }
     if !matched {
         eprintln!(
-            "unknown experiment selection {figures:?}; expected fig12..fig18, ablation or all"
+            "unknown experiment selection {figures:?}; expected fig12..fig18, ablation, qd or all"
         );
         std::process::exit(2);
     }

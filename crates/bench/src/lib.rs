@@ -10,8 +10,10 @@
 #![warn(missing_docs)]
 
 use vflash_nand::Nanos;
-use vflash_sim::experiments::{EnhancementRow, EraseCountRow, LatencySweepRow};
-use vflash_sim::Comparison;
+use vflash_sim::experiments::{
+    EnhancementRow, EraseCountRow, LatencySweepRow, PolicyEraseRow, QueueDepthRow,
+};
+use vflash_sim::{Comparison, LatencyPercentiles, RunSummary};
 
 /// Formats a duration as seconds with three decimals, the unit the paper's latency
 /// figures use.
@@ -53,6 +55,56 @@ pub fn format_latency_sweep(rows: &[LatencySweepRow]) -> String {
             seconds(row.conventional),
             seconds(row.ppb),
             improvement,
+        ));
+    }
+    out
+}
+
+/// Formats percentiles compactly in microseconds: `p50/p95/p99/max`.
+fn percentiles_us(percentiles: &LatencyPercentiles) -> String {
+    format!(
+        "{:>7.0}/{:>7.0}/{:>7.0}/{:>8.0}",
+        percentiles.p50.as_micros_f64(),
+        percentiles.p95.as_micros_f64(),
+        percentiles.p99.as_micros_f64(),
+        percentiles.max.as_micros_f64(),
+    )
+}
+
+/// Renders queue-depth sweep rows: achieved IOPS and per-request read/write
+/// latency percentiles (µs) for both FTLs at every depth.
+pub fn format_queue_depth_rows(rows: &[QueueDepthRow]) -> String {
+    let mut out = String::from(
+        "  qd   ftl            iops    read p50/p95/p99/max (us)   write p50/p95/p99/max (us)\n",
+    );
+    let mut push = |queue_depth: usize, summary: &RunSummary| {
+        out.push_str(&format!(
+            "{:>4}   {:<12} {:>8.0}   {}   {}\n",
+            queue_depth,
+            summary.ftl,
+            summary.request_iops(),
+            percentiles_us(&summary.read_latency),
+            percentiles_us(&summary.write_latency),
+        ));
+    };
+    for row in rows {
+        push(row.queue_depth, &row.conventional);
+        push(row.queue_depth, &row.ppb);
+    }
+    out
+}
+
+/// Renders the Figure 18 victim-policy ablation rows (erased block counts per
+/// workload and GC policy).
+pub fn format_policy_erase_rows(rows: &[PolicyEraseRow]) -> String {
+    let mut out = String::from("workload          gc-policy        conventional-ftl   ftl-with-ppb\n");
+    for row in rows {
+        out.push_str(&format!(
+            "{:<17} {:<16} {:>16} {:>14}\n",
+            row.workload.label(),
+            row.policy.label(),
+            row.conventional,
+            row.ppb,
         ));
     }
     out
@@ -123,5 +175,35 @@ mod tests {
     #[test]
     fn seconds_formatting() {
         assert_eq!(seconds(Nanos::from_millis(1500)), "1.500s");
+    }
+
+    #[test]
+    fn queue_depth_formatting_reports_iops_and_percentiles() {
+        let mut conventional = summary("conventional", 100);
+        conventional.host_requests = 1_000;
+        conventional.host_elapsed = Nanos::from_millis(100);
+        conventional.read_latency.p99 = Nanos::from_micros(250);
+        let ppb = summary("ppb", 80);
+        let rows = vec![QueueDepthRow { queue_depth: 16, conventional, ppb }];
+        let text = format_queue_depth_rows(&rows);
+        assert!(text.contains("16"), "{text}");
+        assert!(text.contains("conventional"));
+        assert!(text.contains("10000"), "1000 reqs / 0.1 s = 10000 IOPS: {text}");
+        assert!(text.contains("250"), "p99 column: {text}");
+    }
+
+    #[test]
+    fn policy_erase_formatting_lists_policies() {
+        use vflash_sim::experiments::GcPolicy;
+        let rows = vec![PolicyEraseRow {
+            workload: Workload::MediaServer,
+            policy: GcPolicy::CostBenefit,
+            conventional: 17,
+            ppb: 18,
+        }];
+        let text = format_policy_erase_rows(&rows);
+        assert!(text.contains("cost-benefit"));
+        assert!(text.contains("17"));
+        assert!(text.contains("18"));
     }
 }

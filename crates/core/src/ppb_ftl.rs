@@ -2,8 +2,8 @@
 
 use vflash_ftl::hotcold::{HotColdClassifier, SizeCheck, Temperature};
 use vflash_ftl::{
-    FlashTranslationLayer, FtlError, FtlMetrics, GcOutcome, GreedyVictimPolicy, Lpn,
-    MappingTable, VictimPolicy,
+    Completion, FlashTranslationLayer, FtlError, FtlMetrics, GcOutcome, GreedyVictimPolicy,
+    IoCommand, IoRequest, Lpn, MappingTable, VictimPolicy,
 };
 use vflash_nand::{BlockAddr, NandDevice, Nanos, PageAddr};
 
@@ -60,7 +60,7 @@ pub struct PpbFtl<C = SizeCheck> {
     hot_area: HotArea,
     cold_area: ColdArea,
     classifier: C,
-    victim_policy: GreedyVictimPolicy,
+    victim_policy: Box<dyn VictimPolicy>,
     metrics: FtlMetrics,
     logical_pages: u64,
     /// Which area each physical block currently belongs to (by flat block index).
@@ -144,7 +144,7 @@ impl<C: HotColdClassifier> PpbFtl<C> {
             hot_area,
             cold_area,
             classifier,
-            victim_policy: GreedyVictimPolicy::new(),
+            victim_policy: Box::new(GreedyVictimPolicy::new()),
             metrics: FtlMetrics::new(),
             logical_pages,
             block_areas,
@@ -154,6 +154,13 @@ impl<C: HotColdClassifier> PpbFtl<C> {
     /// The PPB configuration.
     pub fn config(&self) -> &PpbConfig {
         &self.config
+    }
+
+    /// Replaces the garbage-collection victim policy (greedy by default). Used by
+    /// the Figure 18 policy ablation to compare greedy, wear-aware and
+    /// cost-benefit selection on identical workloads.
+    pub fn set_victim_policy(&mut self, policy: Box<dyn VictimPolicy>) {
+        self.victim_policy = policy;
     }
 
     /// The mapping table, for inspection in tests and tools.
@@ -319,37 +326,42 @@ impl<C: HotColdClassifier> FlashTranslationLayer for PpbFtl<C> {
         self.logical_pages
     }
 
-    fn read(&mut self, lpn: Lpn) -> Result<Nanos, FtlError> {
+    fn submit(&mut self, request: IoRequest) -> Result<Completion, FtlError> {
+        let lpn = request.lpn;
         self.check_range(lpn)?;
-        let addr = self.mapping.lookup(lpn).ok_or(FtlError::UnmappedRead { lpn })?;
-        let latency = self.device.read(addr)?;
-        self.metrics.record_host_read(latency);
+        match request.command {
+            IoCommand::Read => {
+                let addr = self.mapping.lookup(lpn).ok_or(FtlError::UnmappedRead { lpn })?;
+                let latency = self.device.read(addr)?;
+                self.metrics.record_host_read(latency);
 
-        // Re-access tracking: a read is the signal that promotes hot -> iron-hot and
-        // icy-cold -> cold. The data itself is not moved here (progressive migration).
-        self.classifier.record_read(lpn);
-        if self.hot_area.contains(lpn) {
-            self.hot_area.on_read(lpn);
-        } else {
-            self.cold_area.on_read(lpn);
+                // Re-access tracking: a read is the signal that promotes hot ->
+                // iron-hot and icy-cold -> cold. The data itself is not moved here
+                // (progressive migration).
+                self.classifier.record_read(lpn);
+                if self.hot_area.contains(lpn) {
+                    self.hot_area.on_read(lpn);
+                } else {
+                    self.cold_area.on_read(lpn);
+                }
+                Ok(Completion { latency, ops: self.device.drain_ops(), gc: GcOutcome::default() })
+            }
+            IoCommand::Write { request_bytes } => {
+                let mut latency = Nanos::ZERO;
+                let mut gc = GcOutcome::default();
+
+                if self.device.available_blocks() < self.config.ftl.gc_trigger_free_blocks {
+                    gc = self.collect_garbage()?;
+                    latency += gc.time;
+                    self.metrics.record_gc(gc.copied_pages, gc.erased_blocks, gc.time);
+                }
+
+                let level = self.classify_and_track_write(lpn, request_bytes);
+                latency += self.place_page(lpn, level)?;
+                self.metrics.record_host_write(latency);
+                Ok(Completion { latency, ops: self.device.drain_ops(), gc })
+            }
         }
-        Ok(latency)
-    }
-
-    fn write(&mut self, lpn: Lpn, request_bytes: u32) -> Result<Nanos, FtlError> {
-        self.check_range(lpn)?;
-        let mut latency = Nanos::ZERO;
-
-        if self.device.available_blocks() < self.config.ftl.gc_trigger_free_blocks {
-            let gc = self.collect_garbage()?;
-            latency += gc.time;
-            self.metrics.record_gc(gc.copied_pages, gc.erased_blocks, gc.time);
-        }
-
-        let level = self.classify_and_track_write(lpn, request_bytes);
-        latency += self.place_page(lpn, level)?;
-        self.metrics.record_host_write(latency);
-        Ok(latency)
     }
 
     fn metrics(&self) -> &FtlMetrics {
@@ -358,6 +370,10 @@ impl<C: HotColdClassifier> FlashTranslationLayer for PpbFtl<C> {
 
     fn device(&self) -> &NandDevice {
         &self.device
+    }
+
+    fn device_mut(&mut self) -> &mut NandDevice {
+        &mut self.device
     }
 }
 
@@ -567,6 +583,44 @@ mod tests {
         assert!(matches!(ftl.write(beyond, 512), Err(FtlError::LpnOutOfRange { .. })));
         assert!(matches!(ftl.read(beyond), Err(FtlError::LpnOutOfRange { .. })));
         assert!(matches!(ftl.read(Lpn(0)), Err(FtlError::UnmappedRead { .. })));
+    }
+
+    #[test]
+    fn submit_traces_ops_and_sums_to_the_charged_latency() {
+        let mut ftl = small_ftl();
+        ftl.device_mut().set_op_tracing(true);
+        let logical = ftl.logical_pages();
+        let mut gc_seen = false;
+        for i in 0..(logical * 8) {
+            let lpn = Lpn(i % logical);
+            let size = if lpn.0.is_multiple_of(3) { 512 } else { 32 * 1024 };
+            let write = ftl.submit(IoRequest::write(lpn, size)).unwrap();
+            let ops_total: Nanos = write.ops.iter().map(|op| op.latency).sum();
+            assert_eq!(ops_total, write.latency);
+            gc_seen |= write.gc.erased_blocks > 0;
+            if i % 5 == 0 {
+                let read = ftl.submit(IoRequest::read(lpn)).unwrap();
+                assert_eq!(read.ops.len(), 1);
+                assert_eq!(read.ops[0].latency, read.latency);
+            }
+        }
+        assert!(gc_seen, "workload never triggered GC");
+    }
+
+    #[test]
+    fn victim_policy_is_swappable() {
+        use vflash_ftl::CostBenefitVictimPolicy;
+        let mut ftl = small_ftl();
+        ftl.set_victim_policy(Box::new(CostBenefitVictimPolicy::new()));
+        let logical = ftl.logical_pages();
+        for i in 0..(logical * 8) {
+            ftl.write(Lpn(i % logical), if i % 2 == 0 { 512 } else { 64 * 1024 }).unwrap();
+        }
+        assert!(ftl.metrics().gc_erased_blocks > 0);
+        ftl.mapping().check_consistency().unwrap();
+        for i in 0..logical {
+            ftl.read(Lpn(i)).unwrap();
+        }
     }
 
     #[test]

@@ -29,7 +29,10 @@ impl GcOutcome {
 }
 
 /// Strategy for choosing which block to reclaim next.
-pub trait VictimPolicy {
+///
+/// `Debug` is a supertrait so FTLs holding a `Box<dyn VictimPolicy>` can keep
+/// deriving `Debug` themselves.
+pub trait VictimPolicy: std::fmt::Debug {
     /// Picks a victim block, or `None` if no block is worth (or capable of being)
     /// reclaimed. `exclude` lists blocks that must not be chosen — typically the
     /// currently-open write streams.
@@ -72,6 +75,112 @@ impl VictimPolicy for GreedyVictimPolicy {
             }
         }
         best.map(|(addr, _)| addr)
+    }
+}
+
+/// The classic cost-benefit policy (Rosenblum & Ousterhout's LFS cleaner, as used
+/// by eNVy and countless FTLs since): reclaim the block maximising
+///
+/// ```text
+/// benefit   (1 - u)
+/// ------- = ------- x age
+///  cost       2u
+/// ```
+///
+/// where `u` is the block's valid-page utilisation (cost `2u`: read `u` to copy
+/// `u` back out) and `age` is the time since the block last changed — here the
+/// device's logical [modification clock](NandDevice::mod_seq) minus the block's
+/// [`last_modified`](vflash_nand::Block::last_modified) stamp. Old, mostly-stale
+/// blocks score highest; recently-written blocks are left alone because their
+/// remaining valid pages are likely to be invalidated for free soon ("hot" blocks
+/// clean themselves).
+///
+/// Fully-invalid blocks (`u = 0`) have infinite score and are always taken first,
+/// oldest first. Like the greedy policy, selection walks the device's
+/// O(candidates) [`gc_candidates`](NandDevice::gc_candidates) index; ties break
+/// towards the lowest address so victim choice is independent of the index's
+/// internal ordering.
+///
+/// **Pressure fallback:** when fewer than two blocks remain allocatable,
+/// cost-benefit scoring is only trusted for *copy-free* victims. Cost-benefit
+/// happily picks an old block that is still mostly valid, and relocating those
+/// valid pages consumes free pages *before* the erase returns any — with the
+/// pool nearly empty (a dual-stream FTL can need two fresh blocks for one
+/// relocation) that deadlocks the collector. Under pressure the policy
+/// therefore takes the oldest fully-invalid candidate — exactly what undiluted
+/// cost-benefit ranks first anyway — and only when no copy-free victim exists
+/// does it degrade to greedy (most invalid pages = fewest relocations), the
+/// emergency mode real FTLs reserve for this situation. Note that with the
+/// default `gc_trigger_free_blocks = 2` every collection *episode* starts under
+/// pressure, so its first victim may be a greedy choice; once the first erase
+/// replenishes the pool, subsequent selections use the full benefit/cost score.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CostBenefitVictimPolicy;
+
+impl CostBenefitVictimPolicy {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        CostBenefitVictimPolicy
+    }
+
+    /// Returns the benefit/cost score and the block's age in one lookup.
+    fn score(device: &NandDevice, addr: BlockAddr) -> (f64, u64) {
+        let block = device.block(addr).expect("candidate addresses are valid");
+        debug_assert_eq!(block.state(), BlockState::Full);
+        let age = device.mod_seq().saturating_sub(block.last_modified());
+        let utilisation = block.valid_pages() as f64 / block.len() as f64;
+        if utilisation == 0.0 {
+            // Copy-free victims: rank above every utilised block, oldest first.
+            return (f64::INFINITY, age);
+        }
+        ((1.0 - utilisation) / (2.0 * utilisation) * age as f64, age)
+    }
+}
+
+impl VictimPolicy for CostBenefitVictimPolicy {
+    fn select_victim(&self, device: &NandDevice, exclude: &[BlockAddr]) -> Option<BlockAddr> {
+        if device.available_blocks() < 2 {
+            // Pressure: only copy-free victims are guaranteed reclaimable
+            // without consuming free pages first. Take the oldest one (the
+            // cost-benefit order among infinite scores); greedy otherwise.
+            let mut best: Option<(BlockAddr, u64)> = None;
+            for addr in device.gc_candidates() {
+                if exclude.contains(&addr) {
+                    continue;
+                }
+                let block = device.block(addr).expect("candidate addresses are valid");
+                if block.valid_pages() > 0 {
+                    continue;
+                }
+                let age = device.mod_seq().saturating_sub(block.last_modified());
+                match best {
+                    Some((best_addr, best_age))
+                        if age < best_age || (age == best_age && addr > best_addr) => {}
+                    _ => best = Some((addr, age)),
+                }
+            }
+            return best
+                .map(|(addr, _)| addr)
+                .or_else(|| GreedyVictimPolicy::new().select_victim(device, exclude));
+        }
+        let mut best: Option<(BlockAddr, f64, u64)> = None;
+        for addr in device.gc_candidates() {
+            if exclude.contains(&addr) {
+                continue;
+            }
+            // Infinite scores tie among themselves; prefer the older block (it has
+            // waited longest), then the lower address, keeping selection fully
+            // deterministic.
+            let (score, age) = Self::score(device, addr);
+            match best {
+                Some((best_addr, best_score, best_age))
+                    if score < best_score
+                        || (score == best_score && age < best_age)
+                        || (score == best_score && age == best_age && addr > best_addr) => {}
+                _ => best = Some((addr, score, age)),
+            }
+        }
+        best.map(|(addr, _, _)| addr)
     }
 }
 
@@ -142,6 +251,65 @@ mod tests {
         dev.invalidate(b0.page(PageId(0))).unwrap();
         let policy = GreedyVictimPolicy::new();
         assert_eq!(policy.select_victim(&dev, &[]), None);
+    }
+
+    #[test]
+    fn cost_benefit_prefers_old_sparse_blocks_over_fresh_dense_ones() {
+        let mut dev = device();
+        let old_sparse = BlockAddr::new(ChipId(0), 0);
+        let fresh_dense = BlockAddr::new(ChipId(0), 1);
+        // The sparse block fills and invalidates first, then ages while the dense
+        // block is churned: its (1-u)/2u factor AND its age both win.
+        fill_block(&mut dev, old_sparse, 3); // u = 1/4
+        fill_block(&mut dev, fresh_dense, 1); // u = 3/4, freshly modified
+        let policy = CostBenefitVictimPolicy::new();
+        assert_eq!(policy.select_victim(&dev, &[]), Some(old_sparse));
+        // Greedy would agree here (more invalid pages) — the interesting case is
+        // below, where age overrules a slightly better utilisation.
+    }
+
+    #[test]
+    fn cost_benefit_lets_age_overrule_utilisation() {
+        let mut dev = device();
+        let aged = BlockAddr::new(ChipId(0), 0);
+        let recent = BlockAddr::new(ChipId(0), 1);
+        fill_block(&mut dev, aged, 2); // u = 1/2, modified early
+        // Lots of churn elsewhere makes `aged` old.
+        let churn = BlockAddr::new(ChipId(0), 2);
+        fill_block(&mut dev, churn, 4);
+        dev.erase(churn).unwrap();
+        fill_block(&mut dev, churn, 4);
+        dev.erase(churn).unwrap();
+        fill_block(&mut dev, recent, 3); // u = 1/4: better ratio, but brand new
+        let policy = CostBenefitVictimPolicy::new();
+        // score(aged) = (1/2)/(2*1/2) * age_aged, score(recent) = (3/4)/(1/2) * ~1.
+        // The churn ran age_aged far ahead, so the aged block wins despite keeping
+        // twice the valid data.
+        assert_eq!(policy.select_victim(&dev, &[]), Some(aged));
+        // Plain greedy picks the other one.
+        assert_eq!(GreedyVictimPolicy::new().select_victim(&dev, &[]), Some(recent));
+    }
+
+    #[test]
+    fn cost_benefit_takes_copy_free_victims_first() {
+        let mut dev = device();
+        let partial = BlockAddr::new(ChipId(0), 0);
+        let empty = BlockAddr::new(ChipId(0), 1);
+        fill_block(&mut dev, partial, 3);
+        fill_block(&mut dev, empty, 4); // fully invalid: infinite benefit/cost
+        let policy = CostBenefitVictimPolicy::new();
+        assert_eq!(policy.select_victim(&dev, &[]), Some(empty));
+        assert_eq!(policy.select_victim(&dev, &[empty]), Some(partial));
+    }
+
+    #[test]
+    fn cost_benefit_respects_exclusions_and_empty_devices() {
+        let mut dev = device();
+        let policy = CostBenefitVictimPolicy::new();
+        assert_eq!(policy.select_victim(&dev, &[]), None);
+        let b0 = BlockAddr::new(ChipId(0), 0);
+        fill_block(&mut dev, b0, 1);
+        assert_eq!(policy.select_victim(&dev, &[b0]), None);
     }
 
     #[test]

@@ -15,7 +15,10 @@
 //!
 //! The [`FlashTranslationLayer`] trait is the interface the trace-driven simulator
 //! drives; the PPB strategy in `vflash-ppb` implements the same trait so the two can
-//! be compared under identical workloads.
+//! be compared under identical workloads. The trait's entry point is the
+//! submission/completion pair [`IoRequest`] → [`Completion`] (host latency, per-chip
+//! op provenance, GC attribution); the scalar `read`/`write` methods are
+//! default-implemented wrappers over [`FlashTranslationLayer::submit`].
 //!
 //! # Example
 //!
@@ -44,6 +47,7 @@ mod allocator;
 mod config;
 mod conventional;
 mod error;
+mod io;
 mod mapping;
 mod metrics;
 mod traits;
@@ -54,7 +58,8 @@ pub use allocator::BlockAllocator;
 pub use config::FtlConfig;
 pub use conventional::ConventionalFtl;
 pub use error::FtlError;
-pub use gc::{GcOutcome, GreedyVictimPolicy, VictimPolicy};
+pub use gc::{CostBenefitVictimPolicy, GcOutcome, GreedyVictimPolicy, VictimPolicy};
+pub use io::{Completion, IoCommand, IoRequest};
 pub use mapping::MappingTable;
 pub use metrics::FtlMetrics;
 pub use traits::FlashTranslationLayer;

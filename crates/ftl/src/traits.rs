@@ -3,6 +3,7 @@
 use vflash_nand::{NandDevice, Nanos};
 
 use crate::error::FtlError;
+use crate::io::{Completion, IoRequest};
 use crate::metrics::FtlMetrics;
 use crate::types::Lpn;
 
@@ -13,6 +14,18 @@ use crate::types::Lpn;
 /// "conventional FTL vs FTL with PPB strategy" comparison a one-line swap in the
 /// experiment harness.
 ///
+/// # Submission/completion model
+///
+/// The required request entry point is [`submit`](FlashTranslationLayer::submit):
+/// one [`IoRequest`] in, one [`Completion`] out, carrying the host latency, the
+/// timed device operations charged (with their chips, when
+/// [op tracing](NandDevice::set_op_tracing) is enabled) and the GC attribution.
+/// The scalar [`read`](FlashTranslationLayer::read) and
+/// [`write`](FlashTranslationLayer::write) methods are default-implemented
+/// wrappers over `submit`, so existing call sites keep working unchanged —
+/// implementors migrating from the scalar API move their `read`/`write` bodies
+/// into `submit` and delete the scalar overrides.
+///
 /// The trait is object-safe so harness code can hold `Box<dyn FlashTranslationLayer>`.
 pub trait FlashTranslationLayer {
     /// A short human-readable name used in experiment reports
@@ -22,17 +35,35 @@ pub trait FlashTranslationLayer {
     /// Number of logical pages exported to the host.
     fn logical_pages(&self) -> u64;
 
+    /// Serves one submitted single-page request and returns its completion.
+    ///
+    /// The completion's `ops` list is populated only while the underlying device
+    /// has op tracing enabled (see [`NandDevice::set_op_tracing`]); with tracing
+    /// off the implementation must not pay for provenance collection.
+    ///
+    /// # Errors
+    ///
+    /// * [`FtlError::LpnOutOfRange`] if the request's LPN is beyond the exported
+    ///   capacity.
+    /// * [`FtlError::UnmappedRead`] for reads of never-written pages.
+    /// * [`FtlError::OutOfSpace`] for writes when garbage collection cannot free
+    ///   any space.
+    fn submit(&mut self, request: IoRequest) -> Result<Completion, FtlError>;
+
     /// Serves a host read of one logical page, returning the latency charged to the
-    /// host.
+    /// host. Wrapper over [`submit`](FlashTranslationLayer::submit).
     ///
     /// # Errors
     ///
     /// * [`FtlError::LpnOutOfRange`] if `lpn` is beyond the exported capacity.
     /// * [`FtlError::UnmappedRead`] if the page has never been written.
-    fn read(&mut self, lpn: Lpn) -> Result<Nanos, FtlError>;
+    fn read(&mut self, lpn: Lpn) -> Result<Nanos, FtlError> {
+        self.submit(IoRequest::read(lpn)).map(|completion| completion.latency)
+    }
 
     /// Serves a host write of one logical page, returning the latency charged to the
-    /// host (including any garbage-collection time incurred).
+    /// host (including any garbage-collection time incurred). Wrapper over
+    /// [`submit`](FlashTranslationLayer::submit).
     ///
     /// `request_bytes` is the size of the *original* host request this page write
     /// belongs to; first-stage hot/cold classifiers such as the request-size check use
@@ -42,13 +73,21 @@ pub trait FlashTranslationLayer {
     ///
     /// * [`FtlError::LpnOutOfRange`] if `lpn` is beyond the exported capacity.
     /// * [`FtlError::OutOfSpace`] if garbage collection cannot free any space.
-    fn write(&mut self, lpn: Lpn, request_bytes: u32) -> Result<Nanos, FtlError>;
+    fn write(&mut self, lpn: Lpn, request_bytes: u32) -> Result<Nanos, FtlError> {
+        self.submit(IoRequest::write(lpn, request_bytes)).map(|completion| completion.latency)
+    }
 
     /// Cumulative host and GC metrics.
     fn metrics(&self) -> &FtlMetrics;
 
     /// The underlying device, for wear and state inspection.
     fn device(&self) -> &NandDevice;
+
+    /// Mutable access to the underlying device, for *instrumentation only* —
+    /// enabling op tracing, resetting statistics. Callers must not mutate flash
+    /// state (program/invalidate/erase) behind the FTL's back: the mapping table
+    /// and area bookkeeping would not follow.
+    fn device_mut(&mut self) -> &mut NandDevice;
 }
 
 #[cfg(test)]
@@ -59,5 +98,48 @@ mod tests {
     fn trait_is_object_safe() {
         fn _takes_boxed(_: &mut dyn FlashTranslationLayer) {}
         fn _holds_boxed(_: Box<dyn FlashTranslationLayer>) {}
+    }
+
+    /// The default scalar wrappers forward to `submit` and unwrap the latency.
+    #[test]
+    fn scalar_wrappers_forward_to_submit() {
+        struct Recorder {
+            metrics: FtlMetrics,
+            device: NandDevice,
+            submitted: Vec<IoRequest>,
+        }
+        impl FlashTranslationLayer for Recorder {
+            fn name(&self) -> &str {
+                "recorder"
+            }
+            fn logical_pages(&self) -> u64 {
+                16
+            }
+            fn submit(&mut self, request: IoRequest) -> Result<Completion, FtlError> {
+                self.submitted.push(request);
+                Ok(Completion::new(Nanos::from_micros(7)))
+            }
+            fn metrics(&self) -> &FtlMetrics {
+                &self.metrics
+            }
+            fn device(&self) -> &NandDevice {
+                &self.device
+            }
+            fn device_mut(&mut self) -> &mut NandDevice {
+                &mut self.device
+            }
+        }
+
+        let mut ftl = Recorder {
+            metrics: FtlMetrics::new(),
+            device: NandDevice::new(vflash_nand::NandConfig::small()),
+            submitted: Vec::new(),
+        };
+        assert_eq!(ftl.read(Lpn(3)).unwrap(), Nanos::from_micros(7));
+        assert_eq!(ftl.write(Lpn(4), 512).unwrap(), Nanos::from_micros(7));
+        assert_eq!(
+            ftl.submitted,
+            vec![IoRequest::read(Lpn(3)), IoRequest::write(Lpn(4), 512)]
+        );
     }
 }

@@ -43,6 +43,7 @@ pub struct Block {
     write_pointer: usize,
     valid_pages: usize,
     erase_count: u64,
+    last_modified: u64,
 }
 
 impl Block {
@@ -58,6 +59,7 @@ impl Block {
             write_pointer: 0,
             valid_pages: 0,
             erase_count: 0,
+            last_modified: 0,
         }
     }
 
@@ -123,6 +125,21 @@ impl Block {
     /// How many times this block has been erased (wear).
     pub fn erase_count(&self) -> u64 {
         self.erase_count
+    }
+
+    /// The device's logical modification clock
+    /// ([`NandDevice::mod_seq`](crate::NandDevice::mod_seq)) at the last program,
+    /// invalidation or erase of this block. Cost-benefit garbage collection uses
+    /// `mod_seq - last_modified` as the block's *age*: blocks whose contents have
+    /// been stable for long are cheap to clean because their remaining valid data
+    /// is unlikely to be invalidated soon.
+    pub fn last_modified(&self) -> u64 {
+        self.last_modified
+    }
+
+    /// Stamps the block with the device's current modification clock.
+    pub(crate) fn touch(&mut self, seq: u64) {
+        self.last_modified = seq;
     }
 
     /// Whether every programmed page is stale, making the block an ideal, copy-free

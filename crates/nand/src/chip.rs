@@ -180,6 +180,12 @@ impl Chip {
         self.busy_time += latency;
     }
 
+    /// Stamps a block with the device's modification clock (see
+    /// [`Block::last_modified`]).
+    pub(crate) fn touch_block(&mut self, index: usize, seq: u64) {
+        self.blocks[index].touch(seq);
+    }
+
     /// Programs the next free page of a block, maintaining the accounting.
     pub(crate) fn program_block(&mut self, index: usize) -> Option<PageId> {
         let was_free = self.blocks[index].state() == BlockState::Free;

@@ -6,6 +6,7 @@ use crate::chip::Chip;
 use crate::config::NandConfig;
 use crate::error::NandError;
 use crate::latency::LatencyModel;
+use crate::provenance::{OpKind, OpRecord};
 use crate::stats::DeviceStats;
 use crate::time::Nanos;
 
@@ -60,6 +61,15 @@ pub struct NandDevice {
     stats: DeviceStats,
     /// Next chip to try for round-robin block allocation.
     next_alloc_chip: usize,
+    /// Logical modification clock: incremented by every state-changing operation
+    /// (program, invalidate, erase). Blocks record the clock at their last change,
+    /// which is what cost-benefit garbage collection uses as block age.
+    mod_seq: u64,
+    /// Whether timed operations are recorded into `op_trace`.
+    trace_ops: bool,
+    /// Provenance of timed operations since the last [`NandDevice::drain_ops`],
+    /// only populated while `trace_ops` is set.
+    op_trace: Vec<OpRecord>,
 }
 
 impl NandDevice {
@@ -69,7 +79,16 @@ impl NandDevice {
         let chips = (0..config.chips())
             .map(|_| Chip::new(config.blocks_per_chip(), config.pages_per_block()))
             .collect();
-        NandDevice { config, latency, chips, stats: DeviceStats::new(), next_alloc_chip: 0 }
+        NandDevice {
+            config,
+            latency,
+            chips,
+            stats: DeviceStats::new(),
+            next_alloc_chip: 0,
+            mod_seq: 0,
+            trace_ops: false,
+            op_trace: Vec::new(),
+        }
     }
 
     /// The configuration this device was built from.
@@ -90,6 +109,59 @@ impl NandDevice {
     /// Resets the cumulative statistics to zero without touching flash state.
     pub fn reset_stats(&mut self) {
         self.stats = DeviceStats::new();
+    }
+
+    /// The logical modification clock: a counter incremented by every
+    /// state-changing operation (program, invalidate, erase). The difference
+    /// between this and a block's [`Block::last_modified`] is the block's *age* in
+    /// the cost-benefit garbage-collection sense.
+    pub fn mod_seq(&self) -> u64 {
+        self.mod_seq
+    }
+
+    /// Enables or disables op-provenance tracing (see [`OpRecord`]). Toggling
+    /// clears any buffered records, so the first [`NandDevice::drain_ops`] after
+    /// enabling only sees operations performed since.
+    ///
+    /// Off by default: when disabled, operations cost one predictable branch and
+    /// [`NandDevice::drain_ops`] returns an empty vector without allocating.
+    pub fn set_op_tracing(&mut self, enabled: bool) {
+        self.trace_ops = enabled;
+        self.op_trace.clear();
+    }
+
+    /// Whether op-provenance tracing is currently enabled.
+    pub fn op_tracing(&self) -> bool {
+        self.trace_ops
+    }
+
+    /// Takes the timed operations recorded since the last drain (empty when
+    /// tracing is disabled). FTLs call this once per host request to report which
+    /// chip clocks the request advanced — including any garbage-collection work
+    /// performed on the request's behalf.
+    pub fn drain_ops(&mut self) -> Vec<OpRecord> {
+        std::mem::take(&mut self.op_trace)
+    }
+
+    /// Hands a consumed completion's op buffer back for reuse. [`drain_ops`]
+    /// moves the trace buffer out wholesale, so without recycling every traced
+    /// request pays a fresh allocation; a replayer that recycles each
+    /// completion's `ops` keeps the steady-state allocation count at zero. The
+    /// buffer is dropped instead if records are pending or it has no more
+    /// capacity than the current one.
+    ///
+    /// [`drain_ops`]: NandDevice::drain_ops
+    pub fn recycle_ops(&mut self, mut buffer: Vec<OpRecord>) {
+        if self.op_trace.is_empty() && buffer.capacity() > self.op_trace.capacity() {
+            buffer.clear();
+            self.op_trace = buffer;
+        }
+    }
+
+    fn record_op(&mut self, chip: ChipId, kind: OpKind, latency: Nanos) {
+        if self.trace_ops {
+            self.op_trace.push(OpRecord::new(chip, kind, latency));
+        }
     }
 
     /// Immutable access to one chip.
@@ -232,6 +304,7 @@ impl NandDevice {
         let latency = self.latency.read_total(addr.page());
         self.stats.record_read(latency);
         self.chips[addr.block().chip().0].add_busy(latency);
+        self.record_op(addr.block().chip(), OpKind::Read, latency);
         Ok(latency)
     }
 
@@ -267,7 +340,11 @@ impl NandDevice {
         self.chip_for(block)?.program_block(block.index());
         let latency = self.latency.program_total(page);
         self.stats.record_program(latency);
-        self.chips[block.chip().0].add_busy(latency);
+        self.mod_seq += 1;
+        let chip = &mut self.chips[block.chip().0];
+        chip.add_busy(latency);
+        chip.touch_block(block.index(), self.mod_seq);
+        self.record_op(block.chip(), OpKind::Program, latency);
         Ok(latency)
     }
 
@@ -301,7 +378,10 @@ impl NandDevice {
         }
         self.chip_for(addr.block())?
             .invalidate_page(addr.block().index(), addr.page())
-            .map_err(|state| NandError::PageNotValid { page: addr, actual: state.label() })
+            .map_err(|state| NandError::PageNotValid { page: addr, actual: state.label() })?;
+        self.mod_seq += 1;
+        self.chips[addr.block().chip().0].touch_block(addr.block().index(), self.mod_seq);
+        Ok(())
     }
 
     /// Erases a block, returning the erase latency. The block re-enters the
@@ -324,7 +404,11 @@ impl NandDevice {
         self.chip_for(block)?.erase_block(block.index());
         let latency = self.latency.erase_latency();
         self.stats.record_erase(latency);
-        self.chips[block.chip().0].add_busy(latency);
+        self.mod_seq += 1;
+        let chip = &mut self.chips[block.chip().0];
+        chip.add_busy(latency);
+        chip.touch_block(block.index(), self.mod_seq);
+        self.record_op(block.chip(), OpKind::Erase, latency);
         Ok(latency)
     }
 }
@@ -525,6 +609,94 @@ mod tests {
             device.chip_busy_time(ChipId(9)),
             Err(NandError::ChipOutOfRange { .. })
         ));
+    }
+
+    #[test]
+    fn op_tracing_records_provenance_only_while_enabled() {
+        let mut device = small_device();
+        let block = device.any_free_block().unwrap();
+        device.program(block, PageId(0)).unwrap();
+        assert!(device.drain_ops().is_empty(), "tracing is off by default");
+        assert!(!device.op_tracing());
+
+        device.set_op_tracing(true);
+        assert!(device.op_tracing());
+        let program = device.program(block, PageId(1)).unwrap();
+        let read = device.read(block.page(PageId(0))).unwrap();
+        device.invalidate(block.page(PageId(0))).unwrap();
+        let ops = device.drain_ops();
+        assert_eq!(
+            ops,
+            vec![
+                OpRecord::new(block.chip(), OpKind::Program, program),
+                OpRecord::new(block.chip(), OpKind::Read, read),
+            ],
+            "invalidate takes no device time and must not be recorded"
+        );
+        assert!(device.drain_ops().is_empty(), "drain consumes the buffer");
+
+        device.invalidate(block.page(PageId(1))).unwrap();
+        let erase = device.erase(block).unwrap();
+        assert_eq!(device.drain_ops(), vec![OpRecord::new(block.chip(), OpKind::Erase, erase)]);
+
+        device.set_op_tracing(false);
+        device.program(block, PageId(0)).unwrap();
+        assert!(device.drain_ops().is_empty());
+    }
+
+    #[test]
+    fn recycled_op_buffers_are_reused_without_reallocating() {
+        let mut device = small_device();
+        let block = device.any_free_block().unwrap();
+        device.set_op_tracing(true);
+        device.program(block, PageId(0)).unwrap();
+        let mut ops = device.drain_ops();
+        ops.reserve(32);
+        let capacity = ops.capacity();
+        let pointer = ops.as_ptr();
+        device.recycle_ops(ops);
+        device.program(block, PageId(1)).unwrap();
+        let reused = device.drain_ops();
+        assert_eq!(reused.len(), 1);
+        assert_eq!(reused.capacity(), capacity, "recycled capacity must survive");
+        assert_eq!(reused.as_ptr(), pointer, "same buffer, no reallocation");
+        device.recycle_ops(reused);
+        device.program(block, PageId(2)).unwrap();
+        // Pending records are never discarded by a recycle.
+        device.recycle_ops(Vec::with_capacity(1024));
+        assert_eq!(device.drain_ops().len(), 1, "pending records survived");
+    }
+
+    #[test]
+    fn toggling_op_tracing_clears_buffered_records() {
+        let mut device = small_device();
+        let block = device.any_free_block().unwrap();
+        device.set_op_tracing(true);
+        device.program(block, PageId(0)).unwrap();
+        device.set_op_tracing(true);
+        assert!(device.drain_ops().is_empty(), "re-enabling drops stale records");
+    }
+
+    #[test]
+    fn mod_seq_advances_on_state_changes_and_stamps_blocks() {
+        let mut device = small_device();
+        assert_eq!(device.mod_seq(), 0);
+        let block = device.any_free_block().unwrap();
+        device.program(block, PageId(0)).unwrap();
+        assert_eq!(device.mod_seq(), 1);
+        assert_eq!(device.block(block).unwrap().last_modified(), 1);
+        // Reads do not advance the clock.
+        device.read(block.page(PageId(0))).unwrap();
+        assert_eq!(device.mod_seq(), 1);
+        device.invalidate(block.page(PageId(0))).unwrap();
+        assert_eq!(device.mod_seq(), 2);
+        assert_eq!(device.block(block).unwrap().last_modified(), 2);
+        device.erase(block).unwrap();
+        assert_eq!(device.mod_seq(), 3);
+        assert_eq!(device.block(block).unwrap().last_modified(), 3);
+        // Untouched blocks keep their stamp, so their age keeps growing.
+        let other = device.any_free_block().unwrap();
+        assert_eq!(device.block(other).unwrap().last_modified(), 0);
     }
 
     #[test]

@@ -70,6 +70,7 @@ mod device;
 mod error;
 mod latency;
 mod page;
+mod provenance;
 mod stats;
 mod time;
 
@@ -81,5 +82,6 @@ pub use device::NandDevice;
 pub use error::NandError;
 pub use latency::{LatencyModel, SpeedClass, SpeedProfile};
 pub use page::{Page, PageState};
+pub use provenance::{OpKind, OpRecord};
 pub use stats::{DeviceStats, OpCounts};
 pub use time::Nanos;

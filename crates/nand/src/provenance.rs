@@ -1,0 +1,75 @@
+//! Op-provenance records: which chip serviced which operation, and for how long.
+//!
+//! The queued replayer in `vflash-sim` models queue-depth > 1 by overlapping
+//! requests that land on different chips. To do that it must know, for every host
+//! request the FTL serves, **which chip clocks the request advanced** — including
+//! the garbage-collection reads, programs and erases the FTL performed on the
+//! request's behalf. The device records that provenance when
+//! [`NandDevice::set_op_tracing`](crate::NandDevice::set_op_tracing) is enabled,
+//! and FTLs drain it into each completion via
+//! [`NandDevice::drain_ops`](crate::NandDevice::drain_ops).
+//!
+//! Tracing is off by default and costs a single predictable branch per operation
+//! when disabled, so the scalar replay hot path is unaffected.
+
+use crate::address::ChipId;
+use crate::time::Nanos;
+
+/// The kind of a timed device operation.
+///
+/// Mapping-table updates ([`NandDevice::invalidate`](crate::NandDevice::invalidate))
+/// take no device time and therefore produce no record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// A page read (sensing + transfer).
+    Read,
+    /// A page program.
+    Program,
+    /// A block erase.
+    Erase,
+}
+
+impl std::fmt::Display for OpKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            OpKind::Read => "read",
+            OpKind::Program => "program",
+            OpKind::Erase => "erase",
+        })
+    }
+}
+
+/// One timed device operation: the chip whose busy clock it advanced, what it was,
+/// and how long it took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OpRecord {
+    /// The chip that serviced the operation.
+    pub chip: ChipId,
+    /// What the operation was.
+    pub kind: OpKind,
+    /// How long the chip was busy with it.
+    pub latency: Nanos,
+}
+
+impl OpRecord {
+    /// Creates a record.
+    pub fn new(chip: ChipId, kind: OpKind, latency: Nanos) -> Self {
+        OpRecord { chip, kind, latency }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_carry_their_fields() {
+        let record = OpRecord::new(ChipId(3), OpKind::Erase, Nanos::from_millis(4));
+        assert_eq!(record.chip, ChipId(3));
+        assert_eq!(record.kind, OpKind::Erase);
+        assert_eq!(record.latency, Nanos::from_millis(4));
+        assert_eq!(OpKind::Read.to_string(), "read");
+        assert_eq!(OpKind::Program.to_string(), "program");
+        assert_eq!(OpKind::Erase.to_string(), "erase");
+    }
+}

@@ -10,12 +10,16 @@
 //! [`vflash_trace::synthetic`]; see `DESIGN.md` for the substitution rationale.
 
 use vflash_ftl::hotcold::{FreqTable, MultiHash, TwoLevelLru};
-use vflash_ftl::{ConventionalFtl, FtlConfig, FtlError};
+use vflash_ftl::{
+    ConventionalFtl, CostBenefitVictimPolicy, FtlConfig, FtlError, GreedyVictimPolicy,
+    VictimPolicy, WearAwareVictimPolicy,
+};
 use vflash_nand::{NandConfig, NandDevice, Nanos};
 use vflash_ppb::{PpbConfig, PpbFtl};
 use vflash_trace::synthetic::{self, SyntheticConfig};
 use vflash_trace::Trace;
 
+use crate::queued::QueuedReplayer;
 use crate::replay::{Replayer, RunOptions};
 use crate::report::{Comparison, RunSummary};
 
@@ -24,6 +28,9 @@ pub const SPEED_RATIOS: [f64; 4] = [2.0, 3.0, 4.0, 5.0];
 
 /// The page sizes compared in Figures 12 and 15.
 pub const PAGE_SIZES: [usize; 2] = [8 * 1024, 16 * 1024];
+
+/// The queue depths every figure can additionally be swept over.
+pub const QUEUE_DEPTHS: [usize; 4] = [1, 4, 16, 64];
 
 /// The two workloads of the evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -177,14 +184,42 @@ fn replayer() -> Replayer {
     Replayer::new(RunOptions::default())
 }
 
+/// Replays an FTL at a queue depth: the serial [`Replayer`] at depth 1 (the two are
+/// bit-identical, and the serial path skips op tracing), the event-driven
+/// [`QueuedReplayer`] above.
+fn replay_at_depth<F: vflash_ftl::FlashTranslationLayer>(
+    ftl: F,
+    trace: &Trace,
+    queue_depth: usize,
+) -> Result<RunSummary, FtlError> {
+    if queue_depth == 1 {
+        replayer().run(ftl, trace)
+    } else {
+        QueuedReplayer::new(RunOptions::default(), queue_depth).run(ftl, trace)
+    }
+}
+
 /// Replays `trace` against the conventional FTL on a device built from `config`.
 ///
 /// # Errors
 ///
 /// Propagates FTL construction and replay errors.
 pub fn run_conventional(trace: &Trace, config: &NandConfig) -> Result<RunSummary, FtlError> {
+    run_conventional_at_depth(trace, config, 1)
+}
+
+/// Like [`run_conventional`], at an explicit queue depth.
+///
+/// # Errors
+///
+/// Propagates FTL construction and replay errors.
+pub fn run_conventional_at_depth(
+    trace: &Trace,
+    config: &NandConfig,
+    queue_depth: usize,
+) -> Result<RunSummary, FtlError> {
     let ftl = ConventionalFtl::new(NandDevice::new(config.clone()), FtlConfig::default())?;
-    replayer().run(ftl, trace)
+    replay_at_depth(ftl, trace, queue_depth)
 }
 
 /// Replays `trace` against the PPB FTL (default configuration and classifier) on a
@@ -195,6 +230,21 @@ pub fn run_conventional(trace: &Trace, config: &NandConfig) -> Result<RunSummary
 /// Propagates FTL construction and replay errors.
 pub fn run_ppb(trace: &Trace, config: &NandConfig) -> Result<RunSummary, FtlError> {
     run_ppb_with(trace, config, PpbConfig::default(), Classifier::SizeCheck)
+}
+
+/// Like [`run_ppb`], at an explicit queue depth. Shares [`run_ppb_with`]'s
+/// construction path, so the defaults (configuration and classifier) can never
+/// diverge between the serial figures and the queue-depth/grid rows.
+///
+/// # Errors
+///
+/// Propagates FTL construction and replay errors.
+pub fn run_ppb_at_depth(
+    trace: &Trace,
+    config: &NandConfig,
+    queue_depth: usize,
+) -> Result<RunSummary, FtlError> {
+    run_ppb_with_at_depth(trace, config, PpbConfig::default(), Classifier::SizeCheck, queue_depth)
 }
 
 /// Replays `trace` against the PPB FTL with an explicit configuration and first-stage
@@ -209,22 +259,31 @@ pub fn run_ppb_with(
     ppb: PpbConfig,
     classifier: Classifier,
 ) -> Result<RunSummary, FtlError> {
+    run_ppb_with_at_depth(trace, config, ppb, classifier, 1)
+}
+
+/// The single construction + replay path every `run_ppb*` helper funnels into.
+fn run_ppb_with_at_depth(
+    trace: &Trace,
+    config: &NandConfig,
+    ppb: PpbConfig,
+    classifier: Classifier,
+    queue_depth: usize,
+) -> Result<RunSummary, FtlError> {
     let device = NandDevice::new(config.clone());
-    let page_size = config.page_size_bytes() as u32;
     match classifier {
-        Classifier::SizeCheck => replayer().run(PpbFtl::new(device, ppb)?, trace),
+        Classifier::SizeCheck => replay_at_depth(PpbFtl::new(device, ppb)?, trace, queue_depth),
         Classifier::TwoLevelLru => {
             let lru = TwoLevelLru::new(4096, 4096);
-            replayer().run(PpbFtl::with_classifier(device, ppb, lru)?, trace)
+            replay_at_depth(PpbFtl::with_classifier(device, ppb, lru)?, trace, queue_depth)
         }
         Classifier::FreqTable => {
             let table = FreqTable::new(2, 100_000);
-            replayer().run(PpbFtl::with_classifier(device, ppb, table)?, trace)
+            replay_at_depth(PpbFtl::with_classifier(device, ppb, table)?, trace, queue_depth)
         }
         Classifier::MultiHash => {
             let sketch = MultiHash::new(1 << 16, 2, 2, 100_000);
-            let _ = page_size;
-            replayer().run(PpbFtl::with_classifier(device, ppb, sketch)?, trace)
+            replay_at_depth(PpbFtl::with_classifier(device, ppb, sketch)?, trace, queue_depth)
         }
     }
 }
@@ -388,6 +447,132 @@ pub fn ablation_virtual_blocks(
     Ok(rows)
 }
 
+/// One row of the queue-depth sweep: both FTLs replaying the same trace at one
+/// depth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueueDepthRow {
+    /// Queue depth of this row.
+    pub queue_depth: usize,
+    /// The conventional FTL's summary (with percentiles and achieved IOPS).
+    pub conventional: RunSummary,
+    /// The PPB FTL's summary.
+    pub ppb: RunSummary,
+}
+
+/// The queue-depth sweep: both FTLs replay one workload at QD ∈
+/// [`QUEUE_DEPTHS`] on the same multi-chip device (16 KB pages, 2x speed
+/// difference). Device state evolves identically at every depth — only the timing
+/// overlay changes — so differences in IOPS and tail latency are attributable to
+/// queuing alone.
+///
+/// # Errors
+///
+/// Propagates FTL construction and replay errors.
+pub fn queue_depth_sweep(
+    workload: Workload,
+    scale: &ExperimentScale,
+) -> Result<Vec<QueueDepthRow>, FtlError> {
+    let trace = workload.trace(scale);
+    let config = scale.device_config(16 * 1024, 2.0);
+    let mut rows = Vec::new();
+    for &queue_depth in &QUEUE_DEPTHS {
+        rows.push(QueueDepthRow {
+            queue_depth,
+            conventional: run_conventional_at_depth(&trace, &config, queue_depth)?,
+            ppb: run_ppb_at_depth(&trace, &config, queue_depth)?,
+        });
+    }
+    Ok(rows)
+}
+
+/// Garbage-collection victim-selection policies compared in the Figure 18
+/// ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GcPolicy {
+    /// Most invalid pages first (the default everywhere else).
+    Greedy,
+    /// Greedy score with a wear penalty per prior erase.
+    WearAware,
+    /// Rosenblum & Ousterhout's `(1-u)/2u x age` benefit/cost selector.
+    CostBenefit,
+}
+
+impl GcPolicy {
+    /// All policies, in report order.
+    pub const ALL: [GcPolicy; 3] = [GcPolicy::Greedy, GcPolicy::WearAware, GcPolicy::CostBenefit];
+
+    /// The label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            GcPolicy::Greedy => "greedy",
+            GcPolicy::WearAware => "wear-aware",
+            GcPolicy::CostBenefit => "cost-benefit",
+        }
+    }
+
+    /// Builds the policy object.
+    pub fn build(self) -> Box<dyn VictimPolicy> {
+        match self {
+            GcPolicy::Greedy => Box::new(GreedyVictimPolicy::new()),
+            GcPolicy::WearAware => Box::new(WearAwareVictimPolicy::default()),
+            GcPolicy::CostBenefit => Box::new(CostBenefitVictimPolicy::new()),
+        }
+    }
+}
+
+impl std::fmt::Display for GcPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One row of the Figure 18 policy ablation: erased-block counts of both FTLs
+/// under one victim policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyEraseRow {
+    /// Workload the row belongs to.
+    pub workload: Workload,
+    /// Victim policy both FTLs used.
+    pub policy: GcPolicy,
+    /// Blocks erased under the conventional FTL.
+    pub conventional: u64,
+    /// Blocks erased under the PPB FTL.
+    pub ppb: u64,
+}
+
+/// Figure 18 ablation: erased-block counts for both workloads under every victim
+/// policy in [`GcPolicy::ALL`] (2x speed difference, 16 KB pages). The `greedy`
+/// rows coincide with [`erase_count_rows`].
+///
+/// # Errors
+///
+/// Propagates FTL construction and replay errors.
+pub fn erase_count_by_policy(scale: &ExperimentScale) -> Result<Vec<PolicyEraseRow>, FtlError> {
+    let mut rows = Vec::new();
+    for workload in Workload::ALL {
+        let trace = workload.trace(scale);
+        let config = scale.device_config(16 * 1024, 2.0);
+        for policy in GcPolicy::ALL {
+            let mut conventional =
+                ConventionalFtl::new(NandDevice::new(config.clone()), FtlConfig::default())?;
+            conventional.set_victim_policy(policy.build());
+            let baseline = replayer().run(conventional, &trace)?;
+
+            let mut ppb = PpbFtl::new(NandDevice::new(config.clone()), PpbConfig::default())?;
+            ppb.set_victim_policy(policy.build());
+            let variant = replayer().run(ppb, &trace)?;
+
+            rows.push(PolicyEraseRow {
+                workload,
+                policy,
+                conventional: baseline.erased_blocks,
+                ppb: variant.erased_blocks,
+            });
+        }
+    }
+    Ok(rows)
+}
+
 /// Ablation: read enhancement as a function of the first-stage hot/cold classifier.
 ///
 /// # Errors
@@ -490,5 +675,58 @@ mod tests {
         let labels: std::collections::HashSet<_> =
             Classifier::ALL.iter().map(|classifier| classifier.label()).collect();
         assert_eq!(labels.len(), Classifier::ALL.len());
+    }
+
+    #[test]
+    fn queue_depth_sweep_covers_every_depth_and_reports_percentiles() {
+        let scale = ExperimentScale {
+            requests: 800,
+            chips: 4,
+            ..ExperimentScale::quick()
+        };
+        let rows = queue_depth_sweep(Workload::MediaServer, &scale).unwrap();
+        let depths: Vec<usize> = rows.iter().map(|row| row.queue_depth).collect();
+        assert_eq!(depths, QUEUE_DEPTHS.to_vec());
+        for row in &rows {
+            assert_eq!(row.conventional.queue_depth, row.queue_depth);
+            assert_eq!(row.ppb.queue_depth, row.queue_depth);
+            assert!(row.conventional.request_iops() > 0.0);
+            assert!(row.conventional.read_latency.max >= row.conventional.read_latency.p99);
+        }
+        // Device-state evolution is depth-invariant: the same reads/writes/erases
+        // happened at every depth.
+        assert!(rows.windows(2).all(|pair| {
+            pair[0].conventional.host_reads == pair[1].conventional.host_reads
+                && pair[0].conventional.erased_blocks == pair[1].conventional.erased_blocks
+        }));
+        // On a multi-chip device the media-server (read-dominant) workload gains
+        // throughput from depth.
+        let qd1 = &rows[0];
+        let qd64 = rows.iter().find(|row| row.queue_depth == 64).unwrap();
+        assert!(
+            qd64.conventional.request_iops() > qd1.conventional.request_iops(),
+            "QD64 {} IOPS should beat QD1 {}",
+            qd64.conventional.request_iops(),
+            qd1.conventional.request_iops()
+        );
+    }
+
+    #[test]
+    fn policy_ablation_covers_the_grid_and_matches_fig18_for_greedy() {
+        let scale = ExperimentScale { requests: 3_000, ..ExperimentScale::quick() };
+        let rows = erase_count_by_policy(&scale).unwrap();
+        assert_eq!(rows.len(), Workload::ALL.len() * GcPolicy::ALL.len());
+        let fig18 = erase_count_rows(&scale).unwrap();
+        for baseline in &fig18 {
+            let greedy = rows
+                .iter()
+                .find(|row| row.workload == baseline.workload && row.policy == GcPolicy::Greedy)
+                .unwrap();
+            assert_eq!(greedy.conventional, baseline.conventional);
+            assert_eq!(greedy.ppb, baseline.ppb);
+        }
+        let labels: std::collections::HashSet<_> =
+            GcPolicy::ALL.iter().map(|policy| policy.label()).collect();
+        assert_eq!(labels.len(), GcPolicy::ALL.len());
     }
 }

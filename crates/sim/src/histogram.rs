@@ -1,0 +1,279 @@
+//! Fixed-bucket latency histograms and the percentile summaries derived from them.
+//!
+//! The replayers record one completion latency per host request. Storing every
+//! sample would cost memory proportional to the trace; instead samples land in a
+//! **log-linear fixed-bucket histogram** (the HdrHistogram layout): values below
+//! 2^[`SUB_BITS`] are exact, larger values fall into buckets of
+//! 2^[`SUB_BITS`] sub-buckets per power of two, bounding the relative error of any
+//! reported percentile at `1 / 2^SUB_BITS` (≈ 3%) while keeping the structure a
+//! flat array of counters. Recording is O(1) and branch-light; percentile queries
+//! walk the array once.
+
+use std::fmt;
+
+use vflash_nand::Nanos;
+
+/// Sub-bucket resolution: 2^5 = 32 sub-buckets per power of two (≤ 3.2% relative
+/// error on any percentile).
+const SUB_BITS: u32 = 5;
+const SUB_COUNT: u64 = 1 << SUB_BITS;
+/// Bucket count: the exact region (values < 2^SUB_BITS) plus 2^SUB_BITS
+/// sub-buckets for each of the remaining 64 - SUB_BITS powers of two.
+const BUCKETS: usize = (SUB_COUNT + (64 - SUB_BITS) as u64 * SUB_COUNT) as usize;
+
+/// A fixed-size log-linear histogram of nanosecond latencies.
+///
+/// Equality is structural (bucket-by-bucket), which is what the queue-depth-1
+/// bit-identity tests rely on: two replays recording identical per-request
+/// latencies produce identical histograms and therefore identical percentile
+/// summaries.
+#[derive(Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    max: Nanos,
+    sum: Nanos,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram { counts: vec![0; BUCKETS], total: 0, max: Nanos::ZERO, sum: Nanos::ZERO }
+    }
+
+    /// The bucket index of a value: exact below `SUB_COUNT`, log-linear above —
+    /// for a value in the octave `[2^e, 2^(e+1))` the sub-bucket is the `SUB_BITS`
+    /// bits after the leading 1.
+    fn index(value: u64) -> usize {
+        if value < SUB_COUNT {
+            return value as usize;
+        }
+        let exponent = 63 - u64::from(value.leading_zeros()); // >= SUB_BITS
+        let sub = (value >> (exponent - u64::from(SUB_BITS))) - SUB_COUNT; // 0..SUB_COUNT
+        (SUB_COUNT + (exponent - u64::from(SUB_BITS)) * SUB_COUNT + sub) as usize
+    }
+
+    /// The largest value a bucket represents (its inclusive upper bound); this is
+    /// what percentile queries report, so reported percentiles never understate.
+    fn upper_bound(index: usize) -> u64 {
+        let index = index as u64;
+        if index < SUB_COUNT {
+            return index;
+        }
+        let offset = index - SUB_COUNT;
+        let exponent = u64::from(SUB_BITS) + offset / SUB_COUNT;
+        let sub = offset % SUB_COUNT;
+        let shift = exponent - u64::from(SUB_BITS);
+        let lower = (SUB_COUNT + sub) << shift;
+        let width = 1u64 << shift;
+        lower + (width - 1)
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, latency: Nanos) {
+        self.counts[Self::index(latency.as_nanos())] += 1;
+        self.total += 1;
+        self.sum += latency;
+        if latency > self.max {
+            self.max = latency;
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// The exact largest recorded sample ([`Nanos::ZERO`] when empty).
+    pub fn max(&self) -> Nanos {
+        self.max
+    }
+
+    /// The mean of the recorded samples ([`Nanos::ZERO`] when empty).
+    pub fn mean(&self) -> Nanos {
+        if self.total == 0 {
+            Nanos::ZERO
+        } else {
+            self.sum / self.total
+        }
+    }
+
+    /// The value at quantile `q` (e.g. `0.99` for p99): the upper bound of the
+    /// bucket holding the sample of rank `ceil(q x count)`. [`Nanos::ZERO`] when
+    /// the histogram is empty. The exact maximum is reported for `q = 1.0` (and
+    /// whenever the crossing bucket is the last occupied one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not in `0.0..=1.0`.
+    pub fn quantile(&self, q: f64) -> Nanos {
+        assert!((0.0..=1.0).contains(&q), "quantile must be within 0..=1, got {q}");
+        if self.total == 0 {
+            return Nanos::ZERO;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (index, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                // Never report beyond the true maximum (the last occupied
+                // bucket's upper bound can overshoot it).
+                return Nanos(Self::upper_bound(index)).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The four headline percentiles as a [`LatencyPercentiles`] summary.
+    pub fn percentiles(&self) -> LatencyPercentiles {
+        LatencyPercentiles {
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+            max: self.max,
+        }
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.total)
+            .field("mean", &self.mean())
+            .field("max", &self.max)
+            .finish()
+    }
+}
+
+/// Per-request completion-latency percentiles of one replay, derived from a
+/// [`LatencyHistogram`].
+///
+/// `p50`/`p95`/`p99` carry the histogram's ≤ 3.2% bucket rounding (always rounding
+/// *up*, so tails are never understated); `max` is exact. All-zero when the replay
+/// served no request of the corresponding kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencyPercentiles {
+    /// Median per-request completion latency.
+    pub p50: Nanos,
+    /// 95th-percentile per-request completion latency.
+    pub p95: Nanos,
+    /// 99th-percentile per-request completion latency.
+    pub p99: Nanos,
+    /// Largest observed per-request completion latency (exact).
+    pub max: Nanos,
+}
+
+impl fmt::Display for LatencyPercentiles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p50 {} / p95 {} / p99 {} / max {}", self.p50, self.p95, self.p99, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut hist = LatencyHistogram::new();
+        for v in [0u64, 1, 5, 31] {
+            hist.record(Nanos(v));
+        }
+        assert_eq!(hist.count(), 4);
+        assert_eq!(hist.quantile(0.25), Nanos(0));
+        assert_eq!(hist.quantile(0.5), Nanos(1));
+        assert_eq!(hist.quantile(0.75), Nanos(5));
+        assert_eq!(hist.quantile(1.0), Nanos(31));
+        assert_eq!(hist.max(), Nanos(31));
+    }
+
+    #[test]
+    fn empty_histograms_report_zero() {
+        let hist = LatencyHistogram::new();
+        assert_eq!(hist.quantile(0.99), Nanos::ZERO);
+        assert_eq!(hist.mean(), Nanos::ZERO);
+        assert_eq!(hist.max(), Nanos::ZERO);
+        assert_eq!(hist.percentiles(), LatencyPercentiles::default());
+    }
+
+    #[test]
+    fn quantiles_bound_relative_error() {
+        let mut hist = LatencyHistogram::new();
+        // A wide spread of magnitudes, microseconds to seconds.
+        let samples: Vec<u64> = (0..10_000u64).map(|i| 1_000 + i * 97_001).collect();
+        for &sample in &samples {
+            hist.record(Nanos(sample));
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in [0.5, 0.9, 0.95, 0.99, 0.999] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1] as f64;
+            let reported = hist.quantile(q).as_nanos() as f64;
+            assert!(reported >= exact, "q{q}: reported {reported} under exact {exact}");
+            assert!(
+                reported <= exact * (1.0 + 1.0 / SUB_COUNT as f64) + 1.0,
+                "q{q}: reported {reported} too far above exact {exact}"
+            );
+        }
+        assert_eq!(hist.quantile(1.0), Nanos(*sorted.last().unwrap()));
+    }
+
+    #[test]
+    fn bucket_upper_bounds_are_monotone_and_consistent_with_indexing() {
+        let mut previous = None;
+        for index in 0..BUCKETS {
+            let upper = LatencyHistogram::upper_bound(index);
+            if let Some(previous) = previous {
+                assert!(upper > previous, "bucket {index} upper bound not monotone");
+            }
+            assert_eq!(
+                LatencyHistogram::index(upper),
+                index,
+                "upper bound {upper} of bucket {index} does not map back"
+            );
+            previous = Some(upper);
+        }
+        // The largest representable value maps to the last bucket.
+        assert_eq!(LatencyHistogram::index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn identical_sample_streams_produce_equal_histograms() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for v in [7u64, 900, 1 << 20, 3, (1 << 40) + 12345] {
+            a.record(Nanos(v));
+            b.record(Nanos(v));
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.percentiles(), b.percentiles());
+        b.record(Nanos(7));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn mean_and_count_accumulate() {
+        let mut hist = LatencyHistogram::new();
+        hist.record(Nanos::from_micros(100));
+        hist.record(Nanos::from_micros(300));
+        assert_eq!(hist.mean(), Nanos::from_micros(200));
+        assert_eq!(hist.count(), 2);
+        let p = hist.percentiles();
+        assert!(p.p99 >= p.p95 && p.p95 >= p.p50);
+        assert_eq!(p.max, Nanos::from_micros(300));
+        assert!(p.to_string().contains("p99"));
+    }
+
+    #[test]
+    #[should_panic(expected = "within 0..=1")]
+    fn out_of_range_quantiles_are_rejected() {
+        LatencyHistogram::new().quantile(1.5);
+    }
+}

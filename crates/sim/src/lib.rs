@@ -3,21 +3,28 @@
 //! Trace-driven SSD simulation for comparing flash translation layers on the 3D
 //! charge-trap NAND model.
 //!
-//! The crate has three layers:
+//! The crate has these layers:
 //!
 //! * [`Replayer`] — replays an I/O [`Trace`](vflash_trace::Trace) against any
 //!   [`FlashTranslationLayer`](vflash_ftl::FlashTranslationLayer), translating byte
 //!   ranges into logical pages, optionally pre-filling the address space so reads of
 //!   never-written data behave like reads of pre-existing data (the standard warm-up
 //!   used by trace-driven flash simulators).
+//! * [`QueuedReplayer`] — the queue-depth variant: keeps up to QD host requests in
+//!   flight over an event-driven completion model on the per-chip clocks, so
+//!   requests targeting distinct idle chips overlap. At QD 1 it is bit-identical
+//!   to [`Replayer`].
 //! * [`RunSummary`] / [`Comparison`] — the measurements the paper reports: total and
 //!   mean read/write latency, erased-block counts, GC copies and write amplification,
-//!   plus enhancement percentages between a baseline and a variant.
+//!   plus enhancement percentages between a baseline and a variant — and, from the
+//!   queue-depth redesign, per-request latency percentiles
+//!   ([`LatencyPercentiles`]) and achieved IOPS.
 //! * [`experiments`] — ready-made parameter sweeps that regenerate every figure of
-//!   the paper's evaluation (Figures 12–18) at a configurable scale.
-//! * [`ParallelRunner`] / [`ExperimentGrid`] — fan the FTL × trace × scale grid out
-//!   over `std::thread` workers with deterministic per-cell seeds; results are
-//!   bit-identical to a serial run, only faster.
+//!   the paper's evaluation (Figures 12–18) at a configurable scale, plus the
+//!   queue-depth sweep and the GC-policy ablation.
+//! * [`ParallelRunner`] / [`ExperimentGrid`] — fan the FTL × trace × scale ×
+//!   queue-depth grid out over `std::thread` workers with deterministic per-cell
+//!   seeds; results are bit-identical to a serial run, only faster.
 //!
 //! # Example
 //!
@@ -53,10 +60,14 @@
 
 pub mod experiments;
 
+mod histogram;
 mod parallel;
+mod queued;
 mod replay;
 mod report;
 
+pub use histogram::{LatencyHistogram, LatencyPercentiles};
 pub use parallel::{run_cell, CellResult, ExperimentGrid, FtlKind, GridCell, ParallelRunner};
+pub use queued::QueuedReplayer;
 pub use replay::{Replayer, RunOptions};
 pub use report::{Comparison, RunSummary};

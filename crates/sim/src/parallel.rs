@@ -2,11 +2,12 @@
 //!
 //! The paper's evaluation replays every trace against every FTL at several scales —
 //! a grid of completely independent simulations. [`ExperimentGrid`] enumerates the
-//! cells (FTL × workload × scale) and [`ParallelRunner`] fans them out over
-//! `std::thread` workers. Each cell derives its workload seed deterministically
-//! from the scale's base seed and the cell's position in the grid, and results are
-//! collected by cell index, so the output is **bit-identical** to running the same
-//! grid serially — only the wall-clock time changes.
+//! cells (FTL × workload × scale × queue depth) and [`ParallelRunner`] fans them
+//! out over `std::thread` workers. Each cell derives its workload seed
+//! deterministically from the scale's base seed and the cell's position in the
+//! grid, and results are collected by cell index, so the output is
+//! **bit-identical** to running the same grid serially — only the wall-clock time
+//! changes.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -14,7 +15,9 @@ use std::thread;
 
 use vflash_ftl::FtlError;
 
-use crate::experiments::{run_conventional, run_ppb, ExperimentScale, Workload};
+use crate::experiments::{
+    run_conventional_at_depth, run_ppb_at_depth, ExperimentScale, Workload, QUEUE_DEPTHS,
+};
 use crate::report::RunSummary;
 
 /// Which flash translation layer a grid cell exercises.
@@ -39,8 +42,8 @@ impl FtlKind {
     }
 }
 
-/// The experiment grid: every combination of FTL, workload and scale, replayed on a
-/// device with the given page size and speed ratio.
+/// The experiment grid: every combination of FTL, workload, scale and queue depth,
+/// replayed on a device with the given page size and speed ratio.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentGrid {
     /// FTLs to run.
@@ -49,6 +52,9 @@ pub struct ExperimentGrid {
     pub workloads: Vec<Workload>,
     /// Scales to run each FTL × workload pair at.
     pub scales: Vec<ExperimentScale>,
+    /// Queue depths to replay each cell at (`vec![1]` for the classic serial
+    /// grid).
+    pub queue_depths: Vec<usize>,
     /// Flash page size in bytes.
     pub page_size_bytes: usize,
     /// Top/bottom page speed ratio.
@@ -57,34 +63,53 @@ pub struct ExperimentGrid {
 
 impl ExperimentGrid {
     /// The full grid of the paper's evaluation at one scale: both FTLs × both
-    /// workloads, 16 KB pages, 2x speed difference.
+    /// workloads, 16 KB pages, 2x speed difference, queue depth 1.
     pub fn full(scale: ExperimentScale) -> Self {
         ExperimentGrid {
             ftls: FtlKind::ALL.to_vec(),
             workloads: Workload::ALL.to_vec(),
             scales: vec![scale],
+            queue_depths: vec![1],
             page_size_bytes: 16 * 1024,
             speed_ratio: 2.0,
         }
     }
 
-    /// Enumerates the cells in deterministic order: scales outermost, then
-    /// workloads, then FTLs.
+    /// The full grid additionally swept over QD ∈ [`QUEUE_DEPTHS`]
+    /// (1, 4, 16, 64).
+    pub fn queue_depth_sweep(scale: ExperimentScale) -> Self {
+        ExperimentGrid { queue_depths: QUEUE_DEPTHS.to_vec(), ..ExperimentGrid::full(scale) }
+    }
+
+    /// Enumerates the cells in deterministic order: scales outermost, then queue
+    /// depths, then workloads, then FTLs.
+    ///
+    /// The per-cell workload seed is derived from the cell's **depth-independent**
+    /// position (scale, workload, FTL): all queue-depth rows of one FTL ×
+    /// workload × scale replay the *same* trace, so IOPS/percentile differences
+    /// across depths are attributable to queuing alone. With the default
+    /// `queue_depths = [1]` both the enumeration and every seed are identical to
+    /// the pre-queue-depth grid.
     pub fn cells(&self) -> Vec<GridCell> {
         let mut cells = Vec::new();
-        for &scale in &self.scales {
-            for &workload in &self.workloads {
-                for &ftl in &self.ftls {
-                    let index = cells.len();
-                    cells.push(GridCell {
-                        index,
-                        ftl,
-                        workload,
-                        scale: ExperimentScale {
-                            seed: cell_seed(scale.seed, index as u64),
-                            ..scale
-                        },
-                    });
+        for (scale_index, &scale) in self.scales.iter().enumerate() {
+            for &queue_depth in &self.queue_depths {
+                for (workload_index, &workload) in self.workloads.iter().enumerate() {
+                    for (ftl_index, &ftl) in self.ftls.iter().enumerate() {
+                        let seed_index = (scale_index * self.workloads.len() + workload_index)
+                            * self.ftls.len()
+                            + ftl_index;
+                        cells.push(GridCell {
+                            index: cells.len(),
+                            ftl,
+                            workload,
+                            queue_depth,
+                            scale: ExperimentScale {
+                                seed: cell_seed(scale.seed, seed_index as u64),
+                                ..scale
+                            },
+                        });
+                    }
                 }
             }
         }
@@ -101,6 +126,8 @@ pub struct GridCell {
     pub ftl: FtlKind,
     /// Workload replayed.
     pub workload: Workload,
+    /// Queue depth the cell is replayed at.
+    pub queue_depth: usize,
     /// Scale for this cell, with the per-cell seed already substituted.
     pub scale: ExperimentScale,
 }
@@ -134,8 +161,8 @@ pub fn run_cell(cell: &GridCell, grid: &ExperimentGrid) -> Result<CellResult, Ft
     let trace = cell.workload.trace(&cell.scale);
     let config = cell.scale.device_config(grid.page_size_bytes, grid.speed_ratio);
     let summary = match cell.ftl {
-        FtlKind::Conventional => run_conventional(&trace, &config)?,
-        FtlKind::Ppb => run_ppb(&trace, &config)?,
+        FtlKind::Conventional => run_conventional_at_depth(&trace, &config, cell.queue_depth)?,
+        FtlKind::Ppb => run_ppb_at_depth(&trace, &config, cell.queue_depth)?,
     };
     Ok(CellResult { cell: *cell, summary })
 }
@@ -327,10 +354,39 @@ mod tests {
             ftls: Vec::new(),
             workloads: Workload::ALL.to_vec(),
             scales: vec![tiny_scale()],
+            queue_depths: vec![1],
             page_size_bytes: 16 * 1024,
             speed_ratio: 2.0,
         };
         assert!(ParallelRunner::new(8).run(&grid).unwrap().is_empty());
+    }
+
+    #[test]
+    fn queue_depth_sweep_grid_enumerates_depths_between_scales_and_workloads() {
+        let grid = ExperimentGrid::queue_depth_sweep(tiny_scale());
+        let cells = grid.cells();
+        assert_eq!(cells.len(), 16); // 2 FTLs x 2 workloads x 4 depths x 1 scale
+        assert_eq!(cells[0].queue_depth, 1);
+        assert_eq!(cells[4].queue_depth, 4);
+        assert_eq!(cells[15].queue_depth, 64);
+        // Every depth row of one FTL x workload replays the same trace: the seed
+        // is depth-independent, so depth differences are pure queuing effects.
+        for offset in 0..4 {
+            let seeds: std::collections::HashSet<u64> = cells
+                .iter()
+                .skip(offset)
+                .step_by(4)
+                .map(|cell| cell.scale.seed)
+                .collect();
+            assert_eq!(seeds.len(), 1, "cell {offset} seeds vary across depths");
+        }
+        // Parallel fan-out stays bit-identical with the queue-depth axis.
+        let serial = ParallelRunner::run_serial(&grid).unwrap();
+        let parallel = ParallelRunner::new(4).run(&grid).unwrap();
+        assert_eq!(serial, parallel);
+        for result in &serial {
+            assert_eq!(result.summary.queue_depth, result.cell.queue_depth);
+        }
     }
 
     #[test]

@@ -1,0 +1,337 @@
+//! Queue-depth replay: an event-driven completion model over the per-chip clocks.
+//!
+//! The serial [`Replayer`](crate::Replayer) issues one request at a time, so a
+//! multi-chip device is always idle on all chips but one. Real hosts drive SSDs
+//! through submission/completion queues with queue depth > 1; the
+//! [`QueuedReplayer`] models that: up to `queue_depth` host requests are in flight
+//! at once, and a request's device operations start on their chip as soon as both
+//! the request's previous operation **and** the chip are done. Requests that land
+//! on distinct idle chips overlap fully; requests serialised on one chip queue
+//! behind each other.
+//!
+//! # How the timing model works
+//!
+//! FTL state (mapping tables, GC, hot/cold areas) evolves in **trace order**
+//! regardless of depth — requests are submitted to the FTL one after another, and
+//! only the *timing* is overlaid by the event model. This keeps device state
+//! bit-identical across queue depths (what the experiments need to attribute
+//! differences to queuing alone) and matches how a single-LUN-per-chip SSD behaves
+//! when the FTL serialises metadata updates but the flash array executes in
+//! parallel.
+//!
+//! For each request the replayer obtains the request's timed device operations
+//! (via the FTL's [`submit`](vflash_ftl::FlashTranslationLayer::submit) completions
+//! with [op tracing](vflash_nand::NandDevice::set_op_tracing) enabled) and plays
+//! them against per-chip ready clocks:
+//!
+//! ```text
+//! issue   = completion time of the request that freed the queue slot
+//! op k:     start = max(end of op k-1, chip_ready[chip(k)])
+//!           chip_ready[chip(k)] = start + latency(k)
+//! latency = end of last op - issue
+//! ```
+//!
+//! A binary heap of in-flight completion times hands out queue slots. At
+//! `queue_depth = 1` the model degenerates exactly to the serial replayer —
+//! every `max` resolves to the running clock and per-request latency is the serial
+//! sum of page latencies — which is tested to be **bit-identical** (summary and
+//! device state) in `tests/queued_equivalence.rs`.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use vflash_ftl::{FlashTranslationLayer, FtlError, IoRequest as FtlRequest, Lpn};
+use vflash_nand::Nanos;
+use vflash_trace::{IoOp, Trace};
+
+use crate::histogram::LatencyHistogram;
+use crate::replay::{chip_busy_times, makespan_delta, prefill_ftl};
+use crate::replay::RunOptions;
+use crate::report::RunSummary;
+
+/// Replays traces keeping up to `queue_depth` host requests in flight.
+///
+/// # Example
+///
+/// ```
+/// use vflash_ftl::{ConventionalFtl, FtlConfig};
+/// use vflash_nand::{NandConfig, NandDevice};
+/// use vflash_sim::{QueuedReplayer, RunOptions};
+/// use vflash_trace::synthetic::{self, SyntheticConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let trace = synthetic::media_server(SyntheticConfig {
+///     requests: 500,
+///     working_set_bytes: 4 * 1024 * 1024,
+///     ..Default::default()
+/// });
+/// let device = NandDevice::new(
+///     NandConfig::builder()
+///         .chips(4)
+///         .blocks_per_chip(24)
+///         .pages_per_block(32)
+///         .page_size_bytes(16 * 1024)
+///         .build()?,
+/// );
+/// let ftl = ConventionalFtl::new(device, FtlConfig::default())?;
+/// let summary = QueuedReplayer::new(RunOptions::default(), 16).run(ftl, &trace)?;
+/// assert_eq!(summary.queue_depth, 16);
+/// assert!(summary.request_iops() > 0.0);
+/// assert!(summary.read_latency.p99 >= summary.read_latency.p50);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueuedReplayer {
+    options: RunOptions,
+    queue_depth: usize,
+}
+
+impl QueuedReplayer {
+    /// Creates a replayer holding up to `queue_depth` requests in flight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue_depth` is zero.
+    pub fn new(options: RunOptions, queue_depth: usize) -> Self {
+        assert!(queue_depth > 0, "queue depth must be at least 1");
+        QueuedReplayer { options, queue_depth }
+    }
+
+    /// The replay options.
+    pub fn options(&self) -> &RunOptions {
+        &self.options
+    }
+
+    /// The configured queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.queue_depth
+    }
+
+    /// Replays `trace` against `ftl` and returns the run summary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates FTL errors; see [`crate::Replayer::run`].
+    pub fn run<F: FlashTranslationLayer>(
+        &self,
+        mut ftl: F,
+        trace: &Trace,
+    ) -> Result<RunSummary, FtlError> {
+        self.run_mut(&mut ftl, trace)
+    }
+
+    /// Like [`QueuedReplayer::run`] but borrows the FTL, so callers can keep using
+    /// it (and its device state) after the replay.
+    ///
+    /// # Errors
+    ///
+    /// Propagates FTL errors; see [`crate::Replayer::run`].
+    pub fn run_mut<F: FlashTranslationLayer + ?Sized>(
+        &self,
+        ftl: &mut F,
+        trace: &Trace,
+    ) -> Result<RunSummary, FtlError> {
+        let page_size = ftl.device().config().page_size_bytes();
+        let logical_pages = ftl.logical_pages();
+
+        // The warm-up runs serially with tracing off, exactly like the serial
+        // replayer's, so device state entering the measured phase is identical.
+        if self.options.prefill {
+            prefill_ftl(ftl, trace, page_size, logical_pages, self.options.prefill_request_bytes)?;
+        }
+
+        ftl.device_mut().set_op_tracing(true);
+        let outcome = self.run_measured(ftl, trace, page_size, logical_pages);
+        ftl.device_mut().set_op_tracing(false);
+        outcome
+    }
+
+    fn run_measured<F: FlashTranslationLayer + ?Sized>(
+        &self,
+        ftl: &mut F,
+        trace: &Trace,
+        page_size: usize,
+        logical_pages: u64,
+    ) -> Result<RunSummary, FtlError> {
+        let start = *ftl.metrics();
+        let busy_start = chip_busy_times(ftl);
+        let chips = ftl.device().config().chips();
+
+        let mut chip_ready = vec![Nanos::ZERO; chips];
+        let mut in_flight: BinaryHeap<Reverse<Nanos>> = BinaryHeap::with_capacity(self.queue_depth);
+        let mut read_latencies = LatencyHistogram::new();
+        let mut write_latencies = LatencyHistogram::new();
+        let mut clock = Nanos::ZERO;
+        let mut last_completion = Nanos::ZERO;
+        let mut requests = 0u64;
+
+        for request in trace {
+            // Wait for a queue slot: the issue time is the completion of the
+            // earliest in-flight request (the clock never moves backwards, so
+            // issue order is preserved).
+            if in_flight.len() == self.queue_depth {
+                let Reverse(freed) = in_flight.pop().expect("queue depth is at least 1");
+                if freed > clock {
+                    clock = freed;
+                }
+            }
+            let issue = clock;
+            let mut now = issue;
+
+            // A multi-page host request is a dependent chain of page submissions;
+            // each timed device op starts when both its predecessor in the chain
+            // and its chip are ready.
+            for page in request.logical_pages(page_size) {
+                let lpn = Lpn(page % logical_pages);
+                let completion = match request.op {
+                    IoOp::Write => ftl.submit(FtlRequest::write(lpn, request.length))?,
+                    IoOp::Read => match ftl.submit(FtlRequest::read(lpn)) {
+                        Ok(completion) => completion,
+                        // Without prefill, reads of never-written data are
+                        // skipped, mirroring the serial replayer.
+                        Err(FtlError::UnmappedRead { .. }) if !self.options.prefill => continue,
+                        Err(err) => return Err(err),
+                    },
+                };
+                for op in &completion.ops {
+                    let ready = chip_ready[op.chip.0];
+                    let op_start = if ready > now { ready } else { now };
+                    now = op_start + op.latency;
+                    chip_ready[op.chip.0] = now;
+                }
+                // Recycling the consumed op buffer keeps the traced hot path
+                // allocation-free in steady state.
+                ftl.device_mut().recycle_ops(completion.ops);
+            }
+
+            let latency = now.saturating_sub(issue);
+            match request.op {
+                IoOp::Read => read_latencies.record(latency),
+                IoOp::Write => write_latencies.record(latency),
+            }
+            if now > last_completion {
+                last_completion = now;
+            }
+            in_flight.push(Reverse(now));
+            requests += 1;
+        }
+
+        let end = *ftl.metrics();
+        let mut summary = RunSummary::from_metrics_delta(ftl.name(), trace.name(), &start, &end);
+        summary.device_makespan = makespan_delta(ftl, &busy_start);
+        summary.queue_depth = self.queue_depth;
+        summary.host_requests = requests;
+        summary.host_elapsed = last_completion;
+        summary.read_latency = read_latencies.percentiles();
+        summary.write_latency = write_latencies.percentiles();
+        Ok(summary)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replay::Replayer;
+    use vflash_ftl::{ConventionalFtl, FtlConfig};
+    use vflash_nand::{NandConfig, NandDevice};
+    use vflash_trace::IoRequest;
+
+    fn ftl(chips: usize) -> ConventionalFtl {
+        let device = NandDevice::new(
+            NandConfig::builder()
+                .chips(chips)
+                .blocks_per_chip(32)
+                .pages_per_block(8)
+                .page_size_bytes(4096)
+                .build()
+                .unwrap(),
+        );
+        ConventionalFtl::new(device, FtlConfig::default()).unwrap()
+    }
+
+    fn read_heavy_trace(requests: u64) -> Trace {
+        let mut reqs = Vec::new();
+        // Scatter writes, then read them back in a shuffled order.
+        for i in 0..requests {
+            reqs.push(IoRequest::new(i, IoOp::Read, (i * 37 % requests) * 4096, 4096));
+        }
+        Trace::new("read-heavy", reqs)
+    }
+
+    #[test]
+    fn zero_queue_depth_is_rejected() {
+        let result = std::panic::catch_unwind(|| QueuedReplayer::new(RunOptions::default(), 0));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn qd1_matches_the_serial_replayer_on_a_small_trace() {
+        let t = read_heavy_trace(64);
+        let serial = Replayer::new(RunOptions::default()).run(ftl(2), &t).unwrap();
+        let queued = QueuedReplayer::new(RunOptions::default(), 1).run(ftl(2), &t).unwrap();
+        assert_eq!(serial, queued);
+    }
+
+    #[test]
+    fn deeper_queues_overlap_chips_and_cut_elapsed_time() {
+        let t = read_heavy_trace(256);
+        let qd1 = QueuedReplayer::new(RunOptions::default(), 1).run(ftl(4), &t).unwrap();
+        let qd16 = QueuedReplayer::new(RunOptions::default(), 16).run(ftl(4), &t).unwrap();
+        // Identical device-state evolution...
+        assert_eq!(qd1.host_reads, qd16.host_reads);
+        assert_eq!(qd1.read_time, qd16.read_time);
+        assert_eq!(qd1.device_makespan, qd16.device_makespan);
+        // ...but the queued overlay finishes sooner and serves more IOPS.
+        assert!(
+            qd16.host_elapsed < qd1.host_elapsed,
+            "QD16 {} should beat QD1 {}",
+            qd16.host_elapsed,
+            qd1.host_elapsed
+        );
+        assert!(qd16.request_iops() > qd1.request_iops());
+        // The overlay can never beat the busiest chip.
+        assert!(qd16.host_elapsed >= qd16.device_makespan);
+    }
+
+    #[test]
+    fn queued_latencies_include_chip_queuing_delay() {
+        // Single chip: depth adds pure queuing delay, so per-request p99 grows
+        // with depth while elapsed stays the serial sum.
+        let t = read_heavy_trace(128);
+        let qd1 = QueuedReplayer::new(RunOptions::default(), 1).run(ftl(1), &t).unwrap();
+        let qd8 = QueuedReplayer::new(RunOptions::default(), 8).run(ftl(1), &t).unwrap();
+        assert_eq!(qd1.host_elapsed, qd8.host_elapsed, "one chip cannot overlap anything");
+        assert!(
+            qd8.read_latency.p99 > qd1.read_latency.p99,
+            "queuing on one chip must inflate tail latency ({} vs {})",
+            qd8.read_latency.p99,
+            qd1.read_latency.p99
+        );
+    }
+
+    #[test]
+    fn tracing_is_disabled_after_the_run() {
+        let t = read_heavy_trace(16);
+        let mut f = ftl(2);
+        QueuedReplayer::new(RunOptions::default(), 4).run_mut(&mut f, &t).unwrap();
+        assert!(!f.device().op_tracing());
+    }
+
+    #[test]
+    fn unmapped_reads_are_skipped_without_prefill() {
+        let t = Trace::new(
+            "sparse",
+            vec![
+                IoRequest::new(0, IoOp::Read, 64 * 1024, 4096),
+                IoRequest::new(1, IoOp::Write, 0, 4096),
+                IoRequest::new(2, IoOp::Read, 0, 4096),
+            ],
+        );
+        let options = RunOptions { prefill: false, ..RunOptions::default() };
+        let summary = QueuedReplayer::new(options, 4).run(ftl(1), &t).unwrap();
+        assert_eq!(summary.host_reads, 1);
+        assert_eq!(summary.host_writes, 1);
+        assert_eq!(summary.host_requests, 3, "skipped requests still complete (with zero work)");
+    }
+}

@@ -4,6 +4,7 @@ use vflash_ftl::{FlashTranslationLayer, FtlError, Lpn};
 use vflash_nand::{ChipId, Nanos};
 use vflash_trace::{IoOp, Trace};
 
+use crate::histogram::LatencyHistogram;
 use crate::report::RunSummary;
 
 /// A word-packed bitmap over logical page numbers.
@@ -128,20 +129,25 @@ impl Replayer {
         let logical_pages = ftl.logical_pages();
 
         if self.options.prefill {
-            self.prefill(ftl, trace, page_size, logical_pages)?;
+            prefill_ftl(ftl, trace, page_size, logical_pages, self.options.prefill_request_bytes)?;
         }
 
         let start = *ftl.metrics();
-        let busy_start = Self::chip_busy_times(ftl);
+        let busy_start = chip_busy_times(ftl);
+        let mut read_latencies = LatencyHistogram::new();
+        let mut write_latencies = LatencyHistogram::new();
+        let mut elapsed = Nanos::ZERO;
+        let mut requests = 0u64;
         for request in trace {
+            let mut latency = Nanos::ZERO;
             for page in request.logical_pages(page_size) {
                 let lpn = Lpn(page % logical_pages);
                 match request.op {
                     IoOp::Write => {
-                        ftl.write(lpn, request.length)?;
+                        latency += ftl.write(lpn, request.length)?;
                     }
                     IoOp::Read => match ftl.read(lpn) {
-                        Ok(_) => {}
+                        Ok(page_latency) => latency += page_latency,
                         // Without prefill, reads of never-written data are skipped,
                         // mirroring how a real host would simply get zeroes back.
                         Err(FtlError::UnmappedRead { .. }) if !self.options.prefill => {}
@@ -149,61 +155,81 @@ impl Replayer {
                     },
                 }
             }
+            // The serial replayer is the queue-depth-1 reference: a request's
+            // completion latency is the serial sum of its page latencies, and the
+            // replay clock is the running total.
+            match request.op {
+                IoOp::Read => read_latencies.record(latency),
+                IoOp::Write => write_latencies.record(latency),
+            }
+            elapsed += latency;
+            requests += 1;
         }
         let end = *ftl.metrics();
         let mut summary =
             RunSummary::from_metrics_delta(ftl.name(), trace.name(), &start, &end);
-        summary.device_makespan = Self::makespan_delta(ftl, &busy_start);
+        summary.device_makespan = makespan_delta(ftl, &busy_start);
+        summary.queue_depth = 1;
+        summary.host_requests = requests;
+        summary.host_elapsed = elapsed;
+        summary.read_latency = read_latencies.percentiles();
+        summary.write_latency = write_latencies.percentiles();
         Ok(summary)
     }
+}
 
-    /// Snapshot of every chip's busy time, used to compute the measured-phase
-    /// makespan as a delta (excluding prefill traffic).
-    fn chip_busy_times<F: FlashTranslationLayer + ?Sized>(ftl: &F) -> Vec<Nanos> {
-        let device = ftl.device();
-        (0..device.config().chips())
-            .map(|chip| {
-                device.chip_busy_time(ChipId(chip)).expect("chip ids come from the config")
-            })
-            .collect()
-    }
+/// Snapshot of every chip's busy time, used to compute the measured-phase
+/// makespan as a delta (excluding prefill traffic). Shared by both replayers.
+pub(crate) fn chip_busy_times<F: FlashTranslationLayer + ?Sized>(ftl: &F) -> Vec<Nanos> {
+    let device = ftl.device();
+    (0..device.config().chips())
+        .map(|chip| {
+            device.chip_busy_time(ChipId(chip)).expect("chip ids come from the config")
+        })
+        .collect()
+}
 
-    fn makespan_delta<F: FlashTranslationLayer + ?Sized>(ftl: &F, start: &[Nanos]) -> Nanos {
-        Self::chip_busy_times(ftl)
-            .iter()
-            .zip(start)
-            .map(|(&end, &begin)| end.saturating_sub(begin))
-            .max()
-            .unwrap_or(Nanos::ZERO)
-    }
+/// The measured-phase makespan: largest per-chip busy-time delta since `start`.
+pub(crate) fn makespan_delta<F: FlashTranslationLayer + ?Sized>(
+    ftl: &F,
+    start: &[Nanos],
+) -> Nanos {
+    chip_busy_times(ftl)
+        .iter()
+        .zip(start)
+        .map(|(&end, &begin)| end.saturating_sub(begin))
+        .max()
+        .unwrap_or(Nanos::ZERO)
+}
 
-    /// Writes every logical page the trace touches exactly once (in ascending order),
-    /// so later reads always find mapped data.
-    ///
-    /// Traces without a single read skip the warm-up entirely: the prefill exists
-    /// only so reads of never-written data behave like reads of pre-existing data,
-    /// and a write-only trace has none.
-    fn prefill<F: FlashTranslationLayer + ?Sized>(
-        &self,
-        ftl: &mut F,
-        trace: &Trace,
-        page_size: usize,
-        logical_pages: u64,
-    ) -> Result<(), FtlError> {
-        if !trace.iter().any(|request| request.op == IoOp::Read) {
-            return Ok(());
-        }
-        let mut touched = PageBitmap::new(logical_pages);
-        for request in trace {
-            for page in request.logical_pages(page_size) {
-                touched.set(page % logical_pages);
-            }
-        }
-        for page in touched.iter_set() {
-            ftl.write(Lpn(page), self.options.prefill_request_bytes)?;
-        }
-        Ok(())
+/// Writes every logical page the trace touches exactly once (in ascending order),
+/// so later reads always find mapped data. Shared by both replayers, so a queued
+/// replay warms the device **identically** to a serial one — a precondition for
+/// the queue-depth-1 bit-identity guarantee.
+///
+/// Traces without a single read skip the warm-up entirely: the prefill exists
+/// only so reads of never-written data behave like reads of pre-existing data,
+/// and a write-only trace has none.
+pub(crate) fn prefill_ftl<F: FlashTranslationLayer + ?Sized>(
+    ftl: &mut F,
+    trace: &Trace,
+    page_size: usize,
+    logical_pages: u64,
+    prefill_request_bytes: u32,
+) -> Result<(), FtlError> {
+    if !trace.iter().any(|request| request.op == IoOp::Read) {
+        return Ok(());
     }
+    let mut touched = PageBitmap::new(logical_pages);
+    for request in trace {
+        for page in request.logical_pages(page_size) {
+            touched.set(page % logical_pages);
+        }
+    }
+    for page in touched.iter_set() {
+        ftl.write(Lpn(page), prefill_request_bytes)?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]

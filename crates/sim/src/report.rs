@@ -5,6 +5,8 @@ use std::fmt;
 use vflash_ftl::FtlMetrics;
 use vflash_nand::Nanos;
 
+use crate::histogram::LatencyPercentiles;
+
 /// The measurements of one trace replay against one FTL.
 ///
 /// These are exactly the quantities the paper's evaluation plots: total read/write
@@ -42,6 +44,23 @@ pub struct RunSummary {
     /// the busiest chip needed, since the chips service operations independently.
     /// [`Nanos::ZERO`] when the summary was not produced by a replay.
     pub device_makespan: Nanos,
+    /// The queue depth the replay was driven at: how many host requests were kept
+    /// in flight. `1` for the serial [`Replayer`](crate::Replayer); the configured
+    /// depth for [`QueuedReplayer`](crate::QueuedReplayer) runs.
+    pub queue_depth: usize,
+    /// Host requests replayed in the measured phase (trace requests, not pages —
+    /// one request may span several logical pages).
+    pub host_requests: u64,
+    /// Replay-clock time at which the last request completed. At queue depth 1
+    /// this is the serial sum of request latencies (`read_time + write_time`); at
+    /// higher depths requests on distinct chips overlap and this shrinks towards
+    /// [`RunSummary::device_makespan`]. [`Nanos::ZERO`] when the summary was not
+    /// produced by a replay.
+    pub host_elapsed: Nanos,
+    /// Per-request completion-latency percentiles of the read requests.
+    pub read_latency: LatencyPercentiles,
+    /// Per-request completion-latency percentiles of the write requests.
+    pub write_latency: LatencyPercentiles,
 }
 
 impl RunSummary {
@@ -83,6 +102,11 @@ impl RunSummary {
                 (host_writes + gc_copied_pages) as f64 / host_writes as f64
             },
             device_makespan: Nanos::ZERO,
+            queue_depth: 1,
+            host_requests: 0,
+            host_elapsed: Nanos::ZERO,
+            read_latency: LatencyPercentiles::default(),
+            write_latency: LatencyPercentiles::default(),
         }
     }
 
@@ -95,6 +119,19 @@ impl RunSummary {
             0.0
         } else {
             (self.host_reads + self.host_writes) as f64 / self.device_makespan.as_secs_f64()
+        }
+    }
+
+    /// Achieved IOPS: host requests completed per second of replay-clock time
+    /// ([`RunSummary::host_elapsed`]), or zero when no elapsed time was recorded.
+    /// This is the throughput the queue-depth sweep reports — at depth 1 it is the
+    /// reciprocal of the mean request latency, and it grows with depth as long as
+    /// independent requests land on distinct idle chips.
+    pub fn request_iops(&self) -> f64 {
+        if self.host_elapsed == Nanos::ZERO {
+            0.0
+        } else {
+            self.host_requests as f64 / self.host_elapsed.as_secs_f64()
         }
     }
 }
@@ -114,7 +151,18 @@ impl fmt::Display for RunSummary {
             self.mean_write_latency,
             self.erased_blocks,
             self.write_amplification,
-        )
+        )?;
+        if self.host_elapsed > Nanos::ZERO {
+            write!(
+                f,
+                ", QD{} {:.0} IOPS (read p99 {}, write p99 {})",
+                self.queue_depth,
+                self.request_iops(),
+                self.read_latency.p99,
+                self.write_latency.p99,
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -208,6 +256,20 @@ mod tests {
         assert_eq!(summary.mean_read_latency, Nanos::ZERO);
         assert_eq!(summary.mean_write_latency, Nanos::ZERO);
         assert_eq!(summary.write_amplification, 0.0);
+        assert_eq!(summary.request_iops(), 0.0);
+        assert_eq!(summary.queue_depth, 1);
+        assert_eq!(summary.read_latency, LatencyPercentiles::default());
+    }
+
+    #[test]
+    fn request_iops_uses_the_replay_clock() {
+        let m = FtlMetrics::new();
+        let mut summary = RunSummary::from_metrics_delta("x", "y", &m, &m);
+        summary.host_requests = 2_000;
+        summary.host_elapsed = Nanos::from_millis(500);
+        assert_eq!(summary.request_iops(), 4_000.0);
+        summary.queue_depth = 16;
+        assert!(summary.to_string().contains("QD16"), "display shows depth: {summary}");
     }
 
     #[test]

@@ -1,0 +1,143 @@
+//! `trace-subset`: cut a tractable slice out of an MSR-Cambridge trace file.
+//!
+//! Streams the input line by line in constant memory — multi-GB originals are
+//! fine — and writes the matching requests' **original CSV lines** to the output,
+//! so the result is itself a valid MSR trace.
+//!
+//! ```text
+//! trace-subset <input.csv> [--first-n N] [--time-window-us START END]
+//!              [--lba-range START END] [--output FILE]
+//!
+//!   --first-n N               keep only the first N matching requests (stops
+//!                             reading the input as soon as the quota fills)
+//!   --time-window-us S E      keep requests arriving in [S, E) microseconds
+//!                             from the file's first request
+//!   --lba-range S E           keep requests overlapping byte range [S, E)
+//!   --output FILE             write to FILE instead of stdout
+//! ```
+//!
+//! Statistics (lines scanned, requests kept) go to stderr so they never corrupt a
+//! piped output.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::process::ExitCode;
+
+use vflash_trace::msr::{subset, SubsetOptions};
+
+struct Args {
+    input: String,
+    output: Option<String>,
+    options: SubsetOptions,
+}
+
+enum Parsed {
+    Run(Args),
+    Help,
+}
+
+fn usage() -> &'static str {
+    "usage: trace-subset <input.csv> [--first-n N] [--time-window-us START END] \
+     [--lba-range START END] [--output FILE]"
+}
+
+fn parse_args(args: &[String]) -> Result<Parsed, String> {
+    let mut input = None;
+    let mut output = None;
+    let mut options = SubsetOptions::default();
+    let mut iter = args.iter();
+    let next_value = |flag: &str, iter: &mut std::slice::Iter<'_, String>| {
+        iter.next().cloned().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--first-n" => {
+                let n = next_value("--first-n", &mut iter)?;
+                options.first_n =
+                    Some(n.parse().map_err(|_| format!("bad --first-n value `{n}`"))?);
+            }
+            "--time-window-us" => {
+                let start: u64 = next_value("--time-window-us", &mut iter)?
+                    .parse()
+                    .map_err(|_| "bad --time-window-us start".to_string())?;
+                let end: u64 = next_value("--time-window-us", &mut iter)?
+                    .parse()
+                    .map_err(|_| "bad --time-window-us end".to_string())?;
+                if end <= start {
+                    return Err("--time-window-us end must be after start".to_string());
+                }
+                let window = start
+                    .checked_mul(1_000)
+                    .zip(end.checked_mul(1_000))
+                    .ok_or("--time-window-us value too large (overflows nanoseconds)")?;
+                options.time_window_nanos = Some(window);
+            }
+            "--lba-range" => {
+                let start: u64 = next_value("--lba-range", &mut iter)?
+                    .parse()
+                    .map_err(|_| "bad --lba-range start".to_string())?;
+                let end: u64 = next_value("--lba-range", &mut iter)?
+                    .parse()
+                    .map_err(|_| "bad --lba-range end".to_string())?;
+                if end <= start {
+                    return Err("--lba-range end must be after start".to_string());
+                }
+                options.lba_range_bytes = Some((start, end));
+            }
+            "--output" | "-o" => output = Some(next_value("--output", &mut iter)?),
+            "--help" | "-h" => return Ok(Parsed::Help),
+            other if input.is_none() && !other.starts_with('-') => {
+                input = Some(other.to_string());
+            }
+            other => return Err(format!("unexpected argument `{other}`\n{}", usage())),
+        }
+    }
+    let input = input.ok_or_else(|| usage().to_string())?;
+    Ok(Parsed::Run(Args { input, output, options }))
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let file = File::open(&args.input)
+        .map_err(|e| format!("cannot open {}: {e}", args.input))?;
+    let reader = BufReader::new(file);
+    let stats = match &args.output {
+        Some(path) => {
+            let out = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+            let mut writer = BufWriter::new(out);
+            let stats = subset(reader, &mut writer, &args.options)
+                .map_err(|e| e.to_string())?;
+            writer.flush().map_err(|e| format!("cannot flush {path}: {e}"))?;
+            stats
+        }
+        None => {
+            let stdout = io::stdout();
+            let mut writer = BufWriter::new(stdout.lock());
+            let stats = subset(reader, &mut writer, &args.options)
+                .map_err(|e| e.to_string())?;
+            writer.flush().map_err(|e| format!("cannot flush stdout: {e}"))?;
+            stats
+        }
+    };
+    eprintln!(
+        "scanned {} lines ({} requests), kept {}",
+        stats.scanned.lines, stats.scanned.requests, stats.kept
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args).and_then(|parsed| match parsed {
+        Parsed::Help => {
+            println!("{}", usage());
+            Ok(())
+        }
+        Parsed::Run(args) => run(&args),
+    }) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -22,7 +22,7 @@
 use std::error::Error;
 use std::fmt;
 use std::fs::File;
-use std::io::{BufRead, BufReader};
+use std::io::{BufRead, BufReader, Write};
 use std::path::Path;
 
 use crate::request::{IoOp, IoRequest, Trace};
@@ -76,8 +76,71 @@ impl Error for ParseTraceError {}
 /// # Ok(())
 /// # }
 /// ```
-pub fn parse<R: BufRead>(mut reader: R, name: &str) -> Result<Trace, ParseTraceError> {
-    let mut requests = Vec::new();
+pub fn parse<R: BufRead>(reader: R, name: &str) -> Result<Trace, ParseTraceError> {
+    parse_filtered(reader, name, &SubsetOptions::default())
+}
+
+/// One decoded trace line, before timestamp rebasing.
+struct ParsedLine {
+    timestamp: u64,
+    op: IoOp,
+    offset: u64,
+    size: u32,
+}
+
+/// Parses one non-blank CSV line into its FTL-relevant fields. Returns `None` for
+/// zero-size requests (they occasionally appear in the raw traces and carry no
+/// FTL-visible work).
+fn parse_line(trimmed: &str, line_number: usize) -> Result<Option<ParsedLine>, ParseTraceError> {
+    let fields: Vec<&str> = trimmed.split(',').collect();
+    if fields.len() < 6 {
+        return Err(ParseTraceError {
+            line: line_number,
+            reason: format!("expected at least 6 comma-separated fields, found {}", fields.len()),
+        });
+    }
+    let timestamp: u64 = fields[0].trim().parse().map_err(|_| ParseTraceError {
+        line: line_number,
+        reason: format!("bad timestamp `{}`", fields[0]),
+    })?;
+    let op = match fields[3].trim().to_ascii_lowercase().as_str() {
+        "read" | "r" => IoOp::Read,
+        "write" | "w" => IoOp::Write,
+        other => {
+            return Err(ParseTraceError {
+                line: line_number,
+                reason: format!("unknown request type `{other}`"),
+            })
+        }
+    };
+    let offset: u64 = fields[4].trim().parse().map_err(|_| ParseTraceError {
+        line: line_number,
+        reason: format!("bad offset `{}`", fields[4]),
+    })?;
+    let size: u64 = fields[5].trim().parse().map_err(|_| ParseTraceError {
+        line: line_number,
+        reason: format!("bad size `{}`", fields[5]),
+    })?;
+    if size == 0 {
+        return Ok(None);
+    }
+    let size = u32::try_from(size).map_err(|_| ParseTraceError {
+        line: line_number,
+        reason: format!("request size {size} does not fit in 32 bits"),
+    })?;
+    Ok(Some(ParsedLine { timestamp, op, offset, size }))
+}
+
+/// Walks a trace stream line by line through one reused buffer, handing each
+/// decoded request (with its rebased arrival time and the raw line **including
+/// its original line ending**) to `visit`. `visit` returns `false` to stop
+/// early — that is what makes [`SubsetOptions::first_n`] constant-*time* on
+/// huge files, on top of the constant memory every path here has.
+fn scan<R: BufRead>(
+    mut reader: R,
+    mut visit: impl FnMut(usize, u64, &ParsedLine, &str) -> bool,
+) -> Result<ScanStats, ParseTraceError> {
+    let mut stats = ScanStats::default();
     let mut first_timestamp: Option<u64> = None;
     let mut line = String::new();
     let mut line_number = 0usize;
@@ -92,54 +155,163 @@ pub fn parse<R: BufRead>(mut reader: R, name: &str) -> Result<Trace, ParseTraceE
             break;
         }
         line_number += 1;
+        stats.lines = line_number;
         let trimmed = line.trim();
         if trimmed.is_empty() {
             continue;
         }
-        let fields: Vec<&str> = trimmed.split(',').collect();
-        if fields.len() < 6 {
-            return Err(ParseTraceError {
-                line: line_number,
-                reason: format!("expected at least 6 comma-separated fields, found {}", fields.len()),
-            });
+        let Some(parsed) = parse_line(trimmed, line_number)? else { continue };
+        stats.requests += 1;
+        // Times are rebased against the first request of the *file* (not of the
+        // subset), so a time window means the same thing whatever other filters
+        // are active. FILETIME ticks are 100 ns each.
+        let base = *first_timestamp.get_or_insert(parsed.timestamp);
+        let at_nanos = parsed.timestamp.saturating_sub(base).saturating_mul(100);
+        if !visit(line_number, at_nanos, &parsed, &line) {
+            break;
         }
-        let timestamp: u64 = fields[0].trim().parse().map_err(|_| ParseTraceError {
-            line: line_number,
-            reason: format!("bad timestamp `{}`", fields[0]),
-        })?;
-        let op = match fields[3].trim().to_ascii_lowercase().as_str() {
-            "read" | "r" => IoOp::Read,
-            "write" | "w" => IoOp::Write,
-            other => {
-                return Err(ParseTraceError {
-                    line: line_number,
-                    reason: format!("unknown request type `{other}`"),
-                })
-            }
-        };
-        let offset: u64 = fields[4].trim().parse().map_err(|_| ParseTraceError {
-            line: line_number,
-            reason: format!("bad offset `{}`", fields[4]),
-        })?;
-        let size: u64 = fields[5].trim().parse().map_err(|_| ParseTraceError {
-            line: line_number,
-            reason: format!("bad size `{}`", fields[5]),
-        })?;
-        if size == 0 {
-            continue;
-        }
-        let size = u32::try_from(size).map_err(|_| ParseTraceError {
-            line: line_number,
-            reason: format!("request size {size} does not fit in 32 bits"),
-        })?;
+    }
+    Ok(stats)
+}
 
-        let base = *first_timestamp.get_or_insert(timestamp);
-        // FILETIME ticks are 100 ns each.
-        let at_nanos = timestamp.saturating_sub(base).saturating_mul(100);
-        requests.push(IoRequest::new(at_nanos, op, offset, size));
+/// Counters describing one streaming pass over a trace file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScanStats {
+    /// Physical lines consumed (including blank and zero-size lines).
+    pub lines: usize,
+    /// Well-formed, non-zero-size requests seen before any early stop.
+    pub requests: usize,
+}
+
+/// Filters selecting a subset of a trace. All active filters must match
+/// (conjunction); the default matches everything.
+///
+/// Used by [`parse_filtered`] / [`parse_path_filtered`] (decode the subset into a
+/// [`Trace`]) and by [`subset`] (copy the subset's raw lines to a writer, for
+/// cutting a small file out of a multi-GB original). Both paths stream in
+/// constant memory, and `first_n` additionally stops reading the input as soon as
+/// the quota is filled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SubsetOptions {
+    /// Keep only the first N matching requests, then stop reading.
+    pub first_n: Option<usize>,
+    /// Keep requests arriving within `[start, end)` nanoseconds, measured from
+    /// the first request of the file (the same rebasing [`parse`] applies).
+    pub time_window_nanos: Option<(u64, u64)>,
+    /// Keep requests whose byte range `[offset, offset + size)` overlaps this
+    /// `[start, end)` range of the logical address space.
+    pub lba_range_bytes: Option<(u64, u64)>,
+}
+
+impl SubsetOptions {
+    /// Keeps only the first `n` matching requests.
+    pub fn first_n(n: usize) -> Self {
+        SubsetOptions { first_n: Some(n), ..SubsetOptions::default() }
     }
 
+    /// Keeps requests arriving within `[start, end)` ns from the file's start.
+    pub fn time_window(start_nanos: u64, end_nanos: u64) -> Self {
+        SubsetOptions { time_window_nanos: Some((start_nanos, end_nanos)), ..Default::default() }
+    }
+
+    /// Keeps requests overlapping the byte range `[start, end)`.
+    pub fn lba_range(start_byte: u64, end_byte: u64) -> Self {
+        SubsetOptions { lba_range_bytes: Some((start_byte, end_byte)), ..Default::default() }
+    }
+
+    /// Whether a request with the given rebased arrival time and byte extent
+    /// passes the time-window and LBA filters (`first_n` is enforced by the
+    /// consumers, which count what they keep).
+    fn matches(&self, at_nanos: u64, offset: u64, size: u32) -> bool {
+        if let Some((start, end)) = self.time_window_nanos {
+            if at_nanos < start || at_nanos >= end {
+                return false;
+            }
+        }
+        if let Some((start, end)) = self.lba_range_bytes {
+            let request_end = offset.saturating_add(u64::from(size));
+            if request_end <= start || offset >= end {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Like [`parse`], but keeps only the requests matching `options`. The input is
+/// consumed streaming; memory stays proportional to the *kept* subset, and with
+/// [`SubsetOptions::first_n`] the reader is dropped as soon as the quota fills.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] as [`parse`] does.
+pub fn parse_filtered<R: BufRead>(
+    reader: R,
+    name: &str,
+    options: &SubsetOptions,
+) -> Result<Trace, ParseTraceError> {
+    let mut requests = Vec::new();
+    let quota = options.first_n.unwrap_or(usize::MAX);
+    scan(reader, |_line, at_nanos, parsed, _raw| {
+        if requests.len() >= quota {
+            return false;
+        }
+        if options.matches(at_nanos, parsed.offset, parsed.size) {
+            requests.push(IoRequest::new(at_nanos, parsed.op, parsed.offset, parsed.size));
+        }
+        requests.len() < quota
+    })?;
     Ok(Trace::new(name, requests))
+}
+
+/// Copies the raw lines of the requests matching `options` from `reader` to
+/// `writer`, preserving the original CSV bytes — line endings (`\n` or `\r\n`)
+/// and surrounding whitespace included, so the output is a byte-exact subset of
+/// the input. Timestamps are *not* rebased in the output: the subset file
+/// remains a valid MSR trace whose own rebase happens when it is parsed.
+/// Returns how many lines were scanned and kept.
+///
+/// This is the engine of the `trace-subset` tool: cutting a tractable slice out
+/// of a multi-GB MSR-Cambridge file without ever materialising either file.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] for malformed input as [`parse`] does, and wraps
+/// writer errors with the line number being written.
+pub fn subset<R: BufRead, W: Write>(
+    reader: R,
+    mut writer: W,
+    options: &SubsetOptions,
+) -> Result<SubsetStats, ParseTraceError> {
+    let mut kept = 0usize;
+    let quota = options.first_n.unwrap_or(usize::MAX);
+    let mut write_error: Option<(usize, std::io::Error)> = None;
+    let scanned = scan(reader, |line_number, at_nanos, parsed, raw| {
+        if kept >= quota {
+            return false;
+        }
+        if options.matches(at_nanos, parsed.offset, parsed.size) {
+            if let Err(error) = writer.write_all(raw.as_bytes()) {
+                write_error = Some((line_number, error));
+                return false;
+            }
+            kept += 1;
+        }
+        kept < quota
+    })?;
+    if let Some((line, error)) = write_error {
+        return Err(ParseTraceError { line, reason: format!("write error: {error}") });
+    }
+    Ok(SubsetStats { scanned, kept })
+}
+
+/// The outcome of one [`subset`] pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SubsetStats {
+    /// What the pass read before stopping.
+    pub scanned: ScanStats,
+    /// Requests written to the output.
+    pub kept: usize,
 }
 
 /// Opens an MSR-Cambridge CSV trace file and parses it streaming through a buffered
@@ -160,6 +332,22 @@ pub fn parse<R: BufRead>(mut reader: R, name: &str) -> Result<Trace, ParseTraceE
 /// println!("{} requests", trace.len());
 /// ```
 pub fn parse_path<P: AsRef<Path>>(path: P) -> Result<Trace, ParseTraceError> {
+    parse_path_filtered(path, &SubsetOptions::default())
+}
+
+/// Like [`parse_path`], but keeps only the requests matching `options`. Streams
+/// the file through a buffered reader in constant memory (plus the kept subset),
+/// and stops reading early once a [`SubsetOptions::first_n`] quota fills — so
+/// pulling the first thousand requests out of a multi-GB MSR-Cambridge file costs
+/// a few kilobytes of I/O, not a full scan.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] as [`parse_path`] does.
+pub fn parse_path_filtered<P: AsRef<Path>>(
+    path: P,
+    options: &SubsetOptions,
+) -> Result<Trace, ParseTraceError> {
     let path = path.as_ref();
     let name = path
         .file_stem()
@@ -169,7 +357,7 @@ pub fn parse_path<P: AsRef<Path>>(path: P) -> Result<Trace, ParseTraceError> {
         line: 0,
         reason: format!("cannot open {}: {e}", path.display()),
     })?;
-    parse(BufReader::new(file), &name)
+    parse_filtered(BufReader::new(file), &name, options)
 }
 
 #[cfg(test)]
@@ -250,6 +438,100 @@ mod tests {
         let csv = "1,host,0,Read,0,4096,10\n\nbroken\n";
         let err = parse(csv.as_bytes(), "t").unwrap_err();
         assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn first_n_keeps_a_prefix_and_stops_early() {
+        let trace = parse_filtered(SAMPLE.as_bytes(), "t", &SubsetOptions::first_n(2)).unwrap();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.requests()[1].op, IoOp::Write);
+        // A malformed line *after* the quota is never reached.
+        let csv = "1,h,0,Read,0,4096,9\nbroken line\n";
+        let trace = parse_filtered(csv.as_bytes(), "t", &SubsetOptions::first_n(1)).unwrap();
+        assert_eq!(trace.len(), 1);
+    }
+
+    #[test]
+    fn time_window_is_rebased_against_the_file_start() {
+        // Requests at +0, +1379.2137 ms, +2387.5921 ms (FILETIME ticks x 100 ns).
+        let window = SubsetOptions::time_window(1_000_000_000, 2_000_000_000);
+        let trace = parse_filtered(SAMPLE.as_bytes(), "t", &window).unwrap();
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace.requests()[0].op, IoOp::Write);
+        // The kept request retains its file-relative arrival time.
+        assert_eq!(trace.requests()[0].at_nanos, 13_792_137 * 100);
+    }
+
+    #[test]
+    fn lba_range_keeps_overlapping_requests() {
+        let range = SubsetOptions::lba_range(1_317_441_536, 1_317_441_536 + 1);
+        let trace = parse_filtered(SAMPLE.as_bytes(), "t", &range).unwrap();
+        assert_eq!(trace.len(), 2, "write and re-read of the same offset");
+        // A range that starts exactly at a request's end excludes it.
+        let disjoint = SubsetOptions::lba_range(7_014_609_920 + 24_576, u64::MAX);
+        let trace = parse_filtered(SAMPLE.as_bytes(), "t", &disjoint).unwrap();
+        assert_eq!(trace.len(), 0);
+    }
+
+    #[test]
+    fn filters_conjoin() {
+        let options = SubsetOptions {
+            first_n: Some(10),
+            time_window_nanos: Some((0, u64::MAX)),
+            lba_range_bytes: Some((0, 2_000_000_000)),
+        };
+        let trace = parse_filtered(SAMPLE.as_bytes(), "t", &options).unwrap();
+        assert_eq!(trace.len(), 2, "only the two requests below 2 GB match");
+    }
+
+    #[test]
+    fn subset_echoes_matching_raw_lines_unchanged() {
+        let mut out = Vec::new();
+        let stats = subset(SAMPLE.as_bytes(), &mut out, &SubsetOptions::first_n(2)).unwrap();
+        assert_eq!(stats.kept, 2);
+        assert_eq!(stats.scanned.requests, 2, "reading stopped at the quota");
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(
+            text,
+            "128166372003061629,mds,0,Read,7014609920,24576,41286\n\
+             128166372016853766,mds,0,Write,1317441536,8192,1763\n",
+            "original bytes (timestamps included) are preserved"
+        );
+        // The subset is itself a parsable MSR trace.
+        let reparsed = parse(text.as_bytes(), "sub").unwrap();
+        assert_eq!(reparsed.len(), 2);
+        assert_eq!(reparsed.requests()[0].at_nanos, 0);
+    }
+
+    #[test]
+    fn subset_preserves_crlf_line_endings_byte_for_byte() {
+        let csv = "1,h,0,Read,0,4096,9\r\n2,h,0,Write,8192,4096,9\r\n";
+        let mut out = Vec::new();
+        let stats = subset(csv.as_bytes(), &mut out, &SubsetOptions::default()).unwrap();
+        assert_eq!(stats.kept, 2);
+        assert_eq!(out, csv.as_bytes(), "CRLF input must round-trip byte-exact");
+        // A final line without a newline stays without one.
+        let csv = "1,h,0,Read,0,4096,9\n2,h,0,Write,8192,4096,9";
+        let mut out = Vec::new();
+        subset(csv.as_bytes(), &mut out, &SubsetOptions::default()).unwrap();
+        assert_eq!(out, csv.as_bytes());
+    }
+
+    #[test]
+    fn subset_scans_everything_when_unlimited() {
+        let mut out = Vec::new();
+        let stats = subset(SAMPLE.as_bytes(), &mut out, &SubsetOptions::default()).unwrap();
+        assert_eq!(stats.kept, 3);
+        assert_eq!(stats.scanned.lines, 4, "blank line counted");
+        assert_eq!(stats.scanned.requests, 3);
+    }
+
+    #[test]
+    fn subset_propagates_malformed_lines() {
+        let csv = "1,h,0,Read,0,4096,9\nbroken\n";
+        let mut out = Vec::new();
+        let err = subset(csv.as_bytes(), &mut out, &SubsetOptions::default()).unwrap_err();
+        assert_eq!(err.line, 2);
     }
 
     #[test]

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Compare two bench baselines and fail on regressions beyond a threshold.
+
+Usage:
+    bench_compare.py BASELINE.json CURRENT.json [--threshold PCT]
+
+Both files are the {"bench id": mean_nanos} maps the vendored criterion writes
+via VFLASH_BENCH_JSON. The script prints a per-bench delta table and exits
+non-zero when any bench regressed by more than the threshold (default 25%, also
+settable via the BENCH_REGRESSION_THRESHOLD environment variable — the CLI flag
+wins).
+
+Benches present in only one file are reported (as "new" or "removed") but never
+fail the gate: adding or retiring a bench target is not a regression. Smoke-mode
+runs take a single sample, so the default threshold is deliberately loose; lower
+it once real criterion statistics replace the vendored stub.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        sys.exit(f"bench_compare: cannot read {path}: {error}")
+    if not isinstance(data, dict) or not all(
+        isinstance(value, (int, float)) for value in data.values()
+    ):
+        sys.exit(f"bench_compare: {path} is not a {{bench: nanos}} map")
+    return data
+
+
+def format_nanos(nanos):
+    if nanos >= 1e9:
+        return f"{nanos / 1e9:.2f}s"
+    if nanos >= 1e6:
+        return f"{nanos / 1e6:.2f}ms"
+    if nanos >= 1e3:
+        return f"{nanos / 1e3:.2f}us"
+    return f"{nanos:.0f}ns"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=float(os.environ.get("BENCH_REGRESSION_THRESHOLD", "25")),
+        help="maximum tolerated slowdown in percent (default 25, or "
+        "$BENCH_REGRESSION_THRESHOLD)",
+    )
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+
+    rows = []
+    regressions = []
+    for bench in sorted(set(baseline) | set(current)):
+        old = baseline.get(bench)
+        new = current.get(bench)
+        if old is None:
+            rows.append((bench, "-", format_nanos(new), "new"))
+            continue
+        if new is None:
+            rows.append((bench, format_nanos(old), "-", "removed"))
+            continue
+        if old <= 0:
+            rows.append((bench, format_nanos(old), format_nanos(new), "skipped (zero base)"))
+            continue
+        delta = (new - old) / old * 100.0
+        status = f"{delta:+.1f}%"
+        if delta > args.threshold:
+            status += f"  REGRESSION (> {args.threshold:g}%)"
+            regressions.append((bench, delta))
+        rows.append((bench, format_nanos(old), format_nanos(new), status))
+
+    name_width = max((len(row[0]) for row in rows), default=5)
+    print(f"{'bench':<{name_width}}  {'baseline':>10}  {'current':>10}  delta")
+    for bench, old, new, status in rows:
+        print(f"{bench:<{name_width}}  {old:>10}  {new:>10}  {status}")
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} bench(es) regressed beyond {args.threshold:g}%:",
+            file=sys.stderr,
+        )
+        for bench, delta in regressions:
+            print(f"  {bench}: {delta:+.1f}%", file=sys.stderr)
+        return 1
+    print(f"\nno bench regressed beyond {args.threshold:g}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

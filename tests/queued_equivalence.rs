@@ -1,0 +1,246 @@
+//! The queue-depth-1 bit-identity guarantee, and the queue-depth payoff.
+//!
+//! `QueuedReplayer` is a separate, event-driven implementation of trace replay; at
+//! `queue_depth = 1` it must be **bit-identical** to the serial `Replayer` — the
+//! same `RunSummary` (every field, percentiles included) and the same device state
+//! (every chip's blocks, pools, clocks and wear) — for both FTLs, across the
+//! synthetic paper workloads, Zipf-skewed traces and randomly generated ones.
+//!
+//! Separately, the acceptance criterion of the redesign: at `queue_depth = 64` on
+//! an 8-chip device, a read-heavy trace achieves measurably higher IOPS than at
+//! depth 1, while per-request p50/p95/p99 latencies are reported.
+
+use proptest::prelude::*;
+
+use vflash::ftl::{ConventionalFtl, FlashTranslationLayer, FtlConfig};
+use vflash::nand::{ChipId, NandConfig, NandDevice};
+use vflash::ppb::{PpbConfig, PpbFtl};
+use vflash::sim::{QueuedReplayer, Replayer, RunOptions, RunSummary};
+use vflash::trace::synthetic::{self, SkewedParams, SyntheticConfig};
+use vflash::trace::{IoOp, IoRequest, Trace};
+
+fn device(chips: usize) -> NandDevice {
+    NandDevice::new(
+        NandConfig::builder()
+            .chips(chips)
+            .blocks_per_chip(48)
+            .pages_per_block(16)
+            .page_size_bytes(4096)
+            .speed_ratio(4.0)
+            .build()
+            .unwrap(),
+    )
+}
+
+fn conventional(chips: usize) -> ConventionalFtl {
+    ConventionalFtl::new(device(chips), FtlConfig::default()).unwrap()
+}
+
+fn ppb(chips: usize) -> PpbFtl {
+    PpbFtl::new(device(chips), PpbConfig::default()).unwrap()
+}
+
+/// Asserts both summaries and the complete device state match.
+fn assert_bit_identical(
+    serial: (&RunSummary, &dyn FlashTranslationLayer),
+    queued: (&RunSummary, &dyn FlashTranslationLayer),
+    context: &str,
+) {
+    assert_eq!(serial.0, queued.0, "{context}: summaries differ");
+    let (a, b) = (serial.1.device(), queued.1.device());
+    assert_eq!(a.stats(), b.stats(), "{context}: device stats differ");
+    assert_eq!(a.mod_seq(), b.mod_seq(), "{context}: modification clocks differ");
+    let chips = a.config().chips();
+    assert_eq!(chips, b.config().chips());
+    for chip in 0..chips {
+        assert_eq!(
+            a.chip(ChipId(chip)).unwrap(),
+            b.chip(ChipId(chip)).unwrap(),
+            "{context}: chip {chip} state differs"
+        );
+    }
+    assert_eq!(serial.1.metrics(), queued.1.metrics(), "{context}: FTL metrics differ");
+}
+
+fn synthetic_traces() -> Vec<Trace> {
+    let config = SyntheticConfig {
+        requests: 1_500,
+        seed: 7,
+        working_set_bytes: 2 * 1024 * 1024,
+    };
+    vec![
+        synthetic::media_server(config),
+        synthetic::web_sql_server(config),
+        synthetic::skewed(config, SkewedParams::default()),
+        synthetic::skewed(
+            SyntheticConfig { seed: 91, ..config },
+            SkewedParams { zipf_exponent: 1.2, read_ratio: 0.85, ..SkewedParams::default() },
+        ),
+    ]
+}
+
+#[test]
+fn qd1_is_bit_identical_for_both_ftls_on_synthetic_and_zipf_traces() {
+    let serial_replayer = Replayer::new(RunOptions::default());
+    let queued_replayer = QueuedReplayer::new(RunOptions::default(), 1);
+    for trace in synthetic_traces() {
+        for chips in [1usize, 4] {
+            let context = format!("{} on {chips} chip(s)", trace.name());
+            {
+                let mut serial_ftl = conventional(chips);
+                let mut queued_ftl = conventional(chips);
+                let serial = serial_replayer.run_mut(&mut serial_ftl, &trace).unwrap();
+                let queued = queued_replayer.run_mut(&mut queued_ftl, &trace).unwrap();
+                assert_bit_identical(
+                    (&serial, &serial_ftl),
+                    (&queued, &queued_ftl),
+                    &format!("conventional, {context}"),
+                );
+            }
+            {
+                let mut serial_ftl = ppb(chips);
+                let mut queued_ftl = ppb(chips);
+                let serial = serial_replayer.run_mut(&mut serial_ftl, &trace).unwrap();
+                let queued = queued_replayer.run_mut(&mut queued_ftl, &trace).unwrap();
+                assert_bit_identical(
+                    (&serial, &serial_ftl),
+                    (&queued, &queued_ftl),
+                    &format!("ppb, {context}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn qd1_is_bit_identical_without_prefill_too() {
+    // Unmapped-read skipping is a separate code path in both replayers.
+    let options = RunOptions { prefill: false, ..RunOptions::default() };
+    let trace = synthetic::skewed(
+        SyntheticConfig { requests: 800, seed: 3, working_set_bytes: 2 * 1024 * 1024 },
+        SkewedParams { read_ratio: 0.7, ..SkewedParams::default() },
+    );
+    let mut serial_ftl = conventional(2);
+    let mut queued_ftl = conventional(2);
+    let serial = Replayer::new(options).run_mut(&mut serial_ftl, &trace).unwrap();
+    let queued = QueuedReplayer::new(options, 1).run_mut(&mut queued_ftl, &trace).unwrap();
+    assert_bit_identical((&serial, &serial_ftl), (&queued, &queued_ftl), "no-prefill");
+}
+
+/// The redesign's acceptance criterion: on an 8-chip device, QD 64 beats QD 1 on
+/// a read-heavy trace, and the percentile fields are populated.
+#[test]
+fn qd64_on_8_chips_outruns_qd1_on_a_read_heavy_trace() {
+    let trace = synthetic::skewed(
+        SyntheticConfig { requests: 4_000, seed: 11, working_set_bytes: 4 * 1024 * 1024 },
+        SkewedParams {
+            read_ratio: 0.9,
+            min_request_bytes: 4096,
+            max_request_bytes: 4096,
+            ..SkewedParams::default()
+        },
+    );
+    let qd1 = QueuedReplayer::new(RunOptions::default(), 1).run(conventional(8), &trace).unwrap();
+    let qd64 =
+        QueuedReplayer::new(RunOptions::default(), 64).run(conventional(8), &trace).unwrap();
+
+    assert_eq!(qd1.queue_depth, 1);
+    assert_eq!(qd64.queue_depth, 64);
+    // Same device work at both depths; only the timing overlay differs.
+    assert_eq!(qd1.host_reads, qd64.host_reads);
+    assert_eq!(qd1.erased_blocks, qd64.erased_blocks);
+    assert!(
+        qd64.request_iops() > qd1.request_iops() * 2.0,
+        "QD64 should clearly outrun QD1 on 8 chips: {} vs {} IOPS",
+        qd64.request_iops(),
+        qd1.request_iops()
+    );
+    for summary in [&qd1, &qd64] {
+        let read = &summary.read_latency;
+        assert!(read.p50 > vflash::nand::Nanos::ZERO);
+        assert!(read.p50 <= read.p95 && read.p95 <= read.p99 && read.p99 <= read.max);
+        assert!(summary.request_iops() > 0.0);
+    }
+    // Depth trades tail latency for throughput.
+    assert!(qd64.read_latency.p99 >= qd1.read_latency.p99);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random traces (op mix, offsets, lengths) keep the QD-1 guarantee for both
+    /// FTLs on a multi-chip device.
+    #[test]
+    fn qd1_bit_identity_holds_on_random_traces(
+        ops in proptest::collection::vec(
+            (0u8..2, 0u64..512, 1u32..40_000),
+            1..120,
+        ),
+        chips in 1usize..5,
+    ) {
+        let requests: Vec<IoRequest> = ops
+            .iter()
+            .enumerate()
+            .map(|(i, &(op, page, len))| {
+                let op = if op == 0 { IoOp::Read } else { IoOp::Write };
+                IoRequest::new(i as u64, op, page * 4096, len)
+            })
+            .collect();
+        let trace = Trace::new("random", requests);
+
+        let mut serial_ftl = conventional(chips);
+        let mut queued_ftl = conventional(chips);
+        let serial = Replayer::new(RunOptions::default())
+            .run_mut(&mut serial_ftl, &trace)
+            .unwrap();
+        let queued = QueuedReplayer::new(RunOptions::default(), 1)
+            .run_mut(&mut queued_ftl, &trace)
+            .unwrap();
+        prop_assert_eq!(&serial, &queued);
+        prop_assert_eq!(serial_ftl.device().stats(), queued_ftl.device().stats());
+        for chip in 0..chips {
+            prop_assert_eq!(
+                serial_ftl.device().chip(ChipId(chip)).unwrap(),
+                queued_ftl.device().chip(ChipId(chip)).unwrap()
+            );
+        }
+
+        let mut serial_ppb = ppb(chips);
+        let mut queued_ppb = ppb(chips);
+        let serial = Replayer::new(RunOptions::default())
+            .run_mut(&mut serial_ppb, &trace)
+            .unwrap();
+        let queued = QueuedReplayer::new(RunOptions::default(), 1)
+            .run_mut(&mut queued_ppb, &trace)
+            .unwrap();
+        prop_assert_eq!(&serial, &queued);
+        prop_assert_eq!(serial_ppb.device().stats(), queued_ppb.device().stats());
+    }
+
+    /// At any depth, device-visible work is identical to the serial replay; only
+    /// timing differs. (The timing overlay must never change what the FTL does.)
+    #[test]
+    fn any_depth_preserves_device_state_evolution(
+        depth in 1usize..80,
+        seed in 0u64..1_000,
+    ) {
+        let trace = synthetic::skewed(
+            SyntheticConfig { requests: 300, seed, working_set_bytes: 1024 * 1024 },
+            SkewedParams::default(),
+        );
+        let serial = Replayer::new(RunOptions::default()).run(conventional(4), &trace).unwrap();
+        let queued = QueuedReplayer::new(RunOptions::default(), depth)
+            .run(conventional(4), &trace)
+            .unwrap();
+        prop_assert_eq!(serial.host_reads, queued.host_reads);
+        prop_assert_eq!(serial.host_writes, queued.host_writes);
+        prop_assert_eq!(serial.read_time, queued.read_time);
+        prop_assert_eq!(serial.write_time, queued.write_time);
+        prop_assert_eq!(serial.erased_blocks, queued.erased_blocks);
+        prop_assert_eq!(serial.device_makespan, queued.device_makespan);
+        // The overlay is bounded below by the busiest chip and above by the
+        // serial sum.
+        prop_assert!(queued.host_elapsed >= queued.device_makespan);
+        prop_assert!(queued.host_elapsed <= serial.host_elapsed);
+    }
+}

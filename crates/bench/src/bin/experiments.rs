@@ -1,25 +1,31 @@
 //! Regenerates every figure of the paper's evaluation section.
 //!
 //! ```text
-//! cargo run --release -p vflash-bench --bin experiments              # all figures
-//! cargo run --release -p vflash-bench --bin experiments -- fig13     # one figure
-//! cargo run --release -p vflash-bench --bin experiments -- qd        # queue-depth sweep
-//! cargo run --release -p vflash-bench --bin experiments -- --quick   # smaller scale
+//! cargo run --release -p vflash-bench --bin experiments                # all figures
+//! cargo run --release -p vflash-bench --bin experiments -- fig13       # one figure
+//! cargo run --release -p vflash-bench --bin experiments -- qd          # queue-depth sweep
+//! cargo run --release -p vflash-bench --bin experiments -- openloop    # offered-load sweep
+//! cargo run --release -p vflash-bench --bin experiments -- --quick     # smaller scale
+//! cargo run --release -p vflash-bench --bin experiments -- --trace mds_0.csv
+//!                                      # real MSR-Cambridge trace through the same sweeps
 //! ```
 
 use std::error::Error;
 
 use vflash_bench::{
     format_enhancement_rows, format_erase_rows, format_latency_sweep, format_policy_erase_rows,
-    format_queue_depth_rows,
+    format_queue_depth_rows, format_rate_scale_rows,
 };
 use vflash_nand::NandConfig;
 use vflash_sim::experiments::{
     ablation_classifier, ablation_virtual_blocks, enhancement_rows, erase_count_by_policy,
-    queue_depth_sweep, read_latency_sweep, write_latency_sweep, EraseCountRow, ExperimentScale,
-    GcPolicy, Workload,
+    queue_depth_sweep, rate_scale_sweep, rate_scale_sweep_for_trace, read_latency_sweep,
+    read_latency_sweep_for_trace, write_latency_sweep, write_latency_sweep_for_trace,
+    EraseCountRow, ExperimentScale, GcPolicy, Workload,
 };
 use vflash_sim::Comparison;
+use vflash_trace::msr::{self, SubsetOptions};
+use vflash_trace::Trace;
 
 fn print_table1(scale: &ExperimentScale) {
     let config: NandConfig = scale.device_config(16 * 1024, 2.0);
@@ -128,6 +134,66 @@ fn qd(scale: &ExperimentScale) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
+fn openloop(scale: &ExperimentScale) -> Result<(), Box<dyn Error>> {
+    // Like the queue-depth sweep, the open-loop sweep is about load on a wide
+    // device; arrivals come from the synthetic traces' recorded timestamps.
+    let scale = ExperimentScale { chips: scale.chips.max(8), ..*scale };
+    for workload in Workload::ALL {
+        println!(
+            "== Open-loop (arrival-time) sweep: {workload}, {} chips, 16 KB pages, 2x ==",
+            scale.chips
+        );
+        print!("{}", format_rate_scale_rows(&rate_scale_sweep(workload, &scale)?));
+        println!();
+    }
+    Ok(())
+}
+
+/// Runs a real (MSR-Cambridge CSV) trace through the same sweeps the synthetic
+/// workloads get: the Figure 13/16-style latency-vs-speed-ratio comparison and
+/// the open-loop offered-load sweep.
+fn real_trace(path: &str, scale: &ExperimentScale) -> Result<(), Box<dyn Error>> {
+    // Cap the request count at the scale's budget so `--quick` stays quick even
+    // on a multi-GB file; streaming stops as soon as the quota fills.
+    let trace = msr::parse_path_filtered(path, &SubsetOptions::first_n(scale.requests))?;
+    if trace.is_empty() {
+        return Err(format!("trace {path} contains no usable requests").into());
+    }
+    let stats = trace.stats();
+    println!(
+        "== Real trace {}: {} requests, {:.0}% reads, mean request {:.1} KiB, \
+         recorded rate {:.0} req/s ==",
+        trace.name(),
+        trace.len(),
+        stats.read_ratio() * 100.0,
+        stats.mean_request_bytes / 1024.0,
+        trace.offered_iops(),
+    );
+    println!();
+    // Size the simulated device to the trace's footprint: an external trace
+    // arrives with its own working set, unlike the generated workloads.
+    let scale = scale.sized_for_trace(&trace);
+    real_trace_sweeps(&trace, &scale)
+}
+
+fn real_trace_sweeps(trace: &Trace, scale: &ExperimentScale) -> Result<(), Box<dyn Error>> {
+    println!("== {} read latency vs page access speed difference ==", trace.name());
+    print!("{}", format_latency_sweep(&read_latency_sweep_for_trace(trace, scale)?));
+    println!();
+    println!("== {} write latency vs page access speed difference ==", trace.name());
+    print!("{}", format_latency_sweep(&write_latency_sweep_for_trace(trace, scale)?));
+    println!();
+    let wide = ExperimentScale { chips: scale.chips.max(8), ..*scale };
+    println!(
+        "== {} open-loop (arrival-time) sweep, {} chips, 16 KB pages, 2x ==",
+        trace.name(),
+        wide.chips
+    );
+    print!("{}", format_rate_scale_rows(&rate_scale_sweep_for_trace(trace, &wide)?));
+    println!();
+    Ok(())
+}
+
 fn ablations(scale: &ExperimentScale) -> Result<(), Box<dyn Error>> {
     println!("== Ablation: virtual blocks per physical block (web-sql-server, 4x) ==");
     for (virtual_blocks, enhancement) in ablation_virtual_blocks(Workload::WebSqlServer, scale)? {
@@ -146,7 +212,30 @@ fn main() -> Result<(), Box<dyn Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|arg| arg == "--quick");
     let scale = if quick { ExperimentScale::quick() } else { ExperimentScale::standard() };
-    let figures: Vec<&str> = args.iter().map(String::as_str).filter(|arg| *arg != "--quick").collect();
+
+    // `--trace <file.csv>` feeds a real MSR-Cambridge trace through the same
+    // sweeps as the synthetic workloads, then exits.
+    let mut figures: Vec<&str> = Vec::new();
+    let mut trace_path: Option<&str> = None;
+    let mut iter = args.iter().map(String::as_str).filter(|arg| *arg != "--quick");
+    while let Some(arg) = iter.next() {
+        if arg == "--trace" {
+            let Some(path) = iter.next() else {
+                eprintln!("--trace needs a file path (an MSR-Cambridge CSV)");
+                std::process::exit(2);
+            };
+            trace_path = Some(path);
+        } else {
+            figures.push(arg);
+        }
+    }
+    if let Some(path) = trace_path {
+        if !figures.is_empty() {
+            eprintln!("--trace replaces the synthetic figure selection {figures:?}");
+            std::process::exit(2);
+        }
+        return real_trace(path, &scale);
+    }
     let run_all = figures.is_empty() || figures.contains(&"all");
 
     print_table1(&scale);
@@ -187,9 +276,14 @@ fn main() -> Result<(), Box<dyn Error>> {
         qd(&scale)?;
         matched = true;
     }
+    if run_all || figures.contains(&"openloop") {
+        openloop(&scale)?;
+        matched = true;
+    }
     if !matched {
         eprintln!(
-            "unknown experiment selection {figures:?}; expected fig12..fig18, ablation, qd or all"
+            "unknown experiment selection {figures:?}; expected fig12..fig18, ablation, qd, \
+             openloop or all"
         );
         std::process::exit(2);
     }

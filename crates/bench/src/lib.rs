@@ -11,7 +11,7 @@
 
 use vflash_nand::Nanos;
 use vflash_sim::experiments::{
-    EnhancementRow, EraseCountRow, LatencySweepRow, PolicyEraseRow, QueueDepthRow,
+    EnhancementRow, EraseCountRow, LatencySweepRow, PolicyEraseRow, QueueDepthRow, RateScaleRow,
 };
 use vflash_sim::{Comparison, LatencyPercentiles, RunSummary};
 
@@ -90,6 +90,35 @@ pub fn format_queue_depth_rows(rows: &[QueueDepthRow]) -> String {
     for row in rows {
         push(row.queue_depth, &row.conventional);
         push(row.queue_depth, &row.ppb);
+    }
+    out
+}
+
+/// Renders offered-load (open-loop rate-scale) sweep rows: offered vs achieved
+/// IOPS and the queueing-delay/service-time split (µs) for both FTLs at every
+/// rate scale. Reading the curve: while achieved ≈ offered the device keeps up
+/// and queue delay stays near zero; past the knee, achieved flattens at
+/// saturation and the response time is queueing delay, not service time.
+pub fn format_rate_scale_rows(rows: &[RateScaleRow]) -> String {
+    let mut out = String::from(
+        " rate   ftl             offered    achieved   qdelay mean/p99 (us)   service mean/p99 (us)\n",
+    );
+    let mut push = |rate_scale: f64, summary: &RunSummary| {
+        out.push_str(&format!(
+            "{:>4}x   {:<12} {:>9.0} {:>11.0}   {:>9.0}/{:>9.0}   {:>9.0}/{:>9.0}\n",
+            rate_scale,
+            summary.ftl,
+            summary.offered_iops(),
+            summary.request_iops(),
+            summary.queue_delay.mean.as_micros_f64(),
+            summary.queue_delay.p99.as_micros_f64(),
+            summary.service_time.mean.as_micros_f64(),
+            summary.service_time.p99.as_micros_f64(),
+        ));
+    };
+    for row in rows {
+        push(row.rate_scale, &row.conventional);
+        push(row.rate_scale, &row.ppb);
     }
     out
 }
@@ -190,6 +219,22 @@ mod tests {
         assert!(text.contains("conventional"));
         assert!(text.contains("10000"), "1000 reqs / 0.1 s = 10000 IOPS: {text}");
         assert!(text.contains("250"), "p99 column: {text}");
+    }
+
+    #[test]
+    fn rate_scale_formatting_reports_offered_and_achieved() {
+        let mut conventional = summary("conventional", 100);
+        conventional.host_requests = 1_000;
+        conventional.host_elapsed = Nanos::from_millis(200);
+        conventional.offered_duration = Nanos::from_millis(100);
+        conventional.queue_delay.mean = Nanos::from_micros(75);
+        let ppb = summary("ppb", 80);
+        let rows = vec![RateScaleRow { rate_scale: 2.0, conventional, ppb }];
+        let text = format_rate_scale_rows(&rows);
+        assert!(text.contains("2x"), "{text}");
+        assert!(text.contains("10000"), "1000 reqs / 0.1 s offered: {text}");
+        assert!(text.contains("5000"), "1000 reqs / 0.2 s achieved: {text}");
+        assert!(text.contains("75"), "queue-delay mean column: {text}");
     }
 
     #[test]

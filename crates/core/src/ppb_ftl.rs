@@ -244,9 +244,18 @@ impl<C: HotColdClassifier> PpbFtl<C> {
         };
         let block = writer.target(desired, &mut self.device)?;
         let flat = block.flat_index(self.device.config().blocks_per_chip());
-        let owner = self.block_areas[flat].get_or_insert(level.area());
+        if self.block_areas[flat].is_none() {
+            // First data in this block since its erase: claim it for the area and
+            // mirror the claim onto the device as a block tag, so hotness-aware
+            // victim policies (which only see the device) can tell areas apart.
+            self.block_areas[flat] = Some(level.area());
+            self.device
+                .set_block_area_tag(block, Some(level.area().tag()))
+                .expect("write target addresses are valid");
+        }
+        let owner = self.block_areas[flat].expect("just claimed above");
         debug_assert_eq!(
-            *owner,
+            owner,
             level.area(),
             "block {block} owned by {owner} received {level} data"
         );
@@ -605,6 +614,45 @@ mod tests {
             }
         }
         assert!(gc_seen, "workload never triggered GC");
+    }
+
+    #[test]
+    fn device_block_tags_mirror_the_area_bookkeeping() {
+        let mut ftl = small_ftl();
+        let logical = ftl.logical_pages();
+        for i in 0..(logical * 6) {
+            let lpn = Lpn(i % logical);
+            ftl.write(lpn, if i % 2 == 0 { 512 } else { 64 * 1024 }).unwrap();
+        }
+        assert!(ftl.metrics().gc_erased_blocks > 0, "workload never exercised GC");
+        let mut tagged = 0;
+        for block in ftl.device().block_addrs() {
+            let tag = ftl.device().block(block).unwrap().area_tag();
+            let area = ftl.block_area(block);
+            assert_eq!(
+                tag,
+                area.map(Area::tag),
+                "device tag of {block} disagrees with FTL area {area:?}"
+            );
+            tagged += usize::from(tag.is_some());
+        }
+        assert!(tagged > 0, "no block ended up tagged");
+    }
+
+    #[test]
+    fn hot_cold_victim_policy_runs_the_full_workload() {
+        use vflash_ftl::HotColdVictimPolicy;
+        let mut ftl = small_ftl();
+        ftl.set_victim_policy(Box::new(HotColdVictimPolicy::default()));
+        let logical = ftl.logical_pages();
+        for i in 0..(logical * 8) {
+            ftl.write(Lpn(i % logical), if i % 2 == 0 { 512 } else { 64 * 1024 }).unwrap();
+        }
+        assert!(ftl.metrics().gc_erased_blocks > 0);
+        ftl.mapping().check_consistency().unwrap();
+        for i in 0..logical {
+            ftl.read(Lpn(i)).unwrap();
+        }
     }
 
     #[test]

@@ -184,6 +184,90 @@ impl VictimPolicy for CostBenefitVictimPolicy {
     }
 }
 
+/// Conventional area-tag value for blocks holding cold-area (cold / icy-cold)
+/// data. See [`HotColdVictimPolicy`].
+pub const COLD_AREA_TAG: u8 = 0;
+
+/// Conventional area-tag value for blocks holding hot-area (hot / iron-hot) data.
+pub const HOT_AREA_TAG: u8 = 1;
+
+/// A hotness-aware greedy policy exploiting the PPB block area tags.
+///
+/// The PPB strategy never mixes hot-area and cold-area data in one physical block
+/// and labels each block with its area via
+/// [`NandDevice::set_block_area_tag`](vflash_nand::NandDevice::set_block_area_tag).
+/// That separation carries a classic GC insight: the valid pages remaining in a
+/// **hot-area** block are likely to be invalidated soon anyway (hot data is
+/// rewritten frequently — waiting lets the block clean itself for free), while the
+/// valid pages in a **cold-area** block are stable, so copying them now wastes
+/// nothing that time would have saved. The policy therefore scores candidates as
+///
+/// ```text
+/// score = invalid_pages + cold_bonus   (cold_bonus only for cold-tagged blocks)
+/// ```
+///
+/// and reclaims the highest score — i.e. it behaves greedily but prefers a
+/// cold-tagged victim unless a hot-tagged one offers more than `cold_bonus` extra
+/// invalid pages. Untagged blocks (a conventional FTL never tags) get no bonus, so
+/// on an untagged device the policy degenerates to [`GreedyVictimPolicy`] exactly.
+/// Ties break towards the lowest address, keeping selection deterministic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HotColdVictimPolicy {
+    cold_bonus: f64,
+}
+
+impl HotColdVictimPolicy {
+    /// Creates the policy with an explicit cold-victim bonus, measured in
+    /// invalid-page equivalents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cold_bonus` is negative or not finite.
+    pub fn new(cold_bonus: f64) -> Self {
+        assert!(
+            cold_bonus.is_finite() && cold_bonus >= 0.0,
+            "cold bonus must be finite and non-negative"
+        );
+        HotColdVictimPolicy { cold_bonus }
+    }
+
+    /// The configured cold-victim bonus.
+    pub fn cold_bonus(&self) -> f64 {
+        self.cold_bonus
+    }
+}
+
+impl Default for HotColdVictimPolicy {
+    /// A bonus of 2 invalid pages: enough to flip close calls towards cold blocks
+    /// without overriding a clearly better hot victim.
+    fn default() -> Self {
+        HotColdVictimPolicy::new(2.0)
+    }
+}
+
+impl VictimPolicy for HotColdVictimPolicy {
+    fn select_victim(&self, device: &NandDevice, exclude: &[BlockAddr]) -> Option<BlockAddr> {
+        let mut best: Option<(BlockAddr, f64)> = None;
+        for addr in device.gc_candidates() {
+            if exclude.contains(&addr) {
+                continue;
+            }
+            let block = device.block(addr).expect("candidate addresses are valid");
+            debug_assert_eq!(block.state(), BlockState::Full);
+            let mut score = block.invalid_pages() as f64;
+            if block.area_tag() == Some(COLD_AREA_TAG) {
+                score += self.cold_bonus;
+            }
+            match best {
+                Some((best_addr, best_score))
+                    if score < best_score || (score == best_score && addr > best_addr) => {}
+                _ => best = Some((addr, score)),
+            }
+        }
+        best.map(|(addr, _)| addr)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -310,6 +394,50 @@ mod tests {
         let b0 = BlockAddr::new(ChipId(0), 0);
         fill_block(&mut dev, b0, 1);
         assert_eq!(policy.select_victim(&dev, &[b0]), None);
+    }
+
+    #[test]
+    fn hot_cold_policy_prefers_cold_tagged_victims_on_close_calls() {
+        let mut dev = device();
+        let hot = BlockAddr::new(ChipId(0), 0);
+        let cold = BlockAddr::new(ChipId(0), 1);
+        dev.set_block_area_tag(hot, Some(HOT_AREA_TAG)).unwrap();
+        dev.set_block_area_tag(cold, Some(COLD_AREA_TAG)).unwrap();
+        fill_block(&mut dev, hot, 3); // 3 invalid, hot-tagged: score 3
+        fill_block(&mut dev, cold, 2); // 2 invalid, cold-tagged: score 2 + 2 = 4
+        let policy = HotColdVictimPolicy::default();
+        assert_eq!(policy.select_victim(&dev, &[]), Some(cold));
+        // Greedy would have taken the hot block.
+        assert_eq!(GreedyVictimPolicy::new().select_victim(&dev, &[]), Some(hot));
+        // A decisively better hot victim overcomes the bonus: 4 invalid beats 1 + 2.
+        let mut dev = device();
+        let hot = BlockAddr::new(ChipId(0), 0);
+        let cold = BlockAddr::new(ChipId(0), 1);
+        dev.set_block_area_tag(hot, Some(HOT_AREA_TAG)).unwrap();
+        dev.set_block_area_tag(cold, Some(COLD_AREA_TAG)).unwrap();
+        fill_block(&mut dev, hot, 4);
+        fill_block(&mut dev, cold, 1);
+        assert_eq!(policy.select_victim(&dev, &[]), Some(hot));
+    }
+
+    #[test]
+    fn hot_cold_policy_degenerates_to_greedy_without_tags() {
+        let mut dev = device();
+        let b0 = BlockAddr::new(ChipId(0), 0);
+        let b1 = BlockAddr::new(ChipId(0), 1);
+        fill_block(&mut dev, b0, 1);
+        fill_block(&mut dev, b1, 3);
+        let policy = HotColdVictimPolicy::default();
+        let greedy = GreedyVictimPolicy::new();
+        assert_eq!(policy.select_victim(&dev, &[]), greedy.select_victim(&dev, &[]));
+        assert_eq!(policy.select_victim(&dev, &[b1]), greedy.select_victim(&dev, &[b1]));
+        assert_eq!(policy.select_victim(&dev, &[b0, b1]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn hot_cold_policy_rejects_negative_bonus() {
+        let _ = HotColdVictimPolicy::new(-0.5);
     }
 
     #[test]

@@ -58,7 +58,9 @@ pub use allocator::BlockAllocator;
 pub use config::FtlConfig;
 pub use conventional::ConventionalFtl;
 pub use error::FtlError;
-pub use gc::{CostBenefitVictimPolicy, GcOutcome, GreedyVictimPolicy, VictimPolicy};
+pub use gc::{
+    CostBenefitVictimPolicy, GcOutcome, GreedyVictimPolicy, HotColdVictimPolicy, VictimPolicy,
+};
 pub use io::{Completion, IoCommand, IoRequest};
 pub use mapping::MappingTable;
 pub use metrics::FtlMetrics;

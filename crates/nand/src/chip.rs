@@ -186,6 +186,11 @@ impl Chip {
         self.blocks[index].touch(seq);
     }
 
+    /// Sets or clears a block's data-area tag (see [`Block::area_tag`]).
+    pub(crate) fn tag_block(&mut self, index: usize, tag: Option<u8>) {
+        self.blocks[index].set_area_tag(tag);
+    }
+
     /// Programs the next free page of a block, maintaining the accounting.
     pub(crate) fn program_block(&mut self, index: usize) -> Option<PageId> {
         let was_free = self.blocks[index].state() == BlockState::Free;

@@ -263,6 +263,26 @@ impl NandDevice {
         })
     }
 
+    /// Sets or clears a block's data-area tag: an opaque host-side label the FTL
+    /// attaches to a block (the PPB strategy marks blocks as hot-area or
+    /// cold-area) so that hotness-aware garbage-collection victim policies can
+    /// read it back via [`NandDevice::block`] + [`Block::area_tag`]. The device
+    /// clears the tag automatically on erase; tagging is pure metadata and takes
+    /// no device time, advances no clock and records no operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NandError::ChipOutOfRange`] or [`NandError::BlockOutOfRange`] for
+    /// invalid addresses.
+    pub fn set_block_area_tag(
+        &mut self,
+        addr: BlockAddr,
+        tag: Option<u8>,
+    ) -> Result<(), NandError> {
+        self.chip_for(addr)?.tag_block(addr.index(), tag);
+        Ok(())
+    }
+
     /// Total erase operations performed across the device (total wear). O(chips).
     pub fn total_erases(&self) -> u64 {
         self.chips.iter().map(Chip::total_erases).sum()
@@ -697,6 +717,25 @@ mod tests {
         // Untouched blocks keep their stamp, so their age keeps growing.
         let other = device.any_free_block().unwrap();
         assert_eq!(device.block(other).unwrap().last_modified(), 0);
+    }
+
+    #[test]
+    fn area_tags_round_trip_and_die_with_the_erase() {
+        let mut device = small_device();
+        let block = device.any_free_block().unwrap();
+        let before = device.mod_seq();
+        device.set_block_area_tag(block, Some(1)).unwrap();
+        assert_eq!(device.block(block).unwrap().area_tag(), Some(1));
+        assert_eq!(device.mod_seq(), before, "tagging is metadata, not a state change");
+        device.program(block, PageId(0)).unwrap();
+        device.invalidate(block.page(PageId(0))).unwrap();
+        device.erase(block).unwrap();
+        assert_eq!(device.block(block).unwrap().area_tag(), None);
+        let bad = BlockAddr::new(ChipId(9), 0);
+        assert!(matches!(
+            device.set_block_area_tag(bad, Some(0)),
+            Err(NandError::ChipOutOfRange { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,683 @@
+//! The workload-driver engine: one drive loop for every replay discipline.
+//!
+//! Historically the crate had two divergent replayers — a serial `Replayer`
+//! (queue depth 1, summed latencies) and an event-driven `QueuedReplayer`
+//! (queue-depth N over per-chip ready clocks). Both were **closed-loop**: the next
+//! request was issued the moment a queue slot freed, so every reported percentile
+//! was a saturation number and the arrival timestamps the traces carry were
+//! ignored. This module collapses the two loops into a single engine,
+//! parameterised by an [`ArrivalDiscipline`]:
+//!
+//! * [`ArrivalDiscipline::ClosedLoop`] — keep `queue_depth` requests in flight;
+//!   a request is issued when the earliest in-flight request completes. At depth 1
+//!   this reproduces the serial replayer **bit-for-bit** (summary and device
+//!   state), at depth N the queued replayer — both guarantees are locked down by
+//!   `tests/engine_equivalence.rs` against reference implementations of the
+//!   pre-refactor loops.
+//! * [`ArrivalDiscipline::OpenLoop`] — issue each request at its trace-recorded
+//!   arrival time (`at_nanos`, scaled by `rate_scale`), queueing on the device
+//!   when it is busy. This is what exposes *latency under load*: response time
+//!   decomposes into **queueing delay** (time spent waiting for busy chips) and
+//!   **service time** (time the device actually worked), reported separately in
+//!   the [`RunSummary`], together with offered vs achieved IOPS.
+//!
+//! # The timing model
+//!
+//! FTL state (mapping tables, GC, hot/cold areas) evolves in **trace order**
+//! regardless of discipline — requests are submitted to the FTL one after another
+//! and only the timing is overlaid by the event model. This keeps device state
+//! identical across queue depths and rate scales, so throughput and latency
+//! differences are attributable to queuing alone.
+//!
+//! For each request the engine obtains the request's timed device operations (via
+//! [`submit`](vflash_ftl::FlashTranslationLayer::submit) completions with
+//! [op tracing](vflash_nand::NandDevice::set_op_tracing) enabled) and plays them
+//! against per-chip ready clocks:
+//!
+//! ```text
+//! issue   = slot-free time (closed loop) | scaled arrival time (open loop)
+//! op k:     start = max(end of op k-1, chip_ready[chip(k)])
+//!           chip_ready[chip(k)] = start + latency(k)
+//! latency = end of last op - issue
+//! service = Σ latency(k);   queueing delay = latency - service
+//! ```
+//!
+//! At closed-loop depth 1 every `max` resolves to the running clock, so the op
+//! overlay is unnecessary; the engine then runs with tracing off and charges each
+//! page's completion latency serially — the exact code path (and cost) of the old
+//! serial replayer.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use vflash_ftl::{FlashTranslationLayer, FtlError, IoRequest as FtlRequest, Lpn};
+use vflash_nand::{ChipId, Nanos};
+use vflash_trace::{IoOp, Trace};
+
+use crate::histogram::LatencyHistogram;
+use crate::report::{ReplayMode, RunSummary};
+
+/// A word-packed bitmap over logical page numbers.
+///
+/// The prefill pass needs one bit per logical page; on multi-million-page devices a
+/// `Vec<bool>` would spend a byte per page, so pages are packed 64 to a `u64` (8x
+/// less memory and far fewer cache lines touched by the marking pass).
+#[derive(Debug, Clone)]
+struct PageBitmap {
+    words: Vec<u64>,
+}
+
+impl PageBitmap {
+    fn new(pages: u64) -> Self {
+        PageBitmap { words: vec![0; (pages as usize).div_ceil(64)] }
+    }
+
+    fn set(&mut self, page: u64) {
+        self.words[(page / 64) as usize] |= 1 << (page % 64);
+    }
+
+    #[cfg(test)]
+    fn get(&self, page: u64) -> bool {
+        self.words[(page / 64) as usize] & (1 << (page % 64)) != 0
+    }
+
+    /// Iterates over set pages in ascending order, skipping empty words wholesale.
+    fn iter_set(&self) -> impl Iterator<Item = u64> + '_ {
+        self.words.iter().enumerate().flat_map(|(word_index, &word)| {
+            let base = word_index as u64 * 64;
+            std::iter::successors(
+                (word != 0).then_some(word),
+                |bits| {
+                    let rest = bits & (bits - 1);
+                    (rest != 0).then_some(rest)
+                },
+            )
+            .map(move |bits| base + u64::from(bits.trailing_zeros()))
+        })
+    }
+}
+
+/// Options controlling how a trace is replayed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOptions {
+    /// Write every logical page the trace will ever touch once before replay starts,
+    /// so that reads of data the trace never wrote behave like reads of pre-existing
+    /// data instead of errors. The warm-up traffic is excluded from the reported
+    /// summary. Enabled by default.
+    ///
+    /// The warm-up exists to serve reads, so a trace containing no read at all skips
+    /// it even when this flag is set: the replay then runs against a fresh device.
+    /// Callers who want a write-only workload measured on a preconditioned device
+    /// should age the device explicitly (replay a fill trace first via
+    /// [`WorkloadDriver::run_mut`]).
+    pub prefill: bool,
+    /// Request size (bytes) used for the warm-up writes. Large by default so the
+    /// warm-up data is classified cold and does not pre-bias the hot/cold state.
+    pub prefill_request_bytes: u32,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions { prefill: true, prefill_request_bytes: 1 << 20 }
+    }
+}
+
+/// How the engine decides *when* each trace request is issued to the device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalDiscipline {
+    /// Saturation replay: keep up to `queue_depth` host requests in flight; the
+    /// next request is issued the moment the earliest in-flight one completes.
+    /// Arrival timestamps in the trace are ignored. Depth 1 is the classic serial
+    /// replay.
+    ClosedLoop {
+        /// Maximum host requests in flight (at least 1).
+        queue_depth: usize,
+    },
+    /// Arrival-time replay: each request is issued at its trace-recorded
+    /// `at_nanos` divided by `rate_scale`, and queues on the device when chips
+    /// are busy. `rate_scale = 1.0` offers exactly the trace's recorded load;
+    /// `2.0` compresses arrivals to twice the offered rate; `0.5` halves it.
+    OpenLoop {
+        /// Multiplier on the trace's offered arrival rate (positive and finite).
+        rate_scale: f64,
+    },
+}
+
+impl ArrivalDiscipline {
+    /// Whether this discipline needs per-op provenance (chips + latencies) from
+    /// the FTL. Closed-loop depth 1 degenerates to serial accumulation, where the
+    /// overlay is pure overhead.
+    fn needs_op_tracing(self) -> bool {
+        match self {
+            ArrivalDiscipline::ClosedLoop { queue_depth } => queue_depth > 1,
+            ArrivalDiscipline::OpenLoop { .. } => true,
+        }
+    }
+
+    fn validate(self) {
+        match self {
+            ArrivalDiscipline::ClosedLoop { queue_depth } => {
+                assert!(queue_depth > 0, "queue depth must be at least 1");
+            }
+            ArrivalDiscipline::OpenLoop { rate_scale } => {
+                assert!(
+                    rate_scale.is_finite() && rate_scale > 0.0,
+                    "rate scale must be positive and finite"
+                );
+            }
+        }
+    }
+}
+
+/// Scales a trace arrival timestamp by the open-loop rate multiplier.
+fn scale_arrival(at_nanos: u64, rate_scale: f64) -> Nanos {
+    if rate_scale == 1.0 {
+        Nanos(at_nanos)
+    } else {
+        Nanos((at_nanos as f64 / rate_scale).round() as u64)
+    }
+}
+
+/// The unified workload driver: replays a [`Trace`] against any
+/// [`FlashTranslationLayer`] under a chosen [`ArrivalDiscipline`] and reports a
+/// [`RunSummary`].
+///
+/// The serial [`Replayer`](crate::Replayer) and the queue-depth
+/// [`QueuedReplayer`](crate::QueuedReplayer) are thin compatibility wrappers over
+/// this type.
+///
+/// # Example
+///
+/// ```
+/// use vflash_ftl::{ConventionalFtl, FtlConfig};
+/// use vflash_nand::{NandConfig, NandDevice};
+/// use vflash_sim::{ArrivalDiscipline, RunOptions, WorkloadDriver};
+/// use vflash_trace::synthetic::{self, SyntheticConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let trace = synthetic::web_sql_server(SyntheticConfig {
+///     requests: 500,
+///     working_set_bytes: 4 * 1024 * 1024,
+///     ..Default::default()
+/// });
+/// let device = NandDevice::new(
+///     NandConfig::builder()
+///         .chips(4)
+///         .blocks_per_chip(24)
+///         .pages_per_block(32)
+///         .page_size_bytes(16 * 1024)
+///         .build()?,
+/// );
+/// let ftl = ConventionalFtl::new(device, FtlConfig::default())?;
+/// let driver = WorkloadDriver::open_loop(RunOptions::default(), 1.0);
+/// let summary = driver.run(ftl, &trace)?;
+/// // Open-loop runs cannot serve more than they are offered.
+/// assert!(summary.request_iops() <= summary.offered_iops());
+/// assert!(summary.service_time.p50 > vflash_nand::Nanos::ZERO);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadDriver {
+    options: RunOptions,
+    discipline: ArrivalDiscipline,
+}
+
+impl WorkloadDriver {
+    /// Creates a driver with explicit options and discipline.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero queue depth or a non-positive/non-finite rate scale.
+    pub fn new(options: RunOptions, discipline: ArrivalDiscipline) -> Self {
+        discipline.validate();
+        WorkloadDriver { options, discipline }
+    }
+
+    /// A closed-loop (saturation) driver at the given queue depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue_depth` is zero.
+    pub fn closed_loop(options: RunOptions, queue_depth: usize) -> Self {
+        WorkloadDriver::new(options, ArrivalDiscipline::ClosedLoop { queue_depth })
+    }
+
+    /// An open-loop (arrival-time) driver at the given rate scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_scale` is not positive and finite.
+    pub fn open_loop(options: RunOptions, rate_scale: f64) -> Self {
+        WorkloadDriver::new(options, ArrivalDiscipline::OpenLoop { rate_scale })
+    }
+
+    /// The replay options.
+    pub fn options(&self) -> &RunOptions {
+        &self.options
+    }
+
+    /// The arrival discipline.
+    pub fn discipline(&self) -> ArrivalDiscipline {
+        self.discipline
+    }
+
+    /// Replays `trace` against `ftl` and returns the run summary.
+    ///
+    /// Byte offsets are translated to logical pages using the device's page size,
+    /// and wrapped modulo the exported logical capacity so any trace can be
+    /// replayed on any device size (the standard trick for replaying enterprise
+    /// traces on scaled simulators).
+    ///
+    /// # Errors
+    ///
+    /// Propagates FTL errors ([`FtlError::OutOfSpace`] and internal device
+    /// errors). Unmapped reads only occur when `prefill` is disabled; with the
+    /// default options they cannot happen.
+    pub fn run<F: FlashTranslationLayer>(
+        &self,
+        mut ftl: F,
+        trace: &Trace,
+    ) -> Result<RunSummary, FtlError> {
+        self.run_mut(&mut ftl, trace)
+    }
+
+    /// Like [`WorkloadDriver::run`] but borrows the FTL, so callers can keep using
+    /// it (and its device state) after the replay — e.g. to replay a second trace
+    /// on a pre-aged device.
+    ///
+    /// # Errors
+    ///
+    /// Propagates FTL errors; see [`WorkloadDriver::run`].
+    pub fn run_mut<F: FlashTranslationLayer + ?Sized>(
+        &self,
+        ftl: &mut F,
+        trace: &Trace,
+    ) -> Result<RunSummary, FtlError> {
+        let page_size = ftl.device().config().page_size_bytes();
+        let logical_pages = ftl.logical_pages();
+
+        // The warm-up always runs serially with tracing off, so device state
+        // entering the measured phase is identical across disciplines.
+        if self.options.prefill {
+            prefill_ftl(ftl, trace, page_size, logical_pages, self.options.prefill_request_bytes)?;
+        }
+
+        let trace_ops = self.discipline.needs_op_tracing();
+        if trace_ops {
+            ftl.device_mut().set_op_tracing(true);
+        }
+        let outcome = self.drive(ftl, trace, page_size, logical_pages);
+        if trace_ops {
+            ftl.device_mut().set_op_tracing(false);
+        }
+        outcome
+    }
+
+    /// The single drive loop shared by every discipline.
+    fn drive<F: FlashTranslationLayer + ?Sized>(
+        &self,
+        ftl: &mut F,
+        trace: &Trace,
+        page_size: usize,
+        logical_pages: u64,
+    ) -> Result<RunSummary, FtlError> {
+        let start = *ftl.metrics();
+        let busy_start = chip_busy_times(ftl);
+        let chips = ftl.device().config().chips();
+
+        let mut chip_ready = vec![Nanos::ZERO; chips];
+        let heap_capacity = match self.discipline {
+            ArrivalDiscipline::ClosedLoop { queue_depth } => queue_depth,
+            ArrivalDiscipline::OpenLoop { .. } => 0,
+        };
+        let mut in_flight: BinaryHeap<Reverse<Nanos>> = BinaryHeap::with_capacity(heap_capacity);
+        let mut read_latencies = LatencyHistogram::new();
+        let mut write_latencies = LatencyHistogram::new();
+        let mut queue_delays = LatencyHistogram::new();
+        let mut service_times = LatencyHistogram::new();
+        let mut clock = Nanos::ZERO;
+        let mut last_completion = Nanos::ZERO;
+        let mut first_arrival: Option<Nanos> = None;
+        let mut last_arrival = Nanos::ZERO;
+        let mut requests = 0u64;
+
+        for request in trace {
+            // When is this request issued?
+            let issue = match self.discipline {
+                ArrivalDiscipline::ClosedLoop { queue_depth } => {
+                    // Wait for a queue slot: the issue time is the completion of
+                    // the earliest in-flight request (the clock never moves
+                    // backwards, so issue order is preserved).
+                    if in_flight.len() == queue_depth {
+                        let Reverse(freed) = in_flight.pop().expect("queue depth is at least 1");
+                        if freed > clock {
+                            clock = freed;
+                        }
+                    }
+                    clock
+                }
+                ArrivalDiscipline::OpenLoop { rate_scale } => {
+                    // The trace-recorded arrival time, compressed or stretched by
+                    // the rate scale. Nothing bounds how many requests are
+                    // outstanding — that is what "open loop" means. Issue times
+                    // are rebased against the trace's first arrival: a subset cut
+                    // from the middle of an MSR file keeps file-relative
+                    // timestamps (deliberately — see `msr::SubsetOptions`), and
+                    // without the rebase that offset would count as replay time
+                    // and deflate the achieved IOPS.
+                    let arrival = scale_arrival(request.at_nanos, rate_scale);
+                    let base = *first_arrival.get_or_insert(arrival);
+                    if arrival > last_arrival {
+                        last_arrival = arrival;
+                    }
+                    arrival.saturating_sub(base)
+                }
+            };
+            let mut now = issue;
+            let mut service = Nanos::ZERO;
+
+            // A multi-page host request is a dependent chain of page submissions;
+            // each timed device op starts when both its predecessor in the chain
+            // and its chip are ready.
+            for page in request.logical_pages(page_size) {
+                let lpn = Lpn(page % logical_pages);
+                let completion = match request.op {
+                    IoOp::Write => ftl.submit(FtlRequest::write(lpn, request.length))?,
+                    IoOp::Read => match ftl.submit(FtlRequest::read(lpn)) {
+                        Ok(completion) => completion,
+                        // Without prefill, reads of never-written data are
+                        // skipped, mirroring how a real host would simply get
+                        // zeroes back.
+                        Err(FtlError::UnmappedRead { .. }) if !self.options.prefill => continue,
+                        Err(err) => return Err(err),
+                    },
+                };
+                if completion.ops.is_empty() {
+                    // Untraced (closed-loop depth 1): no other request is in
+                    // flight, so every chip-ready merge would resolve to the
+                    // running clock anyway — charge the page serially.
+                    now += completion.latency;
+                    service += completion.latency;
+                } else {
+                    for op in &completion.ops {
+                        let ready = chip_ready[op.chip.0];
+                        let op_start = if ready > now { ready } else { now };
+                        now = op_start + op.latency;
+                        chip_ready[op.chip.0] = now;
+                        service += op.latency;
+                    }
+                    // Recycling the consumed op buffer keeps the traced hot path
+                    // allocation-free in steady state.
+                    ftl.device_mut().recycle_ops(completion.ops);
+                }
+            }
+
+            let latency = now.saturating_sub(issue);
+            match request.op {
+                IoOp::Read => read_latencies.record(latency),
+                IoOp::Write => write_latencies.record(latency),
+            }
+            queue_delays.record(latency.saturating_sub(service));
+            service_times.record(service);
+            if now > last_completion {
+                last_completion = now;
+            }
+            if matches!(self.discipline, ArrivalDiscipline::ClosedLoop { .. }) {
+                in_flight.push(Reverse(now));
+            }
+            requests += 1;
+        }
+
+        let end = *ftl.metrics();
+        let mut summary = RunSummary::from_metrics_delta(ftl.name(), trace.name(), &start, &end);
+        summary.device_makespan = makespan_delta(ftl, &busy_start);
+        summary.host_requests = requests;
+        summary.host_elapsed = last_completion;
+        summary.read_latency = read_latencies.percentiles();
+        summary.write_latency = write_latencies.percentiles();
+        summary.queue_delay = queue_delays.percentiles();
+        summary.service_time = service_times.percentiles();
+        match self.discipline {
+            ArrivalDiscipline::ClosedLoop { queue_depth } => {
+                summary.queue_depth = queue_depth;
+                summary.mode = ReplayMode::ClosedLoop;
+            }
+            ArrivalDiscipline::OpenLoop { rate_scale } => {
+                // No queue-depth bound exists in open loop; 0 marks "unbounded".
+                summary.queue_depth = 0;
+                summary.mode = ReplayMode::OpenLoop { rate_scale };
+                summary.offered_duration =
+                    last_arrival.saturating_sub(first_arrival.unwrap_or(Nanos::ZERO));
+            }
+        }
+        Ok(summary)
+    }
+}
+
+/// Snapshot of every chip's busy time, used to compute the measured-phase
+/// makespan as a delta (excluding prefill traffic).
+pub(crate) fn chip_busy_times<F: FlashTranslationLayer + ?Sized>(ftl: &F) -> Vec<Nanos> {
+    let device = ftl.device();
+    (0..device.config().chips())
+        .map(|chip| {
+            device.chip_busy_time(ChipId(chip)).expect("chip ids come from the config")
+        })
+        .collect()
+}
+
+/// The measured-phase makespan: largest per-chip busy-time delta since `start`.
+pub(crate) fn makespan_delta<F: FlashTranslationLayer + ?Sized>(
+    ftl: &F,
+    start: &[Nanos],
+) -> Nanos {
+    chip_busy_times(ftl)
+        .iter()
+        .zip(start)
+        .map(|(&end, &begin)| end.saturating_sub(begin))
+        .max()
+        .unwrap_or(Nanos::ZERO)
+}
+
+/// Writes every logical page the trace touches exactly once (in ascending order),
+/// so later reads always find mapped data. Shared by every discipline, so any
+/// replay warms the device **identically** — a precondition for the bit-identity
+/// guarantees between disciplines.
+///
+/// Traces without a single read skip the warm-up entirely: the prefill exists
+/// only so reads of never-written data behave like reads of pre-existing data,
+/// and a write-only trace has none.
+pub(crate) fn prefill_ftl<F: FlashTranslationLayer + ?Sized>(
+    ftl: &mut F,
+    trace: &Trace,
+    page_size: usize,
+    logical_pages: u64,
+    prefill_request_bytes: u32,
+) -> Result<(), FtlError> {
+    if !trace.iter().any(|request| request.op == IoOp::Read) {
+        return Ok(());
+    }
+    let mut touched = PageBitmap::new(logical_pages);
+    for request in trace {
+        for page in request.logical_pages(page_size) {
+            touched.set(page % logical_pages);
+        }
+    }
+    for page in touched.iter_set() {
+        ftl.write(Lpn(page), prefill_request_bytes)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vflash_ftl::{ConventionalFtl, FtlConfig};
+    use vflash_nand::{NandConfig, NandDevice};
+    use vflash_trace::IoRequest;
+
+    fn ftl(chips: usize) -> ConventionalFtl {
+        let device = NandDevice::new(
+            NandConfig::builder()
+                .chips(chips)
+                .blocks_per_chip(32)
+                .pages_per_block(8)
+                .page_size_bytes(4096)
+                .build()
+                .unwrap(),
+        );
+        ConventionalFtl::new(device, FtlConfig::default()).unwrap()
+    }
+
+    /// A read-back trace with arrivals spaced 1 ms apart.
+    fn paced_trace(requests: u64, gap_nanos: u64) -> Trace {
+        let mut reqs = Vec::new();
+        for i in 0..requests {
+            reqs.push(IoRequest::new(
+                i * gap_nanos,
+                IoOp::Read,
+                (i * 37 % requests) * 4096,
+                4096,
+            ));
+        }
+        Trace::new("paced", reqs)
+    }
+
+    #[test]
+    fn bitmap_sets_and_iterates_in_ascending_order() {
+        let mut bitmap = PageBitmap::new(200);
+        for page in [0u64, 1, 63, 64, 65, 127, 128, 199] {
+            bitmap.set(page);
+        }
+        assert!(bitmap.get(63));
+        assert!(!bitmap.get(62));
+        let set: Vec<u64> = bitmap.iter_set().collect();
+        assert_eq!(set, vec![0, 1, 63, 64, 65, 127, 128, 199]);
+    }
+
+    #[test]
+    fn empty_bitmap_iterates_nothing() {
+        let bitmap = PageBitmap::new(500);
+        assert_eq!(bitmap.iter_set().count(), 0);
+    }
+
+    #[test]
+    fn zero_queue_depth_and_bad_rate_scales_are_rejected() {
+        assert!(std::panic::catch_unwind(|| {
+            WorkloadDriver::closed_loop(RunOptions::default(), 0)
+        })
+        .is_err());
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(
+                std::panic::catch_unwind(|| {
+                    WorkloadDriver::open_loop(RunOptions::default(), bad)
+                })
+                .is_err(),
+                "rate scale {bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn arrival_scaling_is_exact_at_unit_rate() {
+        assert_eq!(scale_arrival(123_456, 1.0), Nanos(123_456));
+        assert_eq!(scale_arrival(1_000, 2.0), Nanos(500));
+        assert_eq!(scale_arrival(1_000, 0.5), Nanos(2_000));
+    }
+
+    #[test]
+    fn open_loop_idle_device_has_zero_queue_delay() {
+        // 1 ms between arrivals on a device whose reads take tens of µs: every
+        // request finds the chips idle, so latency == service and delay == 0.
+        let trace = paced_trace(64, 1_000_000);
+        let summary = WorkloadDriver::open_loop(RunOptions::default(), 1.0)
+            .run(ftl(2), &trace)
+            .unwrap();
+        assert_eq!(summary.queue_delay.max, Nanos::ZERO);
+        assert_eq!(summary.read_latency, summary.service_time);
+        assert!(summary.offered_duration > Nanos::ZERO);
+        assert!(summary.request_iops() <= summary.offered_iops());
+        assert_eq!(summary.queue_depth, 0, "open loop has no depth bound");
+        assert!(matches!(summary.mode, ReplayMode::OpenLoop { rate_scale } if rate_scale == 1.0));
+    }
+
+    #[test]
+    fn overload_builds_queueing_delay() {
+        // 1 ns between arrivals: the device cannot keep up, so queueing delay
+        // dominates and the tail grows far beyond the service time.
+        let trace = paced_trace(256, 1);
+        let summary = WorkloadDriver::open_loop(RunOptions::default(), 1.0)
+            .run(ftl(1), &trace)
+            .unwrap();
+        assert!(summary.queue_delay.p99 > summary.service_time.p99);
+        assert!(summary.request_iops() < summary.offered_iops());
+    }
+
+    #[test]
+    fn rate_scale_compresses_arrivals_and_raises_offered_load() {
+        let trace = paced_trace(128, 500_000);
+        let relaxed = WorkloadDriver::open_loop(RunOptions::default(), 1.0)
+            .run(ftl(2), &trace)
+            .unwrap();
+        let pressed = WorkloadDriver::open_loop(RunOptions::default(), 100.0)
+            .run(ftl(2), &trace)
+            .unwrap();
+        assert!(pressed.offered_iops() > relaxed.offered_iops() * 50.0);
+        assert!(pressed.queue_delay.p99 >= relaxed.queue_delay.p99);
+        // Device-state evolution is discipline-invariant.
+        assert_eq!(pressed.host_reads, relaxed.host_reads);
+        assert_eq!(pressed.read_time, relaxed.read_time);
+    }
+
+    #[test]
+    fn open_loop_rebases_against_the_first_arrival() {
+        // The same trace shifted 10 minutes into the future (as a time-window
+        // subset of an MSR file would be) must replay identically: the offset is
+        // file position, not load.
+        let gap = 500_000u64;
+        let base_trace = paced_trace(64, gap);
+        let shifted = Trace::new(
+            "shifted",
+            base_trace
+                .iter()
+                .map(|request| {
+                    IoRequest::new(
+                        request.at_nanos + 600_000_000_000,
+                        request.op,
+                        request.offset,
+                        request.length,
+                    )
+                })
+                .collect(),
+        );
+        let driver = WorkloadDriver::open_loop(RunOptions::default(), 1.0);
+        let plain = driver.run(ftl(2), &base_trace).unwrap();
+        let moved = driver.run(ftl(2), &shifted).unwrap();
+        assert_eq!(plain.host_elapsed, moved.host_elapsed, "offset must not count as replay time");
+        assert_eq!(plain.offered_duration, moved.offered_duration);
+        assert_eq!(plain.read_latency, moved.read_latency);
+        assert!((plain.request_iops() - moved.request_iops()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn closed_loop_records_zero_offered_duration() {
+        let trace = paced_trace(32, 1_000);
+        let summary =
+            WorkloadDriver::closed_loop(RunOptions::default(), 4).run(ftl(2), &trace).unwrap();
+        assert_eq!(summary.offered_duration, Nanos::ZERO);
+        assert_eq!(summary.offered_iops(), 0.0);
+        assert_eq!(summary.mode, ReplayMode::ClosedLoop);
+        assert_eq!(summary.queue_depth, 4);
+    }
+
+    #[test]
+    fn closed_loop_service_split_is_consistent_at_depth_1() {
+        // At depth 1 nothing ever queues: delay is identically zero and the
+        // service-time histogram matches the completion latencies.
+        let trace = paced_trace(64, 1_000);
+        let summary =
+            WorkloadDriver::closed_loop(RunOptions::default(), 1).run(ftl(2), &trace).unwrap();
+        assert_eq!(summary.queue_delay.max, Nanos::ZERO);
+        assert_eq!(summary.read_latency, summary.service_time);
+    }
+}

@@ -12,15 +12,15 @@
 use vflash_ftl::hotcold::{FreqTable, MultiHash, TwoLevelLru};
 use vflash_ftl::{
     ConventionalFtl, CostBenefitVictimPolicy, FtlConfig, FtlError, GreedyVictimPolicy,
-    VictimPolicy, WearAwareVictimPolicy,
+    HotColdVictimPolicy, VictimPolicy, WearAwareVictimPolicy,
 };
 use vflash_nand::{NandConfig, NandDevice, Nanos};
 use vflash_ppb::{PpbConfig, PpbFtl};
 use vflash_trace::synthetic::{self, SyntheticConfig};
 use vflash_trace::Trace;
 
-use crate::queued::QueuedReplayer;
-use crate::replay::{Replayer, RunOptions};
+use crate::engine::{ArrivalDiscipline, RunOptions, WorkloadDriver};
+use crate::replay::Replayer;
 use crate::report::{Comparison, RunSummary};
 
 /// The speed-difference sweep used throughout the evaluation (2x to 5x).
@@ -31,6 +31,12 @@ pub const PAGE_SIZES: [usize; 2] = [8 * 1024, 16 * 1024];
 
 /// The queue depths every figure can additionally be swept over.
 pub const QUEUE_DEPTHS: [usize; 4] = [1, 4, 16, 64];
+
+/// The open-loop rate scales the offered-load sweep replays at: from a tenth of
+/// the trace's recorded arrival rate (comfortably under-saturated on the default
+/// devices) to 4x (well past saturation), so the latency-vs-offered-load curve
+/// shows both regimes and its knee.
+pub const RATE_SCALES: [f64; 6] = [0.1, 0.25, 0.5, 1.0, 2.0, 4.0];
 
 /// The two workloads of the evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -59,6 +65,7 @@ impl Workload {
             requests: scale.requests,
             seed: scale.seed,
             working_set_bytes: scale.working_set_bytes,
+            ..Default::default()
         };
         match self {
             Workload::MediaServer => synthetic::media_server(config),
@@ -172,6 +179,31 @@ impl ExperimentScale {
             .build()
             .expect("experiment scale produces a valid device configuration")
     }
+
+    /// Returns a copy of this scale whose working set covers `trace`'s distinct
+    /// logical-page footprint (at 16 KB pages, the sweep page size), so the
+    /// devices built from it hold the trace's data at the scale's configured
+    /// [`capacity_headroom`](ExperimentScale::capacity_headroom) instead of
+    /// overflowing. This is what the real-trace path uses: synthetic workloads
+    /// are generated *for* a working set, but an external trace arrives with its
+    /// own — possibly much larger — footprint.
+    ///
+    /// The working set only grows, never shrinks, so a small trace still runs on
+    /// the scale's default device.
+    pub fn sized_for_trace(&self, trace: &Trace) -> ExperimentScale {
+        const PAGE: u64 = 16 * 1024;
+        let mut pages = std::collections::HashSet::new();
+        for request in trace {
+            for page in request.logical_pages(PAGE as usize) {
+                pages.insert(page);
+            }
+        }
+        let footprint = pages.len() as u64 * PAGE;
+        ExperimentScale {
+            working_set_bytes: self.working_set_bytes.max(footprint),
+            ..*self
+        }
+    }
 }
 
 impl Default for ExperimentScale {
@@ -184,20 +216,17 @@ fn replayer() -> Replayer {
     Replayer::new(RunOptions::default())
 }
 
-/// Replays an FTL at a queue depth: the serial [`Replayer`] at depth 1 (the two are
-/// bit-identical, and the serial path skips op tracing), the event-driven
-/// [`QueuedReplayer`] above.
-fn replay_at_depth<F: vflash_ftl::FlashTranslationLayer>(
+/// Replays an FTL under an arrival discipline through the unified
+/// [`WorkloadDriver`] (which picks the untraced serial path at closed-loop
+/// depth 1 by itself).
+fn replay_driven<F: vflash_ftl::FlashTranslationLayer>(
     ftl: F,
     trace: &Trace,
-    queue_depth: usize,
+    discipline: ArrivalDiscipline,
 ) -> Result<RunSummary, FtlError> {
-    if queue_depth == 1 {
-        replayer().run(ftl, trace)
-    } else {
-        QueuedReplayer::new(RunOptions::default(), queue_depth).run(ftl, trace)
-    }
+    WorkloadDriver::new(RunOptions::default(), discipline).run(ftl, trace)
 }
+
 
 /// Replays `trace` against the conventional FTL on a device built from `config`.
 ///
@@ -218,8 +247,22 @@ pub fn run_conventional_at_depth(
     config: &NandConfig,
     queue_depth: usize,
 ) -> Result<RunSummary, FtlError> {
+    run_conventional_driven(trace, config, ArrivalDiscipline::ClosedLoop { queue_depth })
+}
+
+/// Like [`run_conventional`], under an explicit arrival discipline (closed loop at
+/// any depth, or open loop at a rate scale).
+///
+/// # Errors
+///
+/// Propagates FTL construction and replay errors.
+pub fn run_conventional_driven(
+    trace: &Trace,
+    config: &NandConfig,
+    discipline: ArrivalDiscipline,
+) -> Result<RunSummary, FtlError> {
     let ftl = ConventionalFtl::new(NandDevice::new(config.clone()), FtlConfig::default())?;
-    replay_at_depth(ftl, trace, queue_depth)
+    replay_driven(ftl, trace, discipline)
 }
 
 /// Replays `trace` against the PPB FTL (default configuration and classifier) on a
@@ -244,7 +287,22 @@ pub fn run_ppb_at_depth(
     config: &NandConfig,
     queue_depth: usize,
 ) -> Result<RunSummary, FtlError> {
-    run_ppb_with_at_depth(trace, config, PpbConfig::default(), Classifier::SizeCheck, queue_depth)
+    run_ppb_driven(trace, config, ArrivalDiscipline::ClosedLoop { queue_depth })
+}
+
+/// Like [`run_ppb`], under an explicit arrival discipline. Shares
+/// [`run_ppb_with`]'s construction path, so the defaults can never diverge
+/// between the serial figures and the open-loop/grid rows.
+///
+/// # Errors
+///
+/// Propagates FTL construction and replay errors.
+pub fn run_ppb_driven(
+    trace: &Trace,
+    config: &NandConfig,
+    discipline: ArrivalDiscipline,
+) -> Result<RunSummary, FtlError> {
+    run_ppb_with_driven(trace, config, PpbConfig::default(), Classifier::SizeCheck, discipline)
 }
 
 /// Replays `trace` against the PPB FTL with an explicit configuration and first-stage
@@ -259,31 +317,33 @@ pub fn run_ppb_with(
     ppb: PpbConfig,
     classifier: Classifier,
 ) -> Result<RunSummary, FtlError> {
-    run_ppb_with_at_depth(trace, config, ppb, classifier, 1)
+    run_ppb_with_driven(trace, config, ppb, classifier, ArrivalDiscipline::ClosedLoop {
+        queue_depth: 1,
+    })
 }
 
 /// The single construction + replay path every `run_ppb*` helper funnels into.
-fn run_ppb_with_at_depth(
+fn run_ppb_with_driven(
     trace: &Trace,
     config: &NandConfig,
     ppb: PpbConfig,
     classifier: Classifier,
-    queue_depth: usize,
+    discipline: ArrivalDiscipline,
 ) -> Result<RunSummary, FtlError> {
     let device = NandDevice::new(config.clone());
     match classifier {
-        Classifier::SizeCheck => replay_at_depth(PpbFtl::new(device, ppb)?, trace, queue_depth),
+        Classifier::SizeCheck => replay_driven(PpbFtl::new(device, ppb)?, trace, discipline),
         Classifier::TwoLevelLru => {
             let lru = TwoLevelLru::new(4096, 4096);
-            replay_at_depth(PpbFtl::with_classifier(device, ppb, lru)?, trace, queue_depth)
+            replay_driven(PpbFtl::with_classifier(device, ppb, lru)?, trace, discipline)
         }
         Classifier::FreqTable => {
             let table = FreqTable::new(2, 100_000);
-            replay_at_depth(PpbFtl::with_classifier(device, ppb, table)?, trace, queue_depth)
+            replay_driven(PpbFtl::with_classifier(device, ppb, table)?, trace, discipline)
         }
         Classifier::MultiHash => {
             let sketch = MultiHash::new(1 << 16, 2, 2, 100_000);
-            replay_at_depth(PpbFtl::with_classifier(device, ppb, sketch)?, trace, queue_depth)
+            replay_driven(PpbFtl::with_classifier(device, ppb, sketch)?, trace, discipline)
         }
     }
 }
@@ -302,8 +362,19 @@ pub fn compare(
 ) -> Result<Comparison, FtlError> {
     let trace = workload.trace(scale);
     let config = scale.device_config(page_size_bytes, speed_ratio);
-    let baseline = run_conventional(&trace, &config)?;
-    let variant = run_ppb(&trace, &config)?;
+    compare_trace(&trace, &config)
+}
+
+/// Runs conventional vs PPB (default configurations) on an arbitrary trace and
+/// device configuration — the single comparison step [`compare`] and the
+/// latency sweeps share.
+///
+/// # Errors
+///
+/// Propagates FTL construction and replay errors.
+pub fn compare_trace(trace: &Trace, config: &NandConfig) -> Result<Comparison, FtlError> {
+    let baseline = run_conventional(trace, config)?;
+    let variant = run_ppb(trace, config)?;
     Ok(Comparison::new(baseline, variant))
 }
 
@@ -356,7 +427,7 @@ pub fn read_latency_sweep(
     workload: Workload,
     scale: &ExperimentScale,
 ) -> Result<Vec<LatencySweepRow>, FtlError> {
-    latency_sweep(workload, scale, |summary| summary.read_time)
+    read_latency_sweep_for_trace(&workload.trace(scale), scale)
 }
 
 /// Figures 16 and 17: total **write** latency of one workload for speed differences
@@ -369,21 +440,98 @@ pub fn write_latency_sweep(
     workload: Workload,
     scale: &ExperimentScale,
 ) -> Result<Vec<LatencySweepRow>, FtlError> {
-    latency_sweep(workload, scale, |summary| summary.write_time)
+    write_latency_sweep_for_trace(&workload.trace(scale), scale)
 }
 
-fn latency_sweep(
-    workload: Workload,
+/// [`read_latency_sweep`] over an arbitrary trace — the entry point the real-trace
+/// path (`experiments --trace file.csv`) shares with the synthetic workloads.
+///
+/// # Errors
+///
+/// Propagates FTL construction and replay errors.
+pub fn read_latency_sweep_for_trace(
+    trace: &Trace,
+    scale: &ExperimentScale,
+) -> Result<Vec<LatencySweepRow>, FtlError> {
+    latency_sweep_for_trace(trace, scale, |summary| summary.read_time)
+}
+
+/// [`write_latency_sweep`] over an arbitrary trace.
+///
+/// # Errors
+///
+/// Propagates FTL construction and replay errors.
+pub fn write_latency_sweep_for_trace(
+    trace: &Trace,
+    scale: &ExperimentScale,
+) -> Result<Vec<LatencySweepRow>, FtlError> {
+    latency_sweep_for_trace(trace, scale, |summary| summary.write_time)
+}
+
+fn latency_sweep_for_trace(
+    trace: &Trace,
     scale: &ExperimentScale,
     metric: impl Fn(&RunSummary) -> Nanos,
 ) -> Result<Vec<LatencySweepRow>, FtlError> {
     let mut rows = Vec::new();
     for &ratio in &SPEED_RATIOS {
-        let comparison = compare(workload, 16 * 1024, ratio, scale)?;
+        let comparison = compare_trace(trace, &scale.device_config(16 * 1024, ratio))?;
         rows.push(LatencySweepRow {
             speed_ratio: ratio,
             conventional: metric(&comparison.baseline),
             ppb: metric(&comparison.variant),
+        });
+    }
+    Ok(rows)
+}
+
+/// One row of the offered-load (open-loop) sweep: both FTLs replaying the same
+/// trace at one rate scale.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RateScaleRow {
+    /// Multiplier on the trace's recorded arrival rate.
+    pub rate_scale: f64,
+    /// The conventional FTL's summary (offered/achieved IOPS, queue-delay and
+    /// service-time percentiles).
+    pub conventional: RunSummary,
+    /// The PPB FTL's summary.
+    pub ppb: RunSummary,
+}
+
+/// The offered-load sweep: both FTLs replay one workload **open-loop** at every
+/// rate scale in [`RATE_SCALES`] on the same multi-chip device (16 KB pages, 2x
+/// speed difference). Device state evolves identically at every rate — only the
+/// arrival overlay changes — so this is the latency-vs-offered-load curve: as the
+/// offered rate passes what the device can absorb, achieved IOPS flattens and
+/// queueing delay (not service time) takes over the response time.
+///
+/// # Errors
+///
+/// Propagates FTL construction and replay errors.
+pub fn rate_scale_sweep(
+    workload: Workload,
+    scale: &ExperimentScale,
+) -> Result<Vec<RateScaleRow>, FtlError> {
+    rate_scale_sweep_for_trace(&workload.trace(scale), scale)
+}
+
+/// [`rate_scale_sweep`] over an arbitrary trace (the real-trace path).
+///
+/// # Errors
+///
+/// Propagates FTL construction and replay errors.
+pub fn rate_scale_sweep_for_trace(
+    trace: &Trace,
+    scale: &ExperimentScale,
+) -> Result<Vec<RateScaleRow>, FtlError> {
+    let config = scale.device_config(16 * 1024, 2.0);
+    let mut rows = Vec::new();
+    for &rate_scale in &RATE_SCALES {
+        let discipline = ArrivalDiscipline::OpenLoop { rate_scale };
+        rows.push(RateScaleRow {
+            rate_scale,
+            conventional: run_conventional_driven(trace, &config, discipline)?,
+            ppb: run_ppb_driven(trace, &config, discipline)?,
         });
     }
     Ok(rows)
@@ -495,11 +643,17 @@ pub enum GcPolicy {
     WearAware,
     /// Rosenblum & Ousterhout's `(1-u)/2u x age` benefit/cost selector.
     CostBenefit,
+    /// Greedy with a bonus for cold-tagged blocks, exploiting the PPB area tags
+    /// (hot-area blocks clean themselves; cold valid data is stable, so copying
+    /// it wastes nothing). On the untagged conventional FTL this coincides with
+    /// greedy.
+    HotCold,
 }
 
 impl GcPolicy {
     /// All policies, in report order.
-    pub const ALL: [GcPolicy; 3] = [GcPolicy::Greedy, GcPolicy::WearAware, GcPolicy::CostBenefit];
+    pub const ALL: [GcPolicy; 4] =
+        [GcPolicy::Greedy, GcPolicy::WearAware, GcPolicy::CostBenefit, GcPolicy::HotCold];
 
     /// The label used in reports.
     pub fn label(self) -> &'static str {
@@ -507,6 +661,7 @@ impl GcPolicy {
             GcPolicy::Greedy => "greedy",
             GcPolicy::WearAware => "wear-aware",
             GcPolicy::CostBenefit => "cost-benefit",
+            GcPolicy::HotCold => "hot-cold",
         }
     }
 
@@ -516,6 +671,7 @@ impl GcPolicy {
             GcPolicy::Greedy => Box::new(GreedyVictimPolicy::new()),
             GcPolicy::WearAware => Box::new(WearAwareVictimPolicy::default()),
             GcPolicy::CostBenefit => Box::new(CostBenefitVictimPolicy::new()),
+            GcPolicy::HotCold => Box::new(HotColdVictimPolicy::default()),
         }
     }
 }
@@ -708,6 +864,46 @@ mod tests {
             "QD64 {} IOPS should beat QD1 {}",
             qd64.conventional.request_iops(),
             qd1.conventional.request_iops()
+        );
+    }
+
+    #[test]
+    fn rate_scale_sweep_reports_offered_vs_achieved_iops() {
+        let scale = ExperimentScale { requests: 800, chips: 4, ..ExperimentScale::quick() };
+        let rows = rate_scale_sweep(Workload::WebSqlServer, &scale).unwrap();
+        let scales: Vec<f64> = rows.iter().map(|row| row.rate_scale).collect();
+        assert_eq!(scales, RATE_SCALES.to_vec());
+        for row in &rows {
+            for summary in [&row.conventional, &row.ppb] {
+                assert_eq!(summary.queue_depth, 0, "open loop has no depth bound");
+                assert!(summary.offered_iops() > 0.0);
+                assert!(
+                    summary.request_iops() <= summary.offered_iops(),
+                    "achieved {} must not exceed offered {}",
+                    summary.request_iops(),
+                    summary.offered_iops()
+                );
+                assert!(summary.service_time.p50 > Nanos::ZERO);
+            }
+        }
+        // Device-state evolution is rate-invariant: only the arrival overlay moves.
+        assert!(rows.windows(2).all(|pair| {
+            pair[0].conventional.host_reads == pair[1].conventional.host_reads
+                && pair[0].conventional.erased_blocks == pair[1].conventional.erased_blocks
+        }));
+        // Offered load scales with the rate multiplier (the trace is shared).
+        let first = &rows[0];
+        let last = rows.last().unwrap();
+        let expected = last.rate_scale / first.rate_scale;
+        let actual = last.conventional.offered_iops() / first.conventional.offered_iops();
+        assert!(
+            (actual - expected).abs() / expected < 0.01,
+            "offered load should scale ~{expected}x, got {actual}x"
+        );
+        // Pushing the rate never lowers queueing delay.
+        assert!(
+            last.conventional.queue_delay.mean >= first.conventional.queue_delay.mean,
+            "8x offered load should queue at least as much as 0.5x"
         );
     }
 

@@ -124,13 +124,15 @@ impl LatencyHistogram {
         self.max
     }
 
-    /// The four headline percentiles as a [`LatencyPercentiles`] summary.
+    /// The headline percentiles (plus the exact mean) as a [`LatencyPercentiles`]
+    /// summary.
     pub fn percentiles(&self) -> LatencyPercentiles {
         LatencyPercentiles {
             p50: self.quantile(0.50),
             p95: self.quantile(0.95),
             p99: self.quantile(0.99),
             max: self.max,
+            mean: self.mean(),
         }
     }
 }
@@ -155,8 +157,9 @@ impl fmt::Debug for LatencyHistogram {
 /// [`LatencyHistogram`].
 ///
 /// `p50`/`p95`/`p99` carry the histogram's ≤ 3.2% bucket rounding (always rounding
-/// *up*, so tails are never understated); `max` is exact. All-zero when the replay
-/// served no request of the corresponding kind.
+/// *up*, so tails are never understated); `max` and `mean` are exact (the
+/// histogram tracks the true sum and count alongside the buckets). All-zero when
+/// the replay served no request of the corresponding kind.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct LatencyPercentiles {
     /// Median per-request completion latency.
@@ -167,11 +170,18 @@ pub struct LatencyPercentiles {
     pub p99: Nanos,
     /// Largest observed per-request completion latency (exact).
     pub max: Nanos,
+    /// Mean per-request completion latency (exact — the M/M/1-style headline for
+    /// queueing-delay summaries, where the tail alone can mislead).
+    pub mean: Nanos,
 }
 
 impl fmt::Display for LatencyPercentiles {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "p50 {} / p95 {} / p99 {} / max {}", self.p50, self.p95, self.p99, self.max)
+        write!(
+            f,
+            "mean {} / p50 {} / p95 {} / p99 {} / max {}",
+            self.mean, self.p50, self.p95, self.p99, self.max
+        )
     }
 }
 
@@ -268,7 +278,9 @@ mod tests {
         let p = hist.percentiles();
         assert!(p.p99 >= p.p95 && p.p95 >= p.p50);
         assert_eq!(p.max, Nanos::from_micros(300));
+        assert_eq!(p.mean, Nanos::from_micros(200), "the summary carries the exact mean");
         assert!(p.to_string().contains("p99"));
+        assert!(p.to_string().contains("mean"));
     }
 
     #[test]

@@ -5,25 +5,28 @@
 //!
 //! The crate has these layers:
 //!
-//! * [`Replayer`] — replays an I/O [`Trace`](vflash_trace::Trace) against any
-//!   [`FlashTranslationLayer`](vflash_ftl::FlashTranslationLayer), translating byte
-//!   ranges into logical pages, optionally pre-filling the address space so reads of
-//!   never-written data behave like reads of pre-existing data (the standard warm-up
-//!   used by trace-driven flash simulators).
-//! * [`QueuedReplayer`] — the queue-depth variant: keeps up to QD host requests in
-//!   flight over an event-driven completion model on the per-chip clocks, so
-//!   requests targeting distinct idle chips overlap. At QD 1 it is bit-identical
-//!   to [`Replayer`].
+//! * [`WorkloadDriver`] — **the** replay engine: one drive loop over an
+//!   [`ArrivalDiscipline`], either closed-loop (keep `queue_depth` requests in
+//!   flight — saturation replay) or open-loop (issue each request at its
+//!   trace-recorded arrival time scaled by `rate_scale` — latency under load,
+//!   with per-request queueing delay separated from service time). Byte ranges
+//!   are translated into logical pages, and the address space is optionally
+//!   pre-filled so reads of never-written data behave like reads of pre-existing
+//!   data (the standard warm-up used by trace-driven flash simulators).
+//! * [`Replayer`] / [`QueuedReplayer`] — thin compatibility wrappers over the
+//!   engine: the serial (closed-loop depth 1) replayer of the paper's figures,
+//!   and the queue-depth variant. At QD 1 they are bit-identical.
 //! * [`RunSummary`] / [`Comparison`] — the measurements the paper reports: total and
 //!   mean read/write latency, erased-block counts, GC copies and write amplification,
 //!   plus enhancement percentages between a baseline and a variant — and, from the
-//!   queue-depth redesign, per-request latency percentiles
-//!   ([`LatencyPercentiles`]) and achieved IOPS.
+//!   driver engine, per-request latency/queue-delay/service-time percentiles
+//!   ([`LatencyPercentiles`]), achieved IOPS and (open loop) offered IOPS.
 //! * [`experiments`] — ready-made parameter sweeps that regenerate every figure of
 //!   the paper's evaluation (Figures 12–18) at a configurable scale, plus the
-//!   queue-depth sweep and the GC-policy ablation.
+//!   queue-depth sweep, the offered-load (rate-scale) sweep and the GC-policy
+//!   ablation.
 //! * [`ParallelRunner`] / [`ExperimentGrid`] — fan the FTL × trace × scale ×
-//!   queue-depth grid out over `std::thread` workers with deterministic per-cell
+//!   discipline grid out over `std::thread` workers with deterministic per-cell
 //!   seeds; results are bit-identical to a serial run, only faster.
 //!
 //! # Example
@@ -60,14 +63,16 @@
 
 pub mod experiments;
 
+mod engine;
 mod histogram;
 mod parallel;
 mod queued;
 mod replay;
 mod report;
 
+pub use engine::{ArrivalDiscipline, RunOptions, WorkloadDriver};
 pub use histogram::{LatencyHistogram, LatencyPercentiles};
 pub use parallel::{run_cell, CellResult, ExperimentGrid, FtlKind, GridCell, ParallelRunner};
 pub use queued::QueuedReplayer;
-pub use replay::{Replayer, RunOptions};
-pub use report::{Comparison, RunSummary};
+pub use replay::Replayer;
+pub use report::{Comparison, ReplayMode, RunSummary};

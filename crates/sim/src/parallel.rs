@@ -2,12 +2,12 @@
 //!
 //! The paper's evaluation replays every trace against every FTL at several scales —
 //! a grid of completely independent simulations. [`ExperimentGrid`] enumerates the
-//! cells (FTL × workload × scale × queue depth) and [`ParallelRunner`] fans them
-//! out over `std::thread` workers. Each cell derives its workload seed
-//! deterministically from the scale's base seed and the cell's position in the
-//! grid, and results are collected by cell index, so the output is
-//! **bit-identical** to running the same grid serially — only the wall-clock time
-//! changes.
+//! cells (FTL × workload × scale × arrival discipline, i.e. closed-loop queue
+//! depths and open-loop rate scales) and [`ParallelRunner`] fans them out over
+//! `std::thread` workers. Each cell derives its workload seed deterministically
+//! from the scale's base seed and the cell's position in the grid, and results are
+//! collected by cell index, so the output is **bit-identical** to running the same
+//! grid serially — only the wall-clock time changes.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -15,8 +15,9 @@ use std::thread;
 
 use vflash_ftl::FtlError;
 
+use crate::engine::ArrivalDiscipline;
 use crate::experiments::{
-    run_conventional_at_depth, run_ppb_at_depth, ExperimentScale, Workload, QUEUE_DEPTHS,
+    run_conventional_driven, run_ppb_driven, ExperimentScale, Workload, QUEUE_DEPTHS, RATE_SCALES,
 };
 use crate::report::RunSummary;
 
@@ -42,8 +43,9 @@ impl FtlKind {
     }
 }
 
-/// The experiment grid: every combination of FTL, workload, scale and queue depth,
-/// replayed on a device with the given page size and speed ratio.
+/// The experiment grid: every combination of FTL, workload, scale and arrival
+/// discipline (closed-loop queue depths, then open-loop rate scales), replayed on
+/// a device with the given page size and speed ratio.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentGrid {
     /// FTLs to run.
@@ -52,9 +54,13 @@ pub struct ExperimentGrid {
     pub workloads: Vec<Workload>,
     /// Scales to run each FTL × workload pair at.
     pub scales: Vec<ExperimentScale>,
-    /// Queue depths to replay each cell at (`vec![1]` for the classic serial
-    /// grid).
+    /// Closed-loop queue depths to replay each cell at (`vec![1]` for the classic
+    /// serial grid).
     pub queue_depths: Vec<usize>,
+    /// Open-loop rate scales to additionally replay each cell at (empty for the
+    /// classic closed-loop-only grid). These cells follow the closed-loop cells
+    /// of their scale in enumeration order.
+    pub rate_scales: Vec<f64>,
     /// Flash page size in bytes.
     pub page_size_bytes: usize,
     /// Top/bottom page speed ratio.
@@ -70,6 +76,7 @@ impl ExperimentGrid {
             workloads: Workload::ALL.to_vec(),
             scales: vec![scale],
             queue_depths: vec![1],
+            rate_scales: Vec::new(),
             page_size_bytes: 16 * 1024,
             speed_ratio: 2.0,
         }
@@ -81,19 +88,37 @@ impl ExperimentGrid {
         ExperimentGrid { queue_depths: QUEUE_DEPTHS.to_vec(), ..ExperimentGrid::full(scale) }
     }
 
-    /// Enumerates the cells in deterministic order: scales outermost, then queue
-    /// depths, then workloads, then FTLs.
+    /// The full grid swept open-loop over the [`RATE_SCALES`] offered-load axis
+    /// (with the closed-loop QD-1 saturation reference kept as the first rows).
+    pub fn open_loop_sweep(scale: ExperimentScale) -> Self {
+        ExperimentGrid { rate_scales: RATE_SCALES.to_vec(), ..ExperimentGrid::full(scale) }
+    }
+
+    /// Enumerates the cells in deterministic order: scales outermost, then the
+    /// arrival disciplines (queue depths first, then rate scales), then
+    /// workloads, then FTLs.
     ///
-    /// The per-cell workload seed is derived from the cell's **depth-independent**
-    /// position (scale, workload, FTL): all queue-depth rows of one FTL ×
-    /// workload × scale replay the *same* trace, so IOPS/percentile differences
-    /// across depths are attributable to queuing alone. With the default
-    /// `queue_depths = [1]` both the enumeration and every seed are identical to
-    /// the pre-queue-depth grid.
+    /// The per-cell workload seed is derived from the cell's
+    /// **discipline-independent** position (scale, workload, FTL): every
+    /// queue-depth and rate-scale row of one FTL × workload × scale replays the
+    /// *same* trace, so IOPS/percentile differences across the discipline axis
+    /// are attributable to queuing alone. With the default `queue_depths = [1]`
+    /// and no rate scales, both the enumeration and every seed are identical to
+    /// the pre-open-loop grid.
     pub fn cells(&self) -> Vec<GridCell> {
+        let disciplines: Vec<ArrivalDiscipline> = self
+            .queue_depths
+            .iter()
+            .map(|&queue_depth| ArrivalDiscipline::ClosedLoop { queue_depth })
+            .chain(
+                self.rate_scales
+                    .iter()
+                    .map(|&rate_scale| ArrivalDiscipline::OpenLoop { rate_scale }),
+            )
+            .collect();
         let mut cells = Vec::new();
         for (scale_index, &scale) in self.scales.iter().enumerate() {
-            for &queue_depth in &self.queue_depths {
+            for &discipline in &disciplines {
                 for (workload_index, &workload) in self.workloads.iter().enumerate() {
                     for (ftl_index, &ftl) in self.ftls.iter().enumerate() {
                         let seed_index = (scale_index * self.workloads.len() + workload_index)
@@ -103,7 +128,7 @@ impl ExperimentGrid {
                             index: cells.len(),
                             ftl,
                             workload,
-                            queue_depth,
+                            discipline,
                             scale: ExperimentScale {
                                 seed: cell_seed(scale.seed, seed_index as u64),
                                 ..scale
@@ -126,8 +151,8 @@ pub struct GridCell {
     pub ftl: FtlKind,
     /// Workload replayed.
     pub workload: Workload,
-    /// Queue depth the cell is replayed at.
-    pub queue_depth: usize,
+    /// Arrival discipline the cell is replayed under.
+    pub discipline: ArrivalDiscipline,
     /// Scale for this cell, with the per-cell seed already substituted.
     pub scale: ExperimentScale,
 }
@@ -161,8 +186,8 @@ pub fn run_cell(cell: &GridCell, grid: &ExperimentGrid) -> Result<CellResult, Ft
     let trace = cell.workload.trace(&cell.scale);
     let config = cell.scale.device_config(grid.page_size_bytes, grid.speed_ratio);
     let summary = match cell.ftl {
-        FtlKind::Conventional => run_conventional_at_depth(&trace, &config, cell.queue_depth)?,
-        FtlKind::Ppb => run_ppb_at_depth(&trace, &config, cell.queue_depth)?,
+        FtlKind::Conventional => run_conventional_driven(&trace, &config, cell.discipline)?,
+        FtlKind::Ppb => run_ppb_driven(&trace, &config, cell.discipline)?,
     };
     Ok(CellResult { cell: *cell, summary })
 }
@@ -355,6 +380,7 @@ mod tests {
             workloads: Workload::ALL.to_vec(),
             scales: vec![tiny_scale()],
             queue_depths: vec![1],
+            rate_scales: Vec::new(),
             page_size_bytes: 16 * 1024,
             speed_ratio: 2.0,
         };
@@ -366,9 +392,9 @@ mod tests {
         let grid = ExperimentGrid::queue_depth_sweep(tiny_scale());
         let cells = grid.cells();
         assert_eq!(cells.len(), 16); // 2 FTLs x 2 workloads x 4 depths x 1 scale
-        assert_eq!(cells[0].queue_depth, 1);
-        assert_eq!(cells[4].queue_depth, 4);
-        assert_eq!(cells[15].queue_depth, 64);
+        assert_eq!(cells[0].discipline, ArrivalDiscipline::ClosedLoop { queue_depth: 1 });
+        assert_eq!(cells[4].discipline, ArrivalDiscipline::ClosedLoop { queue_depth: 4 });
+        assert_eq!(cells[15].discipline, ArrivalDiscipline::ClosedLoop { queue_depth: 64 });
         // Every depth row of one FTL x workload replays the same trace: the seed
         // is depth-independent, so depth differences are pure queuing effects.
         for offset in 0..4 {
@@ -385,7 +411,51 @@ mod tests {
         let parallel = ParallelRunner::new(4).run(&grid).unwrap();
         assert_eq!(serial, parallel);
         for result in &serial {
-            assert_eq!(result.summary.queue_depth, result.cell.queue_depth);
+            let ArrivalDiscipline::ClosedLoop { queue_depth } = result.cell.discipline else {
+                panic!("queue-depth grid produced an open-loop cell");
+            };
+            assert_eq!(result.summary.queue_depth, queue_depth);
+        }
+    }
+
+    #[test]
+    fn open_loop_sweep_grid_appends_rate_cells_with_shared_seeds() {
+        let grid = ExperimentGrid::open_loop_sweep(tiny_scale());
+        let cells = grid.cells();
+        // 2 FTLs x 2 workloads x (1 depth + 6 rate scales) x 1 scale.
+        assert_eq!(cells.len(), 28);
+        assert_eq!(cells[0].discipline, ArrivalDiscipline::ClosedLoop { queue_depth: 1 });
+        assert_eq!(
+            cells[4].discipline,
+            ArrivalDiscipline::OpenLoop { rate_scale: crate::experiments::RATE_SCALES[0] }
+        );
+        // The closed-loop reference and every rate row of one FTL x workload share
+        // a seed, so the open-loop numbers are directly comparable to saturation.
+        for offset in 0..4 {
+            let seeds: std::collections::HashSet<u64> = cells
+                .iter()
+                .skip(offset)
+                .step_by(4)
+                .map(|cell| cell.scale.seed)
+                .collect();
+            assert_eq!(seeds.len(), 1, "cell {offset} seeds vary across the discipline axis");
+        }
+        let serial = ParallelRunner::run_serial(&grid).unwrap();
+        let parallel = ParallelRunner::new(4).run(&grid).unwrap();
+        assert_eq!(serial, parallel, "open-loop cells must stay fan-out deterministic");
+        for result in &serial {
+            match result.cell.discipline {
+                ArrivalDiscipline::ClosedLoop { queue_depth } => {
+                    assert_eq!(result.summary.queue_depth, queue_depth);
+                }
+                ArrivalDiscipline::OpenLoop { rate_scale } => {
+                    assert_eq!(result.summary.queue_depth, 0);
+                    assert!(result.summary.offered_iops() > 0.0);
+                    assert!(
+                        matches!(result.summary.mode, crate::ReplayMode::OpenLoop { rate_scale: r } if r == rate_scale)
+                    );
+                }
+            }
         }
     }
 

@@ -1,52 +1,22 @@
-//! Queue-depth replay: an event-driven completion model over the per-chip clocks.
+//! Queue-depth replay — a compatibility wrapper over the unified engine.
 //!
-//! The serial [`Replayer`](crate::Replayer) issues one request at a time, so a
-//! multi-chip device is always idle on all chips but one. Real hosts drive SSDs
-//! through submission/completion queues with queue depth > 1; the
-//! [`QueuedReplayer`] models that: up to `queue_depth` host requests are in flight
-//! at once, and a request's device operations start on their chip as soon as both
-//! the request's previous operation **and** the chip are done. Requests that land
-//! on distinct idle chips overlap fully; requests serialised on one chip queue
-//! behind each other.
-//!
-//! # How the timing model works
+//! [`QueuedReplayer`] keeps up to `queue_depth` host requests in flight over the
+//! engine's event-driven completion model on the per-chip clocks (see
+//! [`WorkloadDriver`](crate::WorkloadDriver) for the timing model). It delegates
+//! to [`ArrivalDiscipline::ClosedLoop`](crate::ArrivalDiscipline::ClosedLoop),
+//! which reproduces the pre-engine queued replayer bit-for-bit (summary and
+//! device state — locked down in `tests/engine_equivalence.rs`).
 //!
 //! FTL state (mapping tables, GC, hot/cold areas) evolves in **trace order**
-//! regardless of depth — requests are submitted to the FTL one after another, and
-//! only the *timing* is overlaid by the event model. This keeps device state
-//! bit-identical across queue depths (what the experiments need to attribute
-//! differences to queuing alone) and matches how a single-LUN-per-chip SSD behaves
-//! when the FTL serialises metadata updates but the flash array executes in
-//! parallel.
-//!
-//! For each request the replayer obtains the request's timed device operations
-//! (via the FTL's [`submit`](vflash_ftl::FlashTranslationLayer::submit) completions
-//! with [op tracing](vflash_nand::NandDevice::set_op_tracing) enabled) and plays
-//! them against per-chip ready clocks:
-//!
-//! ```text
-//! issue   = completion time of the request that freed the queue slot
-//! op k:     start = max(end of op k-1, chip_ready[chip(k)])
-//!           chip_ready[chip(k)] = start + latency(k)
-//! latency = end of last op - issue
-//! ```
-//!
-//! A binary heap of in-flight completion times hands out queue slots. At
-//! `queue_depth = 1` the model degenerates exactly to the serial replayer —
-//! every `max` resolves to the running clock and per-request latency is the serial
-//! sum of page latencies — which is tested to be **bit-identical** (summary and
-//! device state) in `tests/queued_equivalence.rs`.
+//! regardless of depth — only the *timing* is overlaid by the event model. This
+//! keeps device state bit-identical across queue depths (what the experiments
+//! need to attribute differences to queuing alone), and at `queue_depth = 1` the
+//! model degenerates exactly to the serial [`Replayer`](crate::Replayer).
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use vflash_ftl::{FlashTranslationLayer, FtlError};
+use vflash_trace::Trace;
 
-use vflash_ftl::{FlashTranslationLayer, FtlError, IoRequest as FtlRequest, Lpn};
-use vflash_nand::Nanos;
-use vflash_trace::{IoOp, Trace};
-
-use crate::histogram::LatencyHistogram;
-use crate::replay::{chip_busy_times, makespan_delta, prefill_ftl};
-use crate::replay::RunOptions;
+use crate::engine::{RunOptions, WorkloadDriver};
 use crate::report::RunSummary;
 
 /// Replays traces keeping up to `queue_depth` host requests in flight.
@@ -81,10 +51,9 @@ use crate::report::RunSummary;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QueuedReplayer {
-    options: RunOptions,
-    queue_depth: usize,
+    driver: WorkloadDriver,
 }
 
 impl QueuedReplayer {
@@ -94,18 +63,22 @@ impl QueuedReplayer {
     ///
     /// Panics if `queue_depth` is zero.
     pub fn new(options: RunOptions, queue_depth: usize) -> Self {
-        assert!(queue_depth > 0, "queue depth must be at least 1");
-        QueuedReplayer { options, queue_depth }
+        QueuedReplayer { driver: WorkloadDriver::closed_loop(options, queue_depth) }
     }
 
     /// The replay options.
     pub fn options(&self) -> &RunOptions {
-        &self.options
+        self.driver.options()
     }
 
     /// The configured queue depth.
     pub fn queue_depth(&self) -> usize {
-        self.queue_depth
+        match self.driver.discipline() {
+            crate::ArrivalDiscipline::ClosedLoop { queue_depth } => queue_depth,
+            crate::ArrivalDiscipline::OpenLoop { .. } => {
+                unreachable!("QueuedReplayer only constructs closed-loop drivers")
+            }
+        }
     }
 
     /// Replays `trace` against `ftl` and returns the run summary.
@@ -115,10 +88,10 @@ impl QueuedReplayer {
     /// Propagates FTL errors; see [`crate::Replayer::run`].
     pub fn run<F: FlashTranslationLayer>(
         &self,
-        mut ftl: F,
+        ftl: F,
         trace: &Trace,
     ) -> Result<RunSummary, FtlError> {
-        self.run_mut(&mut ftl, trace)
+        self.driver.run(ftl, trace)
     }
 
     /// Like [`QueuedReplayer::run`] but borrows the FTL, so callers can keep using
@@ -132,100 +105,7 @@ impl QueuedReplayer {
         ftl: &mut F,
         trace: &Trace,
     ) -> Result<RunSummary, FtlError> {
-        let page_size = ftl.device().config().page_size_bytes();
-        let logical_pages = ftl.logical_pages();
-
-        // The warm-up runs serially with tracing off, exactly like the serial
-        // replayer's, so device state entering the measured phase is identical.
-        if self.options.prefill {
-            prefill_ftl(ftl, trace, page_size, logical_pages, self.options.prefill_request_bytes)?;
-        }
-
-        ftl.device_mut().set_op_tracing(true);
-        let outcome = self.run_measured(ftl, trace, page_size, logical_pages);
-        ftl.device_mut().set_op_tracing(false);
-        outcome
-    }
-
-    fn run_measured<F: FlashTranslationLayer + ?Sized>(
-        &self,
-        ftl: &mut F,
-        trace: &Trace,
-        page_size: usize,
-        logical_pages: u64,
-    ) -> Result<RunSummary, FtlError> {
-        let start = *ftl.metrics();
-        let busy_start = chip_busy_times(ftl);
-        let chips = ftl.device().config().chips();
-
-        let mut chip_ready = vec![Nanos::ZERO; chips];
-        let mut in_flight: BinaryHeap<Reverse<Nanos>> = BinaryHeap::with_capacity(self.queue_depth);
-        let mut read_latencies = LatencyHistogram::new();
-        let mut write_latencies = LatencyHistogram::new();
-        let mut clock = Nanos::ZERO;
-        let mut last_completion = Nanos::ZERO;
-        let mut requests = 0u64;
-
-        for request in trace {
-            // Wait for a queue slot: the issue time is the completion of the
-            // earliest in-flight request (the clock never moves backwards, so
-            // issue order is preserved).
-            if in_flight.len() == self.queue_depth {
-                let Reverse(freed) = in_flight.pop().expect("queue depth is at least 1");
-                if freed > clock {
-                    clock = freed;
-                }
-            }
-            let issue = clock;
-            let mut now = issue;
-
-            // A multi-page host request is a dependent chain of page submissions;
-            // each timed device op starts when both its predecessor in the chain
-            // and its chip are ready.
-            for page in request.logical_pages(page_size) {
-                let lpn = Lpn(page % logical_pages);
-                let completion = match request.op {
-                    IoOp::Write => ftl.submit(FtlRequest::write(lpn, request.length))?,
-                    IoOp::Read => match ftl.submit(FtlRequest::read(lpn)) {
-                        Ok(completion) => completion,
-                        // Without prefill, reads of never-written data are
-                        // skipped, mirroring the serial replayer.
-                        Err(FtlError::UnmappedRead { .. }) if !self.options.prefill => continue,
-                        Err(err) => return Err(err),
-                    },
-                };
-                for op in &completion.ops {
-                    let ready = chip_ready[op.chip.0];
-                    let op_start = if ready > now { ready } else { now };
-                    now = op_start + op.latency;
-                    chip_ready[op.chip.0] = now;
-                }
-                // Recycling the consumed op buffer keeps the traced hot path
-                // allocation-free in steady state.
-                ftl.device_mut().recycle_ops(completion.ops);
-            }
-
-            let latency = now.saturating_sub(issue);
-            match request.op {
-                IoOp::Read => read_latencies.record(latency),
-                IoOp::Write => write_latencies.record(latency),
-            }
-            if now > last_completion {
-                last_completion = now;
-            }
-            in_flight.push(Reverse(now));
-            requests += 1;
-        }
-
-        let end = *ftl.metrics();
-        let mut summary = RunSummary::from_metrics_delta(ftl.name(), trace.name(), &start, &end);
-        summary.device_makespan = makespan_delta(ftl, &busy_start);
-        summary.queue_depth = self.queue_depth;
-        summary.host_requests = requests;
-        summary.host_elapsed = last_completion;
-        summary.read_latency = read_latencies.percentiles();
-        summary.write_latency = write_latencies.percentiles();
-        Ok(summary)
+        self.driver.run_mut(ftl, trace)
     }
 }
 
@@ -235,7 +115,7 @@ mod tests {
     use crate::replay::Replayer;
     use vflash_ftl::{ConventionalFtl, FtlConfig};
     use vflash_nand::{NandConfig, NandDevice};
-    use vflash_trace::IoRequest;
+    use vflash_trace::{IoOp, IoRequest};
 
     fn ftl(chips: usize) -> ConventionalFtl {
         let device = NandDevice::new(
@@ -308,6 +188,10 @@ mod tests {
             qd8.read_latency.p99,
             qd1.read_latency.p99
         );
+        // The queueing-delay/service-time split names the cause: service times are
+        // depth-invariant, the delay is what grew.
+        assert_eq!(qd1.service_time, qd8.service_time);
+        assert!(qd8.queue_delay.p99 > qd1.queue_delay.p99);
     }
 
     #[test]

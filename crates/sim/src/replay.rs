@@ -1,96 +1,37 @@
-//! Trace replay against an FTL.
+//! Serial trace replay — a compatibility wrapper over the unified engine.
+//!
+//! [`Replayer`] is the queue-depth-1 closed-loop reference: it issues requests in
+//! trace order and charges each request the serial sum of its page latencies. It
+//! delegates to [`WorkloadDriver`] with
+//! [`ArrivalDiscipline::ClosedLoop`](crate::ArrivalDiscipline::ClosedLoop)`{ queue_depth: 1 }`,
+//! which reproduces the pre-engine serial replayer bit-for-bit (summary and device
+//! state — locked down in `tests/engine_equivalence.rs`).
 
-use vflash_ftl::{FlashTranslationLayer, FtlError, Lpn};
-use vflash_nand::{ChipId, Nanos};
-use vflash_trace::{IoOp, Trace};
+use vflash_ftl::{FlashTranslationLayer, FtlError};
+use vflash_trace::Trace;
 
-use crate::histogram::LatencyHistogram;
+use crate::engine::{RunOptions, WorkloadDriver};
 use crate::report::RunSummary;
 
-/// A word-packed bitmap over logical page numbers.
+/// Replays traces serially (closed loop, queue depth 1) and reports summaries.
 ///
-/// The prefill pass needs one bit per logical page; on multi-million-page devices a
-/// `Vec<bool>` would spend a byte per page, so pages are packed 64 to a `u64` (8x
-/// less memory and far fewer cache lines touched by the marking pass).
-#[derive(Debug, Clone)]
-struct PageBitmap {
-    words: Vec<u64>,
-}
-
-impl PageBitmap {
-    fn new(pages: u64) -> Self {
-        PageBitmap { words: vec![0; (pages as usize).div_ceil(64)] }
-    }
-
-    fn set(&mut self, page: u64) {
-        self.words[(page / 64) as usize] |= 1 << (page % 64);
-    }
-
-    #[cfg(test)]
-    fn get(&self, page: u64) -> bool {
-        self.words[(page / 64) as usize] & (1 << (page % 64)) != 0
-    }
-
-    /// Iterates over set pages in ascending order, skipping empty words wholesale.
-    fn iter_set(&self) -> impl Iterator<Item = u64> + '_ {
-        self.words.iter().enumerate().flat_map(|(word_index, &word)| {
-            let base = word_index as u64 * 64;
-            std::iter::successors(
-                (word != 0).then_some(word),
-                |bits| {
-                    let rest = bits & (bits - 1);
-                    (rest != 0).then_some(rest)
-                },
-            )
-            .map(move |bits| base + u64::from(bits.trailing_zeros()))
-        })
-    }
-}
-
-/// Options controlling how a trace is replayed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct RunOptions {
-    /// Write every logical page the trace will ever touch once before replay starts,
-    /// so that reads of data the trace never wrote behave like reads of pre-existing
-    /// data instead of errors. The warm-up traffic is excluded from the reported
-    /// summary. Enabled by default.
-    ///
-    /// The warm-up exists to serve reads, so a trace containing no read at all skips
-    /// it even when this flag is set: the replay then runs against a fresh device.
-    /// Callers who want a write-only workload measured on a preconditioned device
-    /// should age the device explicitly (replay a fill trace first via
-    /// [`Replayer::run_mut`]).
-    pub prefill: bool,
-    /// Request size (bytes) used for the warm-up writes. Large by default so the
-    /// warm-up data is classified cold and does not pre-bias the hot/cold state.
-    pub prefill_request_bytes: u32,
-}
-
-impl Default for RunOptions {
-    fn default() -> Self {
-        RunOptions { prefill: true, prefill_request_bytes: 1 << 20 }
-    }
-}
-
-/// Replays traces against flash translation layers and reports summaries.
-///
-/// The replayer is open-loop: it issues requests in trace order and charges each
-/// request the latency the FTL reports, without modelling queuing delay. That matches
-/// the paper's evaluation, which reports accumulated access latency per trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// This matches the paper's evaluation, which reports accumulated access latency
+/// per trace with no request overlap. For queue-depth or arrival-time replay use
+/// [`QueuedReplayer`](crate::QueuedReplayer) or [`WorkloadDriver`] directly.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Replayer {
-    options: RunOptions,
+    driver: WorkloadDriver,
 }
 
 impl Replayer {
     /// Creates a replayer with the given options.
     pub fn new(options: RunOptions) -> Self {
-        Replayer { options }
+        Replayer { driver: WorkloadDriver::closed_loop(options, 1) }
     }
 
     /// The replay options.
     pub fn options(&self) -> &RunOptions {
-        &self.options
+        self.driver.options()
     }
 
     /// Replays `trace` against `ftl` and returns the run summary.
@@ -107,10 +48,10 @@ impl Replayer {
     /// they cannot happen.
     pub fn run<F: FlashTranslationLayer>(
         &self,
-        mut ftl: F,
+        ftl: F,
         trace: &Trace,
     ) -> Result<RunSummary, FtlError> {
-        self.run_mut(&mut ftl, trace)
+        self.driver.run(ftl, trace)
     }
 
     /// Like [`Replayer::run`] but borrows the FTL, so callers can keep using it (and
@@ -125,119 +66,22 @@ impl Replayer {
         ftl: &mut F,
         trace: &Trace,
     ) -> Result<RunSummary, FtlError> {
-        let page_size = ftl.device().config().page_size_bytes();
-        let logical_pages = ftl.logical_pages();
-
-        if self.options.prefill {
-            prefill_ftl(ftl, trace, page_size, logical_pages, self.options.prefill_request_bytes)?;
-        }
-
-        let start = *ftl.metrics();
-        let busy_start = chip_busy_times(ftl);
-        let mut read_latencies = LatencyHistogram::new();
-        let mut write_latencies = LatencyHistogram::new();
-        let mut elapsed = Nanos::ZERO;
-        let mut requests = 0u64;
-        for request in trace {
-            let mut latency = Nanos::ZERO;
-            for page in request.logical_pages(page_size) {
-                let lpn = Lpn(page % logical_pages);
-                match request.op {
-                    IoOp::Write => {
-                        latency += ftl.write(lpn, request.length)?;
-                    }
-                    IoOp::Read => match ftl.read(lpn) {
-                        Ok(page_latency) => latency += page_latency,
-                        // Without prefill, reads of never-written data are skipped,
-                        // mirroring how a real host would simply get zeroes back.
-                        Err(FtlError::UnmappedRead { .. }) if !self.options.prefill => {}
-                        Err(err) => return Err(err),
-                    },
-                }
-            }
-            // The serial replayer is the queue-depth-1 reference: a request's
-            // completion latency is the serial sum of its page latencies, and the
-            // replay clock is the running total.
-            match request.op {
-                IoOp::Read => read_latencies.record(latency),
-                IoOp::Write => write_latencies.record(latency),
-            }
-            elapsed += latency;
-            requests += 1;
-        }
-        let end = *ftl.metrics();
-        let mut summary =
-            RunSummary::from_metrics_delta(ftl.name(), trace.name(), &start, &end);
-        summary.device_makespan = makespan_delta(ftl, &busy_start);
-        summary.queue_depth = 1;
-        summary.host_requests = requests;
-        summary.host_elapsed = elapsed;
-        summary.read_latency = read_latencies.percentiles();
-        summary.write_latency = write_latencies.percentiles();
-        Ok(summary)
+        self.driver.run_mut(ftl, trace)
     }
 }
 
-/// Snapshot of every chip's busy time, used to compute the measured-phase
-/// makespan as a delta (excluding prefill traffic). Shared by both replayers.
-pub(crate) fn chip_busy_times<F: FlashTranslationLayer + ?Sized>(ftl: &F) -> Vec<Nanos> {
-    let device = ftl.device();
-    (0..device.config().chips())
-        .map(|chip| {
-            device.chip_busy_time(ChipId(chip)).expect("chip ids come from the config")
-        })
-        .collect()
-}
-
-/// The measured-phase makespan: largest per-chip busy-time delta since `start`.
-pub(crate) fn makespan_delta<F: FlashTranslationLayer + ?Sized>(
-    ftl: &F,
-    start: &[Nanos],
-) -> Nanos {
-    chip_busy_times(ftl)
-        .iter()
-        .zip(start)
-        .map(|(&end, &begin)| end.saturating_sub(begin))
-        .max()
-        .unwrap_or(Nanos::ZERO)
-}
-
-/// Writes every logical page the trace touches exactly once (in ascending order),
-/// so later reads always find mapped data. Shared by both replayers, so a queued
-/// replay warms the device **identically** to a serial one — a precondition for
-/// the queue-depth-1 bit-identity guarantee.
-///
-/// Traces without a single read skip the warm-up entirely: the prefill exists
-/// only so reads of never-written data behave like reads of pre-existing data,
-/// and a write-only trace has none.
-pub(crate) fn prefill_ftl<F: FlashTranslationLayer + ?Sized>(
-    ftl: &mut F,
-    trace: &Trace,
-    page_size: usize,
-    logical_pages: u64,
-    prefill_request_bytes: u32,
-) -> Result<(), FtlError> {
-    if !trace.iter().any(|request| request.op == IoOp::Read) {
-        return Ok(());
+impl Default for Replayer {
+    fn default() -> Self {
+        Replayer::new(RunOptions::default())
     }
-    let mut touched = PageBitmap::new(logical_pages);
-    for request in trace {
-        for page in request.logical_pages(page_size) {
-            touched.set(page % logical_pages);
-        }
-    }
-    for page in touched.iter_set() {
-        ftl.write(Lpn(page), prefill_request_bytes)?;
-    }
-    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use vflash_ftl::{ConventionalFtl, FtlConfig};
-    use vflash_nand::{NandConfig, NandDevice};
-    use vflash_trace::IoRequest;
+    use vflash_nand::{NandConfig, NandDevice, Nanos};
+    use vflash_trace::{IoOp, IoRequest};
 
     fn small_ftl() -> ConventionalFtl {
         let device = NandDevice::new(
@@ -302,24 +146,6 @@ mod tests {
         let t = trace(vec![IoRequest::new(0, IoOp::Write, capacity_bytes * 3 + 4096, 4096)]);
         let summary = Replayer::new(RunOptions::default()).run(ftl, &t).unwrap();
         assert_eq!(summary.host_writes, 1);
-    }
-
-    #[test]
-    fn bitmap_sets_and_iterates_in_ascending_order() {
-        let mut bitmap = PageBitmap::new(200);
-        for page in [0u64, 1, 63, 64, 65, 127, 128, 199] {
-            bitmap.set(page);
-        }
-        assert!(bitmap.get(63));
-        assert!(!bitmap.get(62));
-        let set: Vec<u64> = bitmap.iter_set().collect();
-        assert_eq!(set, vec![0, 1, 63, 64, 65, 127, 128, 199]);
-    }
-
-    #[test]
-    fn empty_bitmap_iterates_nothing() {
-        let bitmap = PageBitmap::new(500);
-        assert_eq!(bitmap.iter_set().count(), 0);
     }
 
     #[test]

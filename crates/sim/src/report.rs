@@ -7,6 +7,22 @@ use vflash_nand::Nanos;
 
 use crate::histogram::LatencyPercentiles;
 
+/// How a summary's replay issued its requests: the engine's arrival discipline,
+/// as recorded in the result.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum ReplayMode {
+    /// Closed-loop (saturation) replay: a fixed number of requests in flight,
+    /// arrival timestamps ignored. See [`RunSummary::queue_depth`].
+    #[default]
+    ClosedLoop,
+    /// Open-loop (arrival-time) replay: requests issued at their trace-recorded
+    /// arrival times scaled by `rate_scale`, unbounded outstanding requests.
+    OpenLoop {
+        /// The multiplier applied to the trace's offered arrival rate.
+        rate_scale: f64,
+    },
+}
+
 /// The measurements of one trace replay against one FTL.
 ///
 /// These are exactly the quantities the paper's evaluation plots: total read/write
@@ -46,8 +62,12 @@ pub struct RunSummary {
     pub device_makespan: Nanos,
     /// The queue depth the replay was driven at: how many host requests were kept
     /// in flight. `1` for the serial [`Replayer`](crate::Replayer); the configured
-    /// depth for [`QueuedReplayer`](crate::QueuedReplayer) runs.
+    /// depth for [`QueuedReplayer`](crate::QueuedReplayer) runs; `0` for open-loop
+    /// runs, where nothing bounds the number of outstanding requests.
     pub queue_depth: usize,
+    /// The arrival discipline the replay was driven under (closed loop by
+    /// default; open loop carries its rate scale).
+    pub mode: ReplayMode,
     /// Host requests replayed in the measured phase (trace requests, not pages —
     /// one request may span several logical pages).
     pub host_requests: u64,
@@ -61,6 +81,20 @@ pub struct RunSummary {
     pub read_latency: LatencyPercentiles,
     /// Per-request completion-latency percentiles of the write requests.
     pub write_latency: LatencyPercentiles,
+    /// Per-request **queueing delay** percentiles (all requests): the part of a
+    /// request's response time spent waiting for busy chips, i.e. completion
+    /// latency minus [`RunSummary::service_time`]. Identically zero at closed-loop
+    /// depth 1 (nothing to queue behind); under open-loop overload this is the
+    /// component that grows without bound.
+    pub queue_delay: LatencyPercentiles,
+    /// Per-request **service time** percentiles (all requests): the device time a
+    /// request's operations actually consumed, excluding any waiting. Unlike the
+    /// completion latency, this is invariant across queue depths and rate scales.
+    pub service_time: LatencyPercentiles,
+    /// For open-loop replays: the span of the (rate-scaled) arrival clock over
+    /// which the trace's load was offered. [`Nanos::ZERO`] for closed-loop
+    /// replays, where no load is "offered" — the device is simply saturated.
+    pub offered_duration: Nanos,
 }
 
 impl RunSummary {
@@ -103,10 +137,14 @@ impl RunSummary {
             },
             device_makespan: Nanos::ZERO,
             queue_depth: 1,
+            mode: ReplayMode::ClosedLoop,
             host_requests: 0,
             host_elapsed: Nanos::ZERO,
             read_latency: LatencyPercentiles::default(),
             write_latency: LatencyPercentiles::default(),
+            queue_delay: LatencyPercentiles::default(),
+            service_time: LatencyPercentiles::default(),
+            offered_duration: Nanos::ZERO,
         }
     }
 
@@ -134,6 +172,20 @@ impl RunSummary {
             self.host_requests as f64 / self.host_elapsed.as_secs_f64()
         }
     }
+
+    /// Offered IOPS: host requests per second of (rate-scaled) arrival-clock time
+    /// — the load an open-loop replay *asked* the device to absorb. Zero for
+    /// closed-loop replays (no [`RunSummary::offered_duration`] is recorded). The
+    /// achieved [`RunSummary::request_iops`] never exceeds this: the replay clock
+    /// runs at least as long as the arrival clock, so a device that keeps up
+    /// achieves ≈ offered and an overloaded one falls behind.
+    pub fn offered_iops(&self) -> f64 {
+        if self.offered_duration == Nanos::ZERO {
+            0.0
+        } else {
+            self.host_requests as f64 / self.offered_duration.as_secs_f64()
+        }
+    }
 }
 
 impl fmt::Display for RunSummary {
@@ -153,14 +205,25 @@ impl fmt::Display for RunSummary {
             self.write_amplification,
         )?;
         if self.host_elapsed > Nanos::ZERO {
-            write!(
-                f,
-                ", QD{} {:.0} IOPS (read p99 {}, write p99 {})",
-                self.queue_depth,
-                self.request_iops(),
-                self.read_latency.p99,
-                self.write_latency.p99,
-            )?;
+            match self.mode {
+                ReplayMode::ClosedLoop => write!(
+                    f,
+                    ", QD{} {:.0} IOPS (read p99 {}, write p99 {})",
+                    self.queue_depth,
+                    self.request_iops(),
+                    self.read_latency.p99,
+                    self.write_latency.p99,
+                )?,
+                ReplayMode::OpenLoop { rate_scale } => write!(
+                    f,
+                    ", open-loop x{rate_scale} {:.0}/{:.0} IOPS achieved/offered \
+                     (queue delay p99 {}, service p99 {})",
+                    self.request_iops(),
+                    self.offered_iops(),
+                    self.queue_delay.p99,
+                    self.service_time.p99,
+                )?,
+            }
         }
         Ok(())
     }
@@ -270,6 +333,22 @@ mod tests {
         assert_eq!(summary.request_iops(), 4_000.0);
         summary.queue_depth = 16;
         assert!(summary.to_string().contains("QD16"), "display shows depth: {summary}");
+    }
+
+    #[test]
+    fn offered_iops_uses_the_arrival_clock() {
+        let m = FtlMetrics::new();
+        let mut summary = RunSummary::from_metrics_delta("x", "y", &m, &m);
+        assert_eq!(summary.offered_iops(), 0.0, "closed loop offers nothing");
+        summary.host_requests = 1_000;
+        summary.host_elapsed = Nanos::from_millis(250);
+        summary.offered_duration = Nanos::from_millis(100);
+        summary.mode = ReplayMode::OpenLoop { rate_scale: 2.0 };
+        assert_eq!(summary.offered_iops(), 10_000.0);
+        assert_eq!(summary.request_iops(), 4_000.0);
+        let text = summary.to_string();
+        assert!(text.contains("open-loop x2"), "display names the mode: {text}");
+        assert!(text.contains("achieved/offered"), "{text}");
     }
 
     #[test]

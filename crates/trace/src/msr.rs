@@ -164,9 +164,20 @@ fn scan<R: BufRead>(
         stats.requests += 1;
         // Times are rebased against the first request of the *file* (not of the
         // subset), so a time window means the same thing whatever other filters
-        // are active. FILETIME ticks are 100 ns each.
+        // are active. FILETIME ticks are 100 ns each. The tick-to-nanosecond
+        // conversion is checked: a rebased timestamp that does not fit in 64-bit
+        // nanoseconds (~584 years of trace) is a corrupt line, and silently
+        // saturating it would fold the tail of the trace onto one instant.
         let base = *first_timestamp.get_or_insert(parsed.timestamp);
-        let at_nanos = parsed.timestamp.saturating_sub(base).saturating_mul(100);
+        let ticks = parsed.timestamp.saturating_sub(base);
+        let at_nanos = ticks.checked_mul(100).ok_or_else(|| ParseTraceError {
+            line: line_number,
+            reason: format!(
+                "timestamp {} is {ticks} ticks after the file's first request, which \
+                 overflows the 64-bit nanosecond clock",
+                parsed.timestamp
+            ),
+        })?;
         if !visit(line_number, at_nanos, &parsed, &line) {
             break;
         }
@@ -532,6 +543,26 @@ mod tests {
         let mut out = Vec::new();
         let err = subset(csv.as_bytes(), &mut out, &SubsetOptions::default()).unwrap_err();
         assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn timestamp_overflow_is_a_parse_error_with_line_number() {
+        // The second timestamp is u64::MAX ticks; rebased against the first request
+        // the tick delta no longer fits in nanoseconds (x100), so the line must be
+        // rejected rather than silently saturated onto one instant.
+        let csv = format!("1,h,0,Read,0,4096,9\n{},h,0,Write,0,4096,9\n", u64::MAX);
+        let err = parse(csv.as_bytes(), "t").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(
+            err.reason.contains("overflows"),
+            "reason should name the overflow: {}",
+            err.reason
+        );
+        // Rebasing keeps large absolute timestamps fine as long as the *delta* fits.
+        let big_base = u64::MAX - 1_000;
+        let csv = format!("{big_base},h,0,Read,0,4096,9\n{},h,0,Write,0,4096,9\n", u64::MAX);
+        let trace = parse(csv.as_bytes(), "t").unwrap();
+        assert_eq!(trace.requests()[1].at_nanos, 1_000 * 100);
     }
 
     #[test]

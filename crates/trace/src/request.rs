@@ -123,6 +123,40 @@ impl Trace {
         TraceStats::from_requests(&self.requests)
     }
 
+    /// Arrival time of the first request, or `None` for an empty trace.
+    pub fn first_arrival_nanos(&self) -> Option<u64> {
+        self.requests.first().map(|request| request.at_nanos)
+    }
+
+    /// The largest recorded arrival time, or `None` for an empty trace. Real traces
+    /// may contain minor timestamp inversions, so this scans rather than trusting
+    /// the last entry.
+    pub fn last_arrival_nanos(&self) -> Option<u64> {
+        self.requests.iter().map(|request| request.at_nanos).max()
+    }
+
+    /// The span of the recorded arrival clock: largest arrival minus first arrival.
+    /// Zero for traces with fewer than two requests. This is the duration an
+    /// open-loop replay offers the trace's load over.
+    pub fn arrival_span_nanos(&self) -> u64 {
+        match (self.first_arrival_nanos(), self.last_arrival_nanos()) {
+            (Some(first), Some(last)) => last.saturating_sub(first),
+            _ => 0,
+        }
+    }
+
+    /// The request rate the trace's timestamps encode (requests per second over the
+    /// arrival span), or zero when the span is zero. An open-loop replay at
+    /// `rate_scale = 1` offers exactly this rate.
+    pub fn offered_iops(&self) -> f64 {
+        let span = self.arrival_span_nanos();
+        if span == 0 {
+            0.0
+        } else {
+            self.requests.len() as f64 / (span as f64 / 1e9)
+        }
+    }
+
     /// Returns a copy of this trace truncated to at most `limit` requests, useful for
     /// keeping benchmark iterations short.
     pub fn truncated(&self, limit: usize) -> Trace {
@@ -204,6 +238,35 @@ mod tests {
         assert_eq!(extended.len(), 3);
         assert_eq!(extended.iter().count(), 3);
         assert_eq!(extended.into_iter().count(), 3);
+    }
+
+    #[test]
+    fn arrival_accessors_report_span_and_rate() {
+        let trace = Trace::new(
+            "t",
+            vec![
+                IoRequest::new(1_000, IoOp::Write, 0, 4096),
+                // A minor inversion: the maximum is found anyway.
+                IoRequest::new(2_000_000, IoOp::Read, 0, 4096),
+                IoRequest::new(1_500_000, IoOp::Read, 4096, 4096),
+            ],
+        );
+        assert_eq!(trace.first_arrival_nanos(), Some(1_000));
+        assert_eq!(trace.last_arrival_nanos(), Some(2_000_000));
+        assert_eq!(trace.arrival_span_nanos(), 1_999_000);
+        // 3 requests over ~2 ms ≈ 1500 req/s.
+        assert!((trace.offered_iops() - 3.0 / 1_999_000e-9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_and_single_request_traces_offer_no_rate() {
+        let empty = Trace::new("e", Vec::new());
+        assert_eq!(empty.first_arrival_nanos(), None);
+        assert_eq!(empty.arrival_span_nanos(), 0);
+        assert_eq!(empty.offered_iops(), 0.0);
+        let one = Trace::new("o", vec![IoRequest::new(42, IoOp::Read, 0, 4096)]);
+        assert_eq!(one.arrival_span_nanos(), 0);
+        assert_eq!(one.offered_iops(), 0.0);
     }
 
     #[test]

@@ -24,8 +24,61 @@ use crate::zipf::Zipf;
 const KIB: u64 = 1024;
 const MIB: u64 = 1024 * 1024;
 
+/// How the generators space request arrival timestamps.
+///
+/// The arrival clock is what open-loop replay drives the simulator with, so these
+/// knobs let a generated trace *target an offered rate* instead of inheriting the
+/// historic fixed gap range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalModel {
+    /// Independent uniform inter-arrival gaps in `[min_nanos, max_nanos)`. The
+    /// default (`20 µs – 200 µs`) reproduces the pre-open-loop generators
+    /// byte-for-byte at equal seeds.
+    UniformGap {
+        /// Smallest inter-arrival gap in nanoseconds.
+        min_nanos: u64,
+        /// Largest inter-arrival gap in nanoseconds (exclusive); must exceed
+        /// `min_nanos`.
+        max_nanos: u64,
+    },
+    /// Target a mean offered rate: gaps are drawn uniformly from
+    /// `[mean/2, 3·mean/2)` where `mean = 1e9 / iops`, so the trace's
+    /// [`offered_iops`](crate::Trace::offered_iops) converges to `iops` while
+    /// arrivals stay jittered (no lock-step periodicity).
+    MeanRate {
+        /// Target mean arrival rate in requests per second (must be positive
+        /// and finite).
+        iops: f64,
+    },
+}
+
+impl ArrivalModel {
+    fn gap_range(self) -> (u64, u64) {
+        match self {
+            ArrivalModel::UniformGap { min_nanos, max_nanos } => {
+                assert!(min_nanos < max_nanos, "arrival gap range must be non-empty");
+                (min_nanos, max_nanos)
+            }
+            ArrivalModel::MeanRate { iops } => {
+                assert!(
+                    iops.is_finite() && iops > 0.0,
+                    "target arrival rate must be positive and finite"
+                );
+                let mean = (1e9 / iops).max(1.0) as u64;
+                (mean / 2, (mean / 2 + mean).max(mean / 2 + 1))
+            }
+        }
+    }
+}
+
+impl Default for ArrivalModel {
+    fn default() -> Self {
+        ArrivalModel::UniformGap { min_nanos: 20_000, max_nanos: 200_000 }
+    }
+}
+
 /// Shared knobs for the synthetic generators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SyntheticConfig {
     /// Number of requests to generate.
     pub requests: usize,
@@ -34,11 +87,19 @@ pub struct SyntheticConfig {
     /// Size of the logical address space the workload touches, in bytes. Keep this
     /// below the simulated device's usable capacity.
     pub working_set_bytes: u64,
+    /// How arrival timestamps are spaced; the default reproduces the historic
+    /// 20–200 µs uniform gaps exactly.
+    pub arrival: ArrivalModel,
 }
 
 impl Default for SyntheticConfig {
     fn default() -> Self {
-        SyntheticConfig { requests: 50_000, seed: 42, working_set_bytes: 256 * MIB }
+        SyntheticConfig {
+            requests: 50_000,
+            seed: 42,
+            working_set_bytes: 256 * MIB,
+            arrival: ArrivalModel::default(),
+        }
     }
 }
 
@@ -71,10 +132,11 @@ impl Default for SkewedParams {
     }
 }
 
-fn advance_clock(rng: &mut StdRng, now: &mut u64) -> u64 {
-    // Inter-arrival gap between 20 µs and 200 µs; the simulator is open-loop so only
-    // the ordering matters, but realistic spacing keeps timestamps meaningful.
-    *now += rng.gen_range(20_000..200_000);
+fn advance_clock(rng: &mut StdRng, now: &mut u64, gap: (u64, u64)) -> u64 {
+    // Inter-arrival gap drawn from the configured arrival model. Closed-loop replay
+    // only cares about the ordering, but open-loop replay issues requests at these
+    // timestamps, so the spacing determines the offered load.
+    *now += rng.gen_range(gap.0..gap.1);
     *now
 }
 
@@ -98,6 +160,7 @@ pub fn skewed(config: SyntheticConfig, params: SkewedParams) -> Trace {
     );
 
     let mut rng = StdRng::seed_from_u64(config.seed);
+    let gap = config.arrival.gap_range();
     let regions = (config.working_set_bytes / params.region_bytes).max(1) as usize;
     let zipf = Zipf::new(regions, params.zipf_exponent);
     let mut now = 0u64;
@@ -112,7 +175,7 @@ pub fn skewed(config: SyntheticConfig, params: SkewedParams) -> Trace {
             rng.gen_range(params.min_request_bytes..=params.max_request_bytes)
         };
         let op = if rng.gen_bool(params.read_ratio) { IoOp::Read } else { IoOp::Write };
-        let at = advance_clock(&mut rng, &mut now);
+        let at = advance_clock(&mut rng, &mut now, gap);
         requests.push(IoRequest::new(at, op, offset, length));
     }
 
@@ -131,6 +194,7 @@ pub fn media_server(config: SyntheticConfig) -> Trace {
     const METADATA_BYTES: u64 = MIB;
 
     let mut rng = StdRng::seed_from_u64(config.seed);
+    let gap = config.arrival.gap_range();
     let data_bytes = config.working_set_bytes.saturating_sub(METADATA_BYTES).max(FILE_BYTES);
     let files = (data_bytes / FILE_BYTES).max(1) as usize;
     let popularity = Zipf::new(files, 0.9);
@@ -141,7 +205,7 @@ pub fn media_server(config: SyntheticConfig) -> Trace {
 
     while requests.len() < config.requests {
         let roll: f64 = rng.gen();
-        let at = advance_clock(&mut rng, &mut now);
+        let at = advance_clock(&mut rng, &mut now, gap);
         if roll < 0.04 {
             // Metadata read or write: small, extremely hot.
             let offset = rng.gen_range(0..METADATA_BYTES / (4 * KIB)) * 4 * KIB;
@@ -155,7 +219,7 @@ pub fn media_server(config: SyntheticConfig) -> Trace {
             let chunk = 256 * KIB;
             let mut written = 0;
             while written < FILE_BYTES && requests.len() < config.requests {
-                let at = advance_clock(&mut rng, &mut now);
+                let at = advance_clock(&mut rng, &mut now, gap);
                 requests.push(IoRequest::new(at, IoOp::Write, base + written, chunk as u32));
                 written += chunk;
             }
@@ -197,6 +261,7 @@ pub fn web_sql_server(config: SyntheticConfig) -> Trace {
     const REGION: u64 = 8 * KIB;
 
     let mut rng = StdRng::seed_from_u64(config.seed);
+    let gap = config.arrival.gap_range();
     let data_bytes = config.working_set_bytes.saturating_sub(METADATA_BYTES).max(4 * REGION);
     // Split the data space: 15% temp, 25% tables, 45% assets, 15% backups.
     let temp_bytes = data_bytes * 15 / 100;
@@ -218,7 +283,7 @@ pub fn web_sql_server(config: SyntheticConfig) -> Trace {
 
     while requests.len() < config.requests {
         let roll: f64 = rng.gen();
-        let at = advance_clock(&mut rng, &mut now);
+        let at = advance_clock(&mut rng, &mut now, gap);
         if roll < 0.10 {
             // Metadata: small, frequently read and written (iron-hot behaviour).
             let offset = rng.gen_range(0..METADATA_BYTES / (4 * KIB)) * 4 * KIB;
@@ -276,6 +341,7 @@ mod tests {
             requests: 3_000,
             seed: 1,
             working_set_bytes: 64 * MIB,
+            ..Default::default()
         };
         for trace in [media_server(config), web_sql_server(config), skewed(config, SkewedParams::default())] {
             assert_eq!(trace.len(), 3_000, "{} wrong length", trace.name());
@@ -327,6 +393,37 @@ mod tests {
             assert!(req.at_nanos >= last);
             last = req.at_nanos;
         }
+    }
+
+    #[test]
+    fn mean_rate_arrival_model_targets_the_offered_rate() {
+        let target = 25_000.0; // 25k IOPS -> 40 µs mean gap
+        let config = SyntheticConfig {
+            requests: 20_000,
+            seed: 5,
+            arrival: ArrivalModel::MeanRate { iops: target },
+            ..Default::default()
+        };
+        let trace = web_sql_server(config);
+        let offered = trace.offered_iops();
+        assert!(
+            (offered - target).abs() / target < 0.05,
+            "offered rate {offered:.0} should be within 5% of the {target:.0} target"
+        );
+        // The default model is untouched: equal seeds still give the historic trace.
+        let default_cfg = SyntheticConfig { requests: 20_000, seed: 5, ..Default::default() };
+        assert_ne!(web_sql_server(default_cfg), trace);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn mean_rate_rejects_non_positive_rates() {
+        let config = SyntheticConfig {
+            requests: 10,
+            arrival: ArrivalModel::MeanRate { iops: 0.0 },
+            ..Default::default()
+        };
+        let _ = media_server(config);
     }
 
     #[test]

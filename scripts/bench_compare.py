@@ -63,14 +63,21 @@ def main():
 
     rows = []
     regressions = []
+    new_benches = []
+    removed_benches = []
     for bench in sorted(set(baseline) | set(current)):
         old = baseline.get(bench)
         new = current.get(bench)
         if old is None:
-            rows.append((bench, "-", format_nanos(new), "new"))
+            # Absent from the cached baseline: a freshly added bench. Reported
+            # but never gated — the first run of a new bench has nothing to
+            # regress against, and failing here would punish adding coverage.
+            rows.append((bench, "-", format_nanos(new), "new (not gated)"))
+            new_benches.append(bench)
             continue
         if new is None:
-            rows.append((bench, format_nanos(old), "-", "removed"))
+            rows.append((bench, format_nanos(old), "-", "removed (not gated)"))
+            removed_benches.append(bench)
             continue
         if old <= 0:
             rows.append((bench, format_nanos(old), format_nanos(new), "skipped (zero base)"))
@@ -87,6 +94,16 @@ def main():
     for bench, old, new, status in rows:
         print(f"{bench:<{name_width}}  {old:>10}  {new:>10}  {status}")
 
+    if new_benches:
+        print(
+            f"\n{len(new_benches)} bench(es) absent from the cached baseline, "
+            f"reported as new and not gated: {', '.join(new_benches)}"
+        )
+    if removed_benches:
+        print(
+            f"{len(removed_benches)} bench(es) no longer present, not gated: "
+            f"{', '.join(removed_benches)}"
+        )
     if regressions:
         print(
             f"\n{len(regressions)} bench(es) regressed beyond {args.threshold:g}%:",

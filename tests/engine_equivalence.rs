@@ -1,0 +1,521 @@
+//! The refactor contract of the unified workload-driver engine.
+//!
+//! The serial `Replayer` and the event-driven `QueuedReplayer` used to be two
+//! separate drive loops; both are now thin wrappers over `WorkloadDriver`. This
+//! suite keeps verbatim **reference implementations of the pre-refactor loops**
+//! and proves the engine reproduces them bit-for-bit:
+//!
+//! * `ClosedLoop { queue_depth: 1 }` ≡ the old serial replayer — same
+//!   `RunSummary` (every pre-refactor field) and same device state,
+//! * `ClosedLoop { queue_depth: N }` ≡ the old queued replayer, same guarantees,
+//! * and the new discipline behaves sanely at its limits: `OpenLoop` with
+//!   `rate_scale → ∞` converges exactly to closed-loop saturation throughput,
+//!   and at `rate_scale = 1` it reports queueing delay and service time
+//!   separately with achieved IOPS ≤ offered IOPS.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use proptest::prelude::*;
+
+use vflash::ftl::{
+    ConventionalFtl, FlashTranslationLayer, FtlConfig, FtlError, IoRequest as FtlRequest, Lpn,
+};
+use vflash::nand::{ChipId, NandConfig, NandDevice, Nanos};
+use vflash::ppb::{PpbConfig, PpbFtl};
+use vflash::sim::{
+    LatencyHistogram, QueuedReplayer, Replayer, RunOptions, RunSummary, WorkloadDriver,
+};
+use vflash::trace::synthetic::{self, SkewedParams, SyntheticConfig};
+use vflash::trace::{IoOp, Trace};
+
+fn device(chips: usize) -> NandDevice {
+    NandDevice::new(
+        NandConfig::builder()
+            .chips(chips)
+            .blocks_per_chip(48)
+            .pages_per_block(16)
+            .page_size_bytes(4096)
+            .speed_ratio(4.0)
+            .build()
+            .unwrap(),
+    )
+}
+
+fn conventional(chips: usize) -> ConventionalFtl {
+    ConventionalFtl::new(device(chips), FtlConfig::default()).unwrap()
+}
+
+fn ppb(chips: usize) -> PpbFtl {
+    PpbFtl::new(device(chips), PpbConfig::default()).unwrap()
+}
+
+/// The pre-refactor prefill pass (identical semantics to the engine's: every
+/// touched page written once in ascending order, skipped for read-free traces).
+fn reference_prefill<F: FlashTranslationLayer + ?Sized>(
+    ftl: &mut F,
+    trace: &Trace,
+    options: &RunOptions,
+) -> Result<(), FtlError> {
+    if !trace.iter().any(|request| request.op == IoOp::Read) {
+        return Ok(());
+    }
+    let page_size = ftl.device().config().page_size_bytes();
+    let logical_pages = ftl.logical_pages();
+    let mut touched: Vec<bool> = vec![false; logical_pages as usize];
+    for request in trace {
+        for page in request.logical_pages(page_size) {
+            touched[(page % logical_pages) as usize] = true;
+        }
+    }
+    for (page, touched) in touched.iter().enumerate() {
+        if *touched {
+            ftl.write(Lpn(page as u64), options.prefill_request_bytes)?;
+        }
+    }
+    Ok(())
+}
+
+fn chip_busy_times<F: FlashTranslationLayer + ?Sized>(ftl: &F) -> Vec<Nanos> {
+    let device = ftl.device();
+    (0..device.config().chips())
+        .map(|chip| device.chip_busy_time(ChipId(chip)).unwrap())
+        .collect()
+}
+
+fn makespan_delta<F: FlashTranslationLayer + ?Sized>(ftl: &F, start: &[Nanos]) -> Nanos {
+    chip_busy_times(ftl)
+        .iter()
+        .zip(start)
+        .map(|(&end, &begin)| end.saturating_sub(begin))
+        .max()
+        .unwrap_or(Nanos::ZERO)
+}
+
+/// A verbatim re-implementation of the pre-refactor **serial** replayer
+/// (`Replayer::run_mut` as of the queue-depth PR): scalar `read`/`write` calls,
+/// no op tracing, per-request latency = serial sum of page latencies.
+fn reference_serial<F: FlashTranslationLayer + ?Sized>(
+    ftl: &mut F,
+    trace: &Trace,
+    options: RunOptions,
+) -> Result<RunSummary, FtlError> {
+    let page_size = ftl.device().config().page_size_bytes();
+    let logical_pages = ftl.logical_pages();
+    if options.prefill {
+        reference_prefill(ftl, trace, &options)?;
+    }
+    let start = *ftl.metrics();
+    let busy_start = chip_busy_times(ftl);
+    let mut read_latencies = LatencyHistogram::new();
+    let mut write_latencies = LatencyHistogram::new();
+    let mut elapsed = Nanos::ZERO;
+    let mut requests = 0u64;
+    for request in trace {
+        let mut latency = Nanos::ZERO;
+        for page in request.logical_pages(page_size) {
+            let lpn = Lpn(page % logical_pages);
+            match request.op {
+                IoOp::Write => latency += ftl.write(lpn, request.length)?,
+                IoOp::Read => match ftl.read(lpn) {
+                    Ok(page_latency) => latency += page_latency,
+                    Err(FtlError::UnmappedRead { .. }) if !options.prefill => {}
+                    Err(err) => return Err(err),
+                },
+            }
+        }
+        match request.op {
+            IoOp::Read => read_latencies.record(latency),
+            IoOp::Write => write_latencies.record(latency),
+        }
+        elapsed += latency;
+        requests += 1;
+    }
+    let end = *ftl.metrics();
+    let mut summary = RunSummary::from_metrics_delta(ftl.name(), trace.name(), &start, &end);
+    summary.device_makespan = makespan_delta(ftl, &busy_start);
+    summary.queue_depth = 1;
+    summary.host_requests = requests;
+    summary.host_elapsed = elapsed;
+    summary.read_latency = read_latencies.percentiles();
+    summary.write_latency = write_latencies.percentiles();
+    Ok(summary)
+}
+
+/// A verbatim re-implementation of the pre-refactor **queued** replayer
+/// (`QueuedReplayer::run_mut`): op tracing on, per-chip ready clocks, a binary
+/// heap of in-flight completions handing out queue slots.
+fn reference_queued<F: FlashTranslationLayer + ?Sized>(
+    ftl: &mut F,
+    trace: &Trace,
+    options: RunOptions,
+    queue_depth: usize,
+) -> Result<RunSummary, FtlError> {
+    let page_size = ftl.device().config().page_size_bytes();
+    let logical_pages = ftl.logical_pages();
+    if options.prefill {
+        reference_prefill(ftl, trace, &options)?;
+    }
+    ftl.device_mut().set_op_tracing(true);
+    let start = *ftl.metrics();
+    let busy_start = chip_busy_times(ftl);
+    let chips = ftl.device().config().chips();
+    let mut chip_ready = vec![Nanos::ZERO; chips];
+    let mut in_flight: BinaryHeap<Reverse<Nanos>> = BinaryHeap::with_capacity(queue_depth);
+    let mut read_latencies = LatencyHistogram::new();
+    let mut write_latencies = LatencyHistogram::new();
+    let mut clock = Nanos::ZERO;
+    let mut last_completion = Nanos::ZERO;
+    let mut requests = 0u64;
+    for request in trace {
+        if in_flight.len() == queue_depth {
+            let Reverse(freed) = in_flight.pop().unwrap();
+            if freed > clock {
+                clock = freed;
+            }
+        }
+        let issue = clock;
+        let mut now = issue;
+        for page in request.logical_pages(page_size) {
+            let lpn = Lpn(page % logical_pages);
+            let completion = match request.op {
+                IoOp::Write => ftl.submit(FtlRequest::write(lpn, request.length))?,
+                IoOp::Read => match ftl.submit(FtlRequest::read(lpn)) {
+                    Ok(completion) => completion,
+                    Err(FtlError::UnmappedRead { .. }) if !options.prefill => continue,
+                    Err(err) => return Err(err),
+                },
+            };
+            for op in &completion.ops {
+                let ready = chip_ready[op.chip.0];
+                let op_start = if ready > now { ready } else { now };
+                now = op_start + op.latency;
+                chip_ready[op.chip.0] = now;
+            }
+            ftl.device_mut().recycle_ops(completion.ops);
+        }
+        let latency = now.saturating_sub(issue);
+        match request.op {
+            IoOp::Read => read_latencies.record(latency),
+            IoOp::Write => write_latencies.record(latency),
+        }
+        if now > last_completion {
+            last_completion = now;
+        }
+        in_flight.push(Reverse(now));
+        requests += 1;
+    }
+    let end = *ftl.metrics();
+    ftl.device_mut().set_op_tracing(false);
+    let mut summary = RunSummary::from_metrics_delta(ftl.name(), trace.name(), &start, &end);
+    summary.device_makespan = makespan_delta(ftl, &busy_start);
+    summary.queue_depth = queue_depth;
+    summary.host_requests = requests;
+    summary.host_elapsed = last_completion;
+    summary.read_latency = read_latencies.percentiles();
+    summary.write_latency = write_latencies.percentiles();
+    Ok(summary)
+}
+
+/// Asserts the pre-refactor summary fields and the complete device state match.
+/// (The engine adds new fields — queue delay, service time, mode — that the
+/// references never produced; they are checked by the engine's own tests.)
+fn assert_reproduces_reference(
+    reference: (&RunSummary, &dyn FlashTranslationLayer),
+    engine: (&RunSummary, &dyn FlashTranslationLayer),
+    context: &str,
+) {
+    let (r, e) = (reference.0, engine.0);
+    assert_eq!(r.ftl, e.ftl, "{context}: ftl name");
+    assert_eq!(r.trace, e.trace, "{context}: trace name");
+    assert_eq!(r.host_reads, e.host_reads, "{context}: host_reads");
+    assert_eq!(r.host_writes, e.host_writes, "{context}: host_writes");
+    assert_eq!(r.read_time, e.read_time, "{context}: read_time");
+    assert_eq!(r.write_time, e.write_time, "{context}: write_time");
+    assert_eq!(r.mean_read_latency, e.mean_read_latency, "{context}: mean_read_latency");
+    assert_eq!(r.mean_write_latency, e.mean_write_latency, "{context}: mean_write_latency");
+    assert_eq!(r.erased_blocks, e.erased_blocks, "{context}: erased_blocks");
+    assert_eq!(r.gc_copied_pages, e.gc_copied_pages, "{context}: gc_copied_pages");
+    assert_eq!(r.migrated_pages, e.migrated_pages, "{context}: migrated_pages");
+    assert_eq!(r.write_amplification, e.write_amplification, "{context}: WAF");
+    assert_eq!(r.device_makespan, e.device_makespan, "{context}: device_makespan");
+    assert_eq!(r.queue_depth, e.queue_depth, "{context}: queue_depth");
+    assert_eq!(r.host_requests, e.host_requests, "{context}: host_requests");
+    assert_eq!(r.host_elapsed, e.host_elapsed, "{context}: host_elapsed");
+    assert_eq!(r.read_latency, e.read_latency, "{context}: read percentiles");
+    assert_eq!(r.write_latency, e.write_latency, "{context}: write percentiles");
+
+    let (a, b) = (reference.1.device(), engine.1.device());
+    assert_eq!(a.stats(), b.stats(), "{context}: device stats differ");
+    assert_eq!(a.mod_seq(), b.mod_seq(), "{context}: modification clocks differ");
+    for chip in 0..a.config().chips() {
+        assert_eq!(
+            a.chip(ChipId(chip)).unwrap(),
+            b.chip(ChipId(chip)).unwrap(),
+            "{context}: chip {chip} state differs"
+        );
+    }
+    assert_eq!(reference.1.metrics(), engine.1.metrics(), "{context}: FTL metrics differ");
+}
+
+fn synthetic_traces() -> Vec<Trace> {
+    let config = SyntheticConfig {
+        requests: 1_500,
+        seed: 7,
+        working_set_bytes: 2 * 1024 * 1024,
+        ..Default::default()
+    };
+    vec![
+        synthetic::media_server(config),
+        synthetic::web_sql_server(config),
+        synthetic::skewed(config, SkewedParams::default()),
+        synthetic::skewed(
+            SyntheticConfig { seed: 91, ..config },
+            SkewedParams { zipf_exponent: 1.2, read_ratio: 0.85, ..SkewedParams::default() },
+        ),
+    ]
+}
+
+#[test]
+fn closed_loop_depth_1_reproduces_the_pre_refactor_serial_replayer() {
+    for trace in synthetic_traces() {
+        for chips in [1usize, 4] {
+            let context = format!("serial, {} on {chips} chip(s)", trace.name());
+            let mut reference_ftl = conventional(chips);
+            let mut engine_ftl = conventional(chips);
+            let reference =
+                reference_serial(&mut reference_ftl, &trace, RunOptions::default()).unwrap();
+            let engine = Replayer::new(RunOptions::default())
+                .run_mut(&mut engine_ftl, &trace)
+                .unwrap();
+            assert_reproduces_reference(
+                (&reference, &reference_ftl),
+                (&engine, &engine_ftl),
+                &format!("conventional, {context}"),
+            );
+
+            let mut reference_ppb = ppb(chips);
+            let mut engine_ppb = ppb(chips);
+            let reference =
+                reference_serial(&mut reference_ppb, &trace, RunOptions::default()).unwrap();
+            let engine = Replayer::new(RunOptions::default())
+                .run_mut(&mut engine_ppb, &trace)
+                .unwrap();
+            assert_reproduces_reference(
+                (&reference, &reference_ppb),
+                (&engine, &engine_ppb),
+                &format!("ppb, {context}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn closed_loop_depth_n_reproduces_the_pre_refactor_queued_replayer() {
+    for trace in synthetic_traces() {
+        for depth in [2usize, 8, 64] {
+            let context = format!("queued QD{depth}, {} on 4 chips", trace.name());
+            let mut reference_ftl = conventional(4);
+            let mut engine_ftl = conventional(4);
+            let reference =
+                reference_queued(&mut reference_ftl, &trace, RunOptions::default(), depth)
+                    .unwrap();
+            let engine = QueuedReplayer::new(RunOptions::default(), depth)
+                .run_mut(&mut engine_ftl, &trace)
+                .unwrap();
+            assert_reproduces_reference(
+                (&reference, &reference_ftl),
+                (&engine, &engine_ftl),
+                &format!("conventional, {context}"),
+            );
+
+            let mut reference_ppb = ppb(4);
+            let mut engine_ppb = ppb(4);
+            let reference =
+                reference_queued(&mut reference_ppb, &trace, RunOptions::default(), depth)
+                    .unwrap();
+            let engine = QueuedReplayer::new(RunOptions::default(), depth)
+                .run_mut(&mut engine_ppb, &trace)
+                .unwrap();
+            assert_reproduces_reference(
+                (&reference, &reference_ppb),
+                (&engine, &engine_ppb),
+                &format!("ppb, {context}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn no_prefill_paths_also_reproduce_the_references() {
+    // Unmapped-read skipping is a separate code path in the engine.
+    let options = RunOptions { prefill: false, ..RunOptions::default() };
+    let trace = synthetic::skewed(
+        SyntheticConfig {
+            requests: 800,
+            seed: 3,
+            working_set_bytes: 2 * 1024 * 1024,
+            ..Default::default()
+        },
+        SkewedParams { read_ratio: 0.7, ..SkewedParams::default() },
+    );
+    let mut reference_ftl = conventional(2);
+    let mut engine_ftl = conventional(2);
+    let reference = reference_serial(&mut reference_ftl, &trace, options).unwrap();
+    let engine = Replayer::new(options).run_mut(&mut engine_ftl, &trace).unwrap();
+    assert_reproduces_reference(
+        (&reference, &reference_ftl),
+        (&engine, &engine_ftl),
+        "serial, no prefill",
+    );
+
+    let mut reference_ftl = conventional(2);
+    let mut engine_ftl = conventional(2);
+    let reference = reference_queued(&mut reference_ftl, &trace, options, 8).unwrap();
+    let engine = QueuedReplayer::new(options, 8).run_mut(&mut engine_ftl, &trace).unwrap();
+    assert_reproduces_reference(
+        (&reference, &reference_ftl),
+        (&engine, &engine_ftl),
+        "queued QD8, no prefill",
+    );
+}
+
+/// The acceptance criterion for the open-loop limit: with arrivals compressed to
+/// (effectively) time zero, nothing bounds the outstanding requests, so the
+/// open-loop overlay packs work exactly like a closed loop whose depth covers the
+/// whole trace — saturation throughput, identically.
+#[test]
+fn open_loop_at_infinite_rate_converges_to_closed_loop_saturation() {
+    let trace = synthetic::skewed(
+        SyntheticConfig {
+            requests: 2_000,
+            seed: 11,
+            working_set_bytes: 4 * 1024 * 1024,
+            ..Default::default()
+        },
+        SkewedParams { read_ratio: 0.9, ..SkewedParams::default() },
+    );
+    // Scale larger than any arrival timestamp: every scaled arrival rounds to 0.
+    let infinite = 1e18;
+    let open = WorkloadDriver::open_loop(RunOptions::default(), infinite)
+        .run(conventional(8), &trace)
+        .unwrap();
+    let saturated = QueuedReplayer::new(RunOptions::default(), trace.len())
+        .run(conventional(8), &trace)
+        .unwrap();
+    assert_eq!(
+        open.host_elapsed, saturated.host_elapsed,
+        "all-at-once arrivals must pack exactly like an unbounded closed loop"
+    );
+    assert_eq!(open.read_latency, saturated.read_latency);
+    assert_eq!(open.device_makespan, saturated.device_makespan);
+    assert!((open.request_iops() - saturated.request_iops()).abs() < 1e-6);
+}
+
+/// The acceptance criterion for the paper-facing open-loop run: at the trace's
+/// recorded rate, queueing delay and service time are reported separately and the
+/// device cannot serve more than it is offered.
+#[test]
+fn open_loop_at_unit_rate_reports_the_queueing_split() {
+    let scale_cfg = SyntheticConfig {
+        requests: 4_000,
+        seed: 21,
+        working_set_bytes: 8 * 1024 * 1024,
+        ..Default::default()
+    };
+    let trace = synthetic::web_sql_server(scale_cfg);
+    for chips in [1usize, 4] {
+        let summary = WorkloadDriver::open_loop(RunOptions::default(), 1.0)
+            .run(conventional(chips), &trace)
+            .unwrap();
+        assert!(summary.offered_iops() > 0.0, "{chips} chips: offered rate recorded");
+        assert!(
+            summary.request_iops() <= summary.offered_iops(),
+            "{chips} chips: achieved {} exceeds offered {}",
+            summary.request_iops(),
+            summary.offered_iops()
+        );
+        assert!(summary.service_time.p50 > Nanos::ZERO, "{chips} chips: service reported");
+        // Per request the decomposition is exact (response = delay + service), so
+        // no response latency can exceed the worst delay plus the worst service.
+        let bound = summary.queue_delay.max + summary.service_time.max;
+        let worst_response = summary.read_latency.max.max(summary.write_latency.max);
+        assert!(
+            worst_response <= bound,
+            "{chips} chips: response max {worst_response} escapes the split bound {bound}"
+        );
+        assert!(summary.host_elapsed >= summary.offered_duration);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random traces keep the serial bit-identity contract.
+    #[test]
+    fn serial_reference_equivalence_holds_on_random_traces(
+        ops in proptest::collection::vec(
+            (0u8..2, 0u64..512, 1u32..40_000),
+            1..100,
+        ),
+        chips in 1usize..5,
+    ) {
+        let requests: Vec<vflash::trace::IoRequest> = ops
+            .iter()
+            .enumerate()
+            .map(|(i, &(op, page, len))| {
+                let op = if op == 0 { IoOp::Read } else { IoOp::Write };
+                vflash::trace::IoRequest::new(i as u64 * 1_000, op, page * 4096, len)
+            })
+            .collect();
+        let trace = Trace::new("random", requests);
+        let mut reference_ftl = conventional(chips);
+        let mut engine_ftl = conventional(chips);
+        let reference = reference_serial(&mut reference_ftl, &trace, RunOptions::default()).unwrap();
+        let engine = Replayer::new(RunOptions::default()).run_mut(&mut engine_ftl, &trace).unwrap();
+        prop_assert_eq!(&reference.read_latency, &engine.read_latency);
+        prop_assert_eq!(reference.host_elapsed, engine.host_elapsed);
+        prop_assert_eq!(reference.host_requests, engine.host_requests);
+        prop_assert_eq!(reference_ftl.device().stats(), engine_ftl.device().stats());
+        for chip in 0..chips {
+            prop_assert_eq!(
+                reference_ftl.device().chip(ChipId(chip)).unwrap(),
+                engine_ftl.device().chip(ChipId(chip)).unwrap()
+            );
+        }
+    }
+
+    /// At any rate scale, open loop preserves device-state evolution and the
+    /// offered/achieved ordering; only timing shifts.
+    #[test]
+    fn open_loop_preserves_device_state_at_any_rate(
+        rate_milli in 100u64..10_000, // 0.1x .. 10x
+        seed in 0u64..500,
+    ) {
+        let rate_scale = rate_milli as f64 / 1000.0;
+        let trace = synthetic::skewed(
+            SyntheticConfig {
+                requests: 300,
+                seed,
+                working_set_bytes: 1024 * 1024,
+                ..Default::default()
+            },
+            SkewedParams::default(),
+        );
+        let closed = Replayer::new(RunOptions::default()).run(conventional(4), &trace).unwrap();
+        let open = WorkloadDriver::open_loop(RunOptions::default(), rate_scale)
+            .run(conventional(4), &trace)
+            .unwrap();
+        prop_assert_eq!(closed.host_reads, open.host_reads);
+        prop_assert_eq!(closed.host_writes, open.host_writes);
+        prop_assert_eq!(closed.read_time, open.read_time);
+        prop_assert_eq!(closed.write_time, open.write_time);
+        prop_assert_eq!(closed.erased_blocks, open.erased_blocks);
+        prop_assert_eq!(closed.device_makespan, open.device_makespan);
+        // The response decomposition never loses time, and the replay clock runs
+        // at least as long as the arrival clock.
+        prop_assert!(open.request_iops() <= open.offered_iops());
+        prop_assert!(open.host_elapsed >= open.offered_duration);
+        prop_assert!(open.host_elapsed >= open.device_makespan);
+    }
+}

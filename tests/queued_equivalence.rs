@@ -67,6 +67,7 @@ fn synthetic_traces() -> Vec<Trace> {
         requests: 1_500,
         seed: 7,
         working_set_bytes: 2 * 1024 * 1024,
+        ..Default::default()
     };
     vec![
         synthetic::media_server(config),
@@ -117,7 +118,7 @@ fn qd1_is_bit_identical_without_prefill_too() {
     // Unmapped-read skipping is a separate code path in both replayers.
     let options = RunOptions { prefill: false, ..RunOptions::default() };
     let trace = synthetic::skewed(
-        SyntheticConfig { requests: 800, seed: 3, working_set_bytes: 2 * 1024 * 1024 },
+        SyntheticConfig { requests: 800, seed: 3, working_set_bytes: 2 * 1024 * 1024, ..Default::default() },
         SkewedParams { read_ratio: 0.7, ..SkewedParams::default() },
     );
     let mut serial_ftl = conventional(2);
@@ -132,7 +133,7 @@ fn qd1_is_bit_identical_without_prefill_too() {
 #[test]
 fn qd64_on_8_chips_outruns_qd1_on_a_read_heavy_trace() {
     let trace = synthetic::skewed(
-        SyntheticConfig { requests: 4_000, seed: 11, working_set_bytes: 4 * 1024 * 1024 },
+        SyntheticConfig { requests: 4_000, seed: 11, working_set_bytes: 4 * 1024 * 1024, ..Default::default() },
         SkewedParams {
             read_ratio: 0.9,
             min_request_bytes: 4096,
@@ -225,7 +226,7 @@ proptest! {
         seed in 0u64..1_000,
     ) {
         let trace = synthetic::skewed(
-            SyntheticConfig { requests: 300, seed, working_set_bytes: 1024 * 1024 },
+            SyntheticConfig { requests: 300, seed, working_set_bytes: 1024 * 1024, ..Default::default() },
             SkewedParams::default(),
         );
         let serial = Replayer::new(RunOptions::default()).run(conventional(4), &trace).unwrap();

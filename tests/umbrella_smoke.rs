@@ -49,6 +49,7 @@ fn every_reexported_module_is_reachable() {
         requests: 100,
         seed: 1,
         working_set_bytes: 4 * 1024 * 1024,
+        ..Default::default()
     });
     assert_eq!(trace.len(), 100);
 

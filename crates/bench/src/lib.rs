@@ -11,7 +11,8 @@
 
 use vflash_nand::Nanos;
 use vflash_sim::experiments::{
-    EnhancementRow, EraseCountRow, LatencySweepRow, PolicyEraseRow, QueueDepthRow, RateScaleRow,
+    BurstRow, EnhancementRow, EraseCountRow, LatencySweepRow, PolicyEraseRow, QueueDepthRow,
+    RateScaleRow,
 };
 use vflash_sim::{Comparison, LatencyPercentiles, RunSummary};
 
@@ -119,6 +120,39 @@ pub fn format_rate_scale_rows(rows: &[RateScaleRow]) -> String {
     for row in rows {
         push(row.rate_scale, &row.conventional);
         push(row.rate_scale, &row.ppb);
+    }
+    out
+}
+
+/// Renders burstiness-sweep rows: for each arrival model of the fixed-mean-rate
+/// axis, the busy-arrival fraction, the peak backlog and the read-latency tail
+/// (p99 and p99.9, µs) of both FTLs. Reading the table: the mean rate is the
+/// same in every row, so everything that grows down the table — busy fraction,
+/// backlog, and above all the p99.9 — is the cost of burstiness, and the
+/// conventional-vs-PPB gap at the bottom rows is the tail win the paper's
+/// placement strategy buys under realistic (non-smooth) load.
+pub fn format_burst_rows(rows: &[BurstRow]) -> String {
+    let mut out = String::from(
+        "arrival                      ftl             offered   achieved   busy%   peak-qd   \
+         read p99/p99.9 (us)\n",
+    );
+    let mut push = |label: &str, summary: &RunSummary| {
+        out.push_str(&format!(
+            "{:<28} {:<12} {:>9.0} {:>10.0} {:>6.1} {:>9}   {:>9.0}/{:>9.0}\n",
+            label,
+            summary.ftl,
+            summary.offered_iops(),
+            summary.request_iops(),
+            summary.busy_arrival_fraction() * 100.0,
+            summary.peak_queue_depth,
+            summary.read_latency.p99.as_micros_f64(),
+            summary.read_latency.p999.as_micros_f64(),
+        ));
+    };
+    for row in rows {
+        let label = row.arrival.label();
+        push(&label, &row.conventional);
+        push(&label, &row.ppb);
     }
     out
 }
@@ -235,6 +269,29 @@ mod tests {
         assert!(text.contains("10000"), "1000 reqs / 0.1 s offered: {text}");
         assert!(text.contains("5000"), "1000 reqs / 0.2 s achieved: {text}");
         assert!(text.contains("75"), "queue-delay mean column: {text}");
+    }
+
+    #[test]
+    fn burst_formatting_reports_tail_and_busy_fraction() {
+        use vflash_trace::synthetic::ArrivalModel;
+        let mut conventional = summary("conventional", 100);
+        conventional.host_requests = 1_000;
+        conventional.host_elapsed = Nanos::from_millis(200);
+        conventional.offered_duration = Nanos::from_millis(100);
+        conventional.busy_arrivals = 250;
+        conventional.peak_queue_depth = 77;
+        conventional.read_latency.p999 = Nanos::from_micros(1_234);
+        let ppb = summary("ppb", 80);
+        let rows = vec![BurstRow {
+            arrival: ArrivalModel::Pareto { shape: 1.5, mean_iops: 10_000.0 },
+            conventional,
+            ppb,
+        }];
+        let text = format_burst_rows(&rows);
+        assert!(text.contains("pareto(a=1.5)"), "{text}");
+        assert!(text.contains("25.0"), "busy-arrival percent: {text}");
+        assert!(text.contains("77"), "peak backlog: {text}");
+        assert!(text.contains("1234"), "p99.9 column: {text}");
     }
 
     #[test]

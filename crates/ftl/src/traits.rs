@@ -48,6 +48,29 @@ pub trait FlashTranslationLayer {
     /// * [`FtlError::UnmappedRead`] for reads of never-written pages.
     /// * [`FtlError::OutOfSpace`] for writes when garbage collection cannot free
     ///   any space.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use vflash_ftl::{ConventionalFtl, FlashTranslationLayer, FtlConfig, IoRequest, Lpn};
+    /// use vflash_nand::{NandConfig, NandDevice, Nanos};
+    ///
+    /// # fn main() -> Result<(), vflash_ftl::FtlError> {
+    /// let device = NandDevice::new(NandConfig::small());
+    /// let mut ftl = ConventionalFtl::new(device, FtlConfig::default())?;
+    ///
+    /// let write = ftl.submit(IoRequest::write(Lpn(7), 4096))?;
+    /// let read = ftl.submit(IoRequest::read(Lpn(7)))?;
+    /// assert!(write.latency > read.latency, "programs cost more than reads");
+    /// // Provenance is only collected while op tracing is enabled.
+    /// assert!(read.ops.is_empty());
+    /// ftl.device_mut().set_op_tracing(true);
+    /// let traced = ftl.submit(IoRequest::read(Lpn(7)))?;
+    /// assert_eq!(traced.ops.len(), 1, "one timed device op, with its chip");
+    /// assert_eq!(traced.ops[0].latency, traced.latency);
+    /// # Ok(())
+    /// # }
+    /// ```
     fn submit(&mut self, request: IoRequest) -> Result<Completion, FtlError>;
 
     /// Serves a host read of one logical page, returning the latency charged to the

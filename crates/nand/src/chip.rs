@@ -47,7 +47,7 @@ pub struct Chip {
     /// Number of logically pooled (allocatable) blocks.
     available: usize,
     /// Number of blocks in [`BlockState::Free`] (including allocated-but-unwritten
-    /// blocks leased out via [`Chip::allocate`]).
+    /// blocks leased out via the crate-internal `Chip::allocate`).
     free_count: usize,
     /// Indices of full blocks with at least one invalid page — exactly the blocks a
     /// greedy garbage collector can reclaim with benefit.
@@ -109,7 +109,7 @@ impl Chip {
     /// Number of blocks available for allocation. O(1).
     ///
     /// This differs from [`Chip::free_blocks`] by the blocks that have been handed
-    /// out via [`Chip::allocate`] but not programmed yet: those are still erased but
+    /// out via the crate-internal `Chip::allocate` but not programmed yet: those are still erased but
     /// no longer allocatable.
     pub fn available_blocks(&self) -> usize {
         self.available

@@ -211,7 +211,7 @@ impl NandDevice {
         })
     }
 
-    /// Returns the address of an allocatable block in the [`BlockState::Free`]
+    /// Returns the address of an allocatable block in the [`BlockState::Free`](crate::BlockState::Free)
     /// state, or `None` if none exists. Amortised O(1): each chip keeps a free-block
     /// pool, so no block scan happens.
     ///
@@ -228,7 +228,7 @@ impl NandDevice {
     /// chips so consecutive allocations land on different chips (and their
     /// programs can overlap in time). O(chips) worst case, O(1) typically.
     ///
-    /// The block remains in [`BlockState::Free`] until programmed; it returns to
+    /// The block remains in [`BlockState::Free`](crate::BlockState::Free) until programmed; it returns to
     /// the pool automatically when it is next erased.
     pub fn allocate_block(&mut self) -> Option<BlockAddr> {
         let chips = self.chips.len();

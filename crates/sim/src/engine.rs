@@ -332,6 +332,15 @@ impl WorkloadDriver {
             ArrivalDiscipline::OpenLoop { .. } => 0,
         };
         let mut in_flight: BinaryHeap<Reverse<Nanos>> = BinaryHeap::with_capacity(heap_capacity);
+        // Completion times of requests still outstanding *in simulated time* at
+        // the current issue instant. This is deliberately separate from
+        // `in_flight`: closed-loop queue slots are freed by popping (a request
+        // occupies its slot until a new request needs it), while a request is
+        // *outstanding* only until its completion time passes — the quantity
+        // behind `peak_queue_depth` and `busy_arrivals`.
+        let mut outstanding: BinaryHeap<Reverse<Nanos>> = BinaryHeap::new();
+        let mut peak_queue_depth = 0usize;
+        let mut busy_arrivals = 0u64;
         let mut read_latencies = LatencyHistogram::new();
         let mut write_latencies = LatencyHistogram::new();
         let mut queue_delays = LatencyHistogram::new();
@@ -374,6 +383,15 @@ impl WorkloadDriver {
                     arrival.saturating_sub(base)
                 }
             };
+            // Retire every request whose completion precedes this issue instant;
+            // whatever remains is the queue this arrival joins.
+            while outstanding.peek().is_some_and(|&Reverse(done)| done <= issue) {
+                outstanding.pop();
+            }
+            if !outstanding.is_empty() {
+                busy_arrivals += 1;
+            }
+
             let mut now = issue;
             let mut service = Nanos::ZERO;
 
@@ -423,6 +441,10 @@ impl WorkloadDriver {
             if now > last_completion {
                 last_completion = now;
             }
+            outstanding.push(Reverse(now));
+            if outstanding.len() > peak_queue_depth {
+                peak_queue_depth = outstanding.len();
+            }
             if matches!(self.discipline, ArrivalDiscipline::ClosedLoop { .. }) {
                 in_flight.push(Reverse(now));
             }
@@ -438,6 +460,8 @@ impl WorkloadDriver {
         summary.write_latency = write_latencies.percentiles();
         summary.queue_delay = queue_delays.percentiles();
         summary.service_time = service_times.percentiles();
+        summary.peak_queue_depth = peak_queue_depth;
+        summary.busy_arrivals = busy_arrivals;
         match self.discipline {
             ArrivalDiscipline::ClosedLoop { queue_depth } => {
                 summary.queue_depth = queue_depth;
@@ -595,6 +619,9 @@ mod tests {
             .unwrap();
         assert_eq!(summary.queue_delay.max, Nanos::ZERO);
         assert_eq!(summary.read_latency, summary.service_time);
+        assert_eq!(summary.peak_queue_depth, 1, "idle arrivals never overlap");
+        assert_eq!(summary.busy_arrivals, 0);
+        assert_eq!(summary.busy_arrival_fraction(), 0.0);
         assert!(summary.offered_duration > Nanos::ZERO);
         assert!(summary.request_iops() <= summary.offered_iops());
         assert_eq!(summary.queue_depth, 0, "open loop has no depth bound");
@@ -611,6 +638,35 @@ mod tests {
             .unwrap();
         assert!(summary.queue_delay.p99 > summary.service_time.p99);
         assert!(summary.request_iops() < summary.offered_iops());
+        // All-at-once arrivals: every request but the first finds the device
+        // busy, and the backlog peaks at (almost) the whole trace.
+        assert_eq!(summary.busy_arrivals, 255);
+        assert!(summary.peak_queue_depth > 200, "backlog {}", summary.peak_queue_depth);
+        assert!(summary.queue_delay.p999 >= summary.queue_delay.p99);
+    }
+
+    #[test]
+    fn closed_loop_peak_depth_is_bounded_by_the_configured_depth() {
+        let trace = paced_trace(128, 1_000);
+        for depth in [1usize, 4, 16] {
+            let summary = WorkloadDriver::closed_loop(RunOptions::default(), depth)
+                .run(ftl(4), &trace)
+                .unwrap();
+            assert!(
+                summary.peak_queue_depth <= depth,
+                "QD{depth}: peak {} escaped the bound",
+                summary.peak_queue_depth
+            );
+            assert!(summary.peak_queue_depth >= 1);
+            if depth == 1 {
+                // Serial replay: the next request is issued exactly at the
+                // previous completion, so no arrival ever finds the system busy.
+                assert_eq!(summary.peak_queue_depth, 1);
+                assert_eq!(summary.busy_arrivals, 0);
+            } else {
+                assert!(summary.busy_arrival_fraction() > 0.5, "QD{depth} keeps the queue busy");
+            }
+        }
     }
 
     #[test]

@@ -16,7 +16,7 @@ use vflash_ftl::{
 };
 use vflash_nand::{NandConfig, NandDevice, Nanos};
 use vflash_ppb::{PpbConfig, PpbFtl};
-use vflash_trace::synthetic::{self, SyntheticConfig};
+use vflash_trace::synthetic::{self, ArrivalModel, SyntheticConfig};
 use vflash_trace::Trace;
 
 use crate::engine::{ArrivalDiscipline, RunOptions, WorkloadDriver};
@@ -37,6 +37,42 @@ pub const QUEUE_DEPTHS: [usize; 4] = [1, 4, 16, 64];
 /// devices) to 4x (well past saturation), so the latency-vs-offered-load curve
 /// shows both regimes and its knee.
 pub const RATE_SCALES: [f64; 6] = [0.1, 0.25, 0.5, 1.0, 2.0, 4.0];
+
+/// The burstiness axis of the [`burst_sweep`]: arrival models of *identical mean
+/// rate* ordered from smooth to extremely bursty. The first entry is the
+/// jittered-uniform reference; the Pareto entries get heavier as the shape drops
+/// towards 1, and the on/off entries compress all arrivals into ever denser
+/// bursts. Because the mean rate is held fixed, any latency difference down the
+/// axis is attributable to burstiness alone — the queueing-theory point the
+/// paper's tail-latency claims rest on.
+pub fn burst_axis(mean_iops: f64) -> Vec<ArrivalModel> {
+    vec![
+        ArrivalModel::MeanRate { iops: mean_iops },
+        ArrivalModel::Pareto { shape: 2.5, mean_iops },
+        ArrivalModel::Pareto { shape: 1.5, mean_iops },
+        ArrivalModel::Pareto { shape: 1.2, mean_iops },
+        ArrivalModel::OnOffBurst {
+            burst_iops: 4.0 * mean_iops,
+            idle_fraction: 0.75,
+            burst_len: 64,
+        },
+        ArrivalModel::OnOffBurst {
+            burst_iops: 10.0 * mean_iops,
+            idle_fraction: 0.9,
+            burst_len: 256,
+        },
+    ]
+}
+
+/// The mean arrival rate the [`ExperimentGrid::burst_sweep`](crate::ExperimentGrid::burst_sweep)
+/// axis holds fixed: the recorded rate of the historic default generators
+/// (uniform 20–200 µs gaps ≈ 9.1 kIOPS), so the smooth end of that grid axis is
+/// directly comparable to the open-loop grid at rate scale 1. The paper-facing
+/// [`burst_sweep`] instead probes the device and offers half its saturation
+/// throughput (see [`burst_sweep_mean_iops`]), which a static grid cannot do.
+pub fn default_burst_mean_iops() -> f64 {
+    ArrivalModel::default().mean_iops()
+}
 
 /// The two workloads of the evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -59,13 +95,20 @@ impl Workload {
         }
     }
 
-    /// Generates the synthetic trace for this workload at the given scale.
+    /// Generates the synthetic trace for this workload at the given scale, with
+    /// the default (uniform-gap) arrival model.
     pub fn trace(self, scale: &ExperimentScale) -> Trace {
+        self.trace_with_arrival(scale, ArrivalModel::default())
+    }
+
+    /// Like [`Workload::trace`], but spacing arrivals with an explicit
+    /// [`ArrivalModel`] — the entry point of the burstiness sweeps.
+    pub fn trace_with_arrival(self, scale: &ExperimentScale, arrival: ArrivalModel) -> Trace {
         let config = SyntheticConfig {
             requests: scale.requests,
             seed: scale.seed,
             working_set_bytes: scale.working_set_bytes,
-            ..Default::default()
+            arrival,
         };
         match self {
             Workload::MediaServer => synthetic::media_server(config),
@@ -537,6 +580,88 @@ pub fn rate_scale_sweep_for_trace(
     Ok(rows)
 }
 
+/// One row of the burstiness sweep: both FTLs replaying the same workload under
+/// one arrival model of the shared-mean-rate [`burst_axis`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BurstRow {
+    /// The arrival model this row was generated with.
+    pub arrival: ArrivalModel,
+    /// The conventional FTL's open-loop summary (tail percentiles, peak queue
+    /// depth, busy-arrival fraction).
+    pub conventional: RunSummary,
+    /// The PPB FTL's summary.
+    pub ppb: RunSummary,
+}
+
+/// Measures the saturation throughput of the burst-sweep device for `workload`
+/// at `scale` (conventional FTL, closed loop at QD 64 — arrivals cannot come in
+/// faster than that serves them) and returns **half** of it: the fixed mean
+/// rate the [`burst_sweep`] offers. Half of saturation puts the smooth end of
+/// the axis comfortably inside the device's capacity — where uniform arrivals
+/// see near-zero queueing — while the bursty end still overloads the device
+/// *transiently*, which is exactly the regime where the tail spreads.
+///
+/// # Errors
+///
+/// Propagates FTL construction and replay errors from the probe run.
+pub fn burst_sweep_mean_iops(
+    workload: Workload,
+    scale: &ExperimentScale,
+) -> Result<f64, FtlError> {
+    let config = scale.device_config(16 * 1024, 2.0);
+    let saturated = run_conventional_at_depth(&workload.trace(scale), &config, 64)?;
+    Ok(saturated.request_iops() / 2.0)
+}
+
+/// The burstiness sweep: both FTLs replay one workload **open-loop at the
+/// trace's own clock** (rate scale 1) under every arrival model of the
+/// [`burst_axis`], at one fixed mean rate — half the device's measured
+/// saturation throughput ([`burst_sweep_mean_iops`]) — on the same device the
+/// offered-load sweep uses (16 KB pages, 2x speed difference).
+///
+/// Because the mean rate never changes, mean latency moves little down the axis
+/// — what moves is the *tail*: p99/p99.9 response time, the peak backlog
+/// ([`RunSummary::peak_queue_depth`]) and the fraction of requests arriving into
+/// a busy system ([`RunSummary::busy_arrival_fraction`]) all grow as arrivals
+/// concentrate into bursts. This is the workload dimension the paper's
+/// latency-under-load claims actually depend on: a placement win that looks
+/// marginal in mean latency shows up multiplied in the burst tail, where
+/// queueing amplifies every slow page access.
+///
+/// # Errors
+///
+/// Propagates FTL construction and replay errors.
+pub fn burst_sweep(workload: Workload, scale: &ExperimentScale) -> Result<Vec<BurstRow>, FtlError> {
+    let mean_iops = burst_sweep_mean_iops(workload, scale)?;
+    burst_sweep_at(workload, scale, mean_iops)
+}
+
+/// [`burst_sweep`] at an explicit mean rate, skipping the saturation probe —
+/// for callers that already ran [`burst_sweep_mean_iops`] (to report the mean)
+/// or want to pin the offered load themselves.
+///
+/// # Errors
+///
+/// Propagates FTL construction and replay errors.
+pub fn burst_sweep_at(
+    workload: Workload,
+    scale: &ExperimentScale,
+    mean_iops: f64,
+) -> Result<Vec<BurstRow>, FtlError> {
+    let config = scale.device_config(16 * 1024, 2.0);
+    let discipline = ArrivalDiscipline::OpenLoop { rate_scale: 1.0 };
+    let mut rows = Vec::new();
+    for arrival in burst_axis(mean_iops) {
+        let trace = workload.trace_with_arrival(scale, arrival);
+        rows.push(BurstRow {
+            arrival,
+            conventional: run_conventional_driven(&trace, &config, discipline)?,
+            ppb: run_ppb_driven(&trace, &config, discipline)?,
+        });
+    }
+    Ok(rows)
+}
+
 /// One row of Figure 18: erased-block counts per workload.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EraseCountRow {
@@ -905,6 +1030,77 @@ mod tests {
             last.conventional.queue_delay.mean >= first.conventional.queue_delay.mean,
             "8x offered load should queue at least as much as 0.5x"
         );
+    }
+
+    #[test]
+    fn burst_axis_holds_the_mean_rate_fixed() {
+        let mean = 12_000.0;
+        let axis = burst_axis(mean);
+        assert!(axis.len() >= 4, "axis covers uniform, Pareto and on/off models");
+        for model in &axis {
+            assert!(
+                (model.mean_iops() - mean).abs() / mean < 1e-9,
+                "{model} drifted off the shared mean rate"
+            );
+        }
+        let labels: std::collections::HashSet<String> =
+            axis.iter().map(|model| model.label()).collect();
+        assert_eq!(labels.len(), axis.len(), "axis labels must be distinct");
+    }
+
+    #[test]
+    fn burst_sweep_spreads_the_tail_at_fixed_mean_rate() {
+        let scale = ExperimentScale {
+            requests: 4_000,
+            chips: 8,
+            working_set_bytes: 24 * 1024 * 1024,
+            ..ExperimentScale::quick()
+        };
+        let mean = burst_sweep_mean_iops(Workload::WebSqlServer, &scale).unwrap();
+        assert!(mean > 0.0, "the saturation probe must measure a positive rate");
+        let rows = burst_sweep_at(Workload::WebSqlServer, &scale, mean).unwrap();
+        assert_eq!(rows.len(), burst_axis(mean).len());
+        let uniform = &rows[0];
+        assert_eq!(uniform.arrival, ArrivalModel::MeanRate { iops: mean });
+        // Half of saturation: the smooth reference keeps up with its offered load.
+        assert!(
+            uniform.conventional.request_iops() > 0.95 * uniform.conventional.offered_iops(),
+            "uniform arrivals at half saturation must be served at the offered rate"
+        );
+        // Offered rates agree across the axis (same mean, finite-trace noise).
+        for row in &rows {
+            let offered = row.conventional.offered_iops();
+            let reference = uniform.conventional.offered_iops();
+            assert!(
+                (offered - reference).abs() / reference < 0.25,
+                "{}: offered {offered:.0} strayed from the shared mean {reference:.0}",
+                row.arrival
+            );
+            assert_eq!(row.conventional.queue_depth, 0, "burst rows replay open-loop");
+        }
+        // The burstiness symptoms grow monotonically in effect, not necessarily
+        // per-row: compare the smooth reference against the most extreme burst.
+        let extreme = rows.last().unwrap();
+        for (smooth, bursty) in [
+            (&uniform.conventional, &extreme.conventional),
+            (&uniform.ppb, &extreme.ppb),
+        ] {
+            assert!(
+                bursty.queue_delay.p999 > smooth.queue_delay.p999,
+                "burstiness must spread the p99.9 queueing delay \
+                 ({} vs {})",
+                bursty.queue_delay.p999,
+                smooth.queue_delay.p999
+            );
+            assert!(
+                bursty.peak_queue_depth > smooth.peak_queue_depth,
+                "bursts must deepen the backlog"
+            );
+            assert!(
+                bursty.busy_arrival_fraction() > smooth.busy_arrival_fraction(),
+                "bursts must raise the busy-arrival fraction"
+            );
+        }
     }
 
     #[test]

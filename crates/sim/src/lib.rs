@@ -23,11 +23,20 @@
 //!   ([`LatencyPercentiles`]), achieved IOPS and (open loop) offered IOPS.
 //! * [`experiments`] — ready-made parameter sweeps that regenerate every figure of
 //!   the paper's evaluation (Figures 12–18) at a configurable scale, plus the
-//!   queue-depth sweep, the offered-load (rate-scale) sweep and the GC-policy
+//!   queue-depth sweep, the offered-load (rate-scale) sweep, the burstiness
+//!   sweep ([`experiments::burst_sweep`]: heavy-tailed Pareto / on-off arrivals
+//!   at one fixed mean rate, spreading the p99.9 tail) and the GC-policy
 //!   ablation.
 //! * [`ParallelRunner`] / [`ExperimentGrid`] — fan the FTL × trace × scale ×
-//!   discipline grid out over `std::thread` workers with deterministic per-cell
-//!   seeds; results are bit-identical to a serial run, only faster.
+//!   discipline × arrival-model grid out over `std::thread` workers with
+//!   deterministic per-cell seeds; results are bit-identical to a serial run,
+//!   only faster.
+//!
+//! Replay summaries report the tail explicitly: every [`LatencyPercentiles`]
+//! carries `p50/p95/p99/p99.9` (plus exact `max` and `mean`), and open-loop
+//! [`RunSummary`]s additionally record the peak backlog
+//! ([`RunSummary::peak_queue_depth`]) and the fraction of requests that arrived
+//! into a busy system ([`RunSummary::busy_arrival_fraction`]).
 //!
 //! # Example
 //!

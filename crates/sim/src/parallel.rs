@@ -14,10 +14,12 @@ use std::sync::Mutex;
 use std::thread;
 
 use vflash_ftl::FtlError;
+use vflash_trace::synthetic::ArrivalModel;
 
 use crate::engine::ArrivalDiscipline;
 use crate::experiments::{
-    run_conventional_driven, run_ppb_driven, ExperimentScale, Workload, QUEUE_DEPTHS, RATE_SCALES,
+    burst_axis, default_burst_mean_iops, run_conventional_driven, run_ppb_driven, ExperimentScale,
+    Workload, QUEUE_DEPTHS, RATE_SCALES,
 };
 use crate::report::RunSummary;
 
@@ -61,6 +63,11 @@ pub struct ExperimentGrid {
     /// classic closed-loop-only grid). These cells follow the closed-loop cells
     /// of their scale in enumeration order.
     pub rate_scales: Vec<f64>,
+    /// Arrival models to generate each workload's trace with — the burstiness
+    /// axis. The default single-element `[ArrivalModel::default()]` reproduces
+    /// the historic grids exactly; [`ExperimentGrid::burst_sweep`] populates it
+    /// with the shared-mean-rate [`burst_axis`].
+    pub arrival_models: Vec<ArrivalModel>,
     /// Flash page size in bytes.
     pub page_size_bytes: usize,
     /// Top/bottom page speed ratio.
@@ -70,6 +77,20 @@ pub struct ExperimentGrid {
 impl ExperimentGrid {
     /// The full grid of the paper's evaluation at one scale: both FTLs × both
     /// workloads, 16 KB pages, 2x speed difference, queue depth 1.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use vflash_sim::experiments::ExperimentScale;
+    /// use vflash_sim::ExperimentGrid;
+    ///
+    /// let grid = ExperimentGrid::full(ExperimentScale::quick());
+    /// // 2 FTLs x 2 workloads x 1 scale x 1 discipline x 1 arrival model.
+    /// assert_eq!(grid.cells().len(), 4);
+    /// // The burstiness axis multiplies the grid without touching the seeds.
+    /// let bursty = ExperimentGrid::burst_sweep(ExperimentScale::quick());
+    /// assert!(bursty.cells().len() > grid.cells().len());
+    /// ```
     pub fn full(scale: ExperimentScale) -> Self {
         ExperimentGrid {
             ftls: FtlKind::ALL.to_vec(),
@@ -77,6 +98,7 @@ impl ExperimentGrid {
             scales: vec![scale],
             queue_depths: vec![1],
             rate_scales: Vec::new(),
+            arrival_models: vec![ArrivalModel::default()],
             page_size_bytes: 16 * 1024,
             speed_ratio: 2.0,
         }
@@ -94,17 +116,30 @@ impl ExperimentGrid {
         ExperimentGrid { rate_scales: RATE_SCALES.to_vec(), ..ExperimentGrid::full(scale) }
     }
 
+    /// The full grid swept open-loop (rate scale 1) over the burstiness axis:
+    /// every workload's trace is regenerated under each [`burst_axis`] arrival
+    /// model at one fixed mean rate, so the cells differ only in how bursty the
+    /// identical offered load is.
+    pub fn burst_sweep(scale: ExperimentScale) -> Self {
+        ExperimentGrid {
+            queue_depths: Vec::new(),
+            rate_scales: vec![1.0],
+            arrival_models: burst_axis(default_burst_mean_iops()),
+            ..ExperimentGrid::full(scale)
+        }
+    }
+
     /// Enumerates the cells in deterministic order: scales outermost, then the
-    /// arrival disciplines (queue depths first, then rate scales), then
-    /// workloads, then FTLs.
+    /// arrival disciplines (queue depths first, then rate scales), then arrival
+    /// models, then workloads, then FTLs.
     ///
-    /// The per-cell workload seed is derived from the cell's
-    /// **discipline-independent** position (scale, workload, FTL): every
-    /// queue-depth and rate-scale row of one FTL × workload × scale replays the
-    /// *same* trace, so IOPS/percentile differences across the discipline axis
-    /// are attributable to queuing alone. With the default `queue_depths = [1]`
-    /// and no rate scales, both the enumeration and every seed are identical to
-    /// the pre-open-loop grid.
+    /// The per-cell workload seed is derived from the cell's **discipline- and
+    /// arrival-independent** position (scale, workload, FTL): every queue-depth,
+    /// rate-scale and arrival-model row of one FTL × workload × scale shares a
+    /// seed, so differences down those axes are attributable to queuing and
+    /// burstiness alone. With the default `queue_depths = [1]`, no rate scales
+    /// and the single default arrival model, both the enumeration and every seed
+    /// are identical to the pre-open-loop grid.
     pub fn cells(&self) -> Vec<GridCell> {
         let disciplines: Vec<ArrivalDiscipline> = self
             .queue_depths
@@ -119,21 +154,25 @@ impl ExperimentGrid {
         let mut cells = Vec::new();
         for (scale_index, &scale) in self.scales.iter().enumerate() {
             for &discipline in &disciplines {
-                for (workload_index, &workload) in self.workloads.iter().enumerate() {
-                    for (ftl_index, &ftl) in self.ftls.iter().enumerate() {
-                        let seed_index = (scale_index * self.workloads.len() + workload_index)
-                            * self.ftls.len()
-                            + ftl_index;
-                        cells.push(GridCell {
-                            index: cells.len(),
-                            ftl,
-                            workload,
-                            discipline,
-                            scale: ExperimentScale {
-                                seed: cell_seed(scale.seed, seed_index as u64),
-                                ..scale
-                            },
-                        });
+                for &arrival in &self.arrival_models {
+                    for (workload_index, &workload) in self.workloads.iter().enumerate() {
+                        for (ftl_index, &ftl) in self.ftls.iter().enumerate() {
+                            let seed_index = (scale_index * self.workloads.len()
+                                + workload_index)
+                                * self.ftls.len()
+                                + ftl_index;
+                            cells.push(GridCell {
+                                index: cells.len(),
+                                ftl,
+                                workload,
+                                discipline,
+                                arrival,
+                                scale: ExperimentScale {
+                                    seed: cell_seed(scale.seed, seed_index as u64),
+                                    ..scale
+                                },
+                            });
+                        }
                     }
                 }
             }
@@ -153,6 +192,8 @@ pub struct GridCell {
     pub workload: Workload,
     /// Arrival discipline the cell is replayed under.
     pub discipline: ArrivalDiscipline,
+    /// Arrival model the cell's trace is generated with (the burstiness axis).
+    pub arrival: ArrivalModel,
     /// Scale for this cell, with the per-cell seed already substituted.
     pub scale: ExperimentScale,
 }
@@ -183,7 +224,7 @@ fn cell_seed(base: u64, index: u64) -> u64 {
 ///
 /// Propagates FTL construction and replay errors.
 pub fn run_cell(cell: &GridCell, grid: &ExperimentGrid) -> Result<CellResult, FtlError> {
-    let trace = cell.workload.trace(&cell.scale);
+    let trace = cell.workload.trace_with_arrival(&cell.scale, cell.arrival);
     let config = cell.scale.device_config(grid.page_size_bytes, grid.speed_ratio);
     let summary = match cell.ftl {
         FtlKind::Conventional => run_conventional_driven(&trace, &config, cell.discipline)?,
@@ -381,6 +422,7 @@ mod tests {
             scales: vec![tiny_scale()],
             queue_depths: vec![1],
             rate_scales: Vec::new(),
+            arrival_models: vec![ArrivalModel::default()],
             page_size_bytes: 16 * 1024,
             speed_ratio: 2.0,
         };
@@ -456,6 +498,42 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn burst_sweep_grid_multiplies_arrival_models_with_shared_seeds() {
+        let grid = ExperimentGrid::burst_sweep(tiny_scale());
+        let cells = grid.cells();
+        let axis = burst_axis(default_burst_mean_iops());
+        // 2 FTLs x 2 workloads x axis x 1 open-loop discipline x 1 scale.
+        assert_eq!(cells.len(), 4 * axis.len());
+        for cell in &cells {
+            assert_eq!(
+                cell.discipline,
+                ArrivalDiscipline::OpenLoop { rate_scale: 1.0 },
+                "burst cells replay the trace's own clock"
+            );
+        }
+        assert_eq!(cells[0].arrival, axis[0]);
+        assert_eq!(cells[4].arrival, axis[1], "arrival models advance between workload blocks");
+        // Seeds are arrival-independent: each FTL x workload position re-uses
+        // one seed across the whole axis, so only the burstiness differs.
+        for offset in 0..4 {
+            let seeds: std::collections::HashSet<u64> = cells
+                .iter()
+                .skip(offset)
+                .step_by(4)
+                .map(|cell| cell.scale.seed)
+                .collect();
+            assert_eq!(seeds.len(), 1, "cell {offset} seeds vary across the burst axis");
+        }
+        // Fan-out stays bit-identical with the burstiness axis in play.
+        let serial = ParallelRunner::run_serial(&grid).unwrap();
+        let parallel = ParallelRunner::new(4).run(&grid).unwrap();
+        assert_eq!(serial, parallel);
+        for result in &serial {
+            assert!(result.summary.offered_iops() > 0.0);
         }
     }
 

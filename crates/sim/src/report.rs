@@ -95,6 +95,18 @@ pub struct RunSummary {
     /// which the trace's load was offered. [`Nanos::ZERO`] for closed-loop
     /// replays, where no load is "offered" — the device is simply saturated.
     pub offered_duration: Nanos,
+    /// The largest number of requests simultaneously outstanding at any issue
+    /// instant (the issued request included). In closed loop this saturates at
+    /// the configured [`RunSummary::queue_depth`]; in open loop nothing bounds
+    /// it — bursty arrivals drive it far past what the mean rate suggests, which
+    /// is exactly the backlog that shows up as p99.9 queueing delay.
+    pub peak_queue_depth: usize,
+    /// Requests that arrived while at least one earlier request was still in
+    /// flight — i.e. that found the system busy and joined a queue. Under
+    /// uniform arrivals at low load this stays near zero; heavy-tailed arrivals
+    /// at the *same mean rate* push most requests into busy bursts. See
+    /// [`RunSummary::busy_arrival_fraction`].
+    pub busy_arrivals: u64,
 }
 
 impl RunSummary {
@@ -145,6 +157,21 @@ impl RunSummary {
             queue_delay: LatencyPercentiles::default(),
             service_time: LatencyPercentiles::default(),
             offered_duration: Nanos::ZERO,
+            peak_queue_depth: 0,
+            busy_arrivals: 0,
+        }
+    }
+
+    /// Fraction of requests that arrived while the system was busy (joined a
+    /// queue instead of finding idle chips), in `[0, 1]`. Zero when the replay
+    /// served no requests. At fixed mean rate this is the headline burstiness
+    /// symptom: uniform arrivals below saturation keep it near zero, while
+    /// Pareto/on-off arrivals concentrate requests into busy bursts.
+    pub fn busy_arrival_fraction(&self) -> f64 {
+        if self.host_requests == 0 {
+            0.0
+        } else {
+            self.busy_arrivals as f64 / self.host_requests as f64
         }
     }
 
@@ -217,11 +244,13 @@ impl fmt::Display for RunSummary {
                 ReplayMode::OpenLoop { rate_scale } => write!(
                     f,
                     ", open-loop x{rate_scale} {:.0}/{:.0} IOPS achieved/offered \
-                     (queue delay p99 {}, service p99 {})",
+                     (queue delay p99 {}, service p99 {}, peak QD {}, {:.0}% busy arrivals)",
                     self.request_iops(),
                     self.offered_iops(),
                     self.queue_delay.p99,
                     self.service_time.p99,
+                    self.peak_queue_depth,
+                    self.busy_arrival_fraction() * 100.0,
                 )?,
             }
         }

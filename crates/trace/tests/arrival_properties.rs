@@ -1,0 +1,95 @@
+//! Property tests for the arrival models: the heavy-tailed variants must hold
+//! the configured mean rate across seeds and parameters, and every variant must
+//! be deterministic. The byte-identity of the *default* model against the
+//! pre-heavy-tail traces is locked by the golden-fingerprint unit test in
+//! `synthetic.rs`; here the properties range over the parameter space.
+
+use proptest::prelude::*;
+
+use vflash_trace::synthetic::{self, ArrivalModel, SyntheticConfig};
+
+/// Mean-rate tolerance for the statistical tests. Bounded-Pareto gaps at shapes
+/// near 1 have enormous (though finite) variance, so the sample mean of a
+/// 30k-request trace wanders a few percent; 25% leaves comfortable slack while
+/// still catching any systematic drift (an unfolded truncation alone would bias
+/// the rate by >3% at shape 1.2).
+const TOLERANCE: f64 = 0.25;
+
+fn offered(arrival: ArrivalModel, seed: u64) -> f64 {
+    let trace = synthetic::web_sql_server(SyntheticConfig {
+        requests: 30_000,
+        seed,
+        arrival,
+        ..Default::default()
+    });
+    trace.offered_iops()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Bounded-Pareto arrivals preserve the configured mean IOPS for any shape
+    /// and rate.
+    #[test]
+    fn pareto_preserves_mean_iops(
+        shape_tenths in 12u32..30,
+        rate in 5_000u32..100_000,
+        seed in 0u64..1_000,
+    ) {
+        let arrival = ArrivalModel::Pareto {
+            shape: f64::from(shape_tenths) / 10.0,
+            mean_iops: f64::from(rate),
+        };
+        let observed = offered(arrival, seed);
+        let target = arrival.mean_iops();
+        prop_assert!(
+            (observed - target).abs() / target < TOLERANCE,
+            "pareto shape {shape_tenths}/10 at {rate} IOPS: offered {observed:.0}"
+        );
+    }
+
+    /// On/off arrivals preserve the overall mean `(1 - idle) · burst_iops` for
+    /// any duty cycle and burst length.
+    #[test]
+    fn onoff_preserves_mean_iops(
+        burst_rate in 20_000u32..400_000,
+        idle_pct in 0u32..95,
+        burst_len in 1u32..256,
+        seed in 0u64..1_000,
+    ) {
+        let arrival = ArrivalModel::OnOffBurst {
+            burst_iops: f64::from(burst_rate),
+            idle_fraction: f64::from(idle_pct) / 100.0,
+            burst_len,
+        };
+        let observed = offered(arrival, seed);
+        let target = arrival.mean_iops();
+        prop_assert!(
+            (observed - target).abs() / target < TOLERANCE,
+            "onoff {burst_rate} IOPS, {idle_pct}% idle, burst {burst_len}: offered {observed:.0}"
+        );
+    }
+
+    /// Every arrival model yields monotone timestamps and is reproducible from
+    /// its seed.
+    #[test]
+    fn arrivals_are_monotone_and_deterministic(
+        model_index in 0usize..4,
+        seed in 0u64..1_000,
+    ) {
+        let arrival = [
+            ArrivalModel::default(),
+            ArrivalModel::MeanRate { iops: 40_000.0 },
+            ArrivalModel::Pareto { shape: 1.4, mean_iops: 40_000.0 },
+            ArrivalModel::OnOffBurst { burst_iops: 200_000.0, idle_fraction: 0.8, burst_len: 32 },
+        ][model_index];
+        let config = SyntheticConfig { requests: 2_000, seed, arrival, ..Default::default() };
+        let trace = synthetic::media_server(config);
+        prop_assert_eq!(&trace, &synthetic::media_server(config));
+        let mut last = 0u64;
+        for request in &trace {
+            prop_assert!(request.at_nanos >= last, "timestamps must never move backwards");
+            last = request.at_nanos;
+        }
+    }
+}

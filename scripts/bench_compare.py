@@ -95,6 +95,18 @@ def main():
         print(f"{bench:<{name_width}}  {old:>10}  {new:>10}  {status}")
 
     if new_benches:
+        # Name the whole groups that are new (e.g. a freshly added bench target
+        # like `burst`) separately from new cases inside existing groups, so the
+        # CI log makes "this target has no baseline yet" obvious at a glance.
+        baseline_groups = {bench.split("/")[0] for bench in baseline}
+        new_groups = sorted(
+            {bench.split("/")[0] for bench in new_benches} - baseline_groups
+        )
+        if new_groups:
+            print(
+                f"\n{len(new_groups)} new bench target(s) with no cached baseline, "
+                f"not gated: {', '.join(new_groups)}"
+            )
         print(
             f"\n{len(new_benches)} bench(es) absent from the cached baseline, "
             f"reported as new and not gated: {', '.join(new_benches)}"

@@ -14,6 +14,10 @@
 //! * [`sim`] — the trace-driven simulator and the experiment sweeps that regenerate
 //!   every figure of the paper's evaluation.
 //!
+//! The crate-dependency diagram, the replay-engine internals and the data flow
+//! from trace to run summary are documented in `docs/ARCHITECTURE.md` at the
+//! repository root.
+//!
 //! # Example
 //!
 //! ```

@@ -1,7 +1,8 @@
 //! The cold data area: an access-frequency table for cold and icy-cold entries.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
+use vflash_ftl::fx::FxHashMap;
 use vflash_ftl::Lpn;
 
 use crate::hotness::Hotness;
@@ -54,7 +55,12 @@ struct Slot {
 /// on overflow, so they are genuinely different states and compare unequal.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ColdArea {
-    slots: HashMap<Lpn, Slot>,
+    /// Keyed by the deterministic [`fx`](vflash_ftl::fx) hasher: the table is
+    /// probed on every host write and read, where SipHash would cost more
+    /// than the bucket operation. Eviction order never depends on this map's
+    /// iteration order (it comes from `buckets`), so the hash choice cannot
+    /// affect simulated behaviour.
+    slots: FxHashMap<Lpn, Slot>,
     /// `buckets[count]` holds every entry whose clamped read count is `count`.
     /// Empty buckets are removed, so the first entry is always the lowest occupied
     /// count (the eviction source).
@@ -73,7 +79,7 @@ impl ColdArea {
         assert!(capacity > 0, "cold table capacity must be positive");
         assert!(promote_reads > 0, "promotion threshold must be positive");
         ColdArea {
-            slots: HashMap::with_capacity(capacity.min(1024)),
+            slots: FxHashMap::with_capacity_and_hasher(capacity.min(1024), Default::default()),
             buckets: BTreeMap::new(),
             capacity,
             promote_reads,

@@ -3,11 +3,12 @@
 //! The hot area tracks (potentially many thousands of) hot and iron-hot entries and
 //! touches one on every host request, so the usual `VecDeque::remove` approach would
 //! make request handling O(list length). This implementation keeps a doubly-linked
-//! list in a slab of nodes plus a `HashMap` from LPN to slot, giving O(1)
-//! touch / insert / evict / remove.
+//! list in a slab of nodes plus a hash index from LPN to slot, giving O(1)
+//! touch / insert / evict / remove. The index uses the deterministic
+//! [`fx`](vflash_ftl::fx) hasher: the list is probed several times per host
+//! request, and SipHash would dominate the cost of the operation itself.
 
-use std::collections::HashMap;
-
+use vflash_ftl::fx::FxHashMap;
 use vflash_ftl::Lpn;
 
 const NIL: usize = usize::MAX;
@@ -40,7 +41,7 @@ struct Node {
 pub struct LruList {
     nodes: Vec<Node>,
     free_slots: Vec<usize>,
-    index: HashMap<Lpn, usize>,
+    index: FxHashMap<Lpn, usize>,
     head: usize,
     tail: usize,
     capacity: usize,
@@ -57,7 +58,7 @@ impl LruList {
         LruList {
             nodes: Vec::with_capacity(capacity.min(1024)),
             free_slots: Vec::new(),
-            index: HashMap::with_capacity(capacity.min(1024)),
+            index: FxHashMap::with_capacity_and_hasher(capacity.min(1024), Default::default()),
             head: NIL,
             tail: NIL,
             capacity,

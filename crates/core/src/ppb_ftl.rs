@@ -9,7 +9,7 @@ use vflash_nand::{BlockAddr, NandDevice, Nanos, PageAddr};
 
 use crate::cold_area::ColdArea;
 use crate::config::PpbConfig;
-use crate::hot_area::HotArea;
+use crate::hot_area::{HotArea, PromotionOutcome};
 use crate::hotness::{Area, Hotness};
 use crate::placement::AreaWriter;
 use crate::virtual_block::VirtualBlockTable;
@@ -224,15 +224,18 @@ impl<C: HotColdClassifier> PpbFtl<C> {
                     // recently hot, so it enters the cold area at the cold level.
                     self.cold_area.insert_demoted(evicted);
                 }
+                self.hot_area.level_of(lpn).expect("hot write keeps the LPN tracked")
             }
             Temperature::Cold => {
                 // A cold-classified write of a previously hot LPN demotes it: large
                 // rewrites signal the data stopped behaving like metadata.
                 self.hot_area.remove(lpn);
+                // A rewrite resets the read history, so the entry always lands at
+                // icy-cold — no need to re-probe either area.
                 self.cold_area.on_write(lpn);
+                Hotness::IcyCold
             }
         }
-        self.hotness_of(lpn)
     }
 
     /// Writes `lpn` at hotness `level`, charging the device time to `latency`.
@@ -338,6 +341,8 @@ impl<C: HotColdClassifier> FlashTranslationLayer for PpbFtl<C> {
     fn submit(&mut self, request: IoRequest) -> Result<Completion, FtlError> {
         let lpn = request.lpn;
         self.check_range(lpn)?;
+        // Everything recorded into the op arena from here on is this request's.
+        let mark = self.device.op_mark();
         match request.command {
             IoCommand::Read => {
                 let addr = self.mapping.lookup(lpn).ok_or(FtlError::UnmappedRead { lpn })?;
@@ -348,12 +353,10 @@ impl<C: HotColdClassifier> FlashTranslationLayer for PpbFtl<C> {
                 // iron-hot and icy-cold -> cold. The data itself is not moved here
                 // (progressive migration).
                 self.classifier.record_read(lpn);
-                if self.hot_area.contains(lpn) {
-                    self.hot_area.on_read(lpn);
-                } else {
+                if self.hot_area.on_read(lpn) == PromotionOutcome::NotTracked {
                     self.cold_area.on_read(lpn);
                 }
-                Ok(Completion { latency, ops: self.device.drain_ops(), gc: GcOutcome::default() })
+                Ok(Completion { latency, ops: self.device.ops_since(mark), gc: GcOutcome::default() })
             }
             IoCommand::Write { request_bytes } => {
                 let mut latency = Nanos::ZERO;
@@ -368,7 +371,7 @@ impl<C: HotColdClassifier> FlashTranslationLayer for PpbFtl<C> {
                 let level = self.classify_and_track_write(lpn, request_bytes);
                 latency += self.place_page(lpn, level)?;
                 self.metrics.record_host_write(latency);
-                Ok(Completion { latency, ops: self.device.drain_ops(), gc })
+                Ok(Completion { latency, ops: self.device.ops_since(mark), gc })
             }
         }
     }
@@ -603,14 +606,16 @@ mod tests {
         for i in 0..(logical * 8) {
             let lpn = Lpn(i % logical);
             let size = if lpn.0.is_multiple_of(3) { 512 } else { 32 * 1024 };
+            ftl.device_mut().clear_ops();
             let write = ftl.submit(IoRequest::write(lpn, size)).unwrap();
-            let ops_total: Nanos = write.ops.iter().map(|op| op.latency).sum();
+            let ops_total: Nanos =
+                ftl.device().ops(write.ops).iter().map(|op| op.latency).sum();
             assert_eq!(ops_total, write.latency);
             gc_seen |= write.gc.erased_blocks > 0;
             if i % 5 == 0 {
                 let read = ftl.submit(IoRequest::read(lpn)).unwrap();
                 assert_eq!(read.ops.len(), 1);
-                assert_eq!(read.ops[0].latency, read.latency);
+                assert_eq!(ftl.device().ops(read.ops)[0].latency, read.latency);
             }
         }
         assert!(gc_seen, "workload never triggered GC");

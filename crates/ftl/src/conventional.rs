@@ -198,12 +198,14 @@ impl FlashTranslationLayer for ConventionalFtl {
     fn submit(&mut self, request: IoRequest) -> Result<Completion, FtlError> {
         let lpn = request.lpn;
         self.check_range(lpn)?;
+        // Everything recorded into the op arena from here on is this request's.
+        let mark = self.device.op_mark();
         match request.command {
             IoCommand::Read => {
                 let addr = self.mapping.lookup(lpn).ok_or(FtlError::UnmappedRead { lpn })?;
                 let latency = self.device.read(addr)?;
                 self.metrics.record_host_read(latency);
-                Ok(Completion { latency, ops: self.device.drain_ops(), gc: GcOutcome::default() })
+                Ok(Completion { latency, ops: self.device.ops_since(mark), gc: GcOutcome::default() })
             }
             IoCommand::Write { request_bytes: _ } => {
                 let mut latency = Nanos::ZERO;
@@ -223,7 +225,7 @@ impl FlashTranslationLayer for ConventionalFtl {
                     self.device.invalidate(previous)?;
                 }
                 self.metrics.record_host_write(latency);
-                Ok(Completion { latency, ops: self.device.drain_ops(), gc })
+                Ok(Completion { latency, ops: self.device.ops_since(mark), gc })
             }
         }
     }
@@ -369,21 +371,25 @@ mod tests {
         ftl.device_mut().set_op_tracing(true);
         let write = ftl.submit(IoRequest::write(Lpn(1), 4096)).unwrap();
         assert_eq!(write.ops.len(), 1, "a GC-free write is a single program");
-        assert_eq!(write.ops[0].kind, vflash_nand::OpKind::Program);
-        assert_eq!(write.ops[0].latency, write.latency);
+        assert_eq!(ftl.device().ops(write.ops)[0].kind, vflash_nand::OpKind::Program);
+        assert_eq!(ftl.device().ops(write.ops)[0].latency, write.latency);
 
         let read = ftl.submit(IoRequest::read(Lpn(1))).unwrap();
         assert_eq!(read.ops.len(), 1);
-        assert_eq!(read.ops[0].kind, vflash_nand::OpKind::Read);
-        assert_eq!(read.ops[0].latency, read.latency);
+        assert_eq!(ftl.device().ops(read.ops)[0].kind, vflash_nand::OpKind::Read);
+        assert_eq!(ftl.device().ops(read.ops)[0].latency, read.latency);
 
         // Force garbage collection: the triggering write's completion owns the GC
-        // work, and its ops sum to exactly the charged latency.
+        // work, and its ops sum to exactly the charged latency. Clearing the
+        // arena between requests is the replayer's job; doing it here also keeps
+        // each span anchored at zero.
         let logical = ftl.logical_pages();
         let mut gc_seen = false;
         for i in 0..(logical * 6) {
+            ftl.device_mut().clear_ops();
             let completion = ftl.submit(IoRequest::write(Lpn(i % logical), 4096)).unwrap();
-            let ops_total: Nanos = completion.ops.iter().map(|op| op.latency).sum();
+            let ops_total: Nanos =
+                ftl.device().ops(completion.ops).iter().map(|op| op.latency).sum();
             assert_eq!(ops_total, completion.latency);
             if completion.gc.erased_blocks > 0 {
                 gc_seen = true;

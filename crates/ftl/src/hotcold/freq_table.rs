@@ -1,7 +1,6 @@
 //! Table-based access-frequency hot/cold identification.
 
-use std::collections::HashMap;
-
+use crate::fx::FxHashMap;
 use crate::hotcold::{HotColdClassifier, Temperature};
 use crate::types::Lpn;
 
@@ -25,7 +24,10 @@ use crate::types::Lpn;
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FreqTable {
-    counts: HashMap<Lpn, u32>,
+    /// Per-LPN write counts. The deterministic [`fx`](crate::fx) hasher keeps
+    /// the per-write probe cheap; aging mutates every entry independently, so
+    /// iteration order never shows through.
+    counts: FxHashMap<Lpn, u32>,
     threshold: u32,
     aging_period: u64,
     writes_since_aging: u64,
@@ -40,7 +42,7 @@ impl FreqTable {
     pub fn new(threshold: u32, aging_period: u64) -> Self {
         assert!(threshold > 0, "threshold must be positive");
         assert!(aging_period > 0, "aging period must be positive");
-        FreqTable { counts: HashMap::new(), threshold, aging_period, writes_since_aging: 0 }
+        FreqTable { counts: FxHashMap::default(), threshold, aging_period, writes_since_aging: 0 }
     }
 
     /// The current write count of `lpn` (zero if never seen).

@@ -12,7 +12,7 @@
 //! [`FlashTranslationLayer`]: crate::FlashTranslationLayer
 //! [`FlashTranslationLayer::submit`]: crate::FlashTranslationLayer::submit
 
-use vflash_nand::{Nanos, OpRecord};
+use vflash_nand::{NandDevice, Nanos, OpSpan};
 
 use crate::gc::GcOutcome;
 use crate::types::Lpn;
@@ -66,17 +66,22 @@ impl IoRequest {
 /// Beyond the host latency (what the scalar API returned), a completion reports the
 /// *provenance* of that latency: every timed device operation charged to the
 /// request — in execution order, each with the chip whose clock it advanced — and
-/// the garbage-collection share. Op provenance is only populated while the FTL's
-/// device has [op tracing](vflash_nand::NandDevice::set_op_tracing) enabled;
-/// otherwise `ops` is empty and the completion costs nothing extra to build.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+/// the garbage-collection share. `ops` is an [`OpSpan`] — an index range into the
+/// device's op arena, resolved with [`NandDevice::ops`] — so completions are
+/// small `Copy` values and the submit path never allocates per request. Op
+/// provenance is only collected while the FTL's device has
+/// [op tracing](vflash_nand::NandDevice::set_op_tracing) enabled; otherwise the
+/// span is empty and the completion costs nothing extra to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Completion {
     /// Total latency charged to the host (garbage-collection time included for
-    /// writes). Always equals the sum of `ops` latencies when op tracing is on.
+    /// writes). Always equals the sum of the spanned op latencies when op tracing
+    /// is on.
     pub latency: Nanos,
     /// The timed device operations performed on the request's behalf, in execution
-    /// order. Empty unless op tracing is enabled on the device.
-    pub ops: Vec<OpRecord>,
+    /// order, as a span into the device's op arena. Empty unless op tracing is
+    /// enabled; stale once the arena is cleared.
+    pub ops: OpSpan,
     /// Garbage-collection work triggered by (and charged to) this request: pages
     /// copied, blocks erased and the time share. All-zero for reads and for writes
     /// that did not trigger GC.
@@ -86,7 +91,7 @@ pub struct Completion {
 impl Completion {
     /// A completion charging only `latency`, with no GC attribution.
     pub fn new(latency: Nanos) -> Self {
-        Completion { latency, ops: Vec::new(), gc: GcOutcome::default() }
+        Completion { latency, ops: OpSpan::EMPTY, gc: GcOutcome::default() }
     }
 
     /// The time this completion spent in garbage collection.
@@ -95,10 +100,11 @@ impl Completion {
     }
 
     /// The distinct chips whose clocks this completion advanced, in first-touch
-    /// order. Empty unless op tracing was enabled.
-    pub fn chips_touched(&self) -> Vec<vflash_nand::ChipId> {
+    /// order, resolved against the device that served the request. Empty unless
+    /// op tracing was enabled.
+    pub fn chips_touched(&self, device: &NandDevice) -> Vec<vflash_nand::ChipId> {
         let mut chips = Vec::new();
-        for op in &self.ops {
+        for op in device.ops(self.ops) {
             if !chips.contains(&op.chip) {
                 chips.push(op.chip);
             }
@@ -110,7 +116,7 @@ impl Completion {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vflash_nand::{ChipId, OpKind};
+    use vflash_nand::ChipId;
 
     #[test]
     fn request_constructors_round_trip() {
@@ -126,13 +132,31 @@ mod tests {
 
     #[test]
     fn completions_report_touched_chips_in_first_touch_order() {
+        let config = vflash_nand::NandConfig::builder()
+            .chips(2)
+            .blocks_per_chip(4)
+            .pages_per_block(4)
+            .page_size_bytes(4096)
+            .build()
+            .unwrap();
+        let mut device = NandDevice::new(config);
+        device.set_op_tracing(true);
+        let a = device.allocate_block().unwrap(); // chip 0
+        let b = device.allocate_block().unwrap(); // chip 1
+        assert_ne!(a.chip(), b.chip());
+        let mark = device.op_mark();
+        // Touch chip 1 first, then chip 0, then chip 1 again: first-touch order
+        // must be preserved and the repeat deduplicated.
+        device.program_next(b).unwrap();
+        device.program_next(a).unwrap();
+        device.program_next(b).unwrap();
         let mut completion = Completion::new(Nanos::from_micros(100));
-        completion.ops = vec![
-            OpRecord::new(ChipId(2), OpKind::Read, Nanos::from_micros(40)),
-            OpRecord::new(ChipId(0), OpKind::Program, Nanos::from_micros(30)),
-            OpRecord::new(ChipId(2), OpKind::Read, Nanos::from_micros(30)),
-        ];
-        assert_eq!(completion.chips_touched(), vec![ChipId(2), ChipId(0)]);
+        completion.ops = device.ops_since(mark);
+        assert_eq!(completion.chips_touched(&device), vec![b.chip(), a.chip()]);
         assert_eq!(completion.gc_time(), Nanos::ZERO);
+
+        let untraced = Completion::new(Nanos::from_micros(5));
+        assert!(untraced.chips_touched(&device).is_empty());
+        assert_eq!(untraced.chips_touched(&device), Vec::<ChipId>::new());
     }
 }

@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fx;
 pub mod gc;
 pub mod hotcold;
 

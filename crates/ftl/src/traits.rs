@@ -67,7 +67,8 @@ pub trait FlashTranslationLayer {
     /// ftl.device_mut().set_op_tracing(true);
     /// let traced = ftl.submit(IoRequest::read(Lpn(7)))?;
     /// assert_eq!(traced.ops.len(), 1, "one timed device op, with its chip");
-    /// assert_eq!(traced.ops[0].latency, traced.latency);
+    /// // The span resolves against the device's op arena.
+    /// assert_eq!(ftl.device().ops(traced.ops)[0].latency, traced.latency);
     /// # Ok(())
     /// # }
     /// ```

@@ -6,7 +6,7 @@ use crate::chip::Chip;
 use crate::config::NandConfig;
 use crate::error::NandError;
 use crate::latency::LatencyModel;
-use crate::provenance::{OpKind, OpRecord};
+use crate::provenance::{OpKind, OpRecord, OpSpan};
 use crate::stats::DeviceStats;
 use crate::time::Nanos;
 
@@ -67,8 +67,10 @@ pub struct NandDevice {
     mod_seq: u64,
     /// Whether timed operations are recorded into `op_trace`.
     trace_ops: bool,
-    /// Provenance of timed operations since the last [`NandDevice::drain_ops`],
-    /// only populated while `trace_ops` is set.
+    /// The op arena: provenance of timed operations since the last
+    /// [`NandDevice::clear_ops`], only populated while `trace_ops` is set.
+    /// FTLs hand out [`OpSpan`] index ranges into this buffer instead of
+    /// per-request vectors, so steady-state tracing never allocates.
     op_trace: Vec<OpRecord>,
 }
 
@@ -120,11 +122,11 @@ impl NandDevice {
     }
 
     /// Enables or disables op-provenance tracing (see [`OpRecord`]). Toggling
-    /// clears any buffered records, so the first [`NandDevice::drain_ops`] after
-    /// enabling only sees operations performed since.
+    /// clears the op arena, so the first span taken after enabling only covers
+    /// operations performed since.
     ///
-    /// Off by default: when disabled, operations cost one predictable branch and
-    /// [`NandDevice::drain_ops`] returns an empty vector without allocating.
+    /// Off by default: when disabled, operations cost one predictable branch,
+    /// [`NandDevice::op_mark`] stays pinned at zero and every span is empty.
     pub fn set_op_tracing(&mut self, enabled: bool) {
         self.trace_ops = enabled;
         self.op_trace.clear();
@@ -135,27 +137,36 @@ impl NandDevice {
         self.trace_ops
     }
 
-    /// Takes the timed operations recorded since the last drain (empty when
-    /// tracing is disabled). FTLs call this once per host request to report which
-    /// chip clocks the request advanced — including any garbage-collection work
-    /// performed on the request's behalf.
-    pub fn drain_ops(&mut self) -> Vec<OpRecord> {
-        std::mem::take(&mut self.op_trace)
+    /// The current high-water mark of the op arena. An FTL captures this at the
+    /// top of a request and turns everything recorded since into a span with
+    /// [`NandDevice::ops_since`].
+    pub fn op_mark(&self) -> u32 {
+        self.op_trace.len() as u32
     }
 
-    /// Hands a consumed completion's op buffer back for reuse. [`drain_ops`]
-    /// moves the trace buffer out wholesale, so without recycling every traced
-    /// request pays a fresh allocation; a replayer that recycles each
-    /// completion's `ops` keeps the steady-state allocation count at zero. The
-    /// buffer is dropped instead if records are pending or it has no more
-    /// capacity than the current one.
+    /// The span of operations recorded since `mark` (a value previously taken
+    /// from [`NandDevice::op_mark`]). Empty when tracing is disabled.
+    pub fn ops_since(&self, mark: u32) -> OpSpan {
+        OpSpan { start: mark, len: self.op_trace.len() as u32 - mark }
+    }
+
+    /// Resolves a span back to its records. The span must come from this device
+    /// and the arena must not have been cleared since it was taken.
     ///
-    /// [`drain_ops`]: NandDevice::drain_ops
-    pub fn recycle_ops(&mut self, mut buffer: Vec<OpRecord>) {
-        if self.op_trace.is_empty() && buffer.capacity() > self.op_trace.capacity() {
-            buffer.clear();
-            self.op_trace = buffer;
-        }
+    /// # Panics
+    ///
+    /// Panics if the span reaches past the end of the arena (a stale span from
+    /// before a [`NandDevice::clear_ops`], or one from a different device).
+    pub fn ops(&self, span: OpSpan) -> &[OpRecord] {
+        &self.op_trace[span.range()]
+    }
+
+    /// Releases the op arena. Replayers call this once a completion's records
+    /// have been played; the backing buffer keeps its capacity, so steady-state
+    /// tracing performs no allocation at all. All previously taken spans become
+    /// stale.
+    pub fn clear_ops(&mut self) {
+        self.op_trace.clear();
     }
 
     fn record_op(&mut self, chip: ChipId, kind: OpKind, latency: Nanos) {
@@ -635,56 +646,60 @@ mod tests {
     fn op_tracing_records_provenance_only_while_enabled() {
         let mut device = small_device();
         let block = device.any_free_block().unwrap();
+        let mark = device.op_mark();
         device.program(block, PageId(0)).unwrap();
-        assert!(device.drain_ops().is_empty(), "tracing is off by default");
+        assert!(device.ops_since(mark).is_empty(), "tracing is off by default");
         assert!(!device.op_tracing());
 
         device.set_op_tracing(true);
         assert!(device.op_tracing());
+        let mark = device.op_mark();
         let program = device.program(block, PageId(1)).unwrap();
         let read = device.read(block.page(PageId(0))).unwrap();
         device.invalidate(block.page(PageId(0))).unwrap();
-        let ops = device.drain_ops();
+        let span = device.ops_since(mark);
         assert_eq!(
-            ops,
-            vec![
+            device.ops(span),
+            &[
                 OpRecord::new(block.chip(), OpKind::Program, program),
                 OpRecord::new(block.chip(), OpKind::Read, read),
             ],
             "invalidate takes no device time and must not be recorded"
         );
-        assert!(device.drain_ops().is_empty(), "drain consumes the buffer");
 
+        // Later spans start after the earlier ones; both stay resolvable until
+        // the arena is cleared.
+        let mark = device.op_mark();
         device.invalidate(block.page(PageId(1))).unwrap();
         let erase = device.erase(block).unwrap();
-        assert_eq!(device.drain_ops(), vec![OpRecord::new(block.chip(), OpKind::Erase, erase)]);
+        let erase_span = device.ops_since(mark);
+        assert_eq!(erase_span.start, span.len);
+        assert_eq!(device.ops(erase_span), &[OpRecord::new(block.chip(), OpKind::Erase, erase)]);
+        assert_eq!(device.ops(span).len(), 2, "earlier spans remain valid");
+
+        device.clear_ops();
+        assert_eq!(device.op_mark(), 0, "clear releases the arena");
 
         device.set_op_tracing(false);
+        let mark = device.op_mark();
         device.program(block, PageId(0)).unwrap();
-        assert!(device.drain_ops().is_empty());
+        assert!(device.ops_since(mark).is_empty());
     }
 
     #[test]
-    fn recycled_op_buffers_are_reused_without_reallocating() {
+    fn op_arena_keeps_its_capacity_across_clears() {
         let mut device = small_device();
         let block = device.any_free_block().unwrap();
         device.set_op_tracing(true);
         device.program(block, PageId(0)).unwrap();
-        let mut ops = device.drain_ops();
-        ops.reserve(32);
-        let capacity = ops.capacity();
-        let pointer = ops.as_ptr();
-        device.recycle_ops(ops);
         device.program(block, PageId(1)).unwrap();
-        let reused = device.drain_ops();
-        assert_eq!(reused.len(), 1);
-        assert_eq!(reused.capacity(), capacity, "recycled capacity must survive");
-        assert_eq!(reused.as_ptr(), pointer, "same buffer, no reallocation");
-        device.recycle_ops(reused);
+        let capacity = device.op_trace.capacity();
+        let pointer = device.op_trace.as_ptr();
+        device.clear_ops();
         device.program(block, PageId(2)).unwrap();
-        // Pending records are never discarded by a recycle.
-        device.recycle_ops(Vec::with_capacity(1024));
-        assert_eq!(device.drain_ops().len(), 1, "pending records survived");
+        assert_eq!(device.op_trace.capacity(), capacity, "clear must not shrink the arena");
+        assert_eq!(device.op_trace.as_ptr(), pointer, "same buffer, no reallocation");
+        assert_eq!(device.ops_since(0).len(), 1);
     }
 
     #[test]
@@ -694,7 +709,7 @@ mod tests {
         device.set_op_tracing(true);
         device.program(block, PageId(0)).unwrap();
         device.set_op_tracing(true);
-        assert!(device.drain_ops().is_empty(), "re-enabling drops stale records");
+        assert_eq!(device.op_mark(), 0, "re-enabling drops stale records");
     }
 
     #[test]

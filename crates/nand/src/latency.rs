@@ -108,6 +108,11 @@ pub struct LatencyModel {
     profile: SpeedProfile,
     /// Pre-computed per-page latency multiplier in `[1/speed_ratio, 1.0]`.
     factors: Vec<f64>,
+    /// Pre-computed `read_latency + transfer` per page: the device charges one
+    /// of these on every read, so the float scale happens once at build time.
+    read_totals: Vec<Nanos>,
+    /// Pre-computed `program_latency + transfer` per page.
+    program_totals: Vec<Nanos>,
 }
 
 impl LatencyModel {
@@ -138,9 +143,13 @@ impl LatencyModel {
         if let SpeedProfile::Stepped { steps } = profile {
             assert!(steps > 0, "stepped profile needs at least one step");
         }
-        let factors = (0..pages_per_block)
+        let factors: Vec<f64> = (0..pages_per_block)
             .map(|i| Self::factor_at(i, pages_per_block, speed_ratio, profile))
             .collect();
+        let read_totals =
+            factors.iter().map(|&factor| nominal_read.scale(factor) + transfer).collect();
+        let program_totals =
+            factors.iter().map(|&factor| nominal_program.scale(factor) + transfer).collect();
         LatencyModel {
             nominal_read,
             nominal_program,
@@ -150,6 +159,8 @@ impl LatencyModel {
             speed_ratio,
             profile,
             factors,
+            read_totals,
+            program_totals,
         }
     }
 
@@ -220,13 +231,15 @@ impl LatencyModel {
     }
 
     /// Total latency of servicing a page read: cell sensing plus bus transfer.
+    /// Pre-computed per page, so the hot path is a table lookup.
     pub fn read_total(&self, page: PageId) -> Nanos {
-        self.read_latency(page) + self.transfer
+        self.read_totals[page.0]
     }
 
     /// Total latency of servicing a page program: bus transfer plus cell programming.
+    /// Pre-computed per page, so the hot path is a table lookup.
     pub fn program_total(&self, page: PageId) -> Nanos {
-        self.program_latency(page) + self.transfer
+        self.program_totals[page.0]
     }
 
     /// Number of pages (layers) per block this model was built for.

@@ -82,6 +82,6 @@ pub use device::NandDevice;
 pub use error::NandError;
 pub use latency::{LatencyModel, SpeedClass, SpeedProfile};
 pub use page::{Page, PageState};
-pub use provenance::{OpKind, OpRecord};
+pub use provenance::{OpKind, OpRecord, OpSpan};
 pub use stats::{DeviceStats, OpCounts};
 pub use time::Nanos;

@@ -4,10 +4,14 @@
 //! requests that land on different chips. To do that it must know, for every host
 //! request the FTL serves, **which chip clocks the request advanced** — including
 //! the garbage-collection reads, programs and erases the FTL performed on the
-//! request's behalf. The device records that provenance when
-//! [`NandDevice::set_op_tracing`](crate::NandDevice::set_op_tracing) is enabled,
-//! and FTLs drain it into each completion via
-//! [`NandDevice::drain_ops`](crate::NandDevice::drain_ops).
+//! request's behalf. The device records that provenance into a device-owned
+//! **op arena** when [`NandDevice::set_op_tracing`](crate::NandDevice::set_op_tracing)
+//! is enabled; FTLs hand each completion an [`OpSpan`] — a small copyable index
+//! range into the arena — instead of a per-request `Vec`, so the submit path
+//! allocates nothing in steady state. Consumers resolve a span back to records
+//! with [`NandDevice::ops`](crate::NandDevice::ops) and release the arena with
+//! [`NandDevice::clear_ops`](crate::NandDevice::clear_ops) once a request's
+//! records have been played.
 //!
 //! Tracing is off by default and costs a single predictable branch per operation
 //! when disabled, so the scalar replay hot path is unaffected.
@@ -55,6 +59,44 @@ impl OpRecord {
     /// Creates a record.
     pub fn new(chip: ChipId, kind: OpKind, latency: Nanos) -> Self {
         OpRecord { chip, kind, latency }
+    }
+}
+
+/// A contiguous range of [`OpRecord`]s inside the device's op arena.
+///
+/// Completions carry one of these instead of an owned `Vec<OpRecord>`: two
+/// `u32`s that identify the request's records by position. Spans are only
+/// meaningful against the device that issued them, and only until the arena is
+/// cleared ([`NandDevice::clear_ops`](crate::NandDevice::clear_ops)) or
+/// tracing is toggled — exactly the lifetime of "the completion I am currently
+/// consuming", which is the only way replayers use op provenance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct OpSpan {
+    /// Index of the first record in the arena.
+    pub start: u32,
+    /// Number of records in the span.
+    pub len: u32,
+}
+
+impl OpSpan {
+    /// The empty span (what untraced completions carry).
+    pub const EMPTY: OpSpan = OpSpan { start: 0, len: 0 };
+
+    /// Number of records in the span.
+    #[allow(clippy::len_without_is_empty)] // is_empty is defined right below
+    pub fn len(self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the span holds no records.
+    pub fn is_empty(self) -> bool {
+        self.len == 0
+    }
+
+    /// The arena index range this span covers.
+    pub fn range(self) -> std::ops::Range<usize> {
+        let start = self.start as usize;
+        start..start + self.len as usize
     }
 }
 

@@ -45,15 +45,28 @@
 //! At closed-loop depth 1 every `max` resolves to the running clock, so the op
 //! overlay is unnecessary; the engine then runs with tracing off and charges each
 //! page's completion latency serially — the exact code path (and cost) of the old
-//! serial replayer.
-
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+//! serial replayer. Depth 1 additionally needs no event bookkeeping at all (the
+//! next request issues exactly at the previous completion, so no arrival ever
+//! finds the system busy), and the engine runs it as a pure scalar-clock loop.
+//!
+//! # The event calendar
+//!
+//! Every other configuration drains one
+//! [`EventCalendar`](crate::calendar::EventCalendar): a single binary heap of
+//! typed events (host completions, today) plus the per-chip ready clocks. The
+//! closed-loop slot wait pops the earliest completion from the same heap that
+//! the retirement sweep drains — see `calendar.rs` for why one heap reproduces
+//! the historic slot-heap/outstanding-heap pair bit-for-bit. Completions carry
+//! [`OpSpan`](vflash_nand::OpSpan)s into the device's op arena rather than
+//! per-request vectors, so the traced hot path performs no allocation per
+//! request: the engine plays a span against the calendar and releases the arena
+//! before the next page.
 
 use vflash_ftl::{FlashTranslationLayer, FtlError, IoRequest as FtlRequest, Lpn};
 use vflash_nand::{ChipId, Nanos};
 use vflash_trace::{IoOp, Trace};
 
+use crate::calendar::EventCalendar;
 use crate::histogram::LatencyHistogram;
 use crate::report::{ReplayMode, RunSummary};
 
@@ -314,7 +327,8 @@ impl WorkloadDriver {
         outcome
     }
 
-    /// The single drive loop shared by every discipline.
+    /// The single drive loop shared by every discipline: each request walks
+    /// issue → retire → play → schedule against one [`EventCalendar`].
     fn drive<F: FlashTranslationLayer + ?Sized>(
         &self,
         ftl: &mut F,
@@ -326,130 +340,154 @@ impl WorkloadDriver {
         let busy_start = chip_busy_times(ftl);
         let chips = ftl.device().config().chips();
 
-        let mut chip_ready = vec![Nanos::ZERO; chips];
-        let heap_capacity = match self.discipline {
-            ArrivalDiscipline::ClosedLoop { queue_depth } => queue_depth,
-            ArrivalDiscipline::OpenLoop { .. } => 0,
-        };
-        let mut in_flight: BinaryHeap<Reverse<Nanos>> = BinaryHeap::with_capacity(heap_capacity);
-        // Completion times of requests still outstanding *in simulated time* at
-        // the current issue instant. This is deliberately separate from
-        // `in_flight`: closed-loop queue slots are freed by popping (a request
-        // occupies its slot until a new request needs it), while a request is
-        // *outstanding* only until its completion time passes — the quantity
-        // behind `peak_queue_depth` and `busy_arrivals`.
-        let mut outstanding: BinaryHeap<Reverse<Nanos>> = BinaryHeap::new();
-        let mut peak_queue_depth = 0usize;
-        let mut busy_arrivals = 0u64;
         let mut read_latencies = LatencyHistogram::new();
         let mut write_latencies = LatencyHistogram::new();
         let mut queue_delays = LatencyHistogram::new();
         let mut service_times = LatencyHistogram::new();
-        let mut clock = Nanos::ZERO;
         let mut last_completion = Nanos::ZERO;
         let mut first_arrival: Option<Nanos> = None;
         let mut last_arrival = Nanos::ZERO;
         let mut requests = 0u64;
 
-        for request in trace {
-            // When is this request issued?
-            let issue = match self.discipline {
-                ArrivalDiscipline::ClosedLoop { queue_depth } => {
-                    // Wait for a queue slot: the issue time is the completion of
-                    // the earliest in-flight request (the clock never moves
-                    // backwards, so issue order is preserved).
-                    if in_flight.len() == queue_depth {
-                        let Reverse(freed) = in_flight.pop().expect("queue depth is at least 1");
-                        if freed > clock {
-                            clock = freed;
-                        }
-                    }
-                    clock
+        let (peak_queue_depth, busy_arrivals) = if self.discipline
+            == (ArrivalDiscipline::ClosedLoop { queue_depth: 1 })
+        {
+            // Scalar fast path. At depth 1 each request issues exactly at the
+            // previous completion: the calendar would hold at most one event,
+            // retired on the very next arrival, so no arrival ever finds the
+            // system busy and the whole event machinery reduces to one running
+            // clock (with peak backlog 1 and zero busy arrivals by
+            // construction). Tracing is off here, so pages charge serially.
+            let mut clock = Nanos::ZERO;
+            for request in trace {
+                let issue = clock;
+                for page in request.logical_pages(page_size) {
+                    let lpn = Lpn(page % logical_pages);
+                    let completion = match request.op {
+                        IoOp::Write => ftl.submit(FtlRequest::write(lpn, request.length))?,
+                        IoOp::Read => match ftl.submit(FtlRequest::read(lpn)) {
+                            Ok(completion) => completion,
+                            // Without prefill, reads of never-written data are
+                            // skipped, mirroring how a real host would simply
+                            // get zeroes back.
+                            Err(FtlError::UnmappedRead { .. }) if !self.options.prefill => {
+                                continue
+                            }
+                            Err(err) => return Err(err),
+                        },
+                    };
+                    clock += completion.latency;
                 }
-                ArrivalDiscipline::OpenLoop { rate_scale } => {
-                    // The trace-recorded arrival time, compressed or stretched by
-                    // the rate scale. Nothing bounds how many requests are
-                    // outstanding — that is what "open loop" means. Issue times
-                    // are rebased against the trace's first arrival: a subset cut
-                    // from the middle of an MSR file keeps file-relative
-                    // timestamps (deliberately — see `msr::SubsetOptions`), and
-                    // without the rebase that offset would count as replay time
-                    // and deflate the achieved IOPS.
-                    let arrival = scale_arrival(request.at_nanos, rate_scale);
-                    let base = *first_arrival.get_or_insert(arrival);
-                    if arrival > last_arrival {
-                        last_arrival = arrival;
-                    }
-                    arrival.saturating_sub(base)
+                let latency = clock.saturating_sub(issue);
+                match request.op {
+                    IoOp::Read => read_latencies.record(latency),
+                    IoOp::Write => write_latencies.record(latency),
                 }
+                queue_delays.record(Nanos::ZERO);
+                service_times.record(latency);
+                requests += 1;
+            }
+            last_completion = clock;
+            (usize::from(requests > 0), 0)
+        } else {
+            let heap_capacity = match self.discipline {
+                ArrivalDiscipline::ClosedLoop { queue_depth } => queue_depth,
+                ArrivalDiscipline::OpenLoop { .. } => 64,
             };
-            // Retire every request whose completion precedes this issue instant;
-            // whatever remains is the queue this arrival joins.
-            while outstanding.peek().is_some_and(|&Reverse(done)| done <= issue) {
-                outstanding.pop();
-            }
-            if !outstanding.is_empty() {
-                busy_arrivals += 1;
-            }
+            let mut calendar = EventCalendar::new(chips, heap_capacity);
+            let mut clock = Nanos::ZERO;
 
-            let mut now = issue;
-            let mut service = Nanos::ZERO;
-
-            // A multi-page host request is a dependent chain of page submissions;
-            // each timed device op starts when both its predecessor in the chain
-            // and its chip are ready.
-            for page in request.logical_pages(page_size) {
-                let lpn = Lpn(page % logical_pages);
-                let completion = match request.op {
-                    IoOp::Write => ftl.submit(FtlRequest::write(lpn, request.length))?,
-                    IoOp::Read => match ftl.submit(FtlRequest::read(lpn)) {
-                        Ok(completion) => completion,
-                        // Without prefill, reads of never-written data are
-                        // skipped, mirroring how a real host would simply get
-                        // zeroes back.
-                        Err(FtlError::UnmappedRead { .. }) if !self.options.prefill => continue,
-                        Err(err) => return Err(err),
-                    },
-                };
-                if completion.ops.is_empty() {
-                    // Untraced (closed-loop depth 1): no other request is in
-                    // flight, so every chip-ready merge would resolve to the
-                    // running clock anyway — charge the page serially.
-                    now += completion.latency;
-                    service += completion.latency;
-                } else {
-                    for op in &completion.ops {
-                        let ready = chip_ready[op.chip.0];
-                        let op_start = if ready > now { ready } else { now };
-                        now = op_start + op.latency;
-                        chip_ready[op.chip.0] = now;
-                        service += op.latency;
+            for request in trace {
+                // When is this request issued?
+                let issue = match self.discipline {
+                    ArrivalDiscipline::ClosedLoop { queue_depth } => {
+                        // Wait for a queue slot: at full depth the issue time is
+                        // the earliest pending completion (the clock never moves
+                        // backwards, so issue order is preserved). Below full
+                        // depth — retirement already drained the backlog — that
+                        // earliest completion preceded an earlier issue and the
+                        // clock already covers it.
+                        if calendar.outstanding() >= queue_depth {
+                            let freed =
+                                calendar.pop_earliest().expect("queue depth is at least 1");
+                            if freed > clock {
+                                clock = freed;
+                            }
+                        }
+                        clock
                     }
-                    // Recycling the consumed op buffer keeps the traced hot path
-                    // allocation-free in steady state.
-                    ftl.device_mut().recycle_ops(completion.ops);
+                    ArrivalDiscipline::OpenLoop { rate_scale } => {
+                        // The trace-recorded arrival time, compressed or
+                        // stretched by the rate scale. Nothing bounds how many
+                        // requests are outstanding — that is what "open loop"
+                        // means. Issue times are rebased against the trace's
+                        // first arrival: a subset cut from the middle of an MSR
+                        // file keeps file-relative timestamps (deliberately —
+                        // see `msr::SubsetOptions`), and without the rebase that
+                        // offset would count as replay time and deflate the
+                        // achieved IOPS.
+                        let arrival = scale_arrival(request.at_nanos, rate_scale);
+                        let base = *first_arrival.get_or_insert(arrival);
+                        if arrival > last_arrival {
+                            last_arrival = arrival;
+                        }
+                        arrival.saturating_sub(base)
+                    }
+                };
+                // Retire every completion at or before this issue instant;
+                // whatever remains is the queue this arrival joins.
+                calendar.observe_arrival(issue);
+
+                let mut now = issue;
+                let mut service = Nanos::ZERO;
+
+                // A multi-page host request is a dependent chain of page
+                // submissions; each timed device op starts when both its
+                // predecessor in the chain and its chip are ready.
+                for page in request.logical_pages(page_size) {
+                    let lpn = Lpn(page % logical_pages);
+                    let completion = match request.op {
+                        IoOp::Write => ftl.submit(FtlRequest::write(lpn, request.length))?,
+                        IoOp::Read => match ftl.submit(FtlRequest::read(lpn)) {
+                            Ok(completion) => completion,
+                            Err(FtlError::UnmappedRead { .. }) if !self.options.prefill => {
+                                continue
+                            }
+                            Err(err) => return Err(err),
+                        },
+                    };
+                    let span = completion.ops;
+                    if span.is_empty() {
+                        now += completion.latency;
+                        service += completion.latency;
+                    } else {
+                        for op in ftl.device().ops(span) {
+                            now = calendar.play_op(op.chip.0, now, op.latency);
+                            service += op.latency;
+                        }
+                        // Release the op arena: spans never outlive the page
+                        // that produced them, so the backing buffer stays at
+                        // one page's worth of records and never reallocates.
+                        ftl.device_mut().clear_ops();
+                    }
                 }
+
+                let latency = now.saturating_sub(issue);
+                match request.op {
+                    IoOp::Read => read_latencies.record(latency),
+                    IoOp::Write => write_latencies.record(latency),
+                }
+                queue_delays.record(latency.saturating_sub(service));
+                service_times.record(service);
+                if now > last_completion {
+                    last_completion = now;
+                }
+                calendar.schedule_completion(now);
+                requests += 1;
             }
 
-            let latency = now.saturating_sub(issue);
-            match request.op {
-                IoOp::Read => read_latencies.record(latency),
-                IoOp::Write => write_latencies.record(latency),
-            }
-            queue_delays.record(latency.saturating_sub(service));
-            service_times.record(service);
-            if now > last_completion {
-                last_completion = now;
-            }
-            outstanding.push(Reverse(now));
-            if outstanding.len() > peak_queue_depth {
-                peak_queue_depth = outstanding.len();
-            }
-            if matches!(self.discipline, ArrivalDiscipline::ClosedLoop { .. }) {
-                in_flight.push(Reverse(now));
-            }
-            requests += 1;
-        }
+            (calendar.peak_outstanding(), calendar.busy_arrivals())
+        };
 
         let end = *ftl.metrics();
         let mut summary = RunSummary::from_metrics_delta(ftl.name(), trace.name(), &start, &end);

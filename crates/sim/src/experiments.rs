@@ -64,14 +64,36 @@ pub fn burst_axis(mean_iops: f64) -> Vec<ArrivalModel> {
     ]
 }
 
-/// The mean arrival rate the [`ExperimentGrid::burst_sweep`](crate::ExperimentGrid::burst_sweep)
-/// axis holds fixed: the recorded rate of the historic default generators
-/// (uniform 20–200 µs gaps ≈ 9.1 kIOPS), so the smooth end of that grid axis is
-/// directly comparable to the open-loop grid at rate scale 1. The paper-facing
-/// [`burst_sweep`] instead probes the device and offers half its saturation
-/// throughput (see [`burst_sweep_mean_iops`]), which a static grid cannot do.
-pub fn default_burst_mean_iops() -> f64 {
-    ArrivalModel::default().mean_iops()
+/// The fraction of a device's probed saturation throughput the burstiness
+/// sweeps offer as their fixed mean rate. Half of saturation puts the smooth
+/// end of the [`burst_axis`] comfortably inside the device's capacity — where
+/// uniform arrivals see near-zero queueing — while the bursty end still
+/// overloads the device *transiently*, exactly the regime where the tail
+/// spreads.
+pub const BURST_SATURATION_FRACTION: f64 = 0.5;
+
+/// The mean arrival rate the
+/// [`ExperimentGrid::burst_sweep`](crate::ExperimentGrid::burst_sweep) grid
+/// holds fixed across its burstiness axis: [`BURST_SATURATION_FRACTION`] of the
+/// *smallest* saturation throughput any of the grid's workloads reaches on the
+/// grid's device (each probed like [`burst_sweep_mean_iops`]). Taking the
+/// minimum keeps the smooth end of the axis under capacity for **every**
+/// workload in the grid, so differences down the axis stay attributable to
+/// burstiness rather than to one workload saturating outright. Historically
+/// this grid pinned ≈9.1 kIOPS (the recorded rate of the default uniform-gap
+/// generators) regardless of what the device could actually serve; the
+/// rate-relative probe makes the axis meaningful at any scale.
+///
+/// # Errors
+///
+/// Propagates FTL construction and replay errors from the probe runs.
+pub fn grid_burst_mean_iops(scale: &ExperimentScale) -> Result<f64, FtlError> {
+    let mut mean: Option<f64> = None;
+    for workload in Workload::ALL {
+        let probed = burst_sweep_mean_iops(workload, scale)?;
+        mean = Some(mean.map_or(probed, |current| current.min(probed)));
+    }
+    Ok(mean.expect("Workload::ALL is non-empty"))
 }
 
 /// The two workloads of the evaluation.
@@ -595,11 +617,8 @@ pub struct BurstRow {
 
 /// Measures the saturation throughput of the burst-sweep device for `workload`
 /// at `scale` (conventional FTL, closed loop at QD 64 — arrivals cannot come in
-/// faster than that serves them) and returns **half** of it: the fixed mean
-/// rate the [`burst_sweep`] offers. Half of saturation puts the smooth end of
-/// the axis comfortably inside the device's capacity — where uniform arrivals
-/// see near-zero queueing — while the bursty end still overloads the device
-/// *transiently*, which is exactly the regime where the tail spreads.
+/// faster than that serves them) and returns [`BURST_SATURATION_FRACTION`] of
+/// it: the fixed mean rate the [`burst_sweep`] offers.
 ///
 /// # Errors
 ///
@@ -610,7 +629,7 @@ pub fn burst_sweep_mean_iops(
 ) -> Result<f64, FtlError> {
     let config = scale.device_config(16 * 1024, 2.0);
     let saturated = run_conventional_at_depth(&workload.trace(scale), &config, 64)?;
-    Ok(saturated.request_iops() / 2.0)
+    Ok(saturated.request_iops() * BURST_SATURATION_FRACTION)
 }
 
 /// The burstiness sweep: both FTLs replay one workload **open-loop at the
@@ -773,20 +792,35 @@ pub enum GcPolicy {
     /// it wastes nothing). On the untagged conventional FTL this coincides with
     /// greedy.
     HotCold,
+    /// [`GcPolicy::HotCold`] with an explicit cold-victim bonus in whole
+    /// invalid-page equivalents (the default `HotCold` uses 2) — the cold-bonus
+    /// ablation rows of the Figure 18 sweep. A bonus of 0 disables the cold
+    /// preference entirely (pure greedy even on tagged devices), so the row
+    /// isolates how much of the hot-cold policy's win the bonus itself buys.
+    HotColdBonus(u32),
 }
 
 impl GcPolicy {
-    /// All policies, in report order.
-    pub const ALL: [GcPolicy; 4] =
-        [GcPolicy::Greedy, GcPolicy::WearAware, GcPolicy::CostBenefit, GcPolicy::HotCold];
+    /// All policies, in report order: the four base policies, then the
+    /// cold-bonus ablation (bonus disabled, then an aggressive bonus bracketing
+    /// the `HotCold` default of 2).
+    pub const ALL: [GcPolicy; 6] = [
+        GcPolicy::Greedy,
+        GcPolicy::WearAware,
+        GcPolicy::CostBenefit,
+        GcPolicy::HotCold,
+        GcPolicy::HotColdBonus(0),
+        GcPolicy::HotColdBonus(6),
+    ];
 
-    /// The label used in reports.
-    pub fn label(self) -> &'static str {
+    /// The label used in reports (e.g. `greedy`, `hot-cold`, `hot-cold(b=6)`).
+    pub fn label(self) -> String {
         match self {
-            GcPolicy::Greedy => "greedy",
-            GcPolicy::WearAware => "wear-aware",
-            GcPolicy::CostBenefit => "cost-benefit",
-            GcPolicy::HotCold => "hot-cold",
+            GcPolicy::Greedy => "greedy".to_string(),
+            GcPolicy::WearAware => "wear-aware".to_string(),
+            GcPolicy::CostBenefit => "cost-benefit".to_string(),
+            GcPolicy::HotCold => "hot-cold".to_string(),
+            GcPolicy::HotColdBonus(bonus) => format!("hot-cold(b={bonus})"),
         }
     }
 
@@ -797,13 +831,16 @@ impl GcPolicy {
             GcPolicy::WearAware => Box::new(WearAwareVictimPolicy::default()),
             GcPolicy::CostBenefit => Box::new(CostBenefitVictimPolicy::new()),
             GcPolicy::HotCold => Box::new(HotColdVictimPolicy::default()),
+            GcPolicy::HotColdBonus(bonus) => {
+                Box::new(HotColdVictimPolicy::new(f64::from(bonus)))
+            }
         }
     }
 }
 
 impl std::fmt::Display for GcPolicy {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.label())
+        f.write_str(&self.label())
     }
 }
 
@@ -1120,5 +1157,20 @@ mod tests {
         let labels: std::collections::HashSet<_> =
             GcPolicy::ALL.iter().map(|policy| policy.label()).collect();
         assert_eq!(labels.len(), GcPolicy::ALL.len());
+        // The cold-bonus ablation brackets the default: a zero bonus is exactly
+        // greedy (the cold preference is the *only* thing hot-cold adds), and
+        // the aggressive row must still produce a full set of counts.
+        for workload in Workload::ALL {
+            let row = |policy: GcPolicy| {
+                rows.iter()
+                    .find(|row| row.workload == workload && row.policy == policy)
+                    .unwrap()
+            };
+            let greedy = row(GcPolicy::Greedy);
+            let disabled = row(GcPolicy::HotColdBonus(0));
+            assert_eq!(disabled.conventional, greedy.conventional);
+            assert_eq!(disabled.ppb, greedy.ppb);
+            assert!(row(GcPolicy::HotColdBonus(6)).ppb > 0);
+        }
     }
 }

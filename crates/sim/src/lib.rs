@@ -72,6 +72,7 @@
 
 pub mod experiments;
 
+mod calendar;
 mod engine;
 mod histogram;
 mod parallel;

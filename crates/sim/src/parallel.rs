@@ -4,12 +4,19 @@
 //! a grid of completely independent simulations. [`ExperimentGrid`] enumerates the
 //! cells (FTL × workload × scale × arrival discipline, i.e. closed-loop queue
 //! depths and open-loop rate scales) and [`ParallelRunner`] fans them out over
-//! `std::thread` workers. Each cell derives its workload seed deterministically
-//! from the scale's base seed and the cell's position in the grid, and results are
-//! collected by cell index, so the output is **bit-identical** to running the same
-//! grid serially — only the wall-clock time changes.
+//! `std::thread` workers with **work stealing**: a shared injector feeds each
+//! worker's deque in batches, and a worker whose deque runs dry steals from the
+//! back of a sibling's before giving up. Cell costs are wildly heterogeneous
+//! (a PPB media-server cell costs several times a conventional web cell), so
+//! stealing keeps every worker busy through the tail of the grid without any
+//! up-front cost model. Each cell derives its workload seed deterministically
+//! from the scale's base seed and the cell's position in the grid, and results
+//! are collected by cell index, so the output is **bit-identical** to running
+//! the same grid serially — regardless of worker count or steal order, only the
+//! wall-clock time changes.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 use std::thread;
 
@@ -18,7 +25,7 @@ use vflash_trace::synthetic::ArrivalModel;
 
 use crate::engine::ArrivalDiscipline;
 use crate::experiments::{
-    burst_axis, default_burst_mean_iops, run_conventional_driven, run_ppb_driven, ExperimentScale,
+    burst_axis, grid_burst_mean_iops, run_conventional_driven, run_ppb_driven, ExperimentScale,
     Workload, QUEUE_DEPTHS, RATE_SCALES,
 };
 use crate::report::RunSummary;
@@ -87,8 +94,9 @@ impl ExperimentGrid {
     /// let grid = ExperimentGrid::full(ExperimentScale::quick());
     /// // 2 FTLs x 2 workloads x 1 scale x 1 discipline x 1 arrival model.
     /// assert_eq!(grid.cells().len(), 4);
-    /// // The burstiness axis multiplies the grid without touching the seeds.
-    /// let bursty = ExperimentGrid::burst_sweep(ExperimentScale::quick());
+    /// // The burstiness axis multiplies the grid without touching the seeds
+    /// // (pinned rate here; `burst_sweep` probes saturation instead).
+    /// let bursty = ExperimentGrid::burst_sweep_at(ExperimentScale::quick(), 10_000.0);
     /// assert!(bursty.cells().len() > grid.cells().len());
     /// ```
     pub fn full(scale: ExperimentScale) -> Self {
@@ -120,11 +128,31 @@ impl ExperimentGrid {
     /// every workload's trace is regenerated under each [`burst_axis`] arrival
     /// model at one fixed mean rate, so the cells differ only in how bursty the
     /// identical offered load is.
-    pub fn burst_sweep(scale: ExperimentScale) -> Self {
+    ///
+    /// The mean rate is **rate-relative**: [`grid_burst_mean_iops`] probes the
+    /// saturation throughput of each workload on the grid's device and fixes
+    /// the axis at [`BURST_SATURATION_FRACTION`](crate::experiments::BURST_SATURATION_FRACTION)
+    /// of the smallest one, so the axis stays meaningful at any scale instead
+    /// of pinning the historic ≈9.1 kIOPS default-generator rate. Use
+    /// [`ExperimentGrid::burst_sweep_at`] to pin an explicit rate (and skip the
+    /// probe).
+    ///
+    /// # Errors
+    ///
+    /// Propagates FTL construction and replay errors from the saturation
+    /// probes.
+    pub fn burst_sweep(scale: ExperimentScale) -> Result<Self, FtlError> {
+        let mean_iops = grid_burst_mean_iops(&scale)?;
+        Ok(ExperimentGrid::burst_sweep_at(scale, mean_iops))
+    }
+
+    /// [`ExperimentGrid::burst_sweep`] at an explicit fixed mean rate, skipping
+    /// the saturation probes.
+    pub fn burst_sweep_at(scale: ExperimentScale, mean_iops: f64) -> Self {
         ExperimentGrid {
             queue_depths: Vec::new(),
             rate_scales: vec![1.0],
-            arrival_models: burst_axis(default_burst_mean_iops()),
+            arrival_models: burst_axis(mean_iops),
             ..ExperimentGrid::full(scale)
         }
     }
@@ -233,11 +261,16 @@ pub fn run_cell(cell: &GridCell, grid: &ExperimentGrid) -> Result<CellResult, Ft
     Ok(CellResult { cell: *cell, summary })
 }
 
-/// Fans the experiment grid out over a pool of `std::thread` workers.
+/// Fans the experiment grid out over a work-stealing pool of `std::thread`
+/// workers.
 ///
-/// Workers claim cells from a shared atomic counter (no work partitioning bias for
-/// heterogeneous cell costs), and results are stitched back together in cell-index
-/// order, so the output is independent of thread scheduling and identical to
+/// Cells start in a shared injector queue; workers move them into per-worker
+/// deques a batch at a time and, when both their deque and the injector are
+/// empty, steal single cells from the back of a sibling's deque. Batching keeps
+/// injector contention to one lock acquisition per batch, while stealing
+/// rebalances the heterogeneous cell costs (no work partitioning bias). Results
+/// are stitched back together in cell-index order, so the output is independent
+/// of thread scheduling and steal order, and identical to
 /// [`ParallelRunner::run_serial`].
 ///
 /// # Example
@@ -274,8 +307,8 @@ impl ParallelRunner {
         self.threads
     }
 
-    /// Runs every cell of `grid` across the worker pool and returns the results in
-    /// cell-index order.
+    /// Runs every cell of `grid` across the work-stealing pool and returns the
+    /// results in cell-index order.
     ///
     /// # Errors
     ///
@@ -291,37 +324,61 @@ impl ParallelRunner {
         if workers == 1 {
             return Self::run_serial(grid);
         }
-        let next = AtomicUsize::new(0);
+        // The shared injector holds every cell index; workers pull batches from
+        // its front into their own deque, so the common case touches only the
+        // worker-local lock.
+        let injector: Mutex<VecDeque<usize>> = Mutex::new((0..cells.len()).collect());
+        let locals: Vec<Mutex<VecDeque<usize>>> =
+            (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+        let batch = (cells.len() / (workers * 4)).max(1);
         let failed = AtomicBool::new(false);
         let slots: Vec<Mutex<Option<Result<CellResult, FtlError>>>> =
             cells.iter().map(|_| Mutex::new(None)).collect();
         thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    if failed.load(Ordering::Relaxed) {
-                        break;
+            for me in 0..workers {
+                let (injector, locals, failed, slots, cells) =
+                    (&injector, &locals, &failed, &slots, &cells);
+                scope.spawn(move || {
+                    while !failed.load(Ordering::Relaxed) {
+                        let Some(index) = claim_cell(me, injector, locals, batch) else {
+                            break;
+                        };
+                        let result = run_cell(&cells[index], grid);
+                        if result.is_err() {
+                            failed.store(true, Ordering::Relaxed);
+                        }
+                        *slots[index].lock().expect("result slot poisoned") = Some(result);
                     }
-                    let index = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(cell) = cells.get(index) else { break };
-                    let result = run_cell(cell, grid);
-                    if result.is_err() {
-                        failed.store(true, Ordering::Relaxed);
-                    }
-                    *slots[index].lock().expect("result slot poisoned") = Some(result);
                 });
             }
         });
-        let mut results = Vec::with_capacity(cells.len());
-        for slot in slots {
-            // On abort, unclaimed cells past the failure have empty slots; the
-            // lowest-indexed error below surfaces before they matter, because a
-            // failed cell always has a lower index than any skipped cell.
-            let Some(outcome) = slot.into_inner().expect("result slot poisoned") else {
-                break;
+        let outcomes: Vec<Option<Result<CellResult, FtlError>>> = slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("result slot poisoned"))
+            .collect();
+        // With stealing, an abort leaves unclaimed holes at *arbitrary*
+        // indices — an empty slot below a failed cell does not imply success —
+        // so scan every slot and surface the lowest-indexed error explicitly.
+        if let Some(failure) = outcomes
+            .iter()
+            .position(|outcome| matches!(outcome, Some(Err(_))))
+        {
+            let mut outcomes = outcomes;
+            return match outcomes[failure].take() {
+                Some(Err(error)) => Err(error),
+                _ => unreachable!("position() found an error at this slot"),
             };
-            results.push(outcome?);
         }
-        Ok(results)
+        // No failure: the pool only disbands once the injector and every deque
+        // are empty, so every cell ran exactly once.
+        Ok(outcomes
+            .into_iter()
+            .map(|outcome| {
+                outcome
+                    .expect("pool disbanded with an unclaimed cell")
+                    .expect("errors were surfaced above")
+            })
+            .collect())
     }
 
     /// Runs every cell of `grid` on the calling thread, in cell-index order. This
@@ -333,6 +390,43 @@ impl ParallelRunner {
     pub fn run_serial(grid: &ExperimentGrid) -> Result<Vec<CellResult>, FtlError> {
         grid.cells().iter().map(|cell| run_cell(cell, grid)).collect()
     }
+}
+
+/// Claims the next cell index for worker `me`: own deque first (oldest-first),
+/// then a batch refill from the front of the shared injector, then a steal from
+/// the *back* of a sibling's deque (the entries the sibling would reach last,
+/// minimising contention on its working end). Returns `None` when every source
+/// is dry — no new work ever appears after that, because cells only flow
+/// injector → deque → execution.
+fn claim_cell(
+    me: usize,
+    injector: &Mutex<VecDeque<usize>>,
+    locals: &[Mutex<VecDeque<usize>>],
+    batch: usize,
+) -> Option<usize> {
+    if let Some(index) = locals[me].lock().expect("worker deque poisoned").pop_front() {
+        return Some(index);
+    }
+    {
+        let mut injector = injector.lock().expect("injector poisoned");
+        if let Some(first) = injector.pop_front() {
+            let refill = batch.saturating_sub(1).min(injector.len());
+            if refill > 0 {
+                locals[me]
+                    .lock()
+                    .expect("worker deque poisoned")
+                    .extend(injector.drain(..refill));
+            }
+            return Some(first);
+        }
+    }
+    for offset in 1..locals.len() {
+        let victim = (me + offset) % locals.len();
+        if let Some(index) = locals[victim].lock().expect("worker deque poisoned").pop_back() {
+            return Some(index);
+        }
+    }
+    None
 }
 
 #[cfg(test)]
@@ -503,9 +597,11 @@ mod tests {
 
     #[test]
     fn burst_sweep_grid_multiplies_arrival_models_with_shared_seeds() {
-        let grid = ExperimentGrid::burst_sweep(tiny_scale());
+        let grid = ExperimentGrid::burst_sweep(tiny_scale()).unwrap();
         let cells = grid.cells();
-        let axis = burst_axis(default_burst_mean_iops());
+        let mean_iops = grid_burst_mean_iops(&tiny_scale()).unwrap();
+        assert!(mean_iops > 0.0, "the saturation probes must measure a positive rate");
+        let axis = burst_axis(mean_iops);
         // 2 FTLs x 2 workloads x axis x 1 open-loop discipline x 1 scale.
         assert_eq!(cells.len(), 4 * axis.len());
         for cell in &cells {
@@ -535,6 +631,47 @@ mod tests {
         for result in &serial {
             assert!(result.summary.offered_iops() > 0.0);
         }
+    }
+
+    #[test]
+    fn work_stealing_is_deterministic_across_worker_counts() {
+        // The steal order varies wildly with the worker count (and with OS
+        // scheduling), but the stitched results must not: every worker count
+        // reproduces the serial reference bit-for-bit.
+        let grid = ExperimentGrid::queue_depth_sweep(ExperimentScale {
+            requests: 150,
+            ..tiny_scale()
+        });
+        let serial = ParallelRunner::run_serial(&grid).unwrap();
+        for workers in [2, 3, 5, 32] {
+            let parallel = ParallelRunner::new(workers).run(&grid).unwrap();
+            assert_eq!(parallel, serial, "{workers} workers diverged from serial");
+        }
+    }
+
+    #[test]
+    fn claim_cell_drains_injector_batches_and_steals_from_siblings() {
+        let injector: Mutex<VecDeque<usize>> = Mutex::new((0..6).collect());
+        let locals: Vec<Mutex<VecDeque<usize>>> =
+            (0..2).map(|_| Mutex::new(VecDeque::new())).collect();
+        // Worker 0 claims with batch 3: takes 0, banks 1 and 2 in its deque.
+        assert_eq!(claim_cell(0, &injector, &locals, 3), Some(0));
+        assert_eq!(locals[0].lock().unwrap().len(), 2);
+        assert_eq!(injector.lock().unwrap().len(), 3);
+        // Worker 1 claims next: its own deque is empty, so it batches from the
+        // injector (3, banking 4 and 5), draining it.
+        assert_eq!(claim_cell(1, &injector, &locals, 3), Some(3));
+        assert!(injector.lock().unwrap().is_empty());
+        // Worker 0 drains its own deque oldest-first.
+        assert_eq!(claim_cell(0, &injector, &locals, 3), Some(1));
+        assert_eq!(claim_cell(0, &injector, &locals, 3), Some(2));
+        // Worker 0 is dry everywhere else, so it steals worker 1's *newest*
+        // banked cell (the back of the deque: 5, not 4).
+        assert_eq!(claim_cell(0, &injector, &locals, 3), Some(5));
+        assert_eq!(claim_cell(1, &injector, &locals, 3), Some(4));
+        // Everything is dry: both workers disband.
+        assert_eq!(claim_cell(0, &injector, &locals, 3), None);
+        assert_eq!(claim_cell(1, &injector, &locals, 3), None);
     }
 
     #[test]

@@ -29,6 +29,16 @@ const MIB: u64 = 1024 * 1024;
 /// arrival clock for at most three decades — heavy-tailed, but bounded.
 const PARETO_BOUND_RATIO: f64 = 1_000.0;
 
+/// How many inter-arrival gaps the heavy-tailed models draw per refill of their
+/// batch buffer. Large enough to amortise the per-call sampling overhead, small
+/// enough that short traces don't waste most of a batch.
+const ARRIVAL_BATCH: usize = 256;
+
+/// Seed salt for the dedicated arrival RNG the heavy-tailed models draw from.
+/// XORed with [`SyntheticConfig::seed`] so the arrival stream is decorrelated
+/// from the content stream while staying a pure function of the seed.
+const ARRIVAL_STREAM_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
+
 /// How the generators space request arrival timestamps.
 ///
 /// The arrival clock is what open-loop replay drives the simulator with, so these
@@ -42,6 +52,11 @@ const PARETO_BOUND_RATIO: f64 = 1_000.0;
 /// All variants are deterministic: equal seeds give byte-identical traces, and
 /// the two historic variants consume the generator RNG exactly as they did
 /// before the heavy-tailed variants existed, so default traces are byte-stable.
+/// The heavy-tailed variants instead draw their gaps in batches from a
+/// *dedicated* arrival RNG (seeded from the trace seed), which keeps the
+/// content stream — ops, offsets, lengths — independent of the arrival model:
+/// two heavy-tailed traces with the same seed touch the same addresses in the
+/// same order and differ only in their timestamps.
 ///
 /// # Example
 ///
@@ -157,11 +172,17 @@ impl ArrivalModel {
     }
 
     /// Builds the stateful gap sampler, validating the parameters.
-    fn sampler(self) -> ArrivalSampler {
-        match self {
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model's parameters are degenerate (empty gap range,
+    /// non-positive rate, Pareto shape at or below 1, idle fraction outside
+    /// `[0, 1)`, or a zero burst length).
+    pub fn sampler(self) -> ArrivalSampler {
+        let kind = match self {
             ArrivalModel::UniformGap { min_nanos, max_nanos } => {
                 assert!(min_nanos < max_nanos, "arrival gap range must be non-empty");
-                ArrivalSampler::Uniform { min_nanos, max_nanos }
+                SamplerKind::Uniform { min_nanos, max_nanos }
             }
             ArrivalModel::MeanRate { iops } => {
                 assert!(
@@ -169,7 +190,7 @@ impl ArrivalModel {
                     "target arrival rate must be positive and finite"
                 );
                 let mean = (1e9 / iops).max(1.0) as u64;
-                ArrivalSampler::Uniform {
+                SamplerKind::Uniform {
                     min_nanos: mean / 2,
                     max_nanos: (mean / 2 + mean).max(mean / 2 + 1),
                 }
@@ -190,7 +211,7 @@ impl ArrivalModel {
                 let mean_gap = 1e9 / mean_iops;
                 let mean_over_scale = shape / (shape - 1.0) * (1.0 - r.powf(1.0 - shape))
                     / (1.0 - r.powf(-shape));
-                ArrivalSampler::Pareto {
+                SamplerKind::Pareto {
                     scale: mean_gap / mean_over_scale,
                     inv_shape: 1.0 / shape,
                     // CDF mass below the truncation point: inverse-transform
@@ -216,7 +237,7 @@ impl ArrivalModel {
                 let idle_gap = (1e9 / burst_iops
                     * (cycle_requests / (1.0 - idle_fraction) - f64::from(burst_len)))
                     .max(1.0) as u64;
-                ArrivalSampler::OnOff {
+                SamplerKind::OnOff {
                     on_min: on_gap / 2,
                     on_max: (on_gap / 2 + on_gap).max(on_gap / 2 + 1),
                     idle_min: idle_gap / 2,
@@ -225,7 +246,8 @@ impl ArrivalModel {
                     left_in_burst: burst_len,
                 }
             }
-        }
+        };
+        ArrivalSampler { kind }
     }
 }
 
@@ -241,13 +263,24 @@ impl std::fmt::Display for ArrivalModel {
     }
 }
 
-/// The stateful inter-arrival gap sampler compiled from an [`ArrivalModel`].
+/// The stateful inter-arrival gap sampler compiled from an [`ArrivalModel`]
+/// via [`ArrivalModel::sampler`].
 ///
 /// The uniform variant draws `rng.gen_range(min..max)` exactly like the
 /// pre-heavy-tail generators did, so [`ArrivalModel::UniformGap`] and
 /// [`ArrivalModel::MeanRate`] traces stay byte-identical across this refactor
-/// (locked down by the golden-fingerprint test below).
-enum ArrivalSampler {
+/// (locked down by the golden-fingerprint test below). The heavy-tailed
+/// variants are where [`ArrivalSampler::fill`] pays off: the generators refill
+/// a gap buffer in `ARRIVAL_BATCH`-sized batches so the distribution
+/// parameters are resolved once per batch instead of once per request.
+#[derive(Debug, Clone)]
+pub struct ArrivalSampler {
+    kind: SamplerKind,
+}
+
+/// The per-variant sampling state behind [`ArrivalSampler`].
+#[derive(Debug, Clone)]
+enum SamplerKind {
     Uniform {
         min_nanos: u64,
         max_nanos: u64,
@@ -272,19 +305,19 @@ enum ArrivalSampler {
 
 impl ArrivalSampler {
     /// Draws the next inter-arrival gap in nanoseconds (at least 1).
-    fn next_gap(&mut self, rng: &mut StdRng) -> u64 {
-        match self {
-            ArrivalSampler::Uniform { min_nanos, max_nanos } => {
+    pub fn next_gap(&mut self, rng: &mut StdRng) -> u64 {
+        match &mut self.kind {
+            SamplerKind::Uniform { min_nanos, max_nanos } => {
                 rng.gen_range(*min_nanos..*max_nanos)
             }
-            ArrivalSampler::Pareto { scale, inv_shape, truncated_mass } => {
+            SamplerKind::Pareto { scale, inv_shape, truncated_mass } => {
                 // Inverse CDF of the bounded Pareto: u ∈ [0, 1) maps onto
                 // [L, R·L) monotonically.
                 let u: f64 = rng.gen();
                 let gap = *scale / (1.0 - u * *truncated_mass).powf(*inv_shape);
                 (gap.round() as u64).max(1)
             }
-            ArrivalSampler::OnOff {
+            SamplerKind::OnOff {
                 on_min,
                 on_max,
                 idle_min,
@@ -299,6 +332,107 @@ impl ArrivalSampler {
                     *left_in_burst -= 1;
                     rng.gen_range(*on_min..*on_max)
                 }
+            }
+        }
+    }
+
+    /// Fills `gaps` with consecutive inter-arrival gaps, exactly as if
+    /// [`ArrivalSampler::next_gap`] had been called `gaps.len()` times with the
+    /// same RNG — the batch is purely an amortisation of the per-draw overhead
+    /// (one variant dispatch and one parameter load per batch instead of per
+    /// gap), never a different random stream.
+    pub fn fill(&mut self, gaps: &mut [u64], rng: &mut StdRng) {
+        match &mut self.kind {
+            SamplerKind::Uniform { min_nanos, max_nanos } => {
+                let (min, max) = (*min_nanos, *max_nanos);
+                for gap in gaps {
+                    *gap = rng.gen_range(min..max);
+                }
+            }
+            SamplerKind::Pareto { scale, inv_shape, truncated_mass } => {
+                let (scale, inv_shape, mass) = (*scale, *inv_shape, *truncated_mass);
+                for gap in gaps {
+                    let u: f64 = rng.gen();
+                    let raw = scale / (1.0 - u * mass).powf(inv_shape);
+                    *gap = (raw.round() as u64).max(1);
+                }
+            }
+            SamplerKind::OnOff {
+                on_min,
+                on_max,
+                idle_min,
+                idle_max,
+                burst_len,
+                left_in_burst,
+            } => {
+                let (on_min, on_max) = (*on_min, *on_max);
+                let (idle_min, idle_max) = (*idle_min, *idle_max);
+                let burst = *burst_len;
+                let mut left = *left_in_burst;
+                for gap in gaps {
+                    if left == 0 {
+                        left = burst;
+                        *gap = rng.gen_range(idle_min..idle_max);
+                    } else {
+                        left -= 1;
+                        *gap = rng.gen_range(on_min..on_max);
+                    }
+                }
+                *left_in_burst = left;
+            }
+        }
+    }
+}
+
+/// The arrival clock the generators advance per request: either inline draws
+/// off the shared content RNG (the historic, byte-stable path) or batched
+/// draws off a dedicated arrival RNG (the heavy-tailed path).
+enum ArrivalClock {
+    /// [`ArrivalModel::UniformGap`] / [`ArrivalModel::MeanRate`]: each gap is
+    /// drawn inline from the generator's shared RNG, preserving the historic
+    /// RNG consumption byte-for-byte.
+    Inline(ArrivalSampler),
+    /// [`ArrivalModel::Pareto`] / [`ArrivalModel::OnOffBurst`]: gaps come from
+    /// a dedicated arrival RNG, refilled [`ARRIVAL_BATCH`] at a time via
+    /// [`ArrivalSampler::fill`]. The content stream never sees these draws.
+    Batched {
+        sampler: ArrivalSampler,
+        rng: Box<StdRng>,
+        gaps: Box<[u64; ARRIVAL_BATCH]>,
+        next: usize,
+    },
+}
+
+impl ArrivalClock {
+    fn new(model: ArrivalModel, seed: u64) -> Self {
+        let sampler = model.sampler();
+        match model {
+            ArrivalModel::UniformGap { .. } | ArrivalModel::MeanRate { .. } => {
+                ArrivalClock::Inline(sampler)
+            }
+            ArrivalModel::Pareto { .. } | ArrivalModel::OnOffBurst { .. } => {
+                ArrivalClock::Batched {
+                    sampler,
+                    rng: Box::new(StdRng::seed_from_u64(seed ^ ARRIVAL_STREAM_SALT)),
+                    gaps: Box::new([0; ARRIVAL_BATCH]),
+                    // Start exhausted so the first gap triggers a refill.
+                    next: ARRIVAL_BATCH,
+                }
+            }
+        }
+    }
+
+    fn next_gap(&mut self, shared_rng: &mut StdRng) -> u64 {
+        match self {
+            ArrivalClock::Inline(sampler) => sampler.next_gap(shared_rng),
+            ArrivalClock::Batched { sampler, rng, gaps, next } => {
+                if *next == ARRIVAL_BATCH {
+                    sampler.fill(&mut gaps[..], rng);
+                    *next = 0;
+                }
+                let gap = gaps[*next];
+                *next += 1;
+                gap
             }
         }
     }
@@ -359,7 +493,7 @@ impl Default for SkewedParams {
     }
 }
 
-fn advance_clock(rng: &mut StdRng, now: &mut u64, arrivals: &mut ArrivalSampler) -> u64 {
+fn advance_clock(rng: &mut StdRng, now: &mut u64, arrivals: &mut ArrivalClock) -> u64 {
     // Inter-arrival gap drawn from the configured arrival model. Closed-loop replay
     // only cares about the ordering, but open-loop replay issues requests at these
     // timestamps, so the spacing determines the offered load — and, for the
@@ -388,7 +522,7 @@ pub fn skewed(config: SyntheticConfig, params: SkewedParams) -> Trace {
     );
 
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut arrivals = config.arrival.sampler();
+    let mut arrivals = ArrivalClock::new(config.arrival, config.seed);
     let regions = (config.working_set_bytes / params.region_bytes).max(1) as usize;
     let zipf = Zipf::new(regions, params.zipf_exponent);
     let mut now = 0u64;
@@ -422,7 +556,7 @@ pub fn media_server(config: SyntheticConfig) -> Trace {
     const METADATA_BYTES: u64 = MIB;
 
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut arrivals = config.arrival.sampler();
+    let mut arrivals = ArrivalClock::new(config.arrival, config.seed);
     let data_bytes = config.working_set_bytes.saturating_sub(METADATA_BYTES).max(FILE_BYTES);
     let files = (data_bytes / FILE_BYTES).max(1) as usize;
     let popularity = Zipf::new(files, 0.9);
@@ -489,7 +623,7 @@ pub fn web_sql_server(config: SyntheticConfig) -> Trace {
     const REGION: u64 = 8 * KIB;
 
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut arrivals = config.arrival.sampler();
+    let mut arrivals = ArrivalClock::new(config.arrival, config.seed);
     let data_bytes = config.working_set_bytes.saturating_sub(METADATA_BYTES).max(4 * REGION);
     // Split the data space: 15% temp, 25% tables, 45% assets, 15% backups.
     let temp_bytes = data_bytes * 15 / 100;
@@ -693,6 +827,51 @@ mod tests {
             fingerprint(&skewed(config, SkewedParams::default())),
             0x9eb9_5907_2cb2_1c82
         );
+    }
+
+    #[test]
+    fn fill_matches_repeated_next_gap_draws() {
+        for model in [
+            ArrivalModel::default(),
+            ArrivalModel::MeanRate { iops: 30_000.0 },
+            ArrivalModel::Pareto { shape: 1.4, mean_iops: 30_000.0 },
+            ArrivalModel::OnOffBurst { burst_iops: 1e5, idle_fraction: 0.8, burst_len: 7 },
+        ] {
+            // Deliberately not a multiple of the burst length, so the on/off
+            // phase state must survive across the fill boundary.
+            let mut batch = vec![0u64; 1_000];
+            let mut batch_rng = StdRng::seed_from_u64(99);
+            model.sampler().fill(&mut batch, &mut batch_rng);
+
+            let mut single_rng = StdRng::seed_from_u64(99);
+            let mut sampler = model.sampler();
+            let singles: Vec<u64> =
+                (0..1_000).map(|_| sampler.next_gap(&mut single_rng)).collect();
+            assert_eq!(batch, singles, "{model}: fill diverged from next_gap");
+        }
+    }
+
+    #[test]
+    fn heavy_tailed_arrivals_leave_the_content_stream_untouched() {
+        // The dedicated arrival RNG means two heavy-tailed models at the same
+        // seed generate the same requests — only the timestamps differ.
+        let base = SyntheticConfig { requests: 5_000, seed: 13, ..Default::default() };
+        let pareto = web_sql_server(SyntheticConfig {
+            arrival: ArrivalModel::Pareto { shape: 1.5, mean_iops: 20_000.0 },
+            ..base
+        });
+        let onoff = web_sql_server(SyntheticConfig {
+            arrival: ArrivalModel::OnOffBurst {
+                burst_iops: 1e5,
+                idle_fraction: 0.75,
+                burst_len: 32,
+            },
+            ..base
+        });
+        assert_ne!(pareto, onoff, "timestamps must differ across models");
+        for (a, b) in pareto.requests().iter().zip(onoff.requests()) {
+            assert_eq!((a.op, a.offset, a.length), (b.op, b.offset, b.length));
+        }
     }
 
     #[test]

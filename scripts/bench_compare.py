@@ -2,24 +2,41 @@
 """Compare two bench baselines and fail on regressions beyond a threshold.
 
 Usage:
-    bench_compare.py BASELINE.json CURRENT.json [--threshold PCT]
+    bench_compare.py BASELINE.json CURRENT.json [--threshold PCT] \
+        [--group-threshold GROUP=PCT ...]
 
 Both files are the {"bench id": mean_nanos} maps the vendored criterion writes
 via VFLASH_BENCH_JSON. The script prints a per-bench delta table and exits
-non-zero when any bench regressed by more than the threshold (default 25%, also
-settable via the BENCH_REGRESSION_THRESHOLD environment variable — the CLI flag
-wins).
+non-zero when any bench regressed by more than its threshold.
+
+Thresholds are resolved per bench *group* (the prefix before the first "/" in
+the bench id, e.g. "throughput" for "throughput/grid_serial"):
+
+1. a `--group-threshold GROUP=PCT` flag for the bench's group, if given;
+2. a built-in per-group default (see GROUP_THRESHOLDS below) — the replay
+   engine's `throughput` and `open_loop` groups are the repo's hot paths and
+   get a tighter 15% gate;
+3. the global `--threshold` (default 25%, also settable via the
+   BENCH_REGRESSION_THRESHOLD environment variable — the CLI flag wins).
 
 Benches present in only one file are reported (as "new" or "removed") but never
 fail the gate: adding or retiring a bench target is not a regression. Smoke-mode
-runs take a single sample, so the default threshold is deliberately loose; lower
-it once real criterion statistics replace the vendored stub.
+runs take a single sample, so the global default threshold is deliberately
+loose; lower it once real criterion statistics replace the vendored stub.
 """
 
 import argparse
 import json
 import os
 import sys
+
+# Per-group regression gates tighter than the global default. The replay
+# engine's grid benches are what the performance work of this repo optimises;
+# a 15% slide there is a real regression even under single-sample smoke noise.
+GROUP_THRESHOLDS = {
+    "throughput": 15.0,
+    "open_loop": 15.0,
+}
 
 
 def load(path):
@@ -33,6 +50,21 @@ def load(path):
     ):
         sys.exit(f"bench_compare: {path} is not a {{bench: nanos}} map")
     return data
+
+
+def parse_group_thresholds(pairs):
+    overrides = {}
+    for pair in pairs or []:
+        group, sep, pct = pair.partition("=")
+        if not sep or not group:
+            sys.exit(
+                f"bench_compare: --group-threshold expects GROUP=PCT, got {pair!r}"
+            )
+        try:
+            overrides[group] = float(pct)
+        except ValueError:
+            sys.exit(f"bench_compare: not a percentage in {pair!r}")
+    return overrides
 
 
 def format_nanos(nanos):
@@ -53,10 +85,24 @@ def main():
         "--threshold",
         type=float,
         default=float(os.environ.get("BENCH_REGRESSION_THRESHOLD", "25")),
-        help="maximum tolerated slowdown in percent (default 25, or "
-        "$BENCH_REGRESSION_THRESHOLD)",
+        help="maximum tolerated slowdown in percent for groups without a "
+        "per-group gate (default 25, or $BENCH_REGRESSION_THRESHOLD)",
+    )
+    parser.add_argument(
+        "--group-threshold",
+        action="append",
+        metavar="GROUP=PCT",
+        help="override the gate for one bench group (repeatable); wins over "
+        "both the built-in per-group defaults and --threshold",
     )
     args = parser.parse_args()
+    overrides = parse_group_thresholds(args.group_threshold)
+
+    def threshold_for(bench):
+        group = bench.split("/")[0]
+        if group in overrides:
+            return overrides[group]
+        return GROUP_THRESHOLDS.get(group, args.threshold)
 
     baseline = load(args.baseline)
     current = load(args.current)
@@ -83,16 +129,24 @@ def main():
             rows.append((bench, format_nanos(old), format_nanos(new), "skipped (zero base)"))
             continue
         delta = (new - old) / old * 100.0
+        gate = threshold_for(bench)
         status = f"{delta:+.1f}%"
-        if delta > args.threshold:
-            status += f"  REGRESSION (> {args.threshold:g}%)"
-            regressions.append((bench, delta))
+        if delta > gate:
+            status += f"  REGRESSION (> {gate:g}%)"
+            regressions.append((bench, delta, gate))
         rows.append((bench, format_nanos(old), format_nanos(new), status))
 
     name_width = max((len(row[0]) for row in rows), default=5)
     print(f"{'bench':<{name_width}}  {'baseline':>10}  {'current':>10}  delta")
     for bench, old, new, status in rows:
         print(f"{bench:<{name_width}}  {old:>10}  {new:>10}  {status}")
+
+    gates = {bench.split("/")[0]: threshold_for(bench) for bench in baseline}
+    tightened = sorted(
+        f"{group} {gate:g}%" for group, gate in gates.items() if gate != args.threshold
+    )
+    if tightened:
+        print(f"\nper-group gates: {', '.join(tightened)} (others {args.threshold:g}%)")
 
     if new_benches:
         # Name the whole groups that are new (e.g. a freshly added bench target
@@ -118,13 +172,13 @@ def main():
         )
     if regressions:
         print(
-            f"\n{len(regressions)} bench(es) regressed beyond {args.threshold:g}%:",
+            f"\n{len(regressions)} bench(es) regressed beyond their gate:",
             file=sys.stderr,
         )
-        for bench, delta in regressions:
-            print(f"  {bench}: {delta:+.1f}%", file=sys.stderr)
+        for bench, delta, gate in regressions:
+            print(f"  {bench}: {delta:+.1f}% (gate {gate:g}%)", file=sys.stderr)
         return 1
-    print(f"\nno bench regressed beyond {args.threshold:g}%")
+    print("\nno bench regressed beyond its gate")
     return 0
 
 

@@ -186,13 +186,17 @@ fn reference_queued<F: FlashTranslationLayer + ?Sized>(
                     Err(err) => return Err(err),
                 },
             };
-            for op in &completion.ops {
+            // The pre-refactor loop consumed per-request `Vec<OpRecord>`s; the
+            // FTL API now hands out spans into the device's op arena, so the
+            // reference resolves the span and releases the arena — the timing
+            // arithmetic is untouched.
+            for op in ftl.device().ops(completion.ops) {
                 let ready = chip_ready[op.chip.0];
                 let op_start = if ready > now { ready } else { now };
                 now = op_start + op.latency;
                 chip_ready[op.chip.0] = now;
             }
-            ftl.device_mut().recycle_ops(completion.ops);
+            ftl.device_mut().clear_ops();
         }
         let latency = now.saturating_sub(issue);
         match request.op {
@@ -481,6 +485,61 @@ proptest! {
             prop_assert_eq!(
                 reference_ftl.device().chip(ChipId(chip)).unwrap(),
                 engine_ftl.device().chip(ChipId(chip)).unwrap()
+            );
+        }
+    }
+
+    /// Random traces × random queue depths keep the queued bit-identity
+    /// contract: the one-heap event calendar reproduces the pre-refactor
+    /// two-structure loop (slot heap + per-chip clocks) on arbitrary configs,
+    /// including complete device state, for both FTLs.
+    #[test]
+    fn queued_reference_equivalence_holds_on_random_configs(
+        ops in proptest::collection::vec(
+            (0u8..2, 0u64..512, 1u32..40_000),
+            1..100,
+        ),
+        chips in 1usize..5,
+        depth in 2usize..32,
+        use_ppb in any::<bool>(),
+    ) {
+        let requests: Vec<vflash::trace::IoRequest> = ops
+            .iter()
+            .enumerate()
+            .map(|(i, &(op, page, len))| {
+                let op = if op == 0 { IoOp::Read } else { IoOp::Write };
+                vflash::trace::IoRequest::new(i as u64 * 1_000, op, page * 4096, len)
+            })
+            .collect();
+        let trace = Trace::new("random", requests);
+        let context = format!("random queued QD{depth}, {chips} chip(s), ppb={use_ppb}");
+        if use_ppb {
+            let mut reference_ftl = ppb(chips);
+            let mut engine_ftl = ppb(chips);
+            let reference =
+                reference_queued(&mut reference_ftl, &trace, RunOptions::default(), depth)
+                    .unwrap();
+            let engine = QueuedReplayer::new(RunOptions::default(), depth)
+                .run_mut(&mut engine_ftl, &trace)
+                .unwrap();
+            assert_reproduces_reference(
+                (&reference, &reference_ftl),
+                (&engine, &engine_ftl),
+                &context,
+            );
+        } else {
+            let mut reference_ftl = conventional(chips);
+            let mut engine_ftl = conventional(chips);
+            let reference =
+                reference_queued(&mut reference_ftl, &trace, RunOptions::default(), depth)
+                    .unwrap();
+            let engine = QueuedReplayer::new(RunOptions::default(), depth)
+                .run_mut(&mut engine_ftl, &trace)
+                .unwrap();
+            assert_reproduces_reference(
+                (&reference, &reference_ftl),
+                (&engine, &engine_ftl),
+                &context,
             );
         }
     }

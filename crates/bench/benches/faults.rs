@@ -1,0 +1,33 @@
+//! Reliability: replay under the NAND fault model (read-retry ladder plus
+//! bad-block remapping) and the end-of-life probe.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vflash_sim::experiments::{fault_lifetime, fault_sweep, ExperimentScale};
+
+fn faults(c: &mut Criterion) {
+    let scale = ExperimentScale { requests: 1_500, ..ExperimentScale::quick() };
+    let mut group = c.benchmark_group("faults");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    group.bench_function("sweep", |b| {
+        b.iter(|| {
+            let rows = fault_sweep(&scale).expect("fault sweep runs");
+            std::hint::black_box(
+                rows.iter()
+                    .map(|row| row.conventional.retried_reads + row.ppb.retried_reads)
+                    .sum::<u64>(),
+            )
+        });
+    });
+    group.bench_function("lifetime", |b| {
+        b.iter(|| {
+            let rows = fault_lifetime(&scale).expect("lifetime probe runs");
+            std::hint::black_box(rows.iter().map(|row| row.writes_completed).sum::<u64>())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, faults);
+criterion_main!(benches);

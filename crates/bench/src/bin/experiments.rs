@@ -6,6 +6,7 @@
 //! cargo run --release -p vflash-bench --bin experiments -- qd          # queue-depth sweep
 //! cargo run --release -p vflash-bench --bin experiments -- openloop    # offered-load sweep
 //! cargo run --release -p vflash-bench --bin experiments -- burst       # burstiness sweep
+//! cargo run --release -p vflash-bench --bin experiments -- faults      # fault/reliability sweep
 //! cargo run --release -p vflash-bench --bin experiments -- --quick     # smaller scale
 //! cargo run --release -p vflash-bench --bin experiments -- --trace mds_0.csv
 //!                                      # real MSR-Cambridge trace through the same sweeps
@@ -14,16 +15,17 @@
 use std::error::Error;
 
 use vflash_bench::{
-    format_burst_rows, format_enhancement_rows, format_erase_rows, format_latency_sweep,
-    format_policy_erase_rows, format_queue_depth_rows, format_rate_scale_rows,
+    format_burst_rows, format_enhancement_rows, format_erase_rows, format_fault_rows,
+    format_latency_sweep, format_lifetime_rows, format_policy_erase_rows,
+    format_queue_depth_rows, format_rate_scale_rows,
 };
 use vflash_nand::NandConfig;
 use vflash_sim::experiments::{
     ablation_classifier, ablation_virtual_blocks, burst_sweep_at, burst_sweep_mean_iops,
-    enhancement_rows, erase_count_by_policy, queue_depth_sweep, rate_scale_sweep,
-    rate_scale_sweep_for_trace, read_latency_sweep, read_latency_sweep_for_trace,
-    write_latency_sweep, write_latency_sweep_for_trace, EraseCountRow, ExperimentScale, GcPolicy,
-    Workload,
+    enhancement_rows, erase_count_by_policy, fault_lifetime, fault_sweep, queue_depth_sweep,
+    rate_scale_sweep, rate_scale_sweep_for_trace, read_latency_sweep,
+    read_latency_sweep_for_trace, write_latency_sweep, write_latency_sweep_for_trace,
+    EraseCountRow, ExperimentScale, GcPolicy, Workload,
 };
 use vflash_sim::Comparison;
 use vflash_trace::msr::{self, SubsetOptions};
@@ -176,6 +178,16 @@ fn burst(scale: &ExperimentScale) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
+fn faults(scale: &ExperimentScale) -> Result<(), Box<dyn Error>> {
+    println!("== Fault sweep: web-sql-server, RBER scale x GC policy, 16 KB pages, 2x, QD 1 ==");
+    print!("{}", format_fault_rows(&fault_sweep(scale)?));
+    println!();
+    println!("== End-of-life probe: round-robin writes into a failing device until read-only ==");
+    print!("{}", format_lifetime_rows(&fault_lifetime(scale)?));
+    println!();
+    Ok(())
+}
+
 /// Runs a real (MSR-Cambridge CSV) trace through the same sweeps the synthetic
 /// workloads get: the Figure 13/16-style latency-vs-speed-ratio comparison and
 /// the open-loop offered-load sweep.
@@ -311,10 +323,14 @@ fn main() -> Result<(), Box<dyn Error>> {
         burst(&scale)?;
         matched = true;
     }
+    if run_all || figures.contains(&"faults") {
+        faults(&scale)?;
+        matched = true;
+    }
     if !matched {
         eprintln!(
             "unknown experiment selection {figures:?}; expected fig12..fig18, ablation, qd, \
-             openloop, burst or all"
+             openloop, burst, faults or all"
         );
         std::process::exit(2);
     }

@@ -11,8 +11,8 @@
 
 use vflash_nand::Nanos;
 use vflash_sim::experiments::{
-    BurstRow, EnhancementRow, EraseCountRow, LatencySweepRow, PolicyEraseRow, QueueDepthRow,
-    RateScaleRow,
+    BurstRow, EnhancementRow, EraseCountRow, FaultRow, LatencySweepRow, LifetimeRow,
+    PolicyEraseRow, QueueDepthRow, RateScaleRow,
 };
 use vflash_sim::{Comparison, LatencyPercentiles, RunSummary};
 
@@ -173,6 +173,54 @@ pub fn format_policy_erase_rows(rows: &[PolicyEraseRow]) -> String {
     out
 }
 
+/// Renders fault-sweep rows: for every RBER scale × GC policy, how often the
+/// fault model fired (retried/uncorrectable reads, bad-block growth), the
+/// fraction of host time the retry ladder cost, and the read-latency tail of
+/// both FTLs. Reading the table: the retry columns grow down the RBER axis and
+/// drag the p99/p99.9 with them — the reliability tax on tail latency.
+pub fn format_fault_rows(rows: &[FaultRow]) -> String {
+    let mut out = String::from(
+        "rber   gc-policy        ftl             retried   retry%   uncorr   bad-blk   \
+         read p99/p99.9 (us)\n",
+    );
+    let mut push = |rber: f64, policy: &str, summary: &RunSummary| {
+        out.push_str(&format!(
+            "{:>3.0}x   {:<16} {:<12} {:>9} {:>8.2} {:>8} {:>9}   {:>9.0}/{:>9.0}\n",
+            rber,
+            policy,
+            summary.ftl,
+            summary.retried_reads,
+            summary.retry_latency_fraction() * 100.0,
+            summary.uncorrectable_reads,
+            summary.bad_blocks_grown,
+            summary.read_latency.p99.as_micros_f64(),
+            summary.read_latency.p999.as_micros_f64(),
+        ));
+    };
+    for row in rows {
+        let policy = row.policy.label();
+        push(row.rber_scale, &policy, &row.conventional);
+        push(row.rber_scale, &policy, &row.ppb);
+    }
+    out
+}
+
+/// Renders end-of-life probe rows: how many writes each FTL absorbed on a
+/// failing device, how many blocks it retired, and when it turned read-only.
+pub fn format_lifetime_rows(rows: &[LifetimeRow]) -> String {
+    let mut out = String::from("ftl            writes-to-read-only   bad-blocks   read-only at\n");
+    for row in rows {
+        out.push_str(&format!(
+            "{:<12} {:>21} {:>12}   {}\n",
+            row.ftl,
+            row.writes_completed,
+            row.bad_blocks,
+            seconds(row.time_to_read_only),
+        ));
+    }
+    out
+}
+
 /// Renders Figure 18 rows (erased block counts).
 pub fn format_erase_rows(rows: &[EraseCountRow]) -> String {
     let mut out = String::from("workload          conventional-ftl   ftl-with-ppb\n");
@@ -292,6 +340,48 @@ mod tests {
         assert!(text.contains("25.0"), "busy-arrival percent: {text}");
         assert!(text.contains("77"), "peak backlog: {text}");
         assert!(text.contains("1234"), "p99.9 column: {text}");
+    }
+
+    #[test]
+    fn fault_formatting_reports_reliability_counters() {
+        use vflash_sim::experiments::{FaultRow, GcPolicy};
+        let mut end = vflash_ftl::FtlMetrics::new();
+        end.record_host_read(Nanos::from_micros(400));
+        end.record_host_write(Nanos::from_micros(600));
+        end.record_read_retries(3, Nanos::from_micros(100));
+        end.record_uncorrectable_read();
+        end.record_bad_block();
+        let conventional = RunSummary::from_metrics_delta(
+            "conventional",
+            "t",
+            &vflash_ftl::FtlMetrics::new(),
+            &end,
+        );
+        let rows = vec![FaultRow {
+            rber_scale: 4.0,
+            policy: GcPolicy::Greedy,
+            conventional,
+            ppb: summary("ppb", 80),
+        }];
+        let text = format_fault_rows(&rows);
+        assert!(text.contains("4x"), "{text}");
+        assert!(text.contains("greedy"), "{text}");
+        assert!(text.contains("10.00"), "retry fraction 100us/1000us: {text}");
+    }
+
+    #[test]
+    fn lifetime_formatting_reports_the_transition() {
+        use vflash_sim::experiments::LifetimeRow;
+        let rows = vec![LifetimeRow {
+            ftl: "ppb",
+            writes_completed: 1234,
+            bad_blocks: 40,
+            time_to_read_only: Nanos::from_millis(1500),
+        }];
+        let text = format_lifetime_rows(&rows);
+        assert!(text.contains("1234"), "{text}");
+        assert!(text.contains("40"), "{text}");
+        assert!(text.contains("1.500s"), "{text}");
     }
 
     #[test]

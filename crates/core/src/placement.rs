@@ -167,6 +167,18 @@ impl AreaWriter {
     pub fn has_open(&self, class: usize) -> bool {
         !self.open[class].is_empty()
     }
+
+    /// Drops `block` from the open lists without waiting for it to fill — used when
+    /// the device retires it as bad mid-stream. Returns whether it was open here.
+    pub fn evict(&mut self, block: BlockAddr) -> bool {
+        for class_queue in &mut self.open {
+            if let Some(position) = class_queue.iter().position(|&open| open == block) {
+                class_queue.remove(position);
+                return true;
+            }
+        }
+        false
+    }
 }
 
 #[cfg(test)]
@@ -321,6 +333,20 @@ mod tests {
         }
         assert_eq!(writer.blocks_owned(), 1);
         assert!(writer.open_blocks().is_empty());
+    }
+
+    #[test]
+    fn evicted_blocks_leave_the_open_lists() {
+        let (mut device, table) = setup();
+        let mut writer = AreaWriter::new("hot", &table, 2);
+        let block = write_one(&mut writer, 0, &mut device, &table);
+        assert!(writer.has_open(0));
+        assert!(writer.evict(block));
+        assert!(writer.open_blocks().is_empty());
+        assert!(!writer.evict(block), "a second evict is a no-op");
+        // The next write allocates a replacement instead of reusing the evicted block.
+        let replacement = write_one(&mut writer, 0, &mut device, &table);
+        assert_ne!(block, replacement);
     }
 
     #[test]

@@ -1,11 +1,13 @@
 //! The PPB flash translation layer.
 
+use std::collections::HashSet;
+
 use vflash_ftl::hotcold::{HotColdClassifier, SizeCheck, Temperature};
 use vflash_ftl::{
     Completion, FlashTranslationLayer, FtlError, FtlMetrics, GcOutcome, GreedyVictimPolicy,
     IoCommand, IoRequest, Lpn, MappingTable, VictimPolicy,
 };
-use vflash_nand::{BlockAddr, NandDevice, Nanos, PageAddr};
+use vflash_nand::{BlockAddr, NandDevice, NandError, Nanos, PageAddr};
 
 use crate::cold_area::ColdArea;
 use crate::config::PpbConfig;
@@ -63,9 +65,14 @@ pub struct PpbFtl<C = SizeCheck> {
     victim_policy: Box<dyn VictimPolicy>,
     metrics: FtlMetrics,
     logical_pages: u64,
+    read_only: bool,
     /// Which area each physical block currently belongs to (by flat block index).
     /// `None` means the block is free or has never been written since its last erase.
     block_areas: Vec<Option<Area>>,
+    /// LPNs whose data was lost to an uncorrectable relocation read. A host read
+    /// of a lost LPN completes instantly with the `uncorrectable` flag (the
+    /// device no longer holds the data); a successful rewrite clears the entry.
+    lost: HashSet<Lpn>,
 }
 
 impl PpbFtl<SizeCheck> {
@@ -147,7 +154,9 @@ impl<C: HotColdClassifier> PpbFtl<C> {
             victim_policy: Box::new(GreedyVictimPolicy::new()),
             metrics: FtlMetrics::new(),
             logical_pages,
+            read_only: false,
             block_areas,
+            lost: HashSet::new(),
         })
     }
 
@@ -238,40 +247,128 @@ impl<C: HotColdClassifier> PpbFtl<C> {
         }
     }
 
-    /// Writes `lpn` at hotness `level`, charging the device time to `latency`.
+    /// Converts an allocation failure into the right terminal error: when bad-block
+    /// growth has eaten the spare capacity, the FTL transitions (stickily) to
+    /// read-only mode instead of reporting a capacity bug.
+    fn out_of_space(&mut self) -> FtlError {
+        if self.device.bad_block_count() > 0 {
+            self.read_only = true;
+            self.metrics.record_read_only(self.device.makespan());
+            FtlError::ReadOnly
+        } else {
+            FtlError::OutOfSpace
+        }
+    }
+
+    /// Writes `lpn` at hotness `level`, returning the device time charged.
+    ///
+    /// An injected program failure retires the target block; the writer evicts it,
+    /// its surviving valid pages are rescued (each at its *current* hotness level)
+    /// and the write re-drives into a fresh block, with the rescue time charged to
+    /// the returned latency.
     fn place_page(&mut self, lpn: Lpn, level: Hotness) -> Result<Nanos, FtlError> {
-        let desired = self.desired_class(level);
-        let writer = match level.area() {
-            Area::Hot => &mut self.hot_writer,
-            Area::Cold => &mut self.cold_writer,
-        };
-        let block = writer.target(desired, &mut self.device)?;
-        let flat = block.flat_index(self.device.config().blocks_per_chip());
-        if self.block_areas[flat].is_none() {
-            // First data in this block since its erase: claim it for the area and
-            // mirror the claim onto the device as a block tag, so hotness-aware
-            // victim policies (which only see the device) can tell areas apart.
-            self.block_areas[flat] = Some(level.area());
-            self.device
-                .set_block_area_tag(block, Some(level.area().tag()))
-                .expect("write target addresses are valid");
+        let mut time = Nanos::ZERO;
+        loop {
+            let desired = self.desired_class(level);
+            let targeted = match level.area() {
+                Area::Hot => self.hot_writer.target(desired, &mut self.device),
+                Area::Cold => self.cold_writer.target(desired, &mut self.device),
+            };
+            let block = match targeted {
+                Ok(block) => block,
+                Err(FtlError::OutOfSpace) => return Err(self.out_of_space()),
+                Err(err) => return Err(err),
+            };
+            let flat = block.flat_index(self.device.config().blocks_per_chip());
+            if self.block_areas[flat].is_none() {
+                // First data in this block since its erase: claim it for the area and
+                // mirror the claim onto the device as a block tag, so hotness-aware
+                // victim policies (which only see the device) can tell areas apart.
+                self.block_areas[flat] = Some(level.area());
+                self.device
+                    .set_block_area_tag(block, Some(level.area().tag()))
+                    .expect("write target addresses are valid");
+            }
+            let owner = self.block_areas[flat].expect("just claimed above");
+            debug_assert_eq!(
+                owner,
+                level.area(),
+                "block {block} owned by {owner} received {level} data"
+            );
+            match self.device.program_next(block) {
+                Ok((page, program)) => {
+                    let writer = match level.area() {
+                        Area::Hot => &mut self.hot_writer,
+                        Area::Cold => &mut self.cold_writer,
+                    };
+                    writer.after_program(block, &self.device, &self.virtual_blocks);
+                    if let Some(previous) = self.mapping.map(lpn, block.page(page)) {
+                        self.device.invalidate(previous)?;
+                    }
+                    return Ok(time + program);
+                }
+                Err(NandError::ProgramFailed { .. }) => {
+                    // The device retired `block`. Evict it from its writer, move
+                    // its surviving valid pages to safety and try again.
+                    self.metrics.record_bad_block();
+                    self.hot_writer.evict(block);
+                    self.cold_writer.evict(block);
+                    time += self.rescue_block(block)?;
+                    self.metrics.record_remap();
+                }
+                Err(err) => return Err(err.into()),
+            }
         }
-        let owner = self.block_areas[flat].expect("just claimed above");
-        debug_assert_eq!(
-            owner,
-            level.area(),
-            "block {block} owned by {owner} received {level} data"
-        );
-        let (page, program) = self.device.program_next(block)?;
-        let writer = match level.area() {
-            Area::Hot => &mut self.hot_writer,
-            Area::Cold => &mut self.cold_writer,
-        };
-        writer.after_program(block, &self.device, &self.virtual_blocks);
-        if let Some(previous) = self.mapping.map(lpn, block.page(page)) {
-            self.device.invalidate(previous)?;
+    }
+
+    /// Relocates every surviving valid page out of `bad` (a freshly retired block),
+    /// each at its current hotness level. Pages whose relocation read is
+    /// uncorrectable are dropped from the mapping and remembered as lost — the
+    /// host's next read of the LPN completes with the `uncorrectable` flag.
+    /// Returns the time charged.
+    fn rescue_block(&mut self, bad: BlockAddr) -> Result<Nanos, FtlError> {
+        let mut time = Nanos::ZERO;
+        let residents: Vec<(PageAddr, Lpn)> = self
+            .mapping
+            .lpns_in_block(bad)
+            .map(|(page, lpn)| (bad.page(page), lpn))
+            .collect();
+        for (source, lpn) in residents {
+            match self.relocation_read(source, lpn)? {
+                Some(read) => time += read,
+                None => {
+                    time += self.device.last_read_faults().total_time;
+                    continue;
+                }
+            }
+            let level = self.hotness_of(lpn);
+            // place_page remaps the LPN and invalidates its previous location,
+            // which is exactly the source page being rescued.
+            time += self.place_page(lpn, level)?;
         }
-        Ok(program)
+        Ok(time)
+    }
+
+    /// Reads `source` on behalf of a relocation (GC or bad-block rescue). Returns
+    /// `Ok(Some(latency))` on success; on an uncorrectable read the data is lost,
+    /// so the LPN is unmapped and remembered as lost, the page invalidated and
+    /// `Ok(None)` returned (the caller charges
+    /// [`NandDevice::last_read_faults`]'s total time).
+    fn relocation_read(&mut self, source: PageAddr, lpn: Lpn) -> Result<Option<Nanos>, FtlError> {
+        let outcome = self.device.read(source);
+        let faults = self.device.last_read_faults();
+        self.metrics.record_read_retries(faults.retries, faults.retry_time);
+        match outcome {
+            Ok(latency) => Ok(Some(latency)),
+            Err(NandError::UncorrectableRead { .. }) => {
+                self.metrics.record_uncorrectable_read();
+                self.mapping.unmap(lpn);
+                self.lost.insert(lpn);
+                self.device.invalidate(source)?;
+                Ok(None)
+            }
+            Err(err) => Err(err.into()),
+        }
     }
 
     fn open_blocks(&self) -> Vec<BlockAddr> {
@@ -307,7 +404,13 @@ impl<C: HotColdClassifier> PpbFtl<C> {
             .collect();
         let mut migrated = 0u64;
         for (source, lpn) in residents {
-            outcome.time += self.device.read(source)?;
+            match self.relocation_read(source, lpn)? {
+                Some(read) => outcome.time += read,
+                None => {
+                    outcome.time += self.device.last_read_faults().total_time;
+                    continue;
+                }
+            }
             let level = self.hotness_of(lpn);
             let source_class = self.virtual_blocks.class_of_page(source.page()).0;
             // place_page remaps the LPN and invalidates its previous location, which
@@ -320,10 +423,20 @@ impl<C: HotColdClassifier> PpbFtl<C> {
                 migrated += 1;
             }
         }
-        // The erase returns the victim to the device's free pool.
-        outcome.time += self.device.erase(victim)?;
-        outcome.erased_blocks += 1;
-        self.block_areas[victim.flat_index(self.device.config().blocks_per_chip())] = None;
+        // The erase returns the victim to the device's free pool. A failed erase
+        // is instantaneous (the device charges no time) and retires the victim;
+        // its valid data is already safe, so GC simply moves on without counting
+        // an erase, leaving the area claim on the dead block.
+        match self.device.erase(victim) {
+            Ok(erase) => {
+                outcome.time += erase;
+                outcome.erased_blocks += 1;
+                self.block_areas[victim.flat_index(self.device.config().blocks_per_chip())] =
+                    None;
+            }
+            Err(NandError::EraseFailed { .. }) => self.metrics.record_bad_block(),
+            Err(err) => return Err(err.into()),
+        }
         self.metrics.record_migration(migrated);
         Ok(outcome)
     }
@@ -345,20 +458,61 @@ impl<C: HotColdClassifier> FlashTranslationLayer for PpbFtl<C> {
         let mark = self.device.op_mark();
         match request.command {
             IoCommand::Read => {
-                let addr = self.mapping.lookup(lpn).ok_or(FtlError::UnmappedRead { lpn })?;
-                let latency = self.device.read(addr)?;
+                let Some(addr) = self.mapping.lookup(lpn) else {
+                    if self.lost.contains(&lpn) {
+                        // The data fell to an uncorrectable relocation read and is
+                        // gone from the media: the read completes instantly (no
+                        // device work) with the data-lost flag. No re-access
+                        // tracking either — a lost read is no re-use signal.
+                        self.metrics.record_uncorrectable_read();
+                        self.metrics.record_host_read(Nanos::ZERO);
+                        return Ok(Completion {
+                            latency: Nanos::ZERO,
+                            ops: self.device.ops_since(mark),
+                            gc: GcOutcome::default(),
+                            read_retries: 0,
+                            uncorrectable: true,
+                        });
+                    }
+                    return Err(FtlError::UnmappedRead { lpn });
+                };
+                // An uncorrectable read still completes towards the host — the
+                // full retry-ladder latency was spent — but the data is lost.
+                let (latency, uncorrectable) = match self.device.read(addr) {
+                    Ok(latency) => (latency, false),
+                    Err(NandError::UncorrectableRead { .. }) => {
+                        (self.device.last_read_faults().total_time, true)
+                    }
+                    Err(err) => return Err(err.into()),
+                };
+                let faults = self.device.last_read_faults();
+                self.metrics.record_read_retries(faults.retries, faults.retry_time);
+                if uncorrectable {
+                    self.metrics.record_uncorrectable_read();
+                }
                 self.metrics.record_host_read(latency);
 
-                // Re-access tracking: a read is the signal that promotes hot ->
-                // iron-hot and icy-cold -> cold. The data itself is not moved here
-                // (progressive migration).
-                self.classifier.record_read(lpn);
-                if self.hot_area.on_read(lpn) == PromotionOutcome::NotTracked {
-                    self.cold_area.on_read(lpn);
+                if !uncorrectable {
+                    // Re-access tracking: a read is the signal that promotes hot ->
+                    // iron-hot and icy-cold -> cold. The data itself is not moved
+                    // here (progressive migration). A lost read is no re-use signal.
+                    self.classifier.record_read(lpn);
+                    if self.hot_area.on_read(lpn) == PromotionOutcome::NotTracked {
+                        self.cold_area.on_read(lpn);
+                    }
                 }
-                Ok(Completion { latency, ops: self.device.ops_since(mark), gc: GcOutcome::default() })
+                Ok(Completion {
+                    latency,
+                    ops: self.device.ops_since(mark),
+                    gc: GcOutcome::default(),
+                    read_retries: faults.retries,
+                    uncorrectable,
+                })
             }
             IoCommand::Write { request_bytes } => {
+                if self.read_only {
+                    return Err(FtlError::ReadOnly);
+                }
                 let mut latency = Nanos::ZERO;
                 let mut gc = GcOutcome::default();
 
@@ -370,14 +524,25 @@ impl<C: HotColdClassifier> FlashTranslationLayer for PpbFtl<C> {
 
                 let level = self.classify_and_track_write(lpn, request_bytes);
                 latency += self.place_page(lpn, level)?;
+                self.lost.remove(&lpn);
                 self.metrics.record_host_write(latency);
-                Ok(Completion { latency, ops: self.device.ops_since(mark), gc })
+                Ok(Completion {
+                    latency,
+                    ops: self.device.ops_since(mark),
+                    gc,
+                    read_retries: 0,
+                    uncorrectable: false,
+                })
             }
         }
     }
 
     fn metrics(&self) -> &FtlMetrics {
         &self.metrics
+    }
+
+    fn is_read_only(&self) -> bool {
+        self.read_only
     }
 
     fn device(&self) -> &NandDevice {
@@ -674,6 +839,131 @@ mod tests {
         for i in 0..logical {
             ftl.read(Lpn(i)).unwrap();
         }
+    }
+
+    fn faulty_ftl(faults: vflash_nand::FaultConfig) -> PpbFtl {
+        let device = NandDevice::new(
+            NandConfig::builder()
+                .chips(1)
+                .blocks_per_chip(24)
+                .pages_per_block(8)
+                .page_size_bytes(4096)
+                .speed_ratio(4.0)
+                .faults(faults)
+                .build()
+                .unwrap(),
+        );
+        let config = PpbConfig {
+            ftl: vflash_ftl::FtlConfig { over_provisioning: 0.25, ..Default::default() },
+            ..PpbConfig::default()
+        };
+        PpbFtl::new(device, config).unwrap()
+    }
+
+    #[test]
+    fn program_failures_remap_writes_until_spares_run_out() {
+        let mut ftl = faulty_ftl(vflash_nand::FaultConfig {
+            program_fail_base: 0.02,
+            erase_fail_base: 0.0,
+            rber_scale: 0.0,
+            ..vflash_nand::FaultConfig::enabled(13)
+        });
+        let logical = ftl.logical_pages();
+        let mut writes = 0u64;
+        loop {
+            let size = if writes % 2 == 0 { 512 } else { 64 * 1024 };
+            match ftl.write(Lpn(writes % logical), size) {
+                Ok(_) => writes += 1,
+                Err(FtlError::ReadOnly) => break,
+                Err(err) => panic!("unexpected error before end of life: {err}"),
+            }
+            assert!(writes < 1_000_000, "device never reached end of life");
+        }
+        assert!(ftl.is_read_only());
+        assert!(writes > 0, "no writes succeeded before end of life");
+        let metrics = *ftl.metrics();
+        assert!(metrics.bad_blocks_grown > 0);
+        assert!(metrics.remapped_writes > 0);
+        assert!(metrics.time_to_read_only > Nanos::ZERO);
+        // Read-only mode is sticky...
+        assert!(matches!(ftl.write(Lpn(0), 512), Err(FtlError::ReadOnly)));
+        // ...but surviving data is still readable and the mapping is intact.
+        let readable = (0..logical).filter(|&i| ftl.read(Lpn(i)).is_ok()).count();
+        assert!(readable > 0, "read-only mode must keep serving reads");
+        ftl.mapping().check_consistency().unwrap();
+    }
+
+    #[test]
+    fn reads_of_data_lost_in_relocation_complete_with_the_data_lost_flag() {
+        // Every read exhausts the retry ladder, so every GC relocation read
+        // loses its page. Lost LPNs must not surface as UnmappedRead — the
+        // host read completes instantly with the uncorrectable flag.
+        let mut ftl = faulty_ftl(vflash_nand::FaultConfig {
+            rber_scale: 1e12,
+            ecc_correctable_bits: 0,
+            retry_extra_bits: 1,
+            max_read_retries: 2,
+            program_fail_base: 0.0,
+            erase_fail_base: 0.0,
+            ..vflash_nand::FaultConfig::enabled(11)
+        });
+        let logical = ftl.logical_pages();
+        // Fill once, then hammer a small hot set: GC keeps relocating the cold
+        // majority, loses every page it touches, and the lost LPNs are never
+        // rewritten — so they must still read back as lost afterwards.
+        for i in 0..logical {
+            ftl.write(Lpn(i), 4096).unwrap();
+        }
+        for round in 0..(logical * 4) {
+            ftl.write(Lpn(round % 8), 4096).unwrap();
+        }
+        assert!(ftl.metrics().gc_erased_blocks > 0, "workload never triggered GC");
+        let mut lost_seen = false;
+        for i in 0..logical {
+            let completion = ftl.submit(IoRequest::read(Lpn(i))).unwrap();
+            assert!(completion.uncorrectable, "every read on this device fails");
+            if completion.latency == Nanos::ZERO {
+                assert_eq!(completion.read_retries, 0);
+                lost_seen = true;
+            }
+        }
+        assert!(lost_seen, "an uncorrectable-everything device must lose data in GC");
+        // Rewriting a lost LPN revives it.
+        ftl.write(Lpn(0), 4096).unwrap();
+        assert!(ftl.mapping().lookup(Lpn(0)).is_some());
+    }
+
+    #[test]
+    fn fault_paths_preserve_op_latency_accounting() {
+        let mut ftl = faulty_ftl(vflash_nand::FaultConfig {
+            rber_scale: 30.0,
+            program_fail_base: 0.005,
+            erase_fail_base: 0.002,
+            ..vflash_nand::FaultConfig::enabled(42)
+        });
+        ftl.device_mut().set_op_tracing(true);
+        let logical = ftl.logical_pages();
+        for i in 0..(logical * 6) {
+            let lpn = Lpn(i % logical);
+            let size = if i % 2 == 0 { 512 } else { 64 * 1024 };
+            ftl.device_mut().clear_ops();
+            let write = match ftl.submit(IoRequest::write(lpn, size)) {
+                Ok(completion) => completion,
+                Err(FtlError::ReadOnly) => break,
+                Err(err) => panic!("unexpected error: {err}"),
+            };
+            let ops_total: Nanos =
+                ftl.device().ops(write.ops).iter().map(|op| op.latency).sum();
+            assert_eq!(ops_total, write.latency, "write ops must sum to the charge");
+
+            ftl.device_mut().clear_ops();
+            if let Ok(read) = ftl.submit(IoRequest::read(lpn)) {
+                let ops_total: Nanos =
+                    ftl.device().ops(read.ops).iter().map(|op| op.latency).sum();
+                assert_eq!(ops_total, read.latency, "read ops must sum to the charge");
+            }
+        }
+        assert!(ftl.metrics().retried_reads > 0, "fault model never fired");
     }
 
     #[test]

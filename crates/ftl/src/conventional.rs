@@ -1,6 +1,8 @@
 //! The conventional page-mapping FTL: the paper's comparison baseline.
 
-use vflash_nand::{BlockAddr, NandDevice, Nanos};
+use std::collections::HashSet;
+
+use vflash_nand::{BlockAddr, NandDevice, NandError, Nanos, PageAddr};
 
 use crate::config::FtlConfig;
 use crate::error::FtlError;
@@ -45,6 +47,11 @@ pub struct ConventionalFtl {
     victim_policy: Box<dyn VictimPolicy>,
     metrics: FtlMetrics,
     logical_pages: u64,
+    read_only: bool,
+    /// LPNs whose data was lost to an uncorrectable relocation read. A host read
+    /// of a lost LPN completes instantly with the `uncorrectable` flag (the
+    /// device no longer holds the data); a successful rewrite clears the entry.
+    lost: HashSet<Lpn>,
 }
 
 impl ConventionalFtl {
@@ -87,6 +94,8 @@ impl ConventionalFtl {
             victim_policy: Box::new(GreedyVictimPolicy::new()),
             metrics: FtlMetrics::new(),
             logical_pages,
+            read_only: false,
+            lost: HashSet::new(),
         })
     }
 
@@ -148,6 +157,108 @@ impl ConventionalFtl {
         Ok(fresh)
     }
 
+    /// Converts an allocation failure into the right terminal error: when bad-block
+    /// growth has eaten the spare capacity, the FTL transitions (stickily) to
+    /// read-only mode instead of reporting a capacity bug.
+    fn out_of_space(&mut self) -> FtlError {
+        if self.device.bad_block_count() > 0 {
+            self.read_only = true;
+            self.metrics.record_read_only(self.device.makespan());
+            FtlError::ReadOnly
+        } else {
+            FtlError::OutOfSpace
+        }
+    }
+
+    /// Programs the next page of the write stream tracked by `gc_stream`'s slot,
+    /// re-driving into a fresh block when the device injects a program failure.
+    /// A failed program retires its block; the surviving valid pages are rescued
+    /// into replacement blocks before the program is retried, and the rescue
+    /// time is charged to the returned latency.
+    fn program_next_with_redrive(
+        &mut self,
+        gc_stream: bool,
+    ) -> Result<(PageAddr, Nanos), FtlError> {
+        let mut time = Nanos::ZERO;
+        loop {
+            let allocated = {
+                let slot = if gc_stream { &mut self.gc_active } else { &mut self.active };
+                Self::writable_block(&mut self.device, slot)
+            };
+            let block = match allocated {
+                Ok(block) => block,
+                Err(FtlError::OutOfSpace) => return Err(self.out_of_space()),
+                Err(err) => return Err(err),
+            };
+            match self.device.program_next(block) {
+                Ok((page, program)) => {
+                    time += program;
+                    return Ok((block.page(page), time));
+                }
+                Err(NandError::ProgramFailed { .. }) => {
+                    // The device retired `block`. Drop it from the stream, move
+                    // its surviving valid pages to safety and try again.
+                    self.metrics.record_bad_block();
+                    if gc_stream {
+                        self.gc_active = None;
+                    } else {
+                        self.active = None;
+                    }
+                    time += self.rescue_block(block, gc_stream)?;
+                    self.metrics.record_remap();
+                }
+                Err(err) => return Err(err.into()),
+            }
+        }
+    }
+
+    /// Relocates every surviving valid page out of `bad` (a freshly retired block)
+    /// into the stream's replacement blocks. Pages whose relocation read is
+    /// uncorrectable are dropped from the mapping and remembered as lost — the
+    /// host's next read of the LPN completes with the `uncorrectable` flag.
+    /// Returns the time charged.
+    fn rescue_block(&mut self, bad: BlockAddr, gc_stream: bool) -> Result<Nanos, FtlError> {
+        let mut time = Nanos::ZERO;
+        let residents: Vec<_> = self.mapping.lpns_in_block(bad).collect();
+        for (page, lpn) in residents {
+            let source = bad.page(page);
+            match self.relocation_read(source, lpn)? {
+                Some(read) => time += read,
+                None => {
+                    time += self.device.last_read_faults().total_time;
+                    continue;
+                }
+            }
+            let (destination, program) = self.program_next_with_redrive(gc_stream)?;
+            time += program;
+            self.device.invalidate(source)?;
+            self.mapping.map(lpn, destination);
+        }
+        Ok(time)
+    }
+
+    /// Reads `source` on behalf of a relocation (GC or bad-block rescue). Returns
+    /// `Ok(Some(latency))` on success; on an uncorrectable read the data is lost,
+    /// so the LPN is unmapped and remembered as lost, the page invalidated and
+    /// `Ok(None)` returned (the caller charges
+    /// [`NandDevice::last_read_faults`]'s total time).
+    fn relocation_read(&mut self, source: PageAddr, lpn: Lpn) -> Result<Option<Nanos>, FtlError> {
+        let outcome = self.device.read(source);
+        let faults = self.device.last_read_faults();
+        self.metrics.record_read_retries(faults.retries, faults.retry_time);
+        match outcome {
+            Ok(latency) => Ok(Some(latency)),
+            Err(NandError::UncorrectableRead { .. }) => {
+                self.metrics.record_uncorrectable_read();
+                self.mapping.unmap(lpn);
+                self.lost.insert(lpn);
+                self.device.invalidate(source)?;
+                Ok(None)
+            }
+            Err(err) => Err(err.into()),
+        }
+    }
+
     /// Reclaims blocks until the free pool reaches the configured target, charging the
     /// work to the returned outcome.
     fn collect_garbage(&mut self) -> Result<GcOutcome, FtlError> {
@@ -163,25 +274,37 @@ impl ConventionalFtl {
     }
 
     /// Relocates every valid page out of `victim`, erases it and returns it to the
-    /// free pool.
+    /// free pool. An injected erase failure retires the victim instead: its valid
+    /// data is already safe, so GC simply moves on without counting an erase.
     fn reclaim_block(&mut self, victim: BlockAddr) -> Result<GcOutcome, FtlError> {
         let mut outcome = GcOutcome::default();
         let residents: Vec<_> = self.mapping.lpns_in_block(victim).collect();
         for (page, lpn) in residents {
             let source = victim.page(page);
-            outcome.time += self.device.read(source)?;
-            let destination =
-                Self::writable_block(&mut self.device, &mut self.gc_active)?;
-            let (new_page, program) = self.device.program_next(destination)?;
+            match self.relocation_read(source, lpn)? {
+                Some(read) => outcome.time += read,
+                None => {
+                    outcome.time += self.device.last_read_faults().total_time;
+                    continue;
+                }
+            }
+            let (destination, program) = self.program_next_with_redrive(true)?;
             outcome.time += program;
             self.device.invalidate(source)?;
-            self.mapping.map(lpn, destination.page(new_page));
+            self.mapping.map(lpn, destination);
             outcome.copied_pages += 1;
         }
         // The erase returns the victim to the device's free pool; no separate
-        // release step exists any more.
-        outcome.time += self.device.erase(victim)?;
-        outcome.erased_blocks += 1;
+        // release step exists any more. Failed erases are instantaneous (the
+        // device charges no time) and retire the block.
+        match self.device.erase(victim) {
+            Ok(erase) => {
+                outcome.time += erase;
+                outcome.erased_blocks += 1;
+            }
+            Err(NandError::EraseFailed { .. }) => self.metrics.record_bad_block(),
+            Err(err) => return Err(err.into()),
+        }
         Ok(outcome)
     }
 }
@@ -202,12 +325,51 @@ impl FlashTranslationLayer for ConventionalFtl {
         let mark = self.device.op_mark();
         match request.command {
             IoCommand::Read => {
-                let addr = self.mapping.lookup(lpn).ok_or(FtlError::UnmappedRead { lpn })?;
-                let latency = self.device.read(addr)?;
+                let Some(addr) = self.mapping.lookup(lpn) else {
+                    if self.lost.contains(&lpn) {
+                        // The data fell to an uncorrectable relocation read and is
+                        // gone from the media: the read completes instantly (no
+                        // device work) with the data-lost flag, like a failed
+                        // host read after its retry ladder.
+                        self.metrics.record_uncorrectable_read();
+                        self.metrics.record_host_read(Nanos::ZERO);
+                        return Ok(Completion {
+                            latency: Nanos::ZERO,
+                            ops: self.device.ops_since(mark),
+                            gc: GcOutcome::default(),
+                            read_retries: 0,
+                            uncorrectable: true,
+                        });
+                    }
+                    return Err(FtlError::UnmappedRead { lpn });
+                };
+                // An uncorrectable read still completes towards the host — the
+                // full retry-ladder latency was spent — but the data is lost.
+                let (latency, uncorrectable) = match self.device.read(addr) {
+                    Ok(latency) => (latency, false),
+                    Err(NandError::UncorrectableRead { .. }) => {
+                        (self.device.last_read_faults().total_time, true)
+                    }
+                    Err(err) => return Err(err.into()),
+                };
+                let faults = self.device.last_read_faults();
+                self.metrics.record_read_retries(faults.retries, faults.retry_time);
+                if uncorrectable {
+                    self.metrics.record_uncorrectable_read();
+                }
                 self.metrics.record_host_read(latency);
-                Ok(Completion { latency, ops: self.device.ops_since(mark), gc: GcOutcome::default() })
+                Ok(Completion {
+                    latency,
+                    ops: self.device.ops_since(mark),
+                    gc: GcOutcome::default(),
+                    read_retries: faults.retries,
+                    uncorrectable,
+                })
             }
             IoCommand::Write { request_bytes: _ } => {
+                if self.read_only {
+                    return Err(FtlError::ReadOnly);
+                }
                 let mut latency = Nanos::ZERO;
                 let mut gc = GcOutcome::default();
 
@@ -217,21 +379,31 @@ impl FlashTranslationLayer for ConventionalFtl {
                     self.metrics.record_gc(gc.copied_pages, gc.erased_blocks, gc.time);
                 }
 
-                let block = Self::writable_block(&mut self.device, &mut self.active)?;
-                let (page, program) = self.device.program_next(block)?;
+                let (addr, program) = self.program_next_with_redrive(false)?;
                 latency += program;
 
-                if let Some(previous) = self.mapping.map(lpn, block.page(page)) {
+                if let Some(previous) = self.mapping.map(lpn, addr) {
                     self.device.invalidate(previous)?;
                 }
+                self.lost.remove(&lpn);
                 self.metrics.record_host_write(latency);
-                Ok(Completion { latency, ops: self.device.ops_since(mark), gc })
+                Ok(Completion {
+                    latency,
+                    ops: self.device.ops_since(mark),
+                    gc,
+                    read_retries: 0,
+                    uncorrectable: false,
+                })
             }
         }
     }
 
     fn metrics(&self) -> &FtlMetrics {
         &self.metrics
+    }
+
+    fn is_read_only(&self) -> bool {
+        self.read_only
     }
 
     fn device(&self) -> &NandDevice {
@@ -422,6 +594,148 @@ mod tests {
             }
         }
         // Both policies keep the FTL functional; erase counts may differ.
+    }
+
+    fn faulty_ftl(faults: vflash_nand::FaultConfig) -> ConventionalFtl {
+        let device = NandDevice::new(
+            NandConfig::builder()
+                .chips(1)
+                .blocks_per_chip(16)
+                .pages_per_block(8)
+                .page_size_bytes(4096)
+                .faults(faults)
+                .build()
+                .unwrap(),
+        );
+        let config = FtlConfig { over_provisioning: 0.2, ..FtlConfig::default() };
+        ConventionalFtl::new(device, config).unwrap()
+    }
+
+    #[test]
+    fn uncorrectable_host_reads_complete_with_the_data_lost_flag() {
+        // An absurd raw bit-error rate: every read exhausts the retry ladder.
+        let mut ftl = faulty_ftl(vflash_nand::FaultConfig {
+            rber_scale: 1e12,
+            ecc_correctable_bits: 0,
+            retry_extra_bits: 1,
+            max_read_retries: 2,
+            program_fail_base: 0.0,
+            erase_fail_base: 0.0,
+            ..vflash_nand::FaultConfig::enabled(11)
+        });
+        ftl.write(Lpn(1), 4096).unwrap();
+        let completion = ftl.submit(IoRequest::read(Lpn(1))).unwrap();
+        assert!(completion.uncorrectable, "extreme RBER must exhaust the ladder");
+        assert_eq!(completion.read_retries, 2);
+        assert_eq!(ftl.metrics().uncorrectable_reads, 1);
+        assert_eq!(ftl.metrics().retried_reads, 1);
+        assert!(ftl.metrics().read_retry_time > Nanos::ZERO);
+        // The full ladder latency was charged even though the data is gone.
+        assert!(completion.latency > Nanos::ZERO);
+    }
+
+    #[test]
+    fn reads_of_data_lost_in_relocation_complete_with_the_data_lost_flag() {
+        // Every read exhausts the retry ladder, so every GC relocation read
+        // loses its page. Lost LPNs must not surface as UnmappedRead — the
+        // host read completes instantly with the uncorrectable flag, and a
+        // rewrite brings the LPN back to life.
+        let mut ftl = faulty_ftl(vflash_nand::FaultConfig {
+            rber_scale: 1e12,
+            ecc_correctable_bits: 0,
+            retry_extra_bits: 1,
+            max_read_retries: 2,
+            program_fail_base: 0.0,
+            erase_fail_base: 0.0,
+            ..vflash_nand::FaultConfig::enabled(11)
+        });
+        let logical = ftl.logical_pages();
+        for i in 0..(logical * 3) {
+            ftl.write(Lpn(i % logical), 4096).unwrap();
+        }
+        assert!(ftl.metrics().gc_erased_blocks > 0, "workload never triggered GC");
+        let mut lost_seen = false;
+        for i in 0..logical {
+            let completion = ftl.submit(IoRequest::read(Lpn(i))).unwrap();
+            assert!(completion.uncorrectable, "every read on this device fails");
+            if completion.latency == Nanos::ZERO {
+                // A lost LPN: no device work happened, no retries charged.
+                assert_eq!(completion.read_retries, 0);
+                lost_seen = true;
+            }
+        }
+        assert!(lost_seen, "an uncorrectable-everything device must lose data in GC");
+        // Rewriting a lost LPN revives it: the mapping points at real data again.
+        let victim = Lpn(0);
+        ftl.write(victim, 4096).unwrap();
+        assert!(ftl.mapping().lookup(victim).is_some());
+    }
+
+    #[test]
+    fn program_failures_remap_writes_until_spares_run_out() {
+        let mut ftl = faulty_ftl(vflash_nand::FaultConfig {
+            program_fail_base: 0.02,
+            erase_fail_base: 0.0,
+            rber_scale: 0.0,
+            ..vflash_nand::FaultConfig::enabled(7)
+        });
+        let logical = ftl.logical_pages();
+        let mut writes = 0u64;
+        let read_only = loop {
+            match ftl.write(Lpn(writes % logical), 4096) {
+                Ok(_) => writes += 1,
+                Err(FtlError::ReadOnly) => break true,
+                Err(err) => panic!("unexpected error before end of life: {err}"),
+            }
+            assert!(writes < 1_000_000, "device never reached end of life");
+        };
+        assert!(read_only);
+        assert!(ftl.is_read_only());
+        assert!(writes > 0, "no writes succeeded before end of life");
+        let metrics = *ftl.metrics();
+        assert!(metrics.bad_blocks_grown > 0);
+        assert!(metrics.remapped_writes > 0);
+        assert!(metrics.time_to_read_only > Nanos::ZERO);
+        assert_eq!(metrics.bad_blocks_grown, ftl.device().bad_block_count() as u64);
+        // Read-only mode is sticky and instantaneous...
+        assert!(matches!(ftl.write(Lpn(0), 4096), Err(FtlError::ReadOnly)));
+        // ...but surviving data is still readable.
+        let readable = (0..logical).filter(|&i| ftl.read(Lpn(i)).is_ok()).count();
+        assert!(readable > 0, "read-only mode must keep serving reads");
+        ftl.mapping().check_consistency().unwrap();
+    }
+
+    #[test]
+    fn fault_paths_preserve_op_latency_accounting() {
+        // Retries on every few reads plus occasional program failures: the
+        // sum-of-ops identity must survive rescue relocations and retry latency.
+        let mut ftl = faulty_ftl(vflash_nand::FaultConfig {
+            rber_scale: 30.0,
+            program_fail_base: 0.005,
+            erase_fail_base: 0.002,
+            ..vflash_nand::FaultConfig::enabled(42)
+        });
+        ftl.device_mut().set_op_tracing(true);
+        let logical = ftl.logical_pages();
+        for i in 0..(logical * 6) {
+            ftl.device_mut().clear_ops();
+            let write = match ftl.submit(IoRequest::write(Lpn(i % logical), 4096)) {
+                Ok(completion) => completion,
+                Err(FtlError::ReadOnly) => break,
+                Err(err) => panic!("unexpected error: {err}"),
+            };
+            let ops_total: Nanos =
+                ftl.device().ops(write.ops).iter().map(|op| op.latency).sum();
+            assert_eq!(ops_total, write.latency, "write ops must sum to the charge");
+
+            ftl.device_mut().clear_ops();
+            if let Ok(read) = ftl.submit(IoRequest::read(Lpn(i % logical))) {
+                let ops_total: Nanos =
+                    ftl.device().ops(read.ops).iter().map(|op| op.latency).sum();
+                assert_eq!(ops_total, read.latency, "read ops must sum to the charge");
+            }
+        }
+        assert!(ftl.metrics().retried_reads > 0, "fault model never fired");
     }
 
     #[test]

@@ -28,6 +28,10 @@ pub enum FtlError {
     },
     /// Garbage collection could not reclaim space and no free pages remain.
     OutOfSpace,
+    /// The device has retired so many blocks that no spare capacity remains; the
+    /// FTL has entered read-only mode. Reads are still served; writes are
+    /// permanently rejected with this error.
+    ReadOnly,
     /// The FTL configuration is inconsistent with the device (e.g. over-provisioning
     /// leaves no logical capacity).
     InvalidConfig {
@@ -45,6 +49,9 @@ impl fmt::Display for FtlError {
             }
             FtlError::UnmappedRead { lpn } => write!(f, "read of unmapped {lpn}"),
             FtlError::OutOfSpace => write!(f, "no free pages remain after garbage collection"),
+            FtlError::ReadOnly => {
+                write!(f, "device is in read-only mode: spare blocks exhausted by bad-block growth")
+            }
             FtlError::InvalidConfig { reason } => write!(f, "invalid ftl configuration: {reason}"),
         }
     }
@@ -75,6 +82,7 @@ mod tests {
         assert!(err.to_string().contains("LPN99"));
         assert!(err.to_string().contains("10 logical pages"));
         assert!(FtlError::OutOfSpace.to_string().contains("free pages"));
+        assert!(FtlError::ReadOnly.to_string().contains("read-only"));
     }
 
     #[test]

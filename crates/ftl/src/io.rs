@@ -86,12 +86,25 @@ pub struct Completion {
     /// copied, blocks erased and the time share. All-zero for reads and for writes
     /// that did not trigger GC.
     pub gc: GcOutcome,
+    /// Read-retry steps the device needed to correct this request's host read.
+    /// Zero for writes and for reads that passed ECC on the first sense. The
+    /// retry latency is already folded into `latency`.
+    pub read_retries: u32,
+    /// Whether the host read exhausted the retry ladder and returned no data.
+    /// The FTL still charges the full ladder latency; the data is lost.
+    pub uncorrectable: bool,
 }
 
 impl Completion {
     /// A completion charging only `latency`, with no GC attribution.
     pub fn new(latency: Nanos) -> Self {
-        Completion { latency, ops: OpSpan::EMPTY, gc: GcOutcome::default() }
+        Completion {
+            latency,
+            ops: OpSpan::EMPTY,
+            gc: GcOutcome::default(),
+            read_retries: 0,
+            uncorrectable: false,
+        }
     }
 
     /// The time this completion spent in garbage collection.

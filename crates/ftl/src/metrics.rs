@@ -27,6 +27,21 @@ pub struct FtlMetrics {
     pub gc_time: Nanos,
     /// Pages relocated by hotness-driven migration (zero for the conventional FTL).
     pub migrated_pages: u64,
+    /// Reads (host and GC alike) that needed at least one read-retry step to
+    /// pass ECC.
+    pub retried_reads: u64,
+    /// Total extra latency spent in read-retry steps (host and GC reads alike);
+    /// a subset of the read/GC time it was folded into.
+    pub read_retry_time: Nanos,
+    /// Reads (host or GC) that exhausted the retry ladder and lost their data.
+    pub uncorrectable_reads: u64,
+    /// Blocks retired as bad after a program or erase failure.
+    pub bad_blocks_grown: u64,
+    /// Page programs re-driven to a fresh block after a program failure.
+    pub remapped_writes: u64,
+    /// Device makespan at the moment the FTL entered read-only mode (zero while
+    /// the device is still writable).
+    pub time_to_read_only: Nanos,
 }
 
 impl FtlMetrics {
@@ -88,6 +103,38 @@ impl FtlMetrics {
     pub fn record_migration(&mut self, pages: u64) {
         self.migrated_pages += pages;
     }
+
+    /// Records the retry ladder of one read: `retries` steps costing `retry_time`
+    /// extra, counted as a retried read only when at least one step was needed.
+    pub fn record_read_retries(&mut self, retries: u32, retry_time: Nanos) {
+        if retries > 0 {
+            self.retried_reads += 1;
+            self.read_retry_time += retry_time;
+        }
+    }
+
+    /// Records a read whose retry ladder was exhausted without correcting the data.
+    pub fn record_uncorrectable_read(&mut self) {
+        self.uncorrectable_reads += 1;
+    }
+
+    /// Records a block retired as bad after a program or erase failure.
+    pub fn record_bad_block(&mut self) {
+        self.bad_blocks_grown += 1;
+    }
+
+    /// Records a page program re-driven to a fresh block after a program failure.
+    pub fn record_remap(&mut self) {
+        self.remapped_writes += 1;
+    }
+
+    /// Records the transition to read-only mode at device time `makespan`. Only
+    /// the first transition is kept.
+    pub fn record_read_only(&mut self, makespan: Nanos) {
+        if self.time_to_read_only == Nanos::ZERO {
+            self.time_to_read_only = makespan;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -115,5 +162,27 @@ mod tests {
         assert_eq!(metrics.gc_copied_pages, 3);
         assert_eq!(metrics.gc_erased_blocks, 1);
         assert_eq!(metrics.write_amplification(), 4.0);
+    }
+
+    #[test]
+    fn reliability_counters_accumulate() {
+        let mut metrics = FtlMetrics::new();
+        metrics.record_read_retries(0, Nanos::ZERO); // first-sense pass: no count
+        assert_eq!(metrics.retried_reads, 0);
+        metrics.record_read_retries(3, Nanos::from_micros(75));
+        metrics.record_read_retries(1, Nanos::from_micros(25));
+        assert_eq!(metrics.retried_reads, 2);
+        assert_eq!(metrics.read_retry_time, Nanos::from_micros(100));
+
+        metrics.record_uncorrectable_read();
+        metrics.record_bad_block();
+        metrics.record_remap();
+        assert_eq!(metrics.uncorrectable_reads, 1);
+        assert_eq!(metrics.bad_blocks_grown, 1);
+        assert_eq!(metrics.remapped_writes, 1);
+
+        metrics.record_read_only(Nanos::from_millis(9));
+        metrics.record_read_only(Nanos::from_millis(20)); // sticky: first wins
+        assert_eq!(metrics.time_to_read_only, Nanos::from_millis(9));
     }
 }

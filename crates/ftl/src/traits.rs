@@ -48,6 +48,8 @@ pub trait FlashTranslationLayer {
     /// * [`FtlError::UnmappedRead`] for reads of never-written pages.
     /// * [`FtlError::OutOfSpace`] for writes when garbage collection cannot free
     ///   any space.
+    /// * [`FtlError::ReadOnly`] for writes once bad-block growth has exhausted the
+    ///   spare capacity (fault injection only).
     ///
     /// # Example
     ///
@@ -103,6 +105,14 @@ pub trait FlashTranslationLayer {
 
     /// Cumulative host and GC metrics.
     fn metrics(&self) -> &FtlMetrics;
+
+    /// Whether the FTL has permanently entered read-only mode because bad-block
+    /// growth exhausted the spare capacity. Writes return [`FtlError::ReadOnly`]
+    /// from then on; reads are still served. Defaults to `false` for FTLs that do
+    /// not model end-of-life.
+    fn is_read_only(&self) -> bool {
+        false
+    }
 
     /// The underlying device, for wear and state inspection.
     fn device(&self) -> &NandDevice;

@@ -12,27 +12,42 @@ use vflash_nand::{BlockAddr, BlockState, NandDevice};
 use crate::gc::VictimPolicy;
 
 /// Summary of how evenly erases are spread across the device's blocks.
+///
+/// Retired ([`BlockState::Bad`]) blocks no longer participate in wear leveling —
+/// they take no further erases — so they are counted separately in
+/// [`bad_blocks`](WearStats::bad_blocks) and excluded from the min/max/mean/σ
+/// statistics, which would otherwise be dragged down by frozen counters.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct WearStats {
-    /// Smallest per-block erase count.
+    /// Smallest per-block erase count (healthy blocks only).
     pub min_erases: u64,
-    /// Largest per-block erase count.
+    /// Largest per-block erase count (healthy blocks only).
     pub max_erases: u64,
-    /// Mean per-block erase count.
+    /// Mean per-block erase count (healthy blocks only).
     pub mean_erases: f64,
-    /// Population standard deviation of the per-block erase counts.
+    /// Population standard deviation of the per-block erase counts (healthy
+    /// blocks only).
     pub std_dev: f64,
+    /// Blocks retired as bad, excluded from the statistics above.
+    pub bad_blocks: usize,
 }
 
 impl WearStats {
-    /// Collects wear statistics over every block of `device`.
+    /// Collects wear statistics over every healthy block of `device`, counting
+    /// retired blocks separately.
     pub fn collect(device: &NandDevice) -> WearStats {
-        let counts: Vec<u64> = device
-            .block_addrs()
-            .map(|addr| device.block(addr).expect("iterating device addresses").erase_count())
-            .collect();
+        let mut counts = Vec::new();
+        let mut bad_blocks = 0usize;
+        for addr in device.block_addrs() {
+            let block = device.block(addr).expect("iterating device addresses");
+            if block.state() == BlockState::Bad {
+                bad_blocks += 1;
+            } else {
+                counts.push(block.erase_count());
+            }
+        }
         if counts.is_empty() {
-            return WearStats::default();
+            return WearStats { bad_blocks, ..WearStats::default() };
         }
         let min_erases = *counts.iter().min().expect("non-empty");
         let max_erases = *counts.iter().max().expect("non-empty");
@@ -45,7 +60,7 @@ impl WearStats {
             })
             .sum::<f64>()
             / counts.len() as f64;
-        WearStats { min_erases, max_erases, mean_erases, std_dev: variance.sqrt() }
+        WearStats { min_erases, max_erases, mean_erases, std_dev: variance.sqrt(), bad_blocks }
     }
 
     /// The spread between the most- and least-worn blocks. Wear-leveling aims to keep
@@ -173,6 +188,21 @@ mod tests {
         assert_eq!(stats.spread(), 4);
         assert!((stats.mean_erases - 1.5).abs() < 1e-12);
         assert!(stats.std_dev > 0.0);
+    }
+
+    #[test]
+    fn wear_stats_skip_retired_blocks() {
+        let mut dev = device();
+        let healthy = BlockAddr::new(ChipId(0), 0);
+        let doomed = BlockAddr::new(ChipId(0), 1);
+        wear_block(&mut dev, healthy, 2);
+        wear_block(&mut dev, doomed, 9);
+        dev.retire_block(doomed).unwrap();
+        let stats = WearStats::collect(&dev);
+        assert_eq!(stats.bad_blocks, 1);
+        // The retired block's 9 erases no longer skew the statistics.
+        assert_eq!(stats.max_erases, 2);
+        assert!((stats.mean_erases - 2.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]

@@ -16,6 +16,11 @@ pub enum BlockState {
     /// Every page has been programmed (valid or invalid); the block must be erased
     /// before it can accept new writes.
     Full,
+    /// The block was retired after a program/erase failure (or marked bad at the
+    /// factory). Remaining valid pages stay readable and can still be
+    /// invalidated, but the block can never be programmed, erased or allocated
+    /// again.
+    Bad,
 }
 
 impl fmt::Display for BlockState {
@@ -24,6 +29,7 @@ impl fmt::Display for BlockState {
             BlockState::Free => "free",
             BlockState::Open => "open",
             BlockState::Full => "full",
+            BlockState::Bad => "bad",
         };
         f.write_str(label)
     }
@@ -45,6 +51,7 @@ pub struct Block {
     erase_count: u64,
     last_modified: u64,
     area_tag: Option<u8>,
+    bad: bool,
 }
 
 impl Block {
@@ -62,6 +69,7 @@ impl Block {
             erase_count: 0,
             last_modified: 0,
             area_tag: None,
+            bad: false,
         }
     }
 
@@ -88,9 +96,12 @@ impl Block {
             .ok_or(NandError::PageOutOfRange { page, pages_per_block: self.pages.len() })
     }
 
-    /// Aggregate block state.
+    /// Aggregate block state. A retired block is [`BlockState::Bad`] no matter
+    /// where its write pointer stopped.
     pub fn state(&self) -> BlockState {
-        if self.write_pointer == 0 {
+        if self.bad {
+            BlockState::Bad
+        } else if self.write_pointer == 0 {
             BlockState::Free
         } else if self.write_pointer < self.pages.len() {
             BlockState::Open
@@ -99,10 +110,24 @@ impl Block {
         }
     }
 
+    /// Whether the block has been retired as bad (see [`BlockState::Bad`]).
+    pub fn is_bad(&self) -> bool {
+        self.bad
+    }
+
+    /// Retires the block. Irreversible: erases are rejected at the device layer,
+    /// so the block never returns to service. Page states are left as they are —
+    /// surviving valid pages stay readable until the FTL relocates them.
+    pub(crate) fn mark_bad(&mut self) {
+        self.bad = true;
+    }
+
     /// The next page that a program operation must target, or `None` if the block is
-    /// full.
+    /// full or has been retired as bad.
     pub fn next_page(&self) -> Option<PageId> {
-        if self.write_pointer < self.pages.len() {
+        if self.bad {
+            None
+        } else if self.write_pointer < self.pages.len() {
             Some(PageId(self.write_pointer))
         } else {
             None
@@ -304,6 +329,25 @@ mod tests {
         assert_eq!(block.area_tag(), Some(0), "retagging overwrites");
         block.erase();
         assert_eq!(block.area_tag(), None, "erase clears the tag with the contents");
+    }
+
+    #[test]
+    fn bad_blocks_trump_every_other_state() {
+        let mut block = Block::new(4);
+        block.program_next();
+        block.program_next();
+        assert_eq!(block.state(), BlockState::Open);
+        block.mark_bad();
+        assert!(block.is_bad());
+        assert_eq!(block.state(), BlockState::Bad);
+        assert_eq!(block.next_page(), None, "bad blocks accept no programs");
+        assert_eq!(block.program_next(), None);
+        // Surviving data stays readable and invalidatable.
+        assert_eq!(block.page_state(PageId(0)).unwrap(), PageState::Valid);
+        assert!(block.invalidate(PageId(0)).is_ok());
+        assert!(block.invalidate(PageId(1)).is_ok());
+        assert!(!block.is_fully_invalid(), "bad blocks are not copy-free GC victims");
+        assert_eq!(BlockState::Bad.to_string(), "bad");
     }
 
     #[test]

@@ -56,6 +56,8 @@ pub struct Chip {
     candidate_pos: Vec<usize>,
     /// Total erases performed on this chip.
     erases: u64,
+    /// Blocks retired as bad on this chip.
+    bad_blocks: usize,
     /// Total simulated time this chip spent busy servicing operations.
     busy_time: Nanos,
 }
@@ -77,6 +79,7 @@ impl Chip {
             candidates: Vec::new(),
             candidate_pos: vec![NO_CANDIDATE; blocks_per_chip],
             erases: 0,
+            bad_blocks: 0,
             busy_time: Nanos::ZERO,
         }
     }
@@ -118,6 +121,11 @@ impl Chip {
     /// Sum of erase counts over all blocks (total wear of the chip). O(1).
     pub fn total_erases(&self) -> u64 {
         self.erases
+    }
+
+    /// Number of blocks retired as bad on this chip. O(1).
+    pub fn bad_blocks(&self) -> usize {
+        self.bad_blocks
     }
 
     /// Total simulated time this chip has spent servicing reads, programs and
@@ -235,6 +243,25 @@ impl Chip {
             self.free_pool.push_back(index);
         }
         self.drop_stale_front();
+    }
+
+    /// Retires a block as bad, pulling it out of every index: the free pool (it
+    /// can never be allocated), the free count (it is no longer erased capacity)
+    /// and the GC candidate list (it can never be erased). Idempotent at the
+    /// device layer, which only calls this for blocks not yet bad.
+    pub(crate) fn retire_block(&mut self, index: usize) {
+        let was_free = self.blocks[index].state() == BlockState::Free;
+        self.blocks[index].mark_bad();
+        if was_free {
+            self.free_count -= 1;
+        }
+        if self.in_pool[index] {
+            self.in_pool[index] = false;
+            self.available -= 1;
+        }
+        self.remove_candidate(index);
+        self.drop_stale_front();
+        self.bad_blocks += 1;
     }
 
     fn maybe_add_candidate(&mut self, index: usize) {
@@ -431,6 +458,32 @@ mod tests {
         let mut left: Vec<_> = chip.gc_candidates().collect();
         left.sort_unstable();
         assert_eq!(left, vec![0, 2]);
+    }
+
+    #[test]
+    fn retiring_a_pooled_block_removes_it_from_allocation() {
+        let mut chip = Chip::new(3, 2);
+        chip.retire_block(1);
+        assert_eq!(chip.bad_blocks(), 1);
+        assert_eq!(chip.free_blocks(), 2);
+        assert_eq!(chip.available_blocks(), 2);
+        assert_eq!(chip.allocate(), Some(0));
+        assert_eq!(chip.allocate(), Some(2), "bad block 1 must be skipped");
+        assert_eq!(chip.allocate(), None);
+        assert_eq!(chip.free_blocks(), recount_free(&chip));
+    }
+
+    #[test]
+    fn retiring_a_candidate_delists_it() {
+        let mut chip = Chip::new(2, 1);
+        fill_block(&mut chip, 0, 1);
+        chip.invalidate_page(0, PageId(0)).unwrap();
+        assert_eq!(chip.gc_candidates().collect::<Vec<_>>(), vec![0]);
+        chip.retire_block(0);
+        assert_eq!(chip.gc_candidates().count(), 0);
+        assert_eq!(chip.bad_blocks(), 1);
+        // Further invalidations in the bad block never resurrect candidacy.
+        assert_eq!(chip.free_blocks(), recount_free(&chip));
     }
 
     #[test]

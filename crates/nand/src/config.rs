@@ -1,6 +1,7 @@
 //! Device configuration.
 
 use crate::error::NandError;
+use crate::fault::FaultConfig;
 use crate::latency::{LatencyModel, SpeedProfile};
 use crate::time::Nanos;
 
@@ -42,6 +43,7 @@ pub struct NandConfig {
     transfer_rate_mb_s: f64,
     speed_ratio: f64,
     speed_profile: SpeedProfile,
+    faults: FaultConfig,
 }
 
 impl NandConfig {
@@ -128,6 +130,28 @@ impl NandConfig {
         self.speed_profile
     }
 
+    /// The fault-injection knobs (disabled by default — see [`FaultConfig`]).
+    pub fn faults(&self) -> &FaultConfig {
+        &self.faults
+    }
+
+    /// Returns this configuration with the given fault model, validating the
+    /// knobs. Convenience for enabling faults on an already-built configuration
+    /// (e.g. one produced by an experiment scale).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NandError::InvalidConfig`] if the fault knobs are out of range
+    /// (probabilities outside `[0, 1]`, negative or non-finite curve
+    /// parameters, a zero-width retry step with retries allowed).
+    pub fn with_faults(mut self, faults: FaultConfig) -> Result<Self, NandError> {
+        faults
+            .validate()
+            .map_err(|reason| NandError::InvalidConfig { reason: reason.to_string() })?;
+        self.faults = faults;
+        Ok(self)
+    }
+
     /// Total number of blocks in the device.
     pub fn total_blocks(&self) -> usize {
         self.chips * self.blocks_per_chip
@@ -185,6 +209,7 @@ pub struct NandConfigBuilder {
     transfer_rate_mb_s: f64,
     speed_ratio: f64,
     speed_profile: SpeedProfile,
+    faults: FaultConfig,
 }
 
 impl Default for NandConfigBuilder {
@@ -201,6 +226,7 @@ impl Default for NandConfigBuilder {
             transfer_rate_mb_s: 533.0,
             speed_ratio: 2.0,
             speed_profile: SpeedProfile::Linear,
+            faults: FaultConfig::disabled(),
         }
     }
 }
@@ -266,6 +292,12 @@ impl NandConfigBuilder {
         self
     }
 
+    /// Sets the fault-injection knobs (see [`FaultConfig`]; disabled by default).
+    pub fn faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// Validates the parameters and produces a [`NandConfig`].
     ///
     /// # Errors
@@ -300,6 +332,7 @@ impl NandConfigBuilder {
                 return Err(invalid("stepped speed profile needs at least one step"));
             }
         }
+        self.faults.validate().map_err(invalid)?;
         Ok(NandConfig {
             chips: self.chips,
             blocks_per_chip: self.blocks_per_chip,
@@ -311,6 +344,7 @@ impl NandConfigBuilder {
             transfer_rate_mb_s: self.transfer_rate_mb_s,
             speed_ratio: self.speed_ratio,
             speed_profile: self.speed_profile,
+            faults: self.faults,
         })
     }
 }
@@ -397,6 +431,25 @@ mod tests {
     fn bad_transfer_rate_rejected() {
         assert!(NandConfig::builder().transfer_rate_mb_s(0.0).build().is_err());
         assert!(NandConfig::builder().transfer_rate_mb_s(-5.0).build().is_err());
+    }
+
+    #[test]
+    fn faults_default_off_and_validate_on_the_way_in() {
+        assert!(!NandConfig::table1().faults().enabled);
+        let enabled = NandConfig::small().with_faults(FaultConfig::enabled(7)).unwrap();
+        assert!(enabled.faults().enabled);
+        assert_eq!(enabled.faults().seed, 7);
+
+        let mut bad = FaultConfig::enabled(1);
+        bad.program_fail_base = 2.0;
+        assert!(matches!(
+            NandConfig::small().with_faults(bad),
+            Err(NandError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            NandConfig::builder().faults(bad).build(),
+            Err(NandError::InvalidConfig { .. })
+        ));
     }
 
     #[test]

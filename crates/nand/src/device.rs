@@ -5,6 +5,7 @@ use crate::block::Block;
 use crate::chip::Chip;
 use crate::config::NandConfig;
 use crate::error::NandError;
+use crate::fault::{FaultState, ReadFaultInfo};
 use crate::latency::LatencyModel;
 use crate::provenance::{OpKind, OpRecord, OpSpan};
 use crate::stats::DeviceStats;
@@ -72,6 +73,14 @@ pub struct NandDevice {
     /// FTLs hand out [`OpSpan`] index ranges into this buffer instead of
     /// per-request vectors, so steady-state tracing never allocates.
     op_trace: Vec<OpRecord>,
+    /// The deterministic fault model, present only when
+    /// [`FaultConfig::enabled`](crate::FaultConfig::enabled) is set — so the
+    /// fault-free hot paths cost one `Option` branch and stay bit-identical to
+    /// their golden baselines.
+    fault: Option<FaultState>,
+    /// Fault outcome of the most recent read (see
+    /// [`NandDevice::last_read_faults`]).
+    last_read_faults: ReadFaultInfo,
 }
 
 impl NandDevice {
@@ -81,6 +90,10 @@ impl NandDevice {
         let chips = (0..config.chips())
             .map(|_| Chip::new(config.blocks_per_chip(), config.pages_per_block()))
             .collect();
+        let fault = config
+            .faults()
+            .enabled
+            .then(|| FaultState::new(*config.faults(), config.chips()));
         NandDevice {
             config,
             latency,
@@ -90,6 +103,8 @@ impl NandDevice {
             mod_seq: 0,
             trace_ops: false,
             op_trace: Vec::new(),
+            fault,
+            last_read_faults: ReadFaultInfo::default(),
         }
     }
 
@@ -299,6 +314,50 @@ impl NandDevice {
         self.chips.iter().map(Chip::total_erases).sum()
     }
 
+    /// Number of blocks retired as bad across the device. O(chips).
+    pub fn bad_block_count(&self) -> usize {
+        self.chips.iter().map(Chip::bad_blocks).sum()
+    }
+
+    /// The fault outcome of the most recent [`NandDevice::read`]: retry steps
+    /// taken, the latency they added, and whether the read was uncorrectable.
+    /// All zeros with faults disabled.
+    pub fn last_read_faults(&self) -> ReadFaultInfo {
+        self.last_read_faults
+    }
+
+    /// Retires a block as bad without a failing operation, modelling
+    /// factory-marked or externally detected bad blocks. The block leaves the
+    /// allocation pool and the GC candidate index and will never accept a
+    /// program or erase again; surviving valid pages remain readable.
+    /// Idempotent, and takes no device time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NandError::ChipOutOfRange`] or [`NandError::BlockOutOfRange`]
+    /// for invalid addresses.
+    pub fn retire_block(&mut self, block: BlockAddr) -> Result<(), NandError> {
+        if self.block(block)?.is_bad() {
+            return Ok(());
+        }
+        let _ = self.retire_failed_block(block, |block| NandError::ProgramFailed { block });
+        Ok(())
+    }
+
+    /// Retires a not-yet-bad block after a failed operation: marks it bad,
+    /// fixes the chip accounting and stamps the modification clock (retirement
+    /// is a state change — the block just left the usable pool).
+    fn retire_failed_block(
+        &mut self,
+        block: BlockAddr,
+        error: impl FnOnce(BlockAddr) -> NandError,
+    ) -> NandError {
+        self.chips[block.chip().0].retire_block(block.index());
+        self.mod_seq += 1;
+        self.chips[block.chip().0].touch_block(block.index(), self.mod_seq);
+        error(block)
+    }
+
     /// Total busy time of one chip.
     ///
     /// # Errors
@@ -318,24 +377,68 @@ impl NandDevice {
 
     /// Reads a page, returning the latency (cell sensing + bus transfer).
     ///
+    /// With faults enabled, the read may need retry-ladder steps whose
+    /// configured penalty is folded into the returned latency (and into the op
+    /// record, so replay engines charge it as ordinary service time); the
+    /// per-read breakdown is available via [`NandDevice::last_read_faults`].
+    ///
     /// # Errors
     ///
     /// * Address errors for out-of-range chips/blocks/pages.
     /// * [`NandError::PageNotValid`] if the page does not hold live data.
+    /// * [`NandError::UncorrectableRead`] if the retry ladder was exhausted.
+    ///   The device still charged the base-plus-full-ladder latency to the
+    ///   chip's busy clock and recorded the op — the sensing happened, the data
+    ///   is just gone.
     pub fn read(&mut self, addr: PageAddr) -> Result<Nanos, NandError> {
         let pages_per_block = self.config.pages_per_block();
         if addr.page().0 >= pages_per_block {
             return Err(NandError::PageOutOfRange { page: addr.page(), pages_per_block });
         }
-        let block = self.block(addr.block())?;
-        let state = block.page_state(addr.page())?;
-        if !matches!(state, crate::page::PageState::Valid) {
-            return Err(NandError::PageNotValid { page: addr, actual: state.label() });
+        let (erase_count, last_modified) = {
+            let block = self.block(addr.block())?;
+            let state = block.page_state(addr.page())?;
+            if !matches!(state, crate::page::PageState::Valid) {
+                return Err(NandError::PageNotValid { page: addr, actual: state.label() });
+            }
+            (block.erase_count(), block.last_modified())
+        };
+        let base = self.latency.read_total(addr.page());
+        let mut latency = base;
+        let mut uncorrectable = false;
+        self.last_read_faults = ReadFaultInfo::default();
+        if let Some(fault) = self.fault.as_mut() {
+            let retention_age = self.mod_seq.saturating_sub(last_modified);
+            let page_bits = self.config.page_size_bytes() as u64 * 8;
+            let outcome =
+                fault.read_outcome(addr.block().chip().0, erase_count, retention_age, page_bits);
+            // The retry ladder is open-ended penalty accumulation: use checked
+            // arithmetic so a pathological configuration saturates loudly in
+            // debug builds instead of wrapping silently.
+            let retry_time = fault
+                .config()
+                .read_retry_penalty
+                .checked_mul(u64::from(outcome.retries));
+            debug_assert!(
+                retry_time.and_then(|t| base.checked_add(t)).is_some(),
+                "read-retry latency overflowed Nanos at page {addr}"
+            );
+            let retry_time = retry_time.unwrap_or(Nanos(u64::MAX));
+            latency = base.saturating_add(retry_time);
+            uncorrectable = outcome.uncorrectable;
+            self.last_read_faults = ReadFaultInfo {
+                retries: outcome.retries,
+                retry_time,
+                uncorrectable,
+                total_time: latency,
+            };
         }
-        let latency = self.latency.read_total(addr.page());
         self.stats.record_read(latency);
         self.chips[addr.block().chip().0].add_busy(latency);
         self.record_op(addr.block().chip(), OpKind::Read, latency);
+        if uncorrectable {
+            return Err(NandError::UncorrectableRead { page: addr });
+        }
         Ok(latency)
     }
 
@@ -349,13 +452,20 @@ impl NandDevice {
     /// * Address errors for out-of-range chips/blocks/pages.
     /// * [`NandError::BlockFull`] if the block has no free pages.
     /// * [`NandError::ProgramOrderViolation`] if `page` is not the next free page.
+    /// * [`NandError::ProgramFailed`] if the block is bad, or the fault model
+    ///   fails the program — which retires the block. Failure detection is
+    ///   modelled as instantaneous: no device time is charged and no op is
+    ///   recorded; the successful re-drive carries the cost.
     pub fn program(&mut self, block: BlockAddr, page: PageId) -> Result<Nanos, NandError> {
         let pages_per_block = self.config.pages_per_block();
         if page.0 >= pages_per_block {
             return Err(NandError::PageOutOfRange { page, pages_per_block });
         }
-        {
+        let erase_count = {
             let blk = self.block(block)?;
+            if blk.is_bad() {
+                return Err(NandError::ProgramFailed { block });
+            }
             match blk.next_page() {
                 None => return Err(NandError::BlockFull { block }),
                 Some(expected) if expected != page => {
@@ -366,6 +476,14 @@ impl NandDevice {
                     })
                 }
                 Some(_) => {}
+            }
+            blk.erase_count()
+        };
+        if let Some(fault) = self.fault.as_mut() {
+            if fault.program_fails(block.chip().0, erase_count) {
+                return Err(self.retire_failed_block(block, |block| {
+                    NandError::ProgramFailed { block }
+                }));
             }
         }
         self.chip_for(block)?.program_block(block.index());
@@ -386,11 +504,14 @@ impl NandDevice {
     ///
     /// * Address errors for out-of-range chips/blocks.
     /// * [`NandError::BlockFull`] if the block has no free pages.
+    /// * [`NandError::ProgramFailed`] if the block is bad or the fault model
+    ///   fails the program (see [`NandDevice::program`]).
     pub fn program_next(&mut self, block: BlockAddr) -> Result<(PageId, Nanos), NandError> {
-        let next = self
-            .block(block)?
-            .next_page()
-            .ok_or(NandError::BlockFull { block })?;
+        let blk = self.block(block)?;
+        if blk.is_bad() {
+            return Err(NandError::ProgramFailed { block });
+        }
+        let next = blk.next_page().ok_or(NandError::BlockFull { block })?;
         let latency = self.program(block, next)?;
         Ok((next, latency))
     }
@@ -427,10 +548,26 @@ impl NandDevice {
     ///
     /// * Address errors for out-of-range chips/blocks.
     /// * [`NandError::EraseWithValidPages`] if live pages remain in the block.
+    /// * [`NandError::EraseFailed`] if the block is bad, or the fault model
+    ///   fails the erase — which retires the block. Like failed programs,
+    ///   failed erases charge no device time.
     pub fn erase(&mut self, block: BlockAddr) -> Result<Nanos, NandError> {
-        let valid = self.block(block)?.valid_pages();
+        let (valid, is_bad, erase_count) = {
+            let blk = self.block(block)?;
+            (blk.valid_pages(), blk.is_bad(), blk.erase_count())
+        };
+        if is_bad {
+            return Err(NandError::EraseFailed { block });
+        }
         if valid > 0 {
             return Err(NandError::EraseWithValidPages { block, valid_pages: valid });
+        }
+        if let Some(fault) = self.fault.as_mut() {
+            if fault.erase_fails(block.chip().0, erase_count) {
+                return Err(
+                    self.retire_failed_block(block, |block| NandError::EraseFailed { block })
+                );
+            }
         }
         self.chip_for(block)?.erase_block(block.index());
         let latency = self.latency.erase_latency();
@@ -751,6 +888,137 @@ mod tests {
             device.set_block_area_tag(bad, Some(0)),
             Err(NandError::ChipOutOfRange { .. })
         ));
+    }
+
+    #[test]
+    fn fault_free_reads_report_zero_fault_info() {
+        let mut device = small_device();
+        let block = device.any_free_block().unwrap();
+        device.program(block, PageId(0)).unwrap();
+        device.read(block.page(PageId(0))).unwrap();
+        assert_eq!(device.last_read_faults(), crate::fault::ReadFaultInfo::default());
+        assert_eq!(device.bad_block_count(), 0);
+    }
+
+    #[test]
+    fn retired_blocks_reject_everything_but_reads_and_invalidations() {
+        let mut device = small_device();
+        let block = device.any_free_block().unwrap();
+        device.program(block, PageId(0)).unwrap();
+        device.program(block, PageId(1)).unwrap();
+        let free_before = device.free_block_count();
+        device.retire_block(block).unwrap();
+        device.retire_block(block).unwrap(); // idempotent
+        assert_eq!(device.bad_block_count(), 1);
+        assert_eq!(device.free_block_count(), free_before);
+        assert!(matches!(
+            device.program(block, PageId(2)),
+            Err(NandError::ProgramFailed { .. })
+        ));
+        assert!(matches!(device.program_next(block), Err(NandError::ProgramFailed { .. })));
+        // Surviving data stays readable; invalidation still works; erase is out.
+        assert!(device.read(block.page(PageId(0))).is_ok());
+        device.invalidate(block.page(PageId(0))).unwrap();
+        device.invalidate(block.page(PageId(1))).unwrap();
+        assert!(matches!(device.erase(block), Err(NandError::EraseFailed { .. })));
+        assert_eq!(device.gc_candidates().count(), 0, "bad blocks are never GC candidates");
+        assert_ne!(device.any_free_block(), Some(block));
+    }
+
+    #[test]
+    fn injected_program_failure_retires_the_block_without_charging_time() {
+        let mut fault = crate::FaultConfig::enabled(11);
+        fault.program_fail_base = 1.0; // every program fails
+        fault.erase_fail_base = 0.0;
+        fault.rber_scale = 0.0; // reads never retry
+        let config = NandConfig::builder()
+            .chips(1)
+            .blocks_per_chip(4)
+            .pages_per_block(2)
+            .page_size_bytes(4096)
+            .faults(fault)
+            .build()
+            .unwrap();
+        let mut device = NandDevice::new(config);
+        let block = device.any_free_block().unwrap();
+        let busy_before = device.stats().busy_time();
+        assert!(matches!(device.program_next(block), Err(NandError::ProgramFailed { .. })));
+        assert_eq!(device.bad_block_count(), 1);
+        assert_eq!(device.stats().busy_time(), busy_before, "failed programs are free");
+        assert_eq!(device.stats().counts.programs, 0);
+        // The device still has other blocks to offer.
+        assert!(device.any_free_block().is_some());
+    }
+
+    #[test]
+    fn retry_latency_is_folded_into_read_latency_and_op_records() {
+        let mut fault = crate::FaultConfig::enabled(1);
+        // Make every read need the ladder but never fail it.
+        fault.rber_scale = 40.0;
+        fault.ecc_correctable_bits = 0;
+        fault.retry_extra_bits = 1_000_000;
+        fault.max_read_retries = 4;
+        fault.program_fail_base = 0.0;
+        fault.erase_fail_base = 0.0;
+        let config = NandConfig::builder()
+            .chips(1)
+            .blocks_per_chip(2)
+            .pages_per_block(2)
+            .page_size_bytes(16 * 1024)
+            .faults(fault)
+            .build()
+            .unwrap();
+        let mut device = NandDevice::new(config);
+        device.set_op_tracing(true);
+        let block = device.any_free_block().unwrap();
+        device.program(block, PageId(0)).unwrap();
+        let mut saw_retry = false;
+        for _ in 0..50 {
+            let mark = device.op_mark();
+            let latency = device.read(block.page(PageId(0))).unwrap();
+            let info = device.last_read_faults();
+            assert_eq!(info.total_time, latency);
+            let ops = device.ops(device.ops_since(mark));
+            assert_eq!(ops.len(), 1);
+            assert_eq!(ops[0].latency, latency, "op record must carry the retry penalty");
+            if info.retries > 0 {
+                saw_retry = true;
+                assert_eq!(info.retry_time, fault.read_retry_penalty * u64::from(info.retries));
+            }
+        }
+        assert!(saw_retry, "the RBER curve at 40x must trigger at least one retry in 50 reads");
+    }
+
+    #[test]
+    fn fault_streams_replay_identically_per_device() {
+        let mut fault = crate::FaultConfig::enabled(77);
+        fault.rber_scale = 30.0;
+        let config = NandConfig::builder()
+            .chips(2)
+            .blocks_per_chip(4)
+            .pages_per_block(4)
+            .page_size_bytes(8 * 1024)
+            .faults(fault)
+            .build()
+            .unwrap();
+        let run = |config: NandConfig| {
+            let mut device = NandDevice::new(config);
+            let mut log = Vec::new();
+            for _ in 0..3 {
+                let block = device.allocate_block().unwrap();
+                for _ in 0..4 {
+                    device.program_next(block).unwrap();
+                }
+                for page in 0..4 {
+                    match device.read(block.page(PageId(page))) {
+                        Ok(latency) => log.push(latency.as_nanos()),
+                        Err(_) => log.push(u64::MAX),
+                    }
+                }
+            }
+            log
+        };
+        assert_eq!(run(config.clone()), run(config), "same seed, same outcome sequence");
     }
 
     #[test]

@@ -72,6 +72,24 @@ pub enum NandError {
         /// How many valid pages it still holds.
         valid_pages: usize,
     },
+    /// A program failed (injected fault or bad block); the block has been
+    /// retired and the FTL must re-drive the write to a fresh block.
+    ProgramFailed {
+        /// The block whose program failed.
+        block: BlockAddr,
+    },
+    /// An erase failed (injected fault or bad block); the block has been
+    /// retired and can never be reused.
+    EraseFailed {
+        /// The block whose erase failed.
+        block: BlockAddr,
+    },
+    /// A read exhausted the read-retry ladder without correcting: the data is
+    /// lost. The device still charged the full base-plus-ladder latency.
+    UncorrectableRead {
+        /// The page whose data could not be corrected.
+        page: PageAddr,
+    },
 }
 
 impl fmt::Display for NandError {
@@ -103,6 +121,15 @@ impl fmt::Display for NandError {
                 f,
                 "refusing to erase block {block} still holding {valid_pages} valid pages"
             ),
+            NandError::ProgramFailed { block } => {
+                write!(f, "program failed in block {block}; block retired as bad")
+            }
+            NandError::EraseFailed { block } => {
+                write!(f, "erase failed in block {block}; block retired as bad")
+            }
+            NandError::UncorrectableRead { page } => {
+                write!(f, "uncorrectable read at page {page}: retry ladder exhausted")
+            }
         }
     }
 }
@@ -131,6 +158,15 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<NandError>();
+    }
+
+    #[test]
+    fn fault_errors_render_useful_messages() {
+        let block = BlockAddr::new(ChipId(1), 7);
+        assert!(NandError::ProgramFailed { block }.to_string().contains("retired as bad"));
+        assert!(NandError::EraseFailed { block }.to_string().contains("erase failed"));
+        let err = NandError::UncorrectableRead { page: block.page(PageId(3)) };
+        assert!(err.to_string().contains("uncorrectable read"));
     }
 
     #[test]

@@ -68,6 +68,7 @@ mod chip;
 mod config;
 mod device;
 mod error;
+mod fault;
 mod latency;
 mod page;
 mod provenance;
@@ -80,6 +81,7 @@ pub use chip::Chip;
 pub use config::{NandConfig, NandConfigBuilder};
 pub use device::NandDevice;
 pub use error::NandError;
+pub use fault::{FaultConfig, ReadFaultInfo};
 pub use latency::{LatencyModel, SpeedClass, SpeedProfile};
 pub use page::{Page, PageState};
 pub use provenance::{OpKind, OpRecord, OpSpan};

@@ -73,6 +73,24 @@ impl Nanos {
         Nanos(self.0.saturating_sub(rhs.0))
     }
 
+    /// Checked addition; `None` on overflow. Use on paths that accumulate
+    /// open-ended penalties (e.g. the read-retry ladder), where plain `+`
+    /// would wrap silently in release builds.
+    pub fn checked_add(self, rhs: Nanos) -> Option<Nanos> {
+        self.0.checked_add(rhs.0).map(Nanos)
+    }
+
+    /// Saturating addition; clamps at `u64::MAX` nanoseconds instead of
+    /// wrapping.
+    pub fn saturating_add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_add(rhs.0))
+    }
+
+    /// Checked multiplication by a count; `None` on overflow.
+    pub fn checked_mul(self, rhs: u64) -> Option<Nanos> {
+        self.0.checked_mul(rhs).map(Nanos)
+    }
+
     /// Multiplies the duration by a non-negative scale factor, rounding to the
     /// nearest nanosecond.
     ///
@@ -171,6 +189,16 @@ mod tests {
         assert_eq!(a * 3, Nanos::from_micros(30));
         assert_eq!(a / 2, Nanos::from_micros(5));
         assert_eq!(b.saturating_sub(a), Nanos::ZERO);
+    }
+
+    #[test]
+    fn checked_and_saturating_ops_handle_overflow() {
+        let max = Nanos(u64::MAX);
+        assert_eq!(max.checked_add(Nanos(1)), None);
+        assert_eq!(Nanos(1).checked_add(Nanos(2)), Some(Nanos(3)));
+        assert_eq!(max.saturating_add(Nanos(5)), max);
+        assert_eq!(max.checked_mul(2), None);
+        assert_eq!(Nanos(3).checked_mul(4), Some(Nanos(12)));
     }
 
     #[test]

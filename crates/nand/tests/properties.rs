@@ -152,14 +152,15 @@ proptest! {
         }
     }
 
-    /// Whatever interleaving of allocate / program / invalidate / erase an FTL
-    /// issues, each chip's O(1) free-block counter equals a brute-force recount of
-    /// blocks in the `Free` state, the garbage-collection candidate index equals a
-    /// brute-force scan for full blocks with invalid pages, and the allocatable
-    /// count never exceeds the free count.
+    /// Whatever interleaving of allocate / program / invalidate / erase / retire
+    /// an FTL issues, each chip's O(1) free-block counter equals a brute-force
+    /// recount of blocks in the `Free` state, the garbage-collection candidate
+    /// index equals a brute-force scan for full blocks with invalid pages (and
+    /// therefore never yields a `Bad` block), the bad-block counter matches a
+    /// state scan, and the allocatable count never exceeds the free count.
     #[test]
     fn free_list_accounting_matches_brute_force(
-        ops in proptest::collection::vec((0u8..4, 0usize..8, 0usize..6), 1..300),
+        ops in proptest::collection::vec((0u8..5, 0usize..8, 0usize..6), 1..300),
         chips in 1usize..4,
     ) {
         use vflash_nand::BlockState;
@@ -204,7 +205,7 @@ proptest! {
                     );
                     let _ = device.invalidate(block.page(PageId(raw_page % pages_per_block)));
                 }
-                _ => {
+                3 => {
                     let block = BlockAddr::new(
                         ChipId(raw_page % chips),
                         raw_block % blocks_per_chip,
@@ -212,6 +213,26 @@ proptest! {
                     if device.erase(block).is_ok() {
                         leased.retain(|&b| b != block);
                     }
+                }
+                _ => {
+                    // Retire a block as bad; leased-but-bad blocks leave the
+                    // `Free` state, which the identities below must absorb.
+                    let block = BlockAddr::new(
+                        ChipId(raw_block % chips),
+                        raw_page % blocks_per_chip,
+                    );
+                    device.retire_block(block).unwrap();
+                    prop_assert!(
+                        matches!(
+                            device.program_next(block),
+                            Err(NandError::ProgramFailed { .. })
+                        ),
+                        "bad blocks must reject programs"
+                    );
+                    prop_assert!(
+                        matches!(device.erase(block), Err(NandError::EraseFailed { .. })),
+                        "bad blocks must reject erases"
+                    );
                 }
             }
 
@@ -241,6 +262,18 @@ proptest! {
                 .collect();
             expected.sort();
             prop_assert_eq!(candidates, expected);
+
+            // Bad-block accounting: the O(chips) counter matches a state scan,
+            // and bad blocks are never allocatable.
+            prop_assert_eq!(
+                device.bad_block_count(),
+                device.block_addrs()
+                    .filter(|&a| device.block(a).unwrap().state() == BlockState::Bad)
+                    .count()
+            );
+            if let Some(free) = device.any_free_block() {
+                prop_assert!(!device.block(free).unwrap().is_bad());
+            }
 
             // The allocatable pool is exactly the free blocks minus leased ones.
             prop_assert_eq!(

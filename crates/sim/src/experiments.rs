@@ -11,10 +11,10 @@
 
 use vflash_ftl::hotcold::{FreqTable, MultiHash, TwoLevelLru};
 use vflash_ftl::{
-    ConventionalFtl, CostBenefitVictimPolicy, FtlConfig, FtlError, GreedyVictimPolicy,
-    HotColdVictimPolicy, VictimPolicy, WearAwareVictimPolicy,
+    ConventionalFtl, CostBenefitVictimPolicy, FlashTranslationLayer, FtlConfig, FtlError,
+    GreedyVictimPolicy, HotColdVictimPolicy, IoRequest, Lpn, VictimPolicy, WearAwareVictimPolicy,
 };
-use vflash_nand::{NandConfig, NandDevice, Nanos};
+use vflash_nand::{FaultConfig, NandConfig, NandDevice, Nanos};
 use vflash_ppb::{PpbConfig, PpbFtl};
 use vflash_trace::synthetic::{self, ArrivalModel, SyntheticConfig};
 use vflash_trace::Trace;
@@ -891,6 +891,160 @@ pub fn erase_count_by_policy(scale: &ExperimentScale) -> Result<Vec<PolicyEraseR
     Ok(rows)
 }
 
+/// The RBER multipliers of the [`fault_sweep`]: the device's nominal error
+/// curve, a mid-life 2x, and an aged 4x. At the 16 KB page size the nominal
+/// curve sits just under the free ECC budget (most reads pass without
+/// retries), 2x pushes the typical read one retry step down the ladder, and
+/// 4x needs several steps with the occasional uncorrectable page — the
+/// regimes a device traverses between fresh and end of life.
+pub const RBER_SCALES: [f64; 3] = [1.0, 2.0, 4.0];
+
+/// The GC policies the [`fault_sweep`] crosses with the RBER axis: the plain
+/// greedy baseline and the tag-aware hot-cold policy, whose cold preference
+/// keeps stable data out of the copy path (fewer relocation reads → fewer
+/// chances for a retry to land on the GC critical path).
+pub const FAULT_SWEEP_POLICIES: [GcPolicy; 2] = [GcPolicy::Greedy, GcPolicy::HotCold];
+
+/// One row of the fault sweep: both FTLs replaying the web/SQL-server workload
+/// under one RBER scale and GC victim policy. The summaries carry the
+/// reliability counters ([`RunSummary::retried_reads`],
+/// [`RunSummary::uncorrectable_reads`], [`RunSummary::bad_blocks_grown`]) and
+/// the latency percentiles, so the row shows both how often the fault model
+/// fired and what it did to the p99.9 tail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultRow {
+    /// Multiplier applied to the device's RBER curve.
+    pub rber_scale: f64,
+    /// GC victim policy both FTLs used.
+    pub policy: GcPolicy,
+    /// The conventional FTL's summary.
+    pub conventional: RunSummary,
+    /// The PPB FTL's summary.
+    pub ppb: RunSummary,
+}
+
+/// The fault sweep: both FTLs replay the web/SQL-server workload (16 KB pages,
+/// 2x speed difference, QD 1) with the NAND fault model enabled at every RBER
+/// scale in [`RBER_SCALES`], crossed with the [`FAULT_SWEEP_POLICIES`]. The
+/// read-retry ladder turns raw bit errors into latency — folded into the same
+/// service times the percentiles are computed from — while the default
+/// program/erase failure probabilities keep a trickle of bad-block retirements
+/// flowing through the remap path. The web workload is the interesting one
+/// here: its re-read-heavy tail is exactly where retry latency compounds with
+/// queueing.
+///
+/// The fault seed is derived from the scale's workload seed, so the sweep is
+/// reproducible end to end.
+///
+/// # Errors
+///
+/// Propagates FTL construction and replay errors.
+pub fn fault_sweep(scale: &ExperimentScale) -> Result<Vec<FaultRow>, FtlError> {
+    let trace = Workload::WebSqlServer.trace(scale);
+    let base = scale.device_config(16 * 1024, 2.0);
+    let mut rows = Vec::new();
+    for &rber_scale in &RBER_SCALES {
+        let faults = FaultConfig { rber_scale, ..FaultConfig::enabled(scale.seed ^ 0xFA17) };
+        let config = base.clone().with_faults(faults)?;
+        for policy in FAULT_SWEEP_POLICIES {
+            let mut conventional =
+                ConventionalFtl::new(NandDevice::new(config.clone()), FtlConfig::default())?;
+            conventional.set_victim_policy(policy.build());
+            let baseline = replayer().run(conventional, &trace)?;
+
+            let mut ppb = PpbFtl::new(NandDevice::new(config.clone()), PpbConfig::default())?;
+            ppb.set_victim_policy(policy.build());
+            let variant = replayer().run(ppb, &trace)?;
+
+            rows.push(FaultRow { rber_scale, policy, conventional: baseline, ppb: variant });
+        }
+    }
+    Ok(rows)
+}
+
+/// One row of the end-of-life probe ([`fault_lifetime`]): how far one FTL got
+/// before bad-block growth drove its device read-only.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LifetimeRow {
+    /// FTL label (`conventional` / `ppb`).
+    pub ftl: &'static str,
+    /// Host page writes the FTL completed before refusing further writes.
+    pub writes_completed: u64,
+    /// Blocks retired as bad by the time of the transition.
+    pub bad_blocks: u64,
+    /// Device makespan at which the FTL turned read-only.
+    pub time_to_read_only: Nanos,
+}
+
+/// The number of distinct logical pages the [`fault_lifetime`] probe cycles
+/// over — a third of the probe device's physical pages, so the device has
+/// comfortable headroom when fresh and loses it block by block as failures
+/// accumulate.
+pub const LIFETIME_LPNS: u64 = 256;
+
+/// The write cap of the [`fault_lifetime`] probe — a backstop far beyond the
+/// writes the aggressive failure probabilities allow, so a regression that
+/// stops blocks from dying cannot hang the probe.
+pub const LIFETIME_WRITE_CAP: u64 = 500_000;
+
+/// The end-of-life probe: each FTL gets a deliberately small device (1 chip ×
+/// 48 blocks × 16 pages × 4 KB) with aggressive program/erase failure
+/// probabilities, and writes are issued round-robin over [`LIFETIME_LPNS`]
+/// logical pages until the FTL reports [`FtlError::ReadOnly`]. The row records
+/// how many writes the FTL absorbed, how many blocks it retired, and when the
+/// transition happened — the graceful-degradation curve: every program failure
+/// is remapped and every resident page rescued until the spare capacity is
+/// genuinely gone, at which point writes are refused but reads keep working.
+///
+/// # Errors
+///
+/// Propagates FTL construction errors and any replay error other than the
+/// expected read-only transition.
+pub fn fault_lifetime(scale: &ExperimentScale) -> Result<Vec<LifetimeRow>, FtlError> {
+    let faults = FaultConfig {
+        program_fail_base: 0.02,
+        erase_fail_base: 0.01,
+        ..FaultConfig::enabled(scale.seed ^ 0xE01)
+    };
+    let config = NandConfig::builder()
+        .chips(1)
+        .blocks_per_chip(48)
+        .pages_per_block(16)
+        .page_size_bytes(4096)
+        .speed_ratio(2.0)
+        .faults(faults)
+        .build()?;
+    let conventional = ConventionalFtl::new(NandDevice::new(config.clone()), FtlConfig::default())?;
+    let ppb = PpbFtl::new(NandDevice::new(config), PpbConfig::default())?;
+    Ok(vec![
+        drive_to_read_only(conventional, "conventional")?,
+        drive_to_read_only(ppb, "ppb")?,
+    ])
+}
+
+/// Issues round-robin writes against `ftl` until it turns read-only (or the
+/// [`LIFETIME_WRITE_CAP`] backstop trips) and summarises the run.
+fn drive_to_read_only<F: FlashTranslationLayer>(
+    mut ftl: F,
+    label: &'static str,
+) -> Result<LifetimeRow, FtlError> {
+    let mut writes_completed = 0u64;
+    for index in 0..LIFETIME_WRITE_CAP {
+        match ftl.submit(IoRequest::write(Lpn(index % LIFETIME_LPNS), 4096)) {
+            Ok(_) => writes_completed += 1,
+            Err(FtlError::ReadOnly) => break,
+            Err(err) => return Err(err),
+        }
+    }
+    let metrics = ftl.metrics();
+    Ok(LifetimeRow {
+        ftl: label,
+        writes_completed,
+        bad_blocks: metrics.bad_blocks_grown,
+        time_to_read_only: metrics.time_to_read_only,
+    })
+}
+
 /// Ablation: read enhancement as a function of the first-stage hot/cold classifier.
 ///
 /// # Errors
@@ -1137,6 +1291,54 @@ mod tests {
                 bursty.busy_arrival_fraction() > smooth.busy_arrival_fraction(),
                 "bursts must raise the busy-arrival fraction"
             );
+        }
+    }
+
+    #[test]
+    fn fault_sweep_scales_retry_pressure_down_the_rber_axis() {
+        let scale = ExperimentScale { requests: 2_000, ..ExperimentScale::quick() };
+        let rows = fault_sweep(&scale).unwrap();
+        assert_eq!(rows.len(), RBER_SCALES.len() * FAULT_SWEEP_POLICIES.len());
+        for row in &rows {
+            // Host traffic is fault-independent: the trace is shared.
+            assert_eq!(row.conventional.host_reads, row.ppb.host_reads);
+            assert_eq!(row.conventional.host_writes, row.ppb.host_writes);
+        }
+        // The aged end of the axis must actually exercise the retry ladder, and
+        // harder than the nominal curve does.
+        let nominal = &rows[0];
+        let aged = rows.last().unwrap();
+        assert_eq!(nominal.rber_scale, RBER_SCALES[0]);
+        assert_eq!(aged.rber_scale, *RBER_SCALES.last().unwrap());
+        assert!(aged.conventional.retried_reads > 0, "aged rows must see retries");
+        assert!(
+            aged.conventional.retried_reads >= nominal.conventional.retried_reads,
+            "retry pressure must not fall as the RBER curve ages"
+        );
+        assert!(aged.conventional.read_retry_time > Nanos::ZERO);
+        // Retry latency rides inside the ordinary service times.
+        assert!(aged.conventional.retry_latency_fraction() > 0.0);
+    }
+
+    #[test]
+    fn fault_lifetime_degrades_gracefully_to_read_only() {
+        let rows = fault_lifetime(&ExperimentScale::quick()).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].ftl, "conventional");
+        assert_eq!(rows[1].ftl, "ppb");
+        for row in &rows {
+            assert!(
+                row.writes_completed > LIFETIME_LPNS,
+                "{}: the fresh device must absorb at least one full pass",
+                row.ftl
+            );
+            assert!(
+                row.writes_completed < LIFETIME_WRITE_CAP,
+                "{}: the probe must reach read-only, not the backstop",
+                row.ftl
+            );
+            assert!(row.bad_blocks > 0, "{}: read-only requires retired blocks", row.ftl);
+            assert!(row.time_to_read_only > Nanos::ZERO, "{}: transition time unset", row.ftl);
         }
     }
 

@@ -25,8 +25,10 @@
 //!   the paper's evaluation (Figures 12–18) at a configurable scale, plus the
 //!   queue-depth sweep, the offered-load (rate-scale) sweep, the burstiness
 //!   sweep ([`experiments::burst_sweep`]: heavy-tailed Pareto / on-off arrivals
-//!   at one fixed mean rate, spreading the p99.9 tail) and the GC-policy
-//!   ablation.
+//!   at one fixed mean rate, spreading the p99.9 tail), the GC-policy
+//!   ablation, and the reliability sweeps ([`experiments::fault_sweep`]: RBER
+//!   scale × GC policy with the NAND fault model on; [`experiments::fault_lifetime`]:
+//!   writes into a failing device until it degrades to read-only).
 //! * [`ParallelRunner`] / [`ExperimentGrid`] — fan the FTL × trace × scale ×
 //!   discipline × arrival-model grid out over `std::thread` workers with
 //!   deterministic per-cell seeds; results are bit-identical to a serial run,

@@ -21,6 +21,7 @@ use std::sync::Mutex;
 use std::thread;
 
 use vflash_ftl::FtlError;
+use vflash_nand::FaultConfig;
 use vflash_trace::synthetic::ArrivalModel;
 
 use crate::engine::ArrivalDiscipline;
@@ -79,6 +80,11 @@ pub struct ExperimentGrid {
     pub page_size_bytes: usize,
     /// Top/bottom page speed ratio.
     pub speed_ratio: f64,
+    /// Fault-injection knobs applied to every cell's device (`None` for the
+    /// historic fault-free grids). The [`FaultConfig`] carries its own seed, so
+    /// every cell sees the same fault universe and the grid stays bit-identical
+    /// across worker counts — the per-cell workload seeds only vary the traffic.
+    pub faults: Option<FaultConfig>,
 }
 
 impl ExperimentGrid {
@@ -109,6 +115,18 @@ impl ExperimentGrid {
             arrival_models: vec![ArrivalModel::default()],
             page_size_bytes: 16 * 1024,
             speed_ratio: 2.0,
+            faults: None,
+        }
+    }
+
+    /// The full grid with the NAND fault model enabled on every cell's device
+    /// (default fault curve under `fault_seed`). Everything else matches
+    /// [`ExperimentGrid::full`], so diffing the two isolates the cost of
+    /// read retries and bad-block remapping.
+    pub fn with_faults(scale: ExperimentScale, fault_seed: u64) -> Self {
+        ExperimentGrid {
+            faults: Some(FaultConfig::enabled(fault_seed)),
+            ..ExperimentGrid::full(scale)
         }
     }
 
@@ -253,7 +271,10 @@ fn cell_seed(base: u64, index: u64) -> u64 {
 /// Propagates FTL construction and replay errors.
 pub fn run_cell(cell: &GridCell, grid: &ExperimentGrid) -> Result<CellResult, FtlError> {
     let trace = cell.workload.trace_with_arrival(&cell.scale, cell.arrival);
-    let config = cell.scale.device_config(grid.page_size_bytes, grid.speed_ratio);
+    let mut config = cell.scale.device_config(grid.page_size_bytes, grid.speed_ratio);
+    if let Some(faults) = grid.faults {
+        config = config.with_faults(faults)?;
+    }
     let summary = match cell.ftl {
         FtlKind::Conventional => run_conventional_driven(&trace, &config, cell.discipline)?,
         FtlKind::Ppb => run_ppb_driven(&trace, &config, cell.discipline)?,
@@ -519,6 +540,7 @@ mod tests {
             arrival_models: vec![ArrivalModel::default()],
             page_size_bytes: 16 * 1024,
             speed_ratio: 2.0,
+            faults: None,
         };
         assert!(ParallelRunner::new(8).run(&grid).unwrap().is_empty());
     }
@@ -647,6 +669,42 @@ mod tests {
             let parallel = ParallelRunner::new(workers).run(&grid).unwrap();
             assert_eq!(parallel, serial, "{workers} workers diverged from serial");
         }
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic_across_worker_counts() {
+        // Read-retry-only faults (program/erase failures off): the fault model
+        // fires on every cell without driving the tiny grid devices to end of
+        // life mid-replay. The fault streams are seeded per chip, so the steal
+        // order must not leak into the results.
+        let faults = FaultConfig {
+            rber_scale: 40.0,
+            program_fail_base: 0.0,
+            erase_fail_base: 0.0,
+            ..FaultConfig::enabled(0xFA17)
+        };
+        let grid = ExperimentGrid {
+            faults: Some(faults),
+            ..ExperimentGrid::full(ExperimentScale { requests: 200, ..tiny_scale() })
+        };
+        let serial = ParallelRunner::run_serial(&grid).unwrap();
+        assert!(
+            serial.iter().any(|result| result.summary.retried_reads > 0),
+            "the fault sweep grid must actually exercise read retries"
+        );
+        for workers in [2, 3, 5, 32] {
+            let parallel = ParallelRunner::new(workers).run(&grid).unwrap();
+            assert_eq!(parallel, serial, "{workers} workers diverged under faults");
+        }
+        // The same grid without faults stays quiet: the knobs default off.
+        let clean = ExperimentGrid {
+            faults: None,
+            ..grid.clone()
+        };
+        let clean_serial = ParallelRunner::run_serial(&clean).unwrap();
+        assert!(clean_serial.iter().all(|result| {
+            result.summary.retried_reads == 0 && result.summary.bad_blocks_grown == 0
+        }));
     }
 
     #[test]

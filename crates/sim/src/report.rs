@@ -107,6 +107,22 @@ pub struct RunSummary {
     /// at the *same mean rate* push most requests into busy bursts. See
     /// [`RunSummary::busy_arrival_fraction`].
     pub busy_arrivals: u64,
+    /// Reads (host and GC alike) that needed at least one read-retry step to
+    /// pass ECC. Zero with fault injection off.
+    pub retried_reads: u64,
+    /// Total extra latency spent in read-retry steps, already folded into the
+    /// read/GC times above. See [`RunSummary::retry_latency_fraction`].
+    pub read_retry_time: Nanos,
+    /// Reads whose retry ladder was exhausted — the data was lost.
+    pub uncorrectable_reads: u64,
+    /// Blocks retired as bad after program or erase failures during the
+    /// measured phase.
+    pub bad_blocks_grown: u64,
+    /// Page programs re-driven to a fresh block after a program failure.
+    pub remapped_writes: u64,
+    /// Device makespan at which the FTL entered read-only mode, if it did so by
+    /// the end of the measured phase ([`Nanos::ZERO`] otherwise).
+    pub time_to_read_only: Nanos,
 }
 
 impl RunSummary {
@@ -159,6 +175,30 @@ impl RunSummary {
             offered_duration: Nanos::ZERO,
             peak_queue_depth: 0,
             busy_arrivals: 0,
+            retried_reads: end.retried_reads - start.retried_reads,
+            read_retry_time: end.read_retry_time - start.read_retry_time,
+            uncorrectable_reads: end.uncorrectable_reads - start.uncorrectable_reads,
+            bad_blocks_grown: end.bad_blocks_grown - start.bad_blocks_grown,
+            remapped_writes: end.remapped_writes - start.remapped_writes,
+            // The read-only transition is a one-shot event: report it only when
+            // it happened during the measured phase.
+            time_to_read_only: if start.time_to_read_only == Nanos::ZERO {
+                end.time_to_read_only
+            } else {
+                Nanos::ZERO
+            },
+        }
+    }
+
+    /// The fraction of total host latency (reads + writes) that was spent in
+    /// read-retry steps, in `[0, 1]`. Zero with fault injection off — and the
+    /// knob the fault sweep plots against the RBER scale.
+    pub fn retry_latency_fraction(&self) -> f64 {
+        let total = self.read_time + self.write_time;
+        if total == Nanos::ZERO {
+            0.0
+        } else {
+            self.read_retry_time.as_nanos() as f64 / total.as_nanos() as f64
         }
     }
 
@@ -252,6 +292,21 @@ impl fmt::Display for RunSummary {
                     self.peak_queue_depth,
                     self.busy_arrival_fraction() * 100.0,
                 )?,
+            }
+        }
+        if self.retried_reads > 0 || self.uncorrectable_reads > 0 || self.bad_blocks_grown > 0 {
+            write!(
+                f,
+                ", faults: {} retried reads ({:.2}% of host time), {} uncorrectable, \
+                 {} bad blocks, {} remaps",
+                self.retried_reads,
+                self.retry_latency_fraction() * 100.0,
+                self.uncorrectable_reads,
+                self.bad_blocks_grown,
+                self.remapped_writes,
+            )?;
+            if self.time_to_read_only > Nanos::ZERO {
+                write!(f, ", read-only at {}", self.time_to_read_only)?;
             }
         }
         Ok(())
@@ -378,6 +433,50 @@ mod tests {
         let text = summary.to_string();
         assert!(text.contains("open-loop x2"), "display names the mode: {text}");
         assert!(text.contains("achieved/offered"), "{text}");
+    }
+
+    #[test]
+    fn reliability_metrics_flow_through_the_delta() {
+        let mut start = FtlMetrics::new();
+        start.record_read_retries(2, Nanos::from_micros(50));
+        let mut end = start;
+        end.record_host_read(Nanos::from_micros(100));
+        end.record_host_write(Nanos::from_micros(300));
+        end.record_read_retries(3, Nanos::from_micros(100));
+        end.record_uncorrectable_read();
+        end.record_bad_block();
+        end.record_remap();
+        end.record_read_only(Nanos::from_millis(7));
+        let summary = RunSummary::from_metrics_delta("ppb", "t", &start, &end);
+        assert_eq!(summary.retried_reads, 1);
+        assert_eq!(summary.read_retry_time, Nanos::from_micros(100));
+        assert_eq!(summary.uncorrectable_reads, 1);
+        assert_eq!(summary.bad_blocks_grown, 1);
+        assert_eq!(summary.remapped_writes, 1);
+        assert_eq!(summary.time_to_read_only, Nanos::from_millis(7));
+        assert!((summary.retry_latency_fraction() - 0.25).abs() < 1e-12);
+        let text = summary.to_string();
+        assert!(text.contains("1 retried reads"), "{text}");
+        assert!(text.contains("read-only at"), "{text}");
+
+        // A transition that happened before the measured phase is not re-reported.
+        let mut warm = FtlMetrics::new();
+        warm.record_read_only(Nanos::from_millis(1));
+        let again = RunSummary::from_metrics_delta("ppb", "t", &warm, &warm);
+        assert_eq!(again.time_to_read_only, Nanos::ZERO);
+    }
+
+    #[test]
+    fn fault_free_summaries_stay_quiet() {
+        let summary = RunSummary::from_metrics_delta(
+            "conventional",
+            "t",
+            &FtlMetrics::new(),
+            &metrics(10, 100, 10, 600, 2),
+        );
+        assert_eq!(summary.retried_reads, 0);
+        assert_eq!(summary.retry_latency_fraction(), 0.0);
+        assert!(!summary.to_string().contains("faults:"));
     }
 
     #[test]

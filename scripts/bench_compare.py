@@ -36,6 +36,10 @@ import sys
 GROUP_THRESHOLDS = {
     "throughput": 15.0,
     "open_loop": 15.0,
+    # The fault model's retry ladder and remap path ride the replay hot loop,
+    # but the group is new and its smoke timings have no history yet — gate it
+    # loosely for now and tighten once a few baselines have accumulated.
+    "faults": 20.0,
 }
 
 

@@ -9,6 +9,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use vflash_kv::workload::{KvComparison, KvRunSummary};
 use vflash_nand::Nanos;
 use vflash_sim::experiments::{
     BurstRow, EnhancementRow, EraseCountRow, FaultRow, LatencySweepRow, LifetimeRow,
@@ -69,6 +70,62 @@ fn percentiles_us(percentiles: &LatencyPercentiles) -> String {
         percentiles.p95.as_micros_f64(),
         percentiles.p99.as_micros_f64(),
         percentiles.max.as_micros_f64(),
+    )
+}
+
+/// Formats the tail percentiles the LSM table reports: `p50/p99/p99.9` (µs).
+fn tail_percentiles_us(percentiles: &LatencyPercentiles) -> String {
+    format!(
+        "{:>6.0}/{:>7.0}/{:>8.0}",
+        percentiles.p50.as_micros_f64(),
+        percentiles.p99.as_micros_f64(),
+        percentiles.p999.as_micros_f64(),
+    )
+}
+
+/// Renders the LSM KV-store comparison: for each FTL, the application-level
+/// get-latency split (memtable hits vs SSTable reads), the compaction-stall
+/// tail absorbed by writes, and the three write-amplification factors (app ×
+/// FTL = end-to-end). The interesting columns are the SSTable-read and stall
+/// tails — that is where the device's placement policy shows through the LSM —
+/// and the end-to-end WA, which multiplies the LSM's own rewrite cost by the
+/// FTL's relocation cost.
+pub fn format_kv_rows(comparison: &KvComparison) -> String {
+    let mut out = String::from(
+        "ftl            memhit p50/p99/p99.9 (us)   sstread p50/p99/p99.9 (us)   \
+         stall p50/p99/p99.9 (us)   app-WA  ftl-WA  e2e-WA\n",
+    );
+    let mut push = |summary: &KvRunSummary| {
+        let wa = summary.write_amplification;
+        out.push_str(&format!(
+            "{:<12} {:>26} {:>28} {:>26}   {:>6.2}  {:>6.2}  {:>6.2}\n",
+            summary.ftl,
+            tail_percentiles_us(&summary.memtable_hit),
+            tail_percentiles_us(&summary.sstable_read),
+            tail_percentiles_us(&summary.compaction_stall),
+            wa.app,
+            wa.ftl,
+            wa.end_to_end,
+        ));
+    };
+    push(&comparison.conventional);
+    push(&comparison.ppb);
+    out
+}
+
+/// One-line activity summary of a KV run (flushes, compactions, stalls, device
+/// time) printed under the comparison table.
+pub fn format_kv_activity(summary: &KvRunSummary) -> String {
+    format!(
+        "{:<12} {} ops, {} flushes, {} compactions, {} stalled writes, \
+         {} bloom skips, device time {}\n",
+        summary.ftl,
+        summary.ops_completed,
+        summary.flushes,
+        summary.compactions,
+        summary.stalled_writes,
+        summary.bloom_skips,
+        seconds(summary.device_time),
     )
 }
 

@@ -345,6 +345,7 @@ impl<C: HotColdClassifier> PpbFtl<C> {
             // place_page remaps the LPN and invalidates its previous location,
             // which is exactly the source page being rescued.
             time += self.place_page(lpn, level)?;
+            self.metrics.record_rescue(1);
         }
         Ok(time)
     }

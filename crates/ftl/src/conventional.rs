@@ -231,6 +231,7 @@ impl ConventionalFtl {
             }
             let (destination, program) = self.program_next_with_redrive(gc_stream)?;
             time += program;
+            self.metrics.record_rescue(1);
             self.device.invalidate(source)?;
             self.mapping.map(lpn, destination);
         }

@@ -27,6 +27,13 @@ pub struct FtlMetrics {
     pub gc_time: Nanos,
     /// Pages relocated by hotness-driven migration (zero for the conventional FTL).
     pub migrated_pages: u64,
+    /// Page programs issued by the FTL on its own behalf rather than for a host
+    /// write: garbage-collection valid-page copies plus bad-block rescue copies.
+    /// Together with [`FtlMetrics::host_writes`] this splits the device's physical
+    /// program count into its host-visible and FTL-internal halves, which is what
+    /// lets an application stacked on top report true end-to-end write
+    /// amplification (app WA × FTL WA).
+    pub relocation_writes: u64,
     /// Reads (host and GC alike) that needed at least one read-retry step to
     /// pass ECC.
     pub retried_reads: u64,
@@ -80,6 +87,24 @@ impl FtlMetrics {
         }
     }
 
+    /// Physical page programs the device performed: host writes plus every
+    /// FTL-internal relocation program (GC copies and bad-block rescues).
+    pub fn physical_page_writes(&self) -> u64 {
+        self.host_writes + self.relocation_writes
+    }
+
+    /// Write amplification including bad-block rescue copies:
+    /// [`FtlMetrics::physical_page_writes`] per host write. Equal to
+    /// [`FtlMetrics::write_amplification`] on a fault-free device, where GC
+    /// copies are the only relocations.
+    pub fn relocation_write_amplification(&self) -> f64 {
+        if self.host_writes == 0 {
+            0.0
+        } else {
+            self.physical_page_writes() as f64 / self.host_writes as f64
+        }
+    }
+
     /// Records one host read and its latency.
     pub fn record_host_read(&mut self, latency: Nanos) {
         self.host_reads += 1;
@@ -92,11 +117,20 @@ impl FtlMetrics {
         self.host_write_time += latency;
     }
 
-    /// Records the outcome of a garbage-collection pass.
+    /// Records the outcome of a garbage-collection pass. Every copied page is a
+    /// relocation program, so it also counts towards
+    /// [`FtlMetrics::relocation_writes`].
     pub fn record_gc(&mut self, copied: u64, erased: u64, time: Nanos) {
         self.gc_copied_pages += copied;
         self.gc_erased_blocks += erased;
         self.gc_time += time;
+        self.relocation_writes += copied;
+    }
+
+    /// Records pages relocated out of a freshly retired bad block (one program
+    /// per surviving valid page rescued).
+    pub fn record_rescue(&mut self, pages: u64) {
+        self.relocation_writes += pages;
     }
 
     /// Records pages relocated by hotness-driven migration.
@@ -162,6 +196,23 @@ mod tests {
         assert_eq!(metrics.gc_copied_pages, 3);
         assert_eq!(metrics.gc_erased_blocks, 1);
         assert_eq!(metrics.write_amplification(), 4.0);
+    }
+
+    #[test]
+    fn relocation_writes_cover_gc_copies_and_rescues() {
+        let mut metrics = FtlMetrics::new();
+        metrics.record_host_write(Nanos::from_micros(800));
+        metrics.record_host_write(Nanos::from_micros(800));
+        metrics.record_gc(3, 1, Nanos::from_millis(5));
+        assert_eq!(metrics.relocation_writes, 3, "GC copies are relocations");
+        metrics.record_rescue(2);
+        assert_eq!(metrics.relocation_writes, 5);
+        assert_eq!(metrics.physical_page_writes(), 7);
+        assert_eq!(metrics.relocation_write_amplification(), 3.5);
+        // The classic WA excludes rescues, so it stays below the relocation WA
+        // once a rescue happened.
+        assert_eq!(metrics.write_amplification(), 2.5);
+        assert_eq!(FtlMetrics::new().relocation_write_amplification(), 0.0);
     }
 
     #[test]

@@ -1,0 +1,52 @@
+//! vflash-kv: an LSM key-value store running on the simulated flash device.
+//!
+//! The crate stacks a small-but-real log-structured merge tree on top of the
+//! workspace's FTL simulators, so application-level behavior (WAL appends,
+//! memtable flushes, compaction) becomes real device traffic — queueing, GC
+//! attribution, fault injection and end-of-life behavior included:
+//!
+//! ```text
+//!  put/delete ──▶ WAL append ──▶ memtable ──▶ flush ──▶ L0 table ─┐
+//!                                                                 ▼
+//!       get/scan ◀── memtable + bloom/index probes ◀── leveled SSTables
+//!                                                                 │
+//!        FlashFile appends/reads ◀── compaction merges ◀──────────┘
+//!                       │
+//!                       ▼
+//!          IoRequest per page ──▶ ConventionalFtl / PpbFtl ──▶ NAND timing
+//! ```
+//!
+//! Every byte of persistence goes through [`FlashStore`]: append-only
+//! [`SegmentFile`]s mapped onto LPN extents, one `IoRequest` per page touched.
+//! The request sizes passed down are the application's real write sizes, so
+//! PPB's size-based hotness classifier sees WAL appends as small (hot) writes
+//! and bulk table builds as large (cold) ones — the exact workload contrast the
+//! paper's placement policy is built around. Once a worn-out device turns
+//! read-only, writes surface as [`KvError::ReadOnly`] at the KV API.
+//!
+//! [`workload`] adds a deterministic, zipf-skewed driver that reports
+//! application-level latency percentiles split into memtable-hit /
+//! sstable-read / compaction-stall components, plus the three write
+//! amplification factors (app × FTL = end-to-end).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod flash_file;
+mod hash;
+mod memtable;
+mod sstable;
+mod store;
+mod wal;
+pub mod workload;
+
+pub use error::KvError;
+pub use flash_file::{Extent, FlashStore, SegmentFile, StoreIoStats, SUPERBLOCK_LPN};
+pub use memtable::Memtable;
+pub use sstable::{BloomFilter, Entry, TableHandle, TableMeta, TableProbe};
+pub use store::{
+    KvConfig, KvStats, KvStore, Lookup, LookupSource, TableLayout, WriteAmplification,
+    WriteReceipt,
+};
+pub use wal::{Wal, WalOp};

@@ -1,0 +1,474 @@
+//! Sorted string tables: immutable sorted runs with a per-table bloom filter
+//! and a sparse index.
+//!
+//! On-flash layout of one table file (all little-endian):
+//!
+//! ```text
+//! [ data section    ]  entries back to back: klen u16 | flag u8 | vlen u32 | key | value
+//! [ index section   ]  count u32, then per sparse entry: klen u16 | data offset u64 | key
+//! [ bloom section   ]  word count u32 | hash count u32 | u64 words
+//! ```
+//!
+//! The section offsets, entry count and key bounds live in the manifest, so a
+//! recovering store can rebuild a [`TableHandle`] by reading just the index and
+//! bloom sections (charged as device reads). Point lookups consult the bounds,
+//! then the bloom filter, then binary-search the sparse index and read a single
+//! index bucket — at the default interval that is one small `read_range` per
+//! probed table.
+
+use crate::error::KvError;
+use crate::flash_file::{FlashStore, SegmentFile};
+use crate::hash::fnv1a;
+use vflash_ftl::FlashTranslationLayer;
+
+/// Every `SPARSE_INDEX_INTERVAL`-th entry lands in the sparse index (the first
+/// always does).
+const SPARSE_INDEX_INTERVAL: usize = 16;
+/// Bloom filter budget: bits per key.
+const BLOOM_BITS_PER_KEY: usize = 10;
+/// Bloom filter probes per key (near-optimal for 10 bits/key).
+const BLOOM_HASHES: u32 = 6;
+
+/// Entry flags in the data section.
+const FLAG_VALUE: u8 = 0;
+const FLAG_TOMBSTONE: u8 = 1;
+
+/// A table entry: a value or a tombstone.
+pub type Entry = (Vec<u8>, Option<Vec<u8>>);
+
+/// A split-block bloom filter over the table's keys (double hashing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BloomFilter {
+    words: Vec<u64>,
+    hashes: u32,
+}
+
+impl BloomFilter {
+    /// A filter sized for `keys` keys at `BLOOM_BITS_PER_KEY` (10) bits each.
+    pub fn with_capacity(keys: usize) -> Self {
+        let bits = (keys * BLOOM_BITS_PER_KEY).max(64);
+        BloomFilter { words: vec![0; bits.div_ceil(64)], hashes: BLOOM_HASHES }
+    }
+
+    fn bits(&self) -> u64 {
+        self.words.len() as u64 * 64
+    }
+
+    fn probe(&self, key: &[u8], i: u32) -> (usize, u64) {
+        let h1 = fnv1a(key, 0x51_73);
+        let h2 = fnv1a(key, 0xB1_00) | 1;
+        let bit = h1.wrapping_add(u64::from(i).wrapping_mul(h2)) % self.bits();
+        ((bit / 64) as usize, 1u64 << (bit % 64))
+    }
+
+    /// Inserts a key.
+    pub fn insert(&mut self, key: &[u8]) {
+        for i in 0..self.hashes {
+            let (word, mask) = self.probe(key, i);
+            self.words[word] |= mask;
+        }
+    }
+
+    /// True when the key *may* be present; false means definitely absent.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        (0..self.hashes).all(|i| {
+            let (word, mask) = self.probe(key, i);
+            self.words[word] & mask != 0
+        })
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.words.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.hashes.to_le_bytes());
+        for word in &self.words {
+            out.extend_from_slice(&word.to_le_bytes());
+        }
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, KvError> {
+        let corrupt = || KvError::Corruption("truncated bloom section".to_string());
+        if bytes.len() < 8 {
+            return Err(corrupt());
+        }
+        let words = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+        let hashes = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        if bytes.len() < 8 + words * 8 || hashes == 0 || words == 0 {
+            return Err(corrupt());
+        }
+        let words = (0..words)
+            .map(|i| u64::from_le_bytes(bytes[8 + i * 8..16 + i * 8].try_into().unwrap()))
+            .collect();
+        Ok(BloomFilter { words, hashes })
+    }
+}
+
+/// The persisted description of one table — everything the manifest stores.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableMeta {
+    /// Creation sequence number (unique per store, newer is larger).
+    pub id: u64,
+    /// The backing file (extents + length).
+    pub file: SegmentFile,
+    /// Number of entries (tombstones included).
+    pub entries: u64,
+    /// Byte length of the data section.
+    pub data_len: u64,
+    /// File offset of the index section.
+    pub index_off: u64,
+    /// File offset of the bloom section.
+    pub bloom_off: u64,
+    /// Smallest key in the table.
+    pub min_key: Vec<u8>,
+    /// Largest key in the table.
+    pub max_key: Vec<u8>,
+}
+
+/// How a point lookup probed a table (bloom-filter accounting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableProbe {
+    /// The key was outside the table's key bounds — no filter consulted, no
+    /// device traffic.
+    RangeSkip,
+    /// The bloom filter proved the key absent — no device traffic.
+    BloomSkip,
+    /// An index bucket was read from the device.
+    Read,
+}
+
+/// An open table: persisted metadata plus the in-memory sparse index and bloom
+/// filter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableHandle {
+    /// The persisted metadata.
+    pub meta: TableMeta,
+    index: Vec<(Vec<u8>, u64)>,
+    bloom: BloomFilter,
+}
+
+impl TableHandle {
+    /// Builds a table from sorted, deduplicated entries, writing data + index +
+    /// bloom through `store` as one bulk append (PPB's classifier sees a large
+    /// sequential write).
+    ///
+    /// # Errors
+    ///
+    /// Allocation and write errors pass through. `entries` must be non-empty
+    /// and strictly sorted by key (a flush or merge output always is;
+    /// violations are a logic error and panic via `debug_assert`).
+    pub fn build<F: FlashTranslationLayer>(
+        store: &mut FlashStore<F>,
+        id: u64,
+        entries: &[Entry],
+    ) -> Result<TableHandle, KvError> {
+        assert!(!entries.is_empty(), "tables are never built empty");
+        debug_assert!(entries.windows(2).all(|pair| pair[0].0 < pair[1].0));
+        let mut data = Vec::new();
+        let mut index = Vec::new();
+        let mut bloom = BloomFilter::with_capacity(entries.len());
+        for (position, (key, value)) in entries.iter().enumerate() {
+            if position % SPARSE_INDEX_INTERVAL == 0 {
+                index.push((key.clone(), data.len() as u64));
+            }
+            bloom.insert(key);
+            data.extend_from_slice(&(key.len() as u16).to_le_bytes());
+            data.push(if value.is_some() { FLAG_VALUE } else { FLAG_TOMBSTONE });
+            data.extend_from_slice(&(value.as_ref().map_or(0, Vec::len) as u32).to_le_bytes());
+            data.extend_from_slice(key);
+            if let Some(value) = value {
+                data.extend_from_slice(value);
+            }
+        }
+        let data_len = data.len() as u64;
+        let index_off = data_len;
+        let mut file_bytes = data;
+        file_bytes.extend_from_slice(&(index.len() as u32).to_le_bytes());
+        for (key, offset) in &index {
+            file_bytes.extend_from_slice(&(key.len() as u16).to_le_bytes());
+            file_bytes.extend_from_slice(&offset.to_le_bytes());
+            file_bytes.extend_from_slice(key);
+        }
+        let bloom_off = file_bytes.len() as u64;
+        bloom.encode(&mut file_bytes);
+        let mut file = SegmentFile::new();
+        let request_bytes = u32::try_from(file_bytes.len()).unwrap_or(u32::MAX);
+        store.append(&mut file, &file_bytes, request_bytes)?;
+        let meta = TableMeta {
+            id,
+            file,
+            entries: entries.len() as u64,
+            data_len,
+            index_off,
+            bloom_off,
+            min_key: entries.first().expect("non-empty").0.clone(),
+            max_key: entries.last().expect("non-empty").0.clone(),
+        };
+        Ok(TableHandle { meta, index, bloom })
+    }
+
+    /// Reopens a table from its persisted metadata, reading the index and bloom
+    /// sections back from the device (the crash-recovery path).
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::Corruption`] when a section fails to decode; read errors pass
+    /// through.
+    pub fn recover<F: FlashTranslationLayer>(
+        store: &mut FlashStore<F>,
+        meta: TableMeta,
+    ) -> Result<TableHandle, KvError> {
+        let corrupt = || KvError::Corruption("truncated index section".to_string());
+        let index_bytes = store.read_range(
+            &meta.file,
+            meta.index_off,
+            (meta.bloom_off - meta.index_off) as usize,
+        )?;
+        if index_bytes.len() < 4 {
+            return Err(corrupt());
+        }
+        let count = u32::from_le_bytes(index_bytes[0..4].try_into().unwrap()) as usize;
+        let mut index = Vec::with_capacity(count);
+        let mut at = 4usize;
+        for _ in 0..count {
+            if index_bytes.len() < at + 10 {
+                return Err(corrupt());
+            }
+            let klen = u16::from_le_bytes(index_bytes[at..at + 2].try_into().unwrap()) as usize;
+            let offset = u64::from_le_bytes(index_bytes[at + 2..at + 10].try_into().unwrap());
+            at += 10;
+            if index_bytes.len() < at + klen {
+                return Err(corrupt());
+            }
+            index.push((index_bytes[at..at + klen].to_vec(), offset));
+            at += klen;
+        }
+        let bloom_bytes = store.read_range(
+            &meta.file,
+            meta.bloom_off,
+            (meta.file.len() - meta.bloom_off) as usize,
+        )?;
+        let bloom = BloomFilter::decode(&bloom_bytes)?;
+        Ok(TableHandle { meta, index, bloom })
+    }
+
+    /// The index bucket `[start, end)` of data offsets that can contain `key`,
+    /// or `None` when `key` sorts before the first entry.
+    fn bucket_for(&self, key: &[u8]) -> Option<(u64, u64)> {
+        let at = self.index.partition_point(|(index_key, _)| index_key.as_slice() <= key);
+        if at == 0 {
+            return None;
+        }
+        let start = self.index[at - 1].1;
+        let end = self.index.get(at).map_or(self.meta.data_len, |(_, offset)| *offset);
+        Some((start, end))
+    }
+
+    /// Point lookup. Returns the entry (`Some(None)` is a tombstone) and how
+    /// the table was probed.
+    ///
+    /// # Errors
+    ///
+    /// Read and decode errors pass through.
+    pub fn get<F: FlashTranslationLayer>(
+        &self,
+        store: &mut FlashStore<F>,
+        key: &[u8],
+    ) -> Result<(Option<Option<Vec<u8>>>, TableProbe), KvError> {
+        if key < self.meta.min_key.as_slice() || key > self.meta.max_key.as_slice() {
+            return Ok((None, TableProbe::RangeSkip));
+        }
+        if !self.bloom.contains(key) {
+            return Ok((None, TableProbe::BloomSkip));
+        }
+        let Some((start, end)) = self.bucket_for(key) else {
+            return Ok((None, TableProbe::Read));
+        };
+        let bytes = store.read_range(&self.meta.file, start, (end - start) as usize)?;
+        let mut at = 0usize;
+        while let Some((entry_key, value, consumed)) = decode_entry(&bytes, at)? {
+            if entry_key == key {
+                return Ok((Some(value), TableProbe::Read));
+            }
+            if entry_key.as_slice() > key {
+                break;
+            }
+            at += consumed;
+        }
+        Ok((None, TableProbe::Read))
+    }
+
+    /// Every entry of the table in key order (compaction input; reads the whole
+    /// data section).
+    ///
+    /// # Errors
+    ///
+    /// Read and decode errors pass through.
+    pub fn entries<F: FlashTranslationLayer>(
+        &self,
+        store: &mut FlashStore<F>,
+    ) -> Result<Vec<Entry>, KvError> {
+        let bytes = store.read_range(&self.meta.file, 0, self.meta.data_len as usize)?;
+        let mut out = Vec::with_capacity(self.meta.entries as usize);
+        let mut at = 0usize;
+        while let Some((key, value, consumed)) = decode_entry(&bytes, at)? {
+            out.push((key, value));
+            at += consumed;
+        }
+        Ok(out)
+    }
+
+    /// Entries with keys in `[lo, hi)`, reading index buckets lazily from the
+    /// first candidate bucket until a key reaches `hi`.
+    ///
+    /// # Errors
+    ///
+    /// Read and decode errors pass through.
+    pub fn scan_range<F: FlashTranslationLayer>(
+        &self,
+        store: &mut FlashStore<F>,
+        lo: &[u8],
+        hi: &[u8],
+    ) -> Result<Vec<Entry>, KvError> {
+        if lo >= hi || hi <= self.meta.min_key.as_slice() || lo > self.meta.max_key.as_slice() {
+            return Ok(Vec::new());
+        }
+        let start = self.bucket_for(lo).map_or(0, |(start, _)| start);
+        let mut out = Vec::new();
+        let mut bucket = self.index.partition_point(|(_, offset)| *offset < start);
+        debug_assert!(self.index.get(bucket).is_none_or(|(_, offset)| *offset == start));
+        let mut offset = start;
+        'buckets: while offset < self.meta.data_len {
+            let end = self
+                .index
+                .get(bucket + 1)
+                .map_or(self.meta.data_len, |(_, next)| *next);
+            let bytes = store.read_range(&self.meta.file, offset, (end - offset) as usize)?;
+            let mut at = 0usize;
+            while let Some((key, value, consumed)) = decode_entry(&bytes, at)? {
+                at += consumed;
+                if key.as_slice() >= hi {
+                    break 'buckets;
+                }
+                if key.as_slice() >= lo {
+                    out.push((key, value));
+                }
+            }
+            offset = end;
+            bucket += 1;
+        }
+        Ok(out)
+    }
+}
+
+/// Decodes the data-section entry at `bytes[at..]`; `Ok(None)` at the exact end
+/// of the buffer.
+fn decode_entry(bytes: &[u8], at: usize) -> Result<Option<(Vec<u8>, Option<Vec<u8>>, usize)>, KvError> {
+    if at == bytes.len() {
+        return Ok(None);
+    }
+    let corrupt = || KvError::Corruption("truncated table entry".to_string());
+    let rest = &bytes[at..];
+    if rest.len() < 7 {
+        return Err(corrupt());
+    }
+    let klen = u16::from_le_bytes(rest[0..2].try_into().unwrap()) as usize;
+    let flag = rest[2];
+    let vlen = u32::from_le_bytes(rest[3..7].try_into().unwrap()) as usize;
+    let total = 7 + klen + vlen;
+    if rest.len() < total || (flag == FLAG_TOMBSTONE && vlen != 0) || flag > FLAG_TOMBSTONE {
+        return Err(corrupt());
+    }
+    let key = rest[7..7 + klen].to_vec();
+    let value =
+        (flag == FLAG_VALUE).then(|| rest[7 + klen..total].to_vec());
+    Ok(Some((key, value, total)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vflash_ftl::{ConventionalFtl, FtlConfig};
+    use vflash_nand::{NandConfig, NandDevice};
+
+    fn store() -> FlashStore<ConventionalFtl> {
+        let device = NandDevice::new(NandConfig::small());
+        FlashStore::new(ConventionalFtl::new(device, FtlConfig::default()).unwrap())
+    }
+
+    fn sample_entries(count: usize) -> Vec<Entry> {
+        (0..count)
+            .map(|i| {
+                let key = format!("key{i:05}").into_bytes();
+                let value = (i % 7 != 3).then(|| format!("value-{i}").into_bytes());
+                (key, value)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn build_get_covers_hits_tombstones_and_misses() {
+        let mut store = store();
+        let entries = sample_entries(100);
+        let table = TableHandle::build(&mut store, 1, &entries).unwrap();
+        assert_eq!(table.meta.entries, 100);
+        for (key, value) in &entries {
+            let (found, probe) = table.get(&mut store, key).unwrap();
+            assert_eq!(found.as_ref(), Some(value), "{}", String::from_utf8_lossy(key));
+            assert_eq!(probe, TableProbe::Read);
+        }
+        // Out of bounds: range skip, no device read.
+        let reads_before = store.io_stats().pages_read;
+        let (miss, probe) = table.get(&mut store, b"zzz").unwrap();
+        assert_eq!((miss, probe), (None, TableProbe::RangeSkip));
+        assert_eq!(store.io_stats().pages_read, reads_before);
+        // In bounds but absent: bloom should usually skip; either way it is a miss.
+        let (miss, _) = table.get(&mut store, b"key00042x").unwrap();
+        assert_eq!(miss, None);
+    }
+
+    #[test]
+    fn bloom_skips_most_absent_keys() {
+        let mut store = store();
+        let table = TableHandle::build(&mut store, 1, &sample_entries(200)).unwrap();
+        let skipped = (0..200)
+            .filter(|i| {
+                let probe = table
+                    .get(&mut store, format!("absent{i:05}").as_bytes())
+                    .unwrap()
+                    .1;
+                probe == TableProbe::BloomSkip || probe == TableProbe::RangeSkip
+            })
+            .count();
+        assert!(skipped > 150, "bloom filter skipped only {skipped}/200 absent keys");
+    }
+
+    #[test]
+    fn recover_rebuilds_an_identical_handle() {
+        let mut store = store();
+        let entries = sample_entries(64);
+        let table = TableHandle::build(&mut store, 9, &entries).unwrap();
+        let recovered = TableHandle::recover(&mut store, table.meta.clone()).unwrap();
+        assert_eq!(recovered, table, "index + bloom must round-trip through flash");
+        assert_eq!(recovered.entries(&mut store).unwrap(), entries);
+    }
+
+    #[test]
+    fn scan_range_matches_a_filtered_full_read() {
+        let mut store = store();
+        let entries = sample_entries(120);
+        let table = TableHandle::build(&mut store, 2, &entries).unwrap();
+        let lo = b"key00017".to_vec();
+        let hi = b"key00093".to_vec();
+        let expected: Vec<Entry> = entries
+            .iter()
+            .filter(|(key, _)| key >= &lo && key < &hi)
+            .cloned()
+            .collect();
+        assert_eq!(table.scan_range(&mut store, &lo, &hi).unwrap(), expected);
+        assert!(table.scan_range(&mut store, &hi, &lo).unwrap().is_empty());
+        assert_eq!(
+            table.scan_range(&mut store, b"", b"~").unwrap(),
+            entries,
+            "an all-covering range returns every entry"
+        );
+    }
+}

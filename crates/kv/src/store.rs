@@ -1,0 +1,967 @@
+//! The LSM store: memtable + WAL + leveled SSTables over a [`FlashStore`].
+//!
+//! Write path: every put/delete is appended to the WAL (small, hot device
+//! writes), then buffered in the memtable. When the memtable crosses its byte
+//! threshold — or the WAL region would overflow — the memtable is flushed as a
+//! new L0 table (one bulk, cold device write) and compaction runs: L0 merges
+//! into L1 once it holds `l0_compaction_trigger` tables, and each deeper level
+//! spills into the next once it exceeds `level_base_bytes ×
+//! level_size_multiplier^(n-1)`.
+//!
+//! Durability is manifest-based, modeled after LevelDB's VERSION/CURRENT pair:
+//! every flush writes a fresh manifest file (WAL epoch, table metadata, extent
+//! lists) and then the fixed-LPN superblock pointing at it — the superblock
+//! program is the commit point. Extents freed by a flush (compaction inputs,
+//! the previous manifest) are only returned to the allocator *after* the
+//! superblock commits, so a crash at any intermediate point recovers a
+//! consistent store: the old superblock still references intact files, and the
+//! WAL's epoch check replays exactly the committed operations since the last
+//! flush.
+
+use std::collections::BTreeMap;
+
+use vflash_ftl::FlashTranslationLayer;
+use vflash_nand::Nanos;
+
+use crate::error::KvError;
+use crate::flash_file::{Extent, FlashStore, SegmentFile};
+use crate::hash::fnv1a;
+use crate::memtable::Memtable;
+use crate::sstable::{Entry, TableHandle, TableMeta, TableProbe};
+use crate::wal::{Wal, WalOp};
+
+const MANIFEST_MAGIC: u64 = 0x564b_4d41_4e49_4631; // "VKMANIF1"
+const SUPERBLOCK_MAGIC: u64 = 0x564b_5355_5045_5231; // "VKSUPER1"
+
+/// Tuning knobs of a [`KvStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KvConfig {
+    /// Memtable byte threshold: a put that pushes the buffered size to or past
+    /// this flushes.
+    pub memtable_bytes: usize,
+    /// WAL region size in pages; `0` sizes it automatically to hold roughly
+    /// four memtables' worth of records.
+    pub wal_pages: u64,
+    /// Number of L0 tables that triggers an L0 → L1 compaction.
+    pub l0_compaction_trigger: usize,
+    /// Byte capacity of L1; each deeper level multiplies this by
+    /// [`KvConfig::level_size_multiplier`].
+    pub level_base_bytes: u64,
+    /// Level-to-level capacity ratio.
+    pub level_size_multiplier: u64,
+    /// Target data-section size of one compaction output table.
+    pub target_table_bytes: u64,
+}
+
+impl Default for KvConfig {
+    fn default() -> Self {
+        KvConfig {
+            memtable_bytes: 64 << 10,
+            wal_pages: 0,
+            l0_compaction_trigger: 4,
+            level_base_bytes: 512 << 10,
+            level_size_multiplier: 4,
+            target_table_bytes: 128 << 10,
+        }
+    }
+}
+
+impl KvConfig {
+    /// Panics when a knob is out of its sane range (misconfiguration is a
+    /// programming error, not a runtime condition).
+    pub fn validate(&self) {
+        assert!(self.memtable_bytes > 0, "memtable_bytes must be positive");
+        assert!(self.l0_compaction_trigger >= 2, "l0_compaction_trigger must be at least 2");
+        assert!(self.level_base_bytes > 0, "level_base_bytes must be positive");
+        assert!(self.level_size_multiplier >= 2, "level_size_multiplier must be at least 2");
+        assert!(self.target_table_bytes > 0, "target_table_bytes must be positive");
+    }
+
+    /// The WAL region size in pages, resolving the `0` = automatic setting.
+    pub fn wal_region_pages(&self, page_size: usize) -> u64 {
+        if self.wal_pages > 0 {
+            self.wal_pages
+        } else {
+            (4 * self.memtable_bytes as u64).div_ceil(page_size as u64).max(4)
+        }
+    }
+}
+
+/// Operation counters and accumulated device time of a [`KvStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KvStats {
+    /// Puts accepted.
+    pub puts: u64,
+    /// Deletes accepted.
+    pub deletes: u64,
+    /// Gets served.
+    pub gets: u64,
+    /// Range scans served.
+    pub scans: u64,
+    /// Gets answered (value or tombstone) by the memtable.
+    pub memtable_hits: u64,
+    /// Gets answered with a value read from an SSTable.
+    pub sstable_hits: u64,
+    /// Gets that returned no value (tombstone or never written).
+    pub misses: u64,
+    /// Table probes skipped by the bloom filter (no device traffic).
+    pub bloom_skips: u64,
+    /// Table probes that read an index bucket from the device.
+    pub table_reads: u64,
+    /// Memtable flushes (each builds one L0 table).
+    pub flushes: u64,
+    /// Flushes forced by WAL-region overflow rather than the memtable threshold.
+    pub wal_forced_flushes: u64,
+    /// Compactions run (any level).
+    pub compactions: u64,
+    /// Application payload bytes accepted: key + value per put, key per delete.
+    pub app_bytes_written: u64,
+    /// Device time spent inside flushes (compaction time included).
+    pub flush_time: Nanos,
+    /// Device time spent inside compactions (a subset of
+    /// [`KvStats::flush_time`]).
+    pub compaction_time: Nanos,
+}
+
+/// Where a get terminated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupSource {
+    /// Answered (value or tombstone) by the memtable — no device traffic.
+    Memtable,
+    /// Answered (value or tombstone) by an SSTable read.
+    SsTable,
+    /// Fell through every table: the key was never written.
+    Miss,
+}
+
+/// The result of a get: the value (if any), where the lookup terminated, and
+/// the device time it cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lookup {
+    /// The value, or `None` for a tombstone or an absent key.
+    pub value: Option<Vec<u8>>,
+    /// Where the lookup terminated.
+    pub source: LookupSource,
+    /// Device time charged to this get.
+    pub time: Nanos,
+}
+
+/// The result of a put/delete: the WAL-append device time and any
+/// flush/compaction stall it absorbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteReceipt {
+    /// Device time of the WAL append itself.
+    pub log_time: Nanos,
+    /// Device time of any flush and compaction this write triggered (zero for
+    /// most writes — this is the foreground stall an application observes).
+    pub stall_time: Nanos,
+}
+
+/// One table's position in the tree — the store's layout fingerprint for
+/// determinism checks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableLayout {
+    /// Level index (0 = newest).
+    pub level: usize,
+    /// Table creation sequence number.
+    pub id: u64,
+    /// Entry count.
+    pub entries: u64,
+    /// Data-section byte length.
+    pub data_len: u64,
+    /// First backing LPN.
+    pub first_lpn: u64,
+}
+
+/// The three write-amplification factors of the full stack.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WriteAmplification {
+    /// Application-level WA: host page-write bytes (WAL + flush + compaction +
+    /// metadata) per application payload byte.
+    pub app: f64,
+    /// FTL-level WA: physical page programs (GC copies and rescues included)
+    /// per host page write.
+    pub ftl: f64,
+    /// End-to-end WA: physical page-write bytes per application payload byte —
+    /// exactly `app × ftl`.
+    pub end_to_end: f64,
+}
+
+/// An LSM key-value store over a flash device.
+#[derive(Debug)]
+pub struct KvStore<F: FlashTranslationLayer> {
+    store: FlashStore<F>,
+    config: KvConfig,
+    memtable: Memtable,
+    wal: Wal,
+    manifest: Option<SegmentFile>,
+    /// `levels[0]` is L0, newest table first; deeper levels are sorted
+    /// non-overlapping runs.
+    levels: Vec<Vec<TableHandle>>,
+    next_table_id: u64,
+    /// Extents obsoleted since the last superblock commit; returned to the
+    /// allocator only after the next commit so a crash never finds the old
+    /// manifest pointing at overwritten pages.
+    pending_free: Vec<Extent>,
+    stats: KvStats,
+}
+
+impl<F: FlashTranslationLayer> KvStore<F> {
+    /// Opens a store on `store`: recovers from the superblock when one exists,
+    /// otherwise formats the device (reserving the WAL region and committing an
+    /// empty manifest).
+    ///
+    /// # Errors
+    ///
+    /// Allocation, I/O and decode errors pass through.
+    pub fn open(store: FlashStore<F>, config: KvConfig) -> Result<Self, KvError> {
+        config.validate();
+        if store.has_superblock() {
+            Self::recover(store, config)
+        } else {
+            Self::format(store, config)
+        }
+    }
+
+    fn format(mut store: FlashStore<F>, config: KvConfig) -> Result<Self, KvError> {
+        let mut wal_file = SegmentFile::new();
+        let pages = config.wal_region_pages(store.page_size());
+        store.reserve(&mut wal_file, pages)?;
+        let mut kv = KvStore {
+            store,
+            config,
+            memtable: Memtable::new(),
+            wal: Wal::new(wal_file, 1),
+            manifest: None,
+            levels: Vec::new(),
+            next_table_id: 1,
+            pending_free: Vec::new(),
+            stats: KvStats::default(),
+        };
+        kv.write_manifest()?;
+        Ok(kv)
+    }
+
+    fn recover(mut store: FlashStore<F>, config: KvConfig) -> Result<Self, KvError> {
+        let superblock = store.read_superblock()?;
+        let mut cursor = Cursor::new(&superblock);
+        if cursor.u64()? != SUPERBLOCK_MAGIC {
+            return Err(KvError::Corruption("bad superblock magic".to_string()));
+        }
+        let manifest_extents = cursor.extents()?;
+        let manifest_len = cursor.u64()?;
+        let payload_end = cursor.at;
+        if cursor.u64()? != fnv1a(&superblock[..payload_end], 0) {
+            return Err(KvError::Corruption("superblock checksum mismatch".to_string()));
+        }
+        let manifest_file = SegmentFile::from_parts(manifest_extents, manifest_len);
+        let manifest_bytes = store.read_range(&manifest_file, 0, manifest_len as usize)?;
+        let manifest = decode_manifest(&manifest_bytes)?;
+
+        // The manifest is the source of truth for live extents; anything
+        // allocated after it was committed (a half-built table from a crashed
+        // flush) silently returns to the pool.
+        let mut used: Vec<Extent> = Vec::new();
+        used.extend_from_slice(manifest_file.extents());
+        used.extend_from_slice(manifest.wal_file.extents());
+        for level in &manifest.levels {
+            for meta in level {
+                used.extend_from_slice(meta.file.extents());
+            }
+        }
+        store.reset_allocator(&used);
+
+        let mut levels = Vec::with_capacity(manifest.levels.len());
+        for level in manifest.levels {
+            let mut run = Vec::with_capacity(level.len());
+            for meta in level {
+                run.push(TableHandle::recover(&mut store, meta)?);
+            }
+            levels.push(run);
+        }
+
+        let (ops, consumed) = Wal::replay(&mut store, &manifest.wal_file, manifest.wal_epoch)?;
+        let mut memtable = Memtable::new();
+        for op in ops {
+            match op {
+                WalOp::Put { key, value } => memtable.insert(key, Some(value)),
+                WalOp::Delete { key } => memtable.insert(key, None),
+            }
+        }
+        // Resume appending right after the committed prefix, same epoch: the
+        // replayed operations stay WAL-protected without a flush.
+        let wal_file = SegmentFile::from_parts(manifest.wal_file.extents().to_vec(), consumed);
+        Ok(KvStore {
+            store,
+            config,
+            memtable,
+            wal: Wal::new(wal_file, manifest.wal_epoch),
+            manifest: Some(manifest_file),
+            levels,
+            next_table_id: manifest.next_table_id,
+            pending_free: Vec::new(),
+            stats: KvStats::default(),
+        })
+    }
+
+    /// Inserts or overwrites `key`.
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::ReadOnly`] once the device is worn out, [`KvError::OutOfSpace`]
+    /// when neither the WAL nor a flush can make room; I/O errors pass through.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<WriteReceipt, KvError> {
+        self.stats.puts += 1;
+        self.write_op(WalOp::Put { key: key.to_vec(), value: value.to_vec() })
+    }
+
+    /// Deletes `key` (writes a tombstone; absent keys are fine).
+    ///
+    /// # Errors
+    ///
+    /// As for [`KvStore::put`].
+    pub fn delete(&mut self, key: &[u8]) -> Result<WriteReceipt, KvError> {
+        self.stats.deletes += 1;
+        self.write_op(WalOp::Delete { key: key.to_vec() })
+    }
+
+    fn write_op(&mut self, op: WalOp) -> Result<WriteReceipt, KvError> {
+        let start = self.store.clock();
+        if self.wal.would_overflow(&op, self.store.page_size()) {
+            self.stats.wal_forced_flushes += 1;
+            self.flush()?;
+            if self.wal.would_overflow(&op, self.store.page_size()) {
+                // A single record larger than the whole region can never fit.
+                return Err(KvError::OutOfSpace);
+            }
+        }
+        let before_append = self.store.clock();
+        self.wal.append(&mut self.store, &op)?;
+        let log_time = self.store.clock() - before_append;
+        let (key, value) = match op {
+            WalOp::Put { key, value } => {
+                self.stats.app_bytes_written += (key.len() + value.len()) as u64;
+                (key, Some(value))
+            }
+            WalOp::Delete { key } => {
+                self.stats.app_bytes_written += key.len() as u64;
+                (key, None)
+            }
+        };
+        self.memtable.insert(key, value);
+        if self.memtable.bytes() >= self.config.memtable_bytes {
+            self.flush()?;
+        }
+        let total = self.store.clock() - start;
+        Ok(WriteReceipt { log_time, stall_time: total - log_time })
+    }
+
+    /// Looks up `key`.
+    ///
+    /// # Errors
+    ///
+    /// Read and decode errors pass through.
+    pub fn get(&mut self, key: &[u8]) -> Result<Lookup, KvError> {
+        self.stats.gets += 1;
+        let start = self.store.clock();
+        if let Some(entry) = self.memtable.get(key) {
+            let value = entry.clone();
+            if value.is_some() {
+                self.stats.memtable_hits += 1;
+            } else {
+                self.stats.misses += 1;
+            }
+            return Ok(Lookup {
+                value,
+                source: LookupSource::Memtable,
+                time: self.store.clock() - start,
+            });
+        }
+        let KvStore { store, levels, stats, .. } = self;
+        // L0 newest table first, then each deeper level (at most one candidate
+        // per sorted run; the range check skips the rest for free).
+        for run in levels.iter() {
+            for table in run {
+                let (found, probe) = table.get(store, key)?;
+                match probe {
+                    TableProbe::BloomSkip => stats.bloom_skips += 1,
+                    TableProbe::Read => stats.table_reads += 1,
+                    TableProbe::RangeSkip => {}
+                }
+                if let Some(value) = found {
+                    if value.is_some() {
+                        stats.sstable_hits += 1;
+                    } else {
+                        stats.misses += 1;
+                    }
+                    return Ok(Lookup {
+                        value,
+                        source: LookupSource::SsTable,
+                        time: store.clock() - start,
+                    });
+                }
+            }
+        }
+        stats.misses += 1;
+        Ok(Lookup { value: None, source: LookupSource::Miss, time: store.clock() - start })
+    }
+
+    /// Returns every live key/value pair with key in `[lo, hi)`, in key order.
+    /// Tombstones and shadowed versions are resolved; deleted keys do not
+    /// appear.
+    ///
+    /// # Errors
+    ///
+    /// Read and decode errors pass through.
+    pub fn scan(&mut self, lo: &[u8], hi: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>, KvError> {
+        self.stats.scans += 1;
+        let mut merged: BTreeMap<Vec<u8>, Option<Vec<u8>>> = BTreeMap::new();
+        let KvStore { store, levels, memtable, .. } = self;
+        // Deepest (oldest) data first; newer layers overwrite on insert.
+        for run in levels.iter().skip(1).rev() {
+            for table in run {
+                for (key, value) in table.scan_range(store, lo, hi)? {
+                    merged.insert(key, value);
+                }
+            }
+        }
+        if let Some(l0) = levels.first() {
+            for table in l0.iter().rev() {
+                for (key, value) in table.scan_range(store, lo, hi)? {
+                    merged.insert(key, value);
+                }
+            }
+        }
+        for (key, value) in memtable.range(lo, hi) {
+            merged.insert(key.clone(), value.clone());
+        }
+        Ok(merged.into_iter().filter_map(|(key, value)| value.map(|v| (key, v))).collect())
+    }
+
+    /// Flushes the memtable to a new L0 table, runs any due compactions and
+    /// commits a fresh manifest. A no-op when nothing is buffered.
+    ///
+    /// # Errors
+    ///
+    /// Build and commit errors pass through (the WAL still protects the
+    /// drained operations until the commit succeeds).
+    pub fn flush(&mut self) -> Result<(), KvError> {
+        if self.memtable.is_empty() && self.wal.file().is_empty() {
+            return Ok(());
+        }
+        let start = self.store.clock();
+        if !self.memtable.is_empty() {
+            let entries = self.memtable.drain_sorted();
+            let id = self.next_table_id;
+            self.next_table_id += 1;
+            let table = TableHandle::build(&mut self.store, id, &entries)?;
+            if self.levels.is_empty() {
+                self.levels.push(Vec::new());
+            }
+            self.levels[0].insert(0, table);
+            self.stats.flushes += 1;
+            self.maybe_compact()?;
+        }
+        self.wal.reset();
+        self.write_manifest()?;
+        self.stats.flush_time += self.store.clock() - start;
+        Ok(())
+    }
+
+    fn maybe_compact(&mut self) -> Result<(), KvError> {
+        if self.levels[0].len() >= self.config.l0_compaction_trigger {
+            self.compact_level(0)?;
+        }
+        let mut level = 1;
+        while level < self.levels.len() {
+            if !self.levels[level].is_empty() && self.level_bytes(level) > self.level_capacity(level)
+            {
+                self.compact_level(level)?;
+            }
+            level += 1;
+        }
+        while self.levels.last().is_some_and(Vec::is_empty) {
+            self.levels.pop();
+        }
+        Ok(())
+    }
+
+    fn level_bytes(&self, level: usize) -> u64 {
+        self.levels[level].iter().map(|table| table.meta.data_len).sum()
+    }
+
+    fn level_capacity(&self, level: usize) -> u64 {
+        let mut capacity = self.config.level_base_bytes;
+        for _ in 1..level {
+            capacity = capacity.saturating_mul(self.config.level_size_multiplier);
+        }
+        capacity
+    }
+
+    /// Merges every table of `level` and `level + 1` into a fresh sorted run at
+    /// `level + 1`.
+    fn compact_level(&mut self, level: usize) -> Result<(), KvError> {
+        let start = self.store.clock();
+        if self.levels.len() <= level + 1 {
+            self.levels.push(Vec::new());
+        }
+        let sources = std::mem::take(&mut self.levels[level]);
+        let targets = std::mem::take(&mut self.levels[level + 1]);
+        let mut merged: BTreeMap<Vec<u8>, Option<Vec<u8>>> = BTreeMap::new();
+        for table in &targets {
+            for (key, value) in table.entries(&mut self.store)? {
+                merged.insert(key, value);
+            }
+        }
+        // L0 is newest-first; feed oldest first so the newest version wins.
+        for table in sources.iter().rev() {
+            for (key, value) in table.entries(&mut self.store)? {
+                merged.insert(key, value);
+            }
+        }
+        // Tombstones are dropped once the output is the bottom of the tree —
+        // nothing older exists for them to shadow.
+        let bottom = self.levels.iter().skip(level + 2).all(Vec::is_empty);
+        let entries: Vec<Entry> = merged
+            .into_iter()
+            .filter(|(_, value)| !(bottom && value.is_none()))
+            .collect();
+        let mut run = Vec::new();
+        for chunk in split_for_tables(&entries, self.config.target_table_bytes) {
+            let id = self.next_table_id;
+            self.next_table_id += 1;
+            run.push(TableHandle::build(&mut self.store, id, chunk)?);
+        }
+        self.levels[level + 1] = run;
+        for table in sources.into_iter().chain(targets) {
+            self.pending_free.extend_from_slice(table.meta.file.extents());
+        }
+        self.stats.compactions += 1;
+        self.stats.compaction_time += self.store.clock() - start;
+        Ok(())
+    }
+
+    /// Writes the manifest, commits it via the superblock, then releases every
+    /// extent obsoleted since the previous commit.
+    fn write_manifest(&mut self) -> Result<(), KvError> {
+        let bytes = self.encode_manifest();
+        let mut file = SegmentFile::new();
+        let request_bytes = u32::try_from(bytes.len()).unwrap_or(u32::MAX);
+        self.store.append(&mut file, &bytes, request_bytes)?;
+        let mut superblock = Vec::with_capacity(64);
+        superblock.extend_from_slice(&SUPERBLOCK_MAGIC.to_le_bytes());
+        put_extents(&mut superblock, file.extents());
+        superblock.extend_from_slice(&file.len().to_le_bytes());
+        let checksum = fnv1a(&superblock, 0);
+        superblock.extend_from_slice(&checksum.to_le_bytes());
+        self.store.write_superblock(&superblock)?; // the commit point
+        if let Some(old) = self.manifest.replace(file) {
+            self.pending_free.extend_from_slice(old.extents());
+        }
+        let pending = std::mem::take(&mut self.pending_free);
+        self.store.free_extents(&pending);
+        Ok(())
+    }
+
+    fn encode_manifest(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MANIFEST_MAGIC.to_le_bytes());
+        out.extend_from_slice(&self.wal.epoch().to_le_bytes());
+        put_extents(&mut out, self.wal.file().extents());
+        out.extend_from_slice(&self.next_table_id.to_le_bytes());
+        out.extend_from_slice(&(self.levels.len() as u32).to_le_bytes());
+        for run in &self.levels {
+            out.extend_from_slice(&(run.len() as u32).to_le_bytes());
+            for table in run {
+                let meta = &table.meta;
+                out.extend_from_slice(&meta.id.to_le_bytes());
+                out.extend_from_slice(&meta.entries.to_le_bytes());
+                out.extend_from_slice(&meta.data_len.to_le_bytes());
+                out.extend_from_slice(&meta.index_off.to_le_bytes());
+                out.extend_from_slice(&meta.bloom_off.to_le_bytes());
+                out.extend_from_slice(&meta.file.len().to_le_bytes());
+                put_extents(&mut out, meta.file.extents());
+                put_key(&mut out, &meta.min_key);
+                put_key(&mut out, &meta.max_key);
+            }
+        }
+        let checksum = fnv1a(&out, 0);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
+    }
+
+    /// The store's table layout — a compact fingerprint for determinism
+    /// checks: two runs with equal layouts placed their data identically.
+    pub fn layout(&self) -> Vec<TableLayout> {
+        self.levels
+            .iter()
+            .enumerate()
+            .flat_map(|(level, run)| {
+                run.iter().map(move |table| TableLayout {
+                    level,
+                    id: table.meta.id,
+                    entries: table.meta.entries,
+                    data_len: table.meta.data_len,
+                    first_lpn: table.meta.file.lpn_at(0).unwrap_or(0),
+                })
+            })
+            .collect()
+    }
+
+    /// Operation counters and accumulated times.
+    pub fn stats(&self) -> &KvStats {
+        &self.stats
+    }
+
+    /// The store's configuration.
+    pub fn config(&self) -> &KvConfig {
+        &self.config
+    }
+
+    /// The simulated device clock (total completion latency accumulated).
+    pub fn device_clock(&self) -> Nanos {
+        self.store.clock()
+    }
+
+    /// The underlying flash store (FTL metrics, I/O counters).
+    pub fn flash(&self) -> &FlashStore<F> {
+        &self.store
+    }
+
+    /// Number of populated levels (L0 included).
+    pub fn level_count(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Simulates a crash: drops all in-memory state (memtable, table handles,
+    /// allocator) and returns the device as it stands. Re-opening a store on
+    /// the returned [`FlashStore`] exercises the recovery path.
+    pub fn crash(self) -> FlashStore<F> {
+        self.store
+    }
+
+    /// The three write-amplification factors of the stack so far. The
+    /// application and FTL factors multiply exactly to the end-to-end factor.
+    pub fn write_amplification(&self) -> WriteAmplification {
+        let metrics = self.store.ftl().metrics();
+        let page = self.store.page_size() as f64;
+        let app_bytes = self.stats.app_bytes_written as f64;
+        let host_bytes = metrics.host_writes as f64 * page;
+        let physical_bytes = metrics.physical_page_writes() as f64 * page;
+        WriteAmplification {
+            app: if app_bytes > 0.0 { host_bytes / app_bytes } else { 0.0 },
+            ftl: metrics.relocation_write_amplification(),
+            end_to_end: if app_bytes > 0.0 { physical_bytes / app_bytes } else { 0.0 },
+        }
+    }
+}
+
+/// Splits a sorted entry list into consecutive chunks whose encoded
+/// data-section size stays at or under `target` bytes (a chunk always takes at
+/// least one entry).
+fn split_for_tables(entries: &[Entry], target: u64) -> Vec<&[Entry]> {
+    let mut chunks = Vec::new();
+    let mut start = 0usize;
+    let mut bytes = 0u64;
+    for (position, (key, value)) in entries.iter().enumerate() {
+        let encoded = 7 + key.len() as u64 + value.as_ref().map_or(0, Vec::len) as u64;
+        if bytes > 0 && bytes + encoded > target {
+            chunks.push(&entries[start..position]);
+            start = position;
+            bytes = 0;
+        }
+        bytes += encoded;
+    }
+    if start < entries.len() {
+        chunks.push(&entries[start..]);
+    }
+    chunks
+}
+
+fn put_extents(out: &mut Vec<u8>, extents: &[Extent]) {
+    out.extend_from_slice(&(extents.len() as u32).to_le_bytes());
+    for extent in extents {
+        out.extend_from_slice(&extent.start.to_le_bytes());
+        out.extend_from_slice(&extent.pages.to_le_bytes());
+    }
+}
+
+fn put_key(out: &mut Vec<u8>, key: &[u8]) {
+    out.extend_from_slice(&(key.len() as u16).to_le_bytes());
+    out.extend_from_slice(key);
+}
+
+/// A decoded manifest.
+struct Manifest {
+    wal_epoch: u32,
+    wal_file: SegmentFile,
+    next_table_id: u64,
+    levels: Vec<Vec<TableMeta>>,
+}
+
+fn decode_manifest(bytes: &[u8]) -> Result<Manifest, KvError> {
+    if bytes.len() < 8 {
+        return Err(KvError::Corruption("truncated manifest".to_string()));
+    }
+    let (payload, trailer) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(trailer.try_into().expect("eight bytes were split off"));
+    if fnv1a(payload, 0) != stored {
+        return Err(KvError::Corruption("manifest checksum mismatch".to_string()));
+    }
+    let mut cursor = Cursor::new(payload);
+    if cursor.u64()? != MANIFEST_MAGIC {
+        return Err(KvError::Corruption("bad manifest magic".to_string()));
+    }
+    let wal_epoch = cursor.u32()?;
+    let wal_extents = cursor.extents()?;
+    let next_table_id = cursor.u64()?;
+    let level_count = cursor.u32()? as usize;
+    let mut levels = Vec::with_capacity(level_count);
+    for _ in 0..level_count {
+        let table_count = cursor.u32()? as usize;
+        let mut run = Vec::with_capacity(table_count);
+        for _ in 0..table_count {
+            let id = cursor.u64()?;
+            let entries = cursor.u64()?;
+            let data_len = cursor.u64()?;
+            let index_off = cursor.u64()?;
+            let bloom_off = cursor.u64()?;
+            let file_len = cursor.u64()?;
+            let extents = cursor.extents()?;
+            let min_key = cursor.key()?;
+            let max_key = cursor.key()?;
+            run.push(TableMeta {
+                id,
+                file: SegmentFile::from_parts(extents, file_len),
+                entries,
+                data_len,
+                index_off,
+                bloom_off,
+                min_key,
+                max_key,
+            });
+        }
+        levels.push(run);
+    }
+    Ok(Manifest {
+        wal_epoch,
+        wal_file: SegmentFile::from_parts(wal_extents, 0),
+        next_table_id,
+        levels,
+    })
+}
+
+/// A bounds-checked little-endian reader over a metadata block.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, at: 0 }
+    }
+
+    fn take(&mut self, len: usize) -> Result<&'a [u8], KvError> {
+        let end = self
+            .at
+            .checked_add(len)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or_else(|| KvError::Corruption("truncated metadata block".to_string()))?;
+        let slice = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(slice)
+    }
+
+    fn u16(&mut self) -> Result<u16, KvError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("two bytes")))
+    }
+
+    fn u32(&mut self) -> Result<u32, KvError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("four bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, KvError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("eight bytes")))
+    }
+
+    fn key(&mut self) -> Result<Vec<u8>, KvError> {
+        let len = self.u16()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    fn extents(&mut self) -> Result<Vec<Extent>, KvError> {
+        let count = self.u32()? as usize;
+        // An extent list longer than the block itself is corruption, not an
+        // allocation request.
+        if count > self.bytes.len() / 16 + 1 {
+            return Err(KvError::Corruption("oversized extent list".to_string()));
+        }
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let start = self.u64()?;
+            let pages = self.u64()?;
+            out.push(Extent { start, pages });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vflash_ftl::{ConventionalFtl, FtlConfig};
+    use vflash_nand::{NandConfig, NandDevice};
+
+    fn flash() -> FlashStore<ConventionalFtl> {
+        let device = NandDevice::new(NandConfig::small());
+        FlashStore::new(ConventionalFtl::new(device, FtlConfig::default()).unwrap())
+    }
+
+    fn small_config() -> KvConfig {
+        KvConfig {
+            memtable_bytes: 2 << 10,
+            level_base_bytes: 8 << 10,
+            target_table_bytes: 4 << 10,
+            ..KvConfig::default()
+        }
+    }
+
+    fn key(i: u32) -> Vec<u8> {
+        format!("key{i:06}").into_bytes()
+    }
+
+    #[test]
+    fn put_get_delete_scan_round_trip_through_flushes() {
+        let mut kv = KvStore::open(flash(), small_config()).unwrap();
+        for i in 0..400u32 {
+            kv.put(&key(i), format!("value-{i}").as_bytes()).unwrap();
+        }
+        for i in (0..400u32).step_by(3) {
+            kv.delete(&key(i)).unwrap();
+        }
+        assert!(kv.stats().flushes > 0, "the memtable threshold must have tripped");
+        for i in 0..400u32 {
+            let lookup = kv.get(&key(i)).unwrap();
+            if i % 3 == 0 {
+                assert_eq!(lookup.value, None, "key {i} was deleted");
+            } else {
+                assert_eq!(lookup.value, Some(format!("value-{i}").into_bytes()));
+            }
+        }
+        assert_eq!(kv.get(b"absent").unwrap().source, LookupSource::Miss);
+        let scanned = kv.scan(&key(10), &key(20)).unwrap();
+        let expected: Vec<(Vec<u8>, Vec<u8>)> = (10..20u32)
+            .filter(|i| i % 3 != 0)
+            .map(|i| (key(i), format!("value-{i}").into_bytes()))
+            .collect();
+        assert_eq!(scanned, expected);
+        assert!(kv.device_clock() > Nanos::ZERO);
+    }
+
+    #[test]
+    fn compaction_keeps_deep_levels_sorted_and_answers_correctly() {
+        let mut kv = KvStore::open(flash(), small_config()).unwrap();
+        // Several overwrite rounds force flushes and multi-level compactions.
+        for round in 0..6u32 {
+            for i in 0..300u32 {
+                kv.put(&key(i), format!("round-{round}-{i}").as_bytes()).unwrap();
+            }
+        }
+        kv.flush().unwrap();
+        assert!(kv.stats().compactions > 0);
+        for i in 0..300u32 {
+            assert_eq!(
+                kv.get(&key(i)).unwrap().value,
+                Some(format!("round-5-{i}").into_bytes()),
+                "the newest round must win"
+            );
+        }
+        // Deep runs are sorted and non-overlapping.
+        for run in kv.levels.iter().skip(1) {
+            for pair in run.windows(2) {
+                assert!(pair[0].meta.max_key < pair[1].meta.min_key);
+            }
+        }
+    }
+
+    #[test]
+    fn reopen_after_clean_flush_recovers_everything() {
+        let mut kv = KvStore::open(flash(), small_config()).unwrap();
+        for i in 0..200u32 {
+            kv.put(&key(i), format!("v{i}").as_bytes()).unwrap();
+        }
+        kv.flush().unwrap();
+        let layout = kv.layout();
+        let store = kv.crash();
+        let mut kv = KvStore::open(store, small_config()).unwrap();
+        assert_eq!(kv.layout(), layout, "recovery must rebuild the exact table tree");
+        for i in 0..200u32 {
+            assert_eq!(kv.get(&key(i)).unwrap().value, Some(format!("v{i}").into_bytes()));
+        }
+    }
+
+    #[test]
+    fn reopen_replays_unflushed_wal_records() {
+        let mut kv = KvStore::open(flash(), small_config()).unwrap();
+        for i in 0..50u32 {
+            kv.put(&key(i), b"committed").unwrap();
+        }
+        kv.flush().unwrap();
+        kv.put(b"tail-1", b"after-flush").unwrap();
+        kv.delete(&key(7)).unwrap();
+        let store = kv.crash();
+        let mut kv = KvStore::open(store, small_config()).unwrap();
+        assert_eq!(kv.get(b"tail-1").unwrap().value, Some(b"after-flush".to_vec()));
+        assert_eq!(kv.get(&key(7)).unwrap().value, None, "the tail delete must replay");
+        assert_eq!(kv.get(&key(8)).unwrap().value, Some(b"committed".to_vec()));
+        // And the recovered store keeps working, including further flushes.
+        for i in 0..200u32 {
+            kv.put(&key(i), format!("w{i}").as_bytes()).unwrap();
+        }
+        kv.flush().unwrap();
+        assert_eq!(kv.get(&key(0)).unwrap().value, Some(b"w0".to_vec()));
+    }
+
+    #[test]
+    fn write_amplification_factors_multiply_exactly() {
+        let mut kv = KvStore::open(flash(), small_config()).unwrap();
+        for round in 0..4u32 {
+            for i in 0..250u32 {
+                kv.put(&key(i), format!("wa-{round}-{i}").as_bytes()).unwrap();
+            }
+        }
+        kv.flush().unwrap();
+        let wa = kv.write_amplification();
+        assert!(wa.app > 1.0, "WAL + flush + compaction must amplify app bytes");
+        assert!(wa.ftl >= 1.0);
+        let product = wa.app * wa.ftl;
+        assert!(
+            (product - wa.end_to_end).abs() <= 1e-9 * wa.end_to_end,
+            "app WA ({}) x FTL WA ({}) must equal end-to-end WA ({})",
+            wa.app,
+            wa.ftl,
+            wa.end_to_end
+        );
+    }
+
+    #[test]
+    fn manifest_round_trips_through_encode_decode() {
+        let mut kv = KvStore::open(flash(), small_config()).unwrap();
+        for i in 0..300u32 {
+            kv.put(&key(i), b"manifest-test").unwrap();
+        }
+        kv.flush().unwrap();
+        let encoded = kv.encode_manifest();
+        let decoded = decode_manifest(&encoded).unwrap();
+        assert_eq!(decoded.wal_epoch, kv.wal.epoch());
+        assert_eq!(decoded.next_table_id, kv.next_table_id);
+        let metas: Vec<Vec<TableMeta>> =
+            kv.levels.iter().map(|run| run.iter().map(|t| t.meta.clone()).collect()).collect();
+        assert_eq!(decoded.levels, metas);
+        // A flipped byte fails the checksum.
+        let mut bad = encoded;
+        bad[10] ^= 0xFF;
+        assert!(matches!(decode_manifest(&bad), Err(KvError::Corruption(_))));
+    }
+}

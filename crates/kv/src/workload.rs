@@ -1,0 +1,327 @@
+//! A deterministic, zipf-skewed KV workload driver.
+//!
+//! The driver issues a seeded mix of puts, gets, deletes and range scans
+//! against a [`KvStore`] and reports *application-level* latency percentiles,
+//! split into the components an LSM user actually observes: memtable hits
+//! (no device traffic), SSTable reads (bloom/index probes plus a bucket read)
+//! and compaction stalls (the foreground flush+compaction time a write
+//! absorbs). The same seed against the same FTL produces a bit-identical
+//! [`KvRunSummary`], including the final SSTable layout fingerprint.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vflash_ftl::{ConventionalFtl, FlashTranslationLayer, FtlConfig};
+use vflash_nand::{NandConfig, NandDevice, Nanos};
+use vflash_ppb::{PpbConfig, PpbFtl};
+use vflash_sim::{LatencyHistogram, LatencyPercentiles};
+use vflash_trace::Zipf;
+
+use crate::error::KvError;
+use crate::flash_file::FlashStore;
+use crate::store::{KvConfig, KvStore, LookupSource, TableLayout, WriteAmplification};
+
+/// The operation mix, skew and scale of one KV workload run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KvWorkloadConfig {
+    /// Operations to issue.
+    pub ops: u64,
+    /// Relative weight of puts in the mix.
+    pub put_weight: u32,
+    /// Relative weight of gets.
+    pub get_weight: u32,
+    /// Relative weight of deletes.
+    pub delete_weight: u32,
+    /// Relative weight of range scans.
+    pub scan_weight: u32,
+    /// Distinct keys; keys are 8-byte big-endian encodings of zipf ranks.
+    pub key_space: usize,
+    /// Value size in bytes.
+    pub value_bytes: usize,
+    /// Zipf exponent of the key-popularity skew (0 = uniform).
+    pub zipf_s: f64,
+    /// Keys covered by one range scan.
+    pub scan_width: u32,
+    /// RNG seed; same seed + same FTL = bit-identical summary.
+    pub seed: u64,
+    /// Device size in blocks (1 chip, 64 pages per block, 4 KB pages).
+    pub device_blocks: usize,
+}
+
+impl Default for KvWorkloadConfig {
+    fn default() -> Self {
+        KvWorkloadConfig {
+            ops: 20_000,
+            put_weight: 40,
+            get_weight: 50,
+            delete_weight: 5,
+            scan_weight: 5,
+            key_space: 10_000,
+            value_bytes: 256,
+            zipf_s: 0.99,
+            scan_width: 20,
+            seed: 42,
+            device_blocks: 128,
+        }
+    }
+}
+
+impl KvWorkloadConfig {
+    /// A fast configuration for tests, examples and CI smoke runs.
+    pub fn smoke() -> Self {
+        KvWorkloadConfig { ops: 3_000, key_space: 2_000, device_blocks: 96, ..Self::default() }
+    }
+
+    /// The device geometry the workload is sized for.
+    pub fn device_config(&self) -> NandConfig {
+        NandConfig::builder()
+            .chips(1)
+            .blocks_per_chip(self.device_blocks)
+            .pages_per_block(64)
+            .page_size_bytes(4 * 1024)
+            .build()
+            .expect("workload device geometry is valid")
+    }
+
+    fn total_weight(&self) -> u32 {
+        self.put_weight + self.get_weight + self.delete_weight + self.scan_weight
+    }
+}
+
+/// The application-level result of one workload run. `PartialEq` so two runs
+/// can be compared wholesale in determinism tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KvRunSummary {
+    /// The FTL the run executed against (`"conventional"` or `"ppb"`).
+    pub ftl: String,
+    /// Operations completed (short of the configured count only when the
+    /// device went read-only).
+    pub ops_completed: u64,
+    /// Puts issued.
+    pub puts: u64,
+    /// Gets issued.
+    pub gets: u64,
+    /// Deletes issued.
+    pub deletes: u64,
+    /// Range scans issued.
+    pub scans: u64,
+    /// Latency of gets answered by the memtable (no device traffic).
+    pub memtable_hit: LatencyPercentiles,
+    /// Latency of gets that probed SSTables (bloom/index/bucket reads).
+    pub sstable_read: LatencyPercentiles,
+    /// Foreground flush + compaction time absorbed by the writes that
+    /// triggered them (only stalled writes are recorded).
+    pub compaction_stall: LatencyPercentiles,
+    /// Total put latency (WAL append plus any stall).
+    pub put_total: LatencyPercentiles,
+    /// Writes that absorbed a flush/compaction stall.
+    pub stalled_writes: u64,
+    /// Memtable flushes performed.
+    pub flushes: u64,
+    /// Compactions performed.
+    pub compactions: u64,
+    /// Table probes skipped by bloom filters.
+    pub bloom_skips: u64,
+    /// Table probes that read from the device.
+    pub table_reads: u64,
+    /// Application, FTL and end-to-end write amplification.
+    pub write_amplification: WriteAmplification,
+    /// Total simulated device time.
+    pub device_time: Nanos,
+    /// True when the run stopped early because the device went read-only.
+    pub read_only: bool,
+    /// Final SSTable layout fingerprint (level, id, size, placement).
+    pub layout: Vec<TableLayout>,
+}
+
+/// The Conventional-vs-PPB pair of one workload, run on identical devices with
+/// identical seeds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KvComparison {
+    /// The run against the conventional (hotness-blind) FTL.
+    pub conventional: KvRunSummary,
+    /// The run against the PPB FTL.
+    pub ppb: KvRunSummary,
+}
+
+/// Runs the workload against `store`, consuming it, and reports the
+/// application-level summary. A device that turns read-only mid-run ends the
+/// run cleanly (`read_only` set, partial counts reported) rather than erroring.
+///
+/// # Errors
+///
+/// I/O and corruption errors other than [`KvError::ReadOnly`] pass through.
+pub fn run_kv_workload<F: FlashTranslationLayer>(
+    store: FlashStore<F>,
+    kv_config: KvConfig,
+    workload: &KvWorkloadConfig,
+) -> Result<KvRunSummary, KvError> {
+    assert!(workload.total_weight() > 0, "the operation mix must have positive weight");
+    let ftl_name = store.ftl().name().to_string();
+    let mut kv = KvStore::open(store, kv_config)?;
+    let mut rng = StdRng::seed_from_u64(workload.seed);
+    let zipf = Zipf::new(workload.key_space, workload.zipf_s);
+
+    let mut memtable_hit = LatencyHistogram::new();
+    let mut sstable_read = LatencyHistogram::new();
+    let mut compaction_stall = LatencyHistogram::new();
+    let mut put_total = LatencyHistogram::new();
+    let mut stalled_writes = 0u64;
+    let mut ops_completed = 0u64;
+    let mut read_only = false;
+
+    let put_cut = workload.put_weight;
+    let get_cut = put_cut + workload.get_weight;
+    let delete_cut = get_cut + workload.delete_weight;
+
+    for _ in 0..workload.ops {
+        let rank = zipf.sample(&mut rng) as u64;
+        let key = rank.to_be_bytes();
+        let draw = rng.gen_range(0..workload.total_weight());
+        let result: Result<(), KvError> = if draw < put_cut {
+            let fill = rng.gen::<u8>();
+            let value = vec![fill; workload.value_bytes];
+            kv.put(&key, &value).map(|receipt| {
+                put_total.record(receipt.log_time + receipt.stall_time);
+                if receipt.stall_time > Nanos::ZERO {
+                    stalled_writes += 1;
+                    compaction_stall.record(receipt.stall_time);
+                }
+            })
+        } else if draw < get_cut {
+            kv.get(&key).map(|lookup| {
+                match lookup.source {
+                    LookupSource::Memtable => memtable_hit.record(lookup.time),
+                    LookupSource::SsTable | LookupSource::Miss => {
+                        sstable_read.record(lookup.time);
+                    }
+                }
+            })
+        } else if draw < delete_cut {
+            kv.delete(&key).map(|receipt| {
+                put_total.record(receipt.log_time + receipt.stall_time);
+                if receipt.stall_time > Nanos::ZERO {
+                    stalled_writes += 1;
+                    compaction_stall.record(receipt.stall_time);
+                }
+            })
+        } else {
+            let hi = (rank + u64::from(workload.scan_width)).to_be_bytes();
+            kv.scan(&key, &hi).map(|_| ())
+        };
+        match result {
+            Ok(()) => ops_completed += 1,
+            Err(KvError::ReadOnly) => {
+                read_only = true;
+                break;
+            }
+            Err(error) => return Err(error),
+        }
+    }
+    if !read_only {
+        match kv.flush() {
+            Ok(()) | Err(KvError::ReadOnly) => {}
+            Err(error) => return Err(error),
+        }
+    }
+
+    let stats = *kv.stats();
+    Ok(KvRunSummary {
+        ftl: ftl_name,
+        ops_completed,
+        puts: stats.puts,
+        gets: stats.gets,
+        deletes: stats.deletes,
+        scans: stats.scans,
+        memtable_hit: memtable_hit.percentiles(),
+        sstable_read: sstable_read.percentiles(),
+        compaction_stall: compaction_stall.percentiles(),
+        put_total: put_total.percentiles(),
+        stalled_writes,
+        flushes: stats.flushes,
+        compactions: stats.compactions,
+        bloom_skips: stats.bloom_skips,
+        table_reads: stats.table_reads,
+        write_amplification: kv.write_amplification(),
+        device_time: kv.device_clock(),
+        read_only,
+        layout: kv.layout(),
+    })
+}
+
+/// Runs the same workload (same geometry, same seed) against a conventional
+/// FTL and against PPB, so flush/compaction traffic exercises both placement
+/// policies identically from the application side.
+///
+/// # Errors
+///
+/// FTL construction and run errors pass through.
+pub fn compare_conventional_vs_ppb(
+    kv_config: KvConfig,
+    workload: &KvWorkloadConfig,
+) -> Result<KvComparison, KvError> {
+    let nand = workload.device_config();
+    let conventional = {
+        let ftl = ConventionalFtl::new(NandDevice::new(nand.clone()), FtlConfig::default())?;
+        run_kv_workload(FlashStore::new(ftl), kv_config, workload)?
+    };
+    let ppb = {
+        let ftl = PpbFtl::new(NandDevice::new(nand), PpbConfig::default())?;
+        run_kv_workload(FlashStore::new(ftl), kv_config, workload)?
+    };
+    Ok(KvComparison { conventional, ppb })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_reports_activity_on_both_ftls() {
+        let comparison =
+            compare_conventional_vs_ppb(KvConfig::default(), &KvWorkloadConfig::smoke()).unwrap();
+        for summary in [&comparison.conventional, &comparison.ppb] {
+            assert_eq!(summary.ops_completed, KvWorkloadConfig::smoke().ops);
+            assert!(summary.flushes > 0, "{}: no flushes", summary.ftl);
+            assert!(summary.memtable_hit.p50 >= Nanos::ZERO);
+            assert!(summary.sstable_read.p99 > Nanos::ZERO, "{}: no table reads", summary.ftl);
+            assert!(summary.write_amplification.app > 1.0);
+            assert!(!summary.read_only);
+            assert!(!summary.layout.is_empty());
+        }
+        assert_eq!(comparison.conventional.ftl, "conventional");
+        assert_eq!(comparison.ppb.ftl, "ppb");
+    }
+
+    #[test]
+    fn same_seed_same_ftl_is_bit_identical() {
+        let workload = KvWorkloadConfig::smoke();
+        let run = || {
+            let ftl = ConventionalFtl::new(
+                NandDevice::new(workload.device_config()),
+                FtlConfig::default(),
+            )
+            .unwrap();
+            run_kv_workload(FlashStore::new(ftl), KvConfig::default(), &workload).unwrap()
+        };
+        assert_eq!(run(), run(), "same seed + same FTL must be deterministic");
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let workload = KvWorkloadConfig::smoke();
+        let with_seed = |seed: u64| {
+            let ftl = ConventionalFtl::new(
+                NandDevice::new(workload.device_config()),
+                FtlConfig::default(),
+            )
+            .unwrap();
+            run_kv_workload(
+                FlashStore::new(ftl),
+                KvConfig::default(),
+                &KvWorkloadConfig { seed, ..workload.clone() },
+            )
+            .unwrap()
+        };
+        assert_ne!(with_seed(1).device_time, with_seed(2).device_time);
+    }
+}

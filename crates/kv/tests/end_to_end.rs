@@ -1,0 +1,97 @@
+//! End-to-end checks of the KV stack: determinism across identical runs, the
+//! write-amplification product identity at workload scale, and clean
+//! [`KvError::ReadOnly`] surfacing once the device wears out.
+
+use vflash_ftl::{ConventionalFtl, FtlConfig};
+use vflash_kv::workload::{compare_conventional_vs_ppb, KvWorkloadConfig};
+use vflash_kv::{FlashStore, KvConfig, KvError, KvStore};
+use vflash_nand::{FaultConfig, NandConfig, NandDevice};
+
+/// Same seed + same FTL must produce bit-identical summaries — percentiles,
+/// write amplification, device time and the final SSTable layout — for both
+/// the conventional and the PPB backend.
+#[test]
+fn identical_runs_are_bit_identical_on_both_ftls() {
+    let workload = KvWorkloadConfig::smoke();
+    let first = compare_conventional_vs_ppb(KvConfig::default(), &workload).unwrap();
+    let second = compare_conventional_vs_ppb(KvConfig::default(), &workload).unwrap();
+    assert_eq!(first.conventional, second.conventional);
+    assert_eq!(first.ppb, second.ppb);
+    assert!(!first.conventional.layout.is_empty());
+    assert_eq!(first.conventional.layout, second.conventional.layout);
+    assert_eq!(first.ppb.layout, second.ppb.layout);
+}
+
+/// The three write-amplification factors reported by a workload run obey the
+/// product identity: app WA x FTL WA = end-to-end WA, on both FTLs.
+#[test]
+fn workload_write_amplification_product_identity() {
+    let comparison =
+        compare_conventional_vs_ppb(KvConfig::default(), &KvWorkloadConfig::smoke()).unwrap();
+    for summary in [&comparison.conventional, &comparison.ppb] {
+        let wa = summary.write_amplification;
+        assert!(wa.app > 1.0, "{}: app WA must exceed 1", summary.ftl);
+        assert!(wa.ftl >= 1.0, "{}: FTL WA must be at least 1", summary.ftl);
+        let product = wa.app * wa.ftl;
+        assert!(
+            (product - wa.end_to_end).abs() <= 1e-9 * wa.end_to_end,
+            "{}: app {} x ftl {} != end-to-end {}",
+            summary.ftl,
+            wa.app,
+            wa.ftl,
+            wa.end_to_end
+        );
+    }
+}
+
+/// Once bad-block growth exhausts the spares the FTL turns read-only; the KV
+/// store must surface that as `KvError::ReadOnly` (not a panic or a corruption
+/// error), keep serving reads, and still recover from the device afterwards.
+#[test]
+fn worn_out_device_surfaces_read_only_and_still_recovers() {
+    let faults = FaultConfig {
+        program_fail_base: 0.03,
+        erase_fail_base: 0.0,
+        rber_scale: 0.0,
+        ..FaultConfig::enabled(7)
+    };
+    let nand = NandConfig::builder()
+        .chips(1)
+        .blocks_per_chip(32)
+        .pages_per_block(32)
+        .page_size_bytes(4096)
+        .build()
+        .unwrap()
+        .with_faults(faults)
+        .unwrap();
+    let ftl = ConventionalFtl::new(NandDevice::new(nand), FtlConfig::default()).unwrap();
+    let config = KvConfig {
+        memtable_bytes: 4 << 10,
+        level_base_bytes: 16 << 10,
+        target_table_bytes: 8 << 10,
+        ..KvConfig::default()
+    };
+    let mut kv = KvStore::open(FlashStore::new(ftl), config).unwrap();
+    let mut writes = 0u64;
+    let error = loop {
+        // A bounded key space keeps the live set small while overwrites churn
+        // the device toward end of life.
+        let key = (writes % 64).to_be_bytes();
+        match kv.put(&key, &[0xAB; 512]) {
+            Ok(_) => writes += 1,
+            Err(error) => break error,
+        }
+        assert!(writes < 2_000_000, "device never reached end of life");
+    };
+    assert!(writes > 0, "no writes succeeded before end of life");
+    assert!(matches!(error, KvError::ReadOnly), "expected ReadOnly, got: {error}");
+    // Read-only is sticky at the KV level too.
+    assert!(matches!(kv.put(b"again", b"x"), Err(KvError::ReadOnly)));
+    // Reads still work (values may be stale relative to the failed write).
+    let lookup = kv.get(&0u64.to_be_bytes()).unwrap();
+    assert!(lookup.value.is_some() || lookup.value.is_none()); // no panic, clean answer
+    // Recovery from the device needs no writes and must succeed.
+    let mut recovered = KvStore::open(kv.crash(), config).unwrap();
+    recovered.get(&0u64.to_be_bytes()).unwrap();
+    assert!(matches!(recovered.put(b"still", b"dead"), Err(KvError::ReadOnly)));
+}

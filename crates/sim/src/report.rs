@@ -52,6 +52,11 @@ pub struct RunSummary {
     pub gc_copied_pages: u64,
     /// Pages migrated across speed classes during garbage collection.
     pub migrated_pages: u64,
+    /// Page programs the FTL issued on its own behalf: GC valid-page copies plus
+    /// bad-block rescue copies. `host_writes + relocation_writes` is the device's
+    /// physical program count, which is what an application stacked on top needs
+    /// to report true end-to-end write amplification.
+    pub relocation_writes: u64,
     /// Write amplification factor.
     pub write_amplification: f64,
     /// Device time consumed with chip-level interleaving: the largest per-chip busy
@@ -156,6 +161,7 @@ impl RunSummary {
             erased_blocks: end.gc_erased_blocks - start.gc_erased_blocks,
             gc_copied_pages,
             migrated_pages,
+            relocation_writes: end.relocation_writes - start.relocation_writes,
             // Migrated pages are a subset of the GC copies, so they are not added
             // again to the physical write count.
             write_amplification: if host_writes == 0 {

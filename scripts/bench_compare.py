@@ -40,6 +40,10 @@ GROUP_THRESHOLDS = {
     # but the group is new and its smoke timings have no history yet — gate it
     # loosely for now and tighten once a few baselines have accumulated.
     "faults": 20.0,
+    # The kv group runs the whole LSM stack (WAL framing, bloom probes,
+    # compaction merges) per sample, so its wall-clock variance is the highest
+    # of any target; gate it looser than the replay hot paths.
+    "kv": 20.0,
 }
 
 

@@ -12,7 +12,10 @@
 //! * [`ppb`] — the Progressive Performance Boosting strategy (the paper's
 //!   contribution),
 //! * [`sim`] — the trace-driven simulator and the experiment sweeps that regenerate
-//!   every figure of the paper's evaluation.
+//!   every figure of the paper's evaluation,
+//! * [`kv`] — an LSM key-value store running on the simulated device, turning
+//!   application operations (WAL appends, flushes, compactions) into real FTL
+//!   traffic.
 //!
 //! The crate-dependency diagram, the replay-engine internals and the data flow
 //! from trace to run summary are documented in `docs/ARCHITECTURE.md` at the
@@ -39,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub use vflash_ftl as ftl;
+pub use vflash_kv as kv;
 pub use vflash_nand as nand;
 pub use vflash_ppb as ppb;
 pub use vflash_sim as sim;

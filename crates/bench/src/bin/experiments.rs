@@ -17,12 +17,14 @@ use std::error::Error;
 
 use vflash_bench::{
     format_burst_rows, format_enhancement_rows, format_erase_rows, format_fault_rows,
-    format_kv_activity, format_kv_rows, format_latency_sweep, format_lifetime_rows,
-    format_policy_erase_rows, format_queue_depth_rows, format_rate_scale_rows,
+    format_kv_activity, format_kv_batching_rows, format_kv_rows, format_latency_sweep,
+    format_lifetime_rows, format_policy_erase_rows, format_queue_depth_rows,
+    format_rate_scale_rows,
 };
-use vflash_kv::workload::{compare_conventional_vs_ppb, KvWorkloadConfig};
-use vflash_kv::KvConfig;
-use vflash_nand::NandConfig;
+use vflash_ftl::{ConventionalFtl, FtlConfig};
+use vflash_kv::workload::{compare_conventional_vs_ppb, run_kv_workload, KvWorkloadConfig};
+use vflash_kv::{FlashStore, KvConfig};
+use vflash_nand::{NandConfig, NandDevice};
 use vflash_sim::experiments::{
     ablation_classifier, ablation_virtual_blocks, burst_sweep_at, burst_sweep_mean_iops,
     enhancement_rows, erase_count_by_policy, fault_lifetime, fault_sweep, queue_depth_sweep,
@@ -218,6 +220,47 @@ fn lsm(quick: bool) -> Result<(), Box<dyn Error>> {
          writes and frees whole segments, so GC victims are fully invalid and\n\
          the FTL never relocates live pages.\n"
     );
+
+    // The batched submission path: the same store on a multi-chip device,
+    // serial (io_depth 1, scalar submits, clock charged the serial sum) versus
+    // batched (io_depth 16, multi-page extents through submit_batch, clock
+    // charged the chip-parallel makespan).
+    const BATCH_CHIPS: usize = 4;
+    const BATCH_DEPTH: usize = 16;
+    let batch_workload = KvWorkloadConfig { device_chips: BATCH_CHIPS, ..workload.clone() };
+    println!(
+        "== LSM batched submission: io_depth 1 vs {BATCH_DEPTH} on {BATCH_CHIPS} chips \
+         (conventional FTL) =="
+    );
+    let serial = {
+        let ftl = ConventionalFtl::new(
+            NandDevice::new(batch_workload.device_config()),
+            FtlConfig::default(),
+        )?;
+        run_kv_workload(FlashStore::new(ftl), KvConfig::default(), &batch_workload)?
+    };
+    let batched = {
+        let ftl = ConventionalFtl::new(
+            NandDevice::new(batch_workload.device_config()),
+            FtlConfig::default(),
+        )?;
+        let kv_config = KvConfig { io_depth: BATCH_DEPTH, ..KvConfig::default() };
+        run_kv_workload(FlashStore::new(ftl), kv_config, &batch_workload)?
+    };
+    print!("{}", format_kv_batching_rows(&serial, &batched));
+    println!();
+
+    println!(
+        "== LSM conventional vs PPB under batching (io_depth {BATCH_DEPTH}, \
+         {BATCH_CHIPS} chips) =="
+    );
+    let kv_config = KvConfig { io_depth: BATCH_DEPTH, ..KvConfig::default() };
+    let batched_comparison = compare_conventional_vs_ppb(kv_config, &batch_workload)?;
+    print!("{}", format_kv_rows(&batched_comparison));
+    println!();
+    print!("{}", format_kv_activity(&batched_comparison.conventional));
+    print!("{}", format_kv_activity(&batched_comparison.ppb));
+    println!();
     Ok(())
 }
 

@@ -113,6 +113,38 @@ pub fn format_kv_rows(comparison: &KvComparison) -> String {
     out
 }
 
+/// Renders the serial-vs-batched KV rows: one line per run with the device
+/// time spent in flushes and compactions, the compaction-stall tail the
+/// application absorbs, and the batching counters. A final line reports the
+/// flush+compaction device-time speedup, the headline of the batched
+/// submission path on a multi-chip device.
+pub fn format_kv_batching_rows(serial: &KvRunSummary, batched: &KvRunSummary) -> String {
+    let mut out = String::from(
+        "mode      flush+compaction   stall p50/p99/p99.9 (us)   batches   batched pages\n",
+    );
+    let mut push = |mode: &str, summary: &KvRunSummary| {
+        out.push_str(&format!(
+            "{:<8} {:>17} {:>26} {:>9} {:>15}\n",
+            mode,
+            seconds(summary.flush_time + summary.compaction_time),
+            tail_percentiles_us(&summary.compaction_stall),
+            summary.batched_submissions,
+            summary.batched_pages,
+        ));
+    };
+    push("serial", serial);
+    push("batched", batched);
+    let serial_device = serial.flush_time + serial.compaction_time;
+    let batched_device = batched.flush_time + batched.compaction_time;
+    if batched_device > Nanos::ZERO {
+        out.push_str(&format!(
+            "batched flush+compaction device time is {:.2}x lower\n",
+            serial_device.as_secs_f64() / batched_device.as_secs_f64(),
+        ));
+    }
+    out
+}
+
 /// One-line activity summary of a KV run (flushes, compactions, stalls, device
 /// time) printed under the comparison table.
 pub fn format_kv_activity(summary: &KvRunSummary) -> String {

@@ -33,6 +33,11 @@ pub struct AreaWriter {
     name: &'static str,
     open: Vec<VecDeque<BlockAddr>>,
     max_open_blocks: usize,
+    /// Write lanes the host keeps in flight (1 = unstriped). With `stripe > 1`
+    /// the writer opens fresh blocks until that many are open at once, so the
+    /// front-rotation in [`AreaWriter::after_program`] spreads consecutive
+    /// programs across blocks on different chips.
+    stripe: usize,
     blocks_owned: u64,
 }
 
@@ -54,8 +59,17 @@ impl AreaWriter {
             name,
             open: vec![VecDeque::new(); virtual_blocks.per_block()],
             max_open_blocks,
+            stripe: 1,
             blocks_owned: 0,
         }
+    }
+
+    /// Sets the write-stripe width: the writer keeps up to `lanes` blocks open
+    /// (on top of the area's normal open-block budget) and rotates consecutive
+    /// programs across them. `lanes == 1` restores the paper's unstriped
+    /// placement exactly.
+    pub fn set_stripe(&mut self, lanes: usize) {
+        self.stripe = lanes.max(1);
     }
 
     /// The area name (for diagnostics).
@@ -113,14 +127,25 @@ impl AreaWriter {
     ) -> Result<BlockAddr, FtlError> {
         let classes = self.open.len();
         debug_assert!(desired < classes, "desired class out of range");
+        let total_open: usize = self.open.iter().map(VecDeque::len).sum();
+        // The stripe widens the open-block budget by its extra lanes; at
+        // stripe 1 this is exactly the configured budget.
+        let budget = self.max_open_blocks + (self.stripe - 1);
+        // Striped mode: open fresh blocks until the stripe's lanes are all
+        // open. The round-robin free-list puts consecutive allocations on
+        // different chips, and `after_program`'s front-rotation then spreads
+        // consecutive programs across the lanes. At stripe 1 this fires only
+        // when nothing at all is open, which is the unstriped behavior.
+        if total_open < self.stripe {
+            return self.allocate_block(device);
+        }
         // Case 1: the desired class has an open virtual block.
         if let Some(&block) = self.open[desired].front() {
             return Ok(block);
         }
-        let total_open: usize = self.open.iter().map(VecDeque::len).sum();
         // Case 2: slow-preferring writes may open a new block within the budget,
         // because a fresh block always starts programming at its slow virtual block.
-        if desired == 0 && total_open < self.max_open_blocks {
+        if desired == 0 && total_open < budget {
             return self.allocate_block(device);
         }
         // Case 3: divert to the nearest open class.
@@ -347,6 +372,42 @@ mod tests {
         // The next write allocates a replacement instead of reusing the evicted block.
         let replacement = write_one(&mut writer, 0, &mut device, &table);
         assert_ne!(block, replacement);
+    }
+
+    #[test]
+    fn striped_writer_rotates_consecutive_programs_across_blocks() {
+        let (mut device, table) = setup();
+        let mut writer = AreaWriter::new("cold", &table, 2);
+        writer.set_stripe(4);
+        let targets: Vec<BlockAddr> = (0..8)
+            .map(|_| write_one(&mut writer, 0, &mut device, &table))
+            .collect();
+        // The first four programs each open a fresh lane; the next four rotate
+        // through the same lanes in order.
+        let lanes: Vec<BlockAddr> = targets[..4].to_vec();
+        assert_eq!(lanes.iter().collect::<std::collections::HashSet<_>>().len(), 4);
+        assert_eq!(&targets[4..], &lanes[..]);
+        assert_eq!(writer.blocks_owned(), 4);
+        // Fast-preferring writes divert into the rotation rather than stalling
+        // on a single lane.
+        let diverted = write_one(&mut writer, 1, &mut device, &table);
+        assert!(lanes.contains(&diverted));
+    }
+
+    #[test]
+    fn stripe_of_one_is_the_unstriped_baseline() {
+        let (mut unstriped_device, table) = setup();
+        let (mut striped_device, _) = setup();
+        let mut unstriped = AreaWriter::new("hot", &table, 2);
+        let mut striped = AreaWriter::new("hot", &table, 2);
+        striped.set_stripe(1);
+        for write in 0..24 {
+            let desired = usize::from(write % 3 == 0);
+            let a = write_one(&mut unstriped, desired, &mut unstriped_device, &table);
+            let b = write_one(&mut striped, desired, &mut striped_device, &table);
+            assert_eq!(a, b, "write {write} diverged");
+        }
+        assert_eq!(unstriped.blocks_owned(), striped.blocks_owned());
     }
 
     #[test]

@@ -538,6 +538,18 @@ impl<C: HotColdClassifier> FlashTranslationLayer for PpbFtl<C> {
         }
     }
 
+    fn note_batch(&mut self, pages: u64) {
+        self.metrics.record_batch(pages);
+    }
+
+    fn set_write_stripe(&mut self, lanes: usize) {
+        // Both areas stripe: bulk table builds land in the cold area, WAL
+        // appends in the hot area, and either stream benefits from rotating
+        // programs across chips when the host batches.
+        self.hot_writer.set_stripe(lanes);
+        self.cold_writer.set_stripe(lanes);
+    }
+
     fn metrics(&self) -> &FtlMetrics {
         &self.metrics
     }

@@ -42,7 +42,12 @@ pub struct ConventionalFtl {
     device: NandDevice,
     config: FtlConfig,
     mapping: MappingTable,
-    active: Option<BlockAddr>,
+    /// Host write lanes: one active block per lane, filled round-robin. Length
+    /// is the write-stripe width (1 unless [`FlashTranslationLayer::set_write_stripe`]
+    /// raised it), so the unstriped layout is the single-active-block baseline.
+    active: Vec<Option<BlockAddr>>,
+    /// Next host lane to program (always 0 when unstriped).
+    lane: usize,
     gc_active: Option<BlockAddr>,
     victim_policy: Box<dyn VictimPolicy>,
     metrics: FtlMetrics,
@@ -89,7 +94,8 @@ impl ConventionalFtl {
             device,
             config,
             mapping,
-            active: None,
+            active: vec![None],
+            lane: 0,
             gc_active: None,
             victim_policy: Box::new(GreedyVictimPolicy::new()),
             metrics: FtlMetrics::new(),
@@ -131,10 +137,8 @@ impl ConventionalFtl {
     }
 
     fn excluded_blocks(&self) -> Vec<BlockAddr> {
-        let mut excluded = Vec::with_capacity(2);
-        if let Some(block) = self.active {
-            excluded.push(block);
-        }
+        let mut excluded = Vec::with_capacity(self.active.len() + 1);
+        excluded.extend(self.active.iter().flatten().copied());
         if let Some(block) = self.gc_active {
             excluded.push(block);
         }
@@ -180,9 +184,10 @@ impl ConventionalFtl {
         gc_stream: bool,
     ) -> Result<(PageAddr, Nanos), FtlError> {
         let mut time = Nanos::ZERO;
+        let lane = self.lane;
         loop {
             let allocated = {
-                let slot = if gc_stream { &mut self.gc_active } else { &mut self.active };
+                let slot = if gc_stream { &mut self.gc_active } else { &mut self.active[lane] };
                 Self::writable_block(&mut self.device, slot)
             };
             let block = match allocated {
@@ -193,6 +198,9 @@ impl ConventionalFtl {
             match self.device.program_next(block) {
                 Ok((page, program)) => {
                     time += program;
+                    if !gc_stream {
+                        self.lane = (lane + 1) % self.active.len();
+                    }
                     return Ok((block.page(page), time));
                 }
                 Err(NandError::ProgramFailed { .. }) => {
@@ -202,7 +210,7 @@ impl ConventionalFtl {
                     if gc_stream {
                         self.gc_active = None;
                     } else {
-                        self.active = None;
+                        self.active[lane] = None;
                     }
                     time += self.rescue_block(block, gc_stream)?;
                     self.metrics.record_remap();
@@ -399,6 +407,18 @@ impl FlashTranslationLayer for ConventionalFtl {
         }
     }
 
+    fn note_batch(&mut self, pages: u64) {
+        self.metrics.record_batch(pages);
+    }
+
+    fn set_write_stripe(&mut self, lanes: usize) {
+        let lanes = lanes.max(1);
+        // Lanes dropped on a shrink simply stop receiving writes; their
+        // partially-filled blocks become ordinary GC candidates.
+        self.active.resize(lanes, None);
+        self.lane %= lanes;
+    }
+
     fn metrics(&self) -> &FtlMetrics {
         &self.metrics
     }
@@ -435,6 +455,37 @@ mod tests {
         );
         let config = FtlConfig { over_provisioning: 0.2, ..FtlConfig::default() };
         ConventionalFtl::new(device, config).unwrap()
+    }
+
+    #[test]
+    fn write_stripe_spreads_consecutive_writes_across_chips() {
+        let device = NandDevice::new(
+            NandConfig::builder()
+                .chips(4)
+                .blocks_per_chip(8)
+                .pages_per_block(8)
+                .page_size_bytes(4096)
+                .build()
+                .unwrap(),
+        );
+        let config = FtlConfig { over_provisioning: 0.2, ..FtlConfig::default() };
+        let mut ftl = ConventionalFtl::new(device, config).unwrap();
+        ftl.set_write_stripe(4);
+        for lpn in 0..8 {
+            ftl.write(Lpn(lpn), 4096).unwrap();
+        }
+        let chips: HashSet<usize> = (0..8)
+            .map(|lpn| ftl.mapping().lookup(Lpn(lpn)).unwrap().block().chip().0)
+            .collect();
+        assert_eq!(chips.len(), 4, "8 striped writes must touch all 4 chips");
+        // Releasing the stripe funnels writes back into a single active block.
+        ftl.set_write_stripe(1);
+        ftl.write(Lpn(100), 4096).unwrap();
+        ftl.write(Lpn(101), 4096).unwrap();
+        let a = ftl.mapping().lookup(Lpn(100)).unwrap();
+        let b = ftl.mapping().lookup(Lpn(101)).unwrap();
+        assert_eq!(a.block(), b.block(), "unstriped writes share the active block");
+        ftl.mapping().check_consistency().unwrap();
     }
 
     #[test]

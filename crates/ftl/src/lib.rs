@@ -18,7 +18,10 @@
 //! be compared under identical workloads. The trait's entry point is the
 //! submission/completion pair [`IoRequest`] → [`Completion`] (host latency, per-chip
 //! op provenance, GC attribution); the scalar `read`/`write` methods are
-//! default-implemented wrappers over [`FlashTranslationLayer::submit`].
+//! default-implemented wrappers over [`FlashTranslationLayer::submit`], and
+//! [`FlashTranslationLayer::submit_batch`] serves a whole queue-depth window at
+//! once, scheduling its ops across per-chip ready clocks and completing at the
+//! batch makespan ([`BatchCompletion`]).
 //!
 //! # Example
 //!
@@ -45,6 +48,7 @@ pub mod gc;
 pub mod hotcold;
 
 mod allocator;
+mod batch;
 mod config;
 mod conventional;
 mod error;
@@ -56,6 +60,7 @@ mod types;
 mod wear;
 
 pub use allocator::BlockAllocator;
+pub use batch::BatchCompletion;
 pub use config::FtlConfig;
 pub use conventional::ConventionalFtl;
 pub use error::FtlError;

@@ -49,6 +49,14 @@ pub struct FtlMetrics {
     /// Device makespan at the moment the FTL entered read-only mode (zero while
     /// the device is still writable).
     pub time_to_read_only: Nanos,
+    /// Batched submissions served (one per
+    /// `FlashTranslationLayer::submit_batch` call that completed at least one
+    /// request). Zero when the host only ever uses the scalar path.
+    pub batched_submissions: u64,
+    /// Page requests completed through the batched path; a subset of
+    /// [`FtlMetrics::host_reads`] + [`FtlMetrics::host_writes`], which count
+    /// every request regardless of how it was submitted.
+    pub batched_pages: u64,
 }
 
 impl FtlMetrics {
@@ -162,6 +170,14 @@ impl FtlMetrics {
         self.remapped_writes += 1;
     }
 
+    /// Records one batched submission that completed `pages` page requests.
+    /// Each of those requests has also been recorded individually as a host
+    /// read or write; these counters only track *how* they were submitted.
+    pub fn record_batch(&mut self, pages: u64) {
+        self.batched_submissions += 1;
+        self.batched_pages += pages;
+    }
+
     /// Records the transition to read-only mode at device time `makespan`. Only
     /// the first transition is kept.
     pub fn record_read_only(&mut self, makespan: Nanos) {
@@ -235,5 +251,16 @@ mod tests {
         metrics.record_read_only(Nanos::from_millis(9));
         metrics.record_read_only(Nanos::from_millis(20)); // sticky: first wins
         assert_eq!(metrics.time_to_read_only, Nanos::from_millis(9));
+    }
+
+    #[test]
+    fn batch_counters_accumulate() {
+        let mut metrics = FtlMetrics::new();
+        assert_eq!(metrics.batched_submissions, 0);
+        assert_eq!(metrics.batched_pages, 0);
+        metrics.record_batch(8);
+        metrics.record_batch(3);
+        assert_eq!(metrics.batched_submissions, 2);
+        assert_eq!(metrics.batched_pages, 11);
     }
 }

@@ -17,7 +17,10 @@
 //! ```
 //!
 //! Every byte of persistence goes through [`FlashStore`]: append-only
-//! [`SegmentFile`]s mapped onto LPN extents, one `IoRequest` per page touched.
+//! [`SegmentFile`]s mapped onto LPN extents, one `IoRequest` per page touched —
+//! submitted one at a time at [`KvConfig::io_depth`] 1, or in chip-parallel
+//! batches of up to `io_depth` pages through the FTL's `submit_batch` path,
+//! charging multi-page operations the batch makespan instead of the serial sum.
 //! The request sizes passed down are the application's real write sizes, so
 //! PPB's size-based hotness classifier sees WAL appends as small (hot) writes
 //! and bulk table builds as large (cold) ones — the exact workload contrast the
@@ -44,7 +47,7 @@ pub mod workload;
 pub use error::KvError;
 pub use flash_file::{Extent, FlashStore, SegmentFile, StoreIoStats, SUPERBLOCK_LPN};
 pub use memtable::Memtable;
-pub use sstable::{BloomFilter, Entry, TableHandle, TableMeta, TableProbe};
+pub use sstable::{BloomFilter, Entry, TableHandle, TableMeta, TableOptions, TableProbe};
 pub use store::{
     KvConfig, KvStats, KvStore, Lookup, LookupSource, TableLayout, WriteAmplification,
     WriteReceipt,

@@ -21,13 +21,38 @@ use crate::flash_file::{FlashStore, SegmentFile};
 use crate::hash::fnv1a;
 use vflash_ftl::FlashTranslationLayer;
 
-/// Every `SPARSE_INDEX_INTERVAL`-th entry lands in the sparse index (the first
-/// always does).
-const SPARSE_INDEX_INTERVAL: usize = 16;
-/// Bloom filter budget: bits per key.
-const BLOOM_BITS_PER_KEY: usize = 10;
-/// Bloom filter probes per key (near-optimal for 10 bits/key).
-const BLOOM_HASHES: u32 = 6;
+/// Default sparse-index stride: every 16th entry lands in the sparse index
+/// (the first always does).
+const DEFAULT_SPARSE_INDEX_INTERVAL: usize = 16;
+/// Default bloom filter budget: bits per key.
+const DEFAULT_BLOOM_BITS_PER_KEY: usize = 10;
+
+/// Construction-time tuning knobs for a table, derived from
+/// [`KvConfig`](crate::KvConfig). Both are build-time only: the on-flash
+/// encoding is self-describing (the bloom section stores its word and hash
+/// counts; the index section stores its entry count), so tables built with any
+/// options recover with no options at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableOptions {
+    /// Bloom filter budget in bits per key (hash count is derived as
+    /// `bits * ln 2`, floored to at least one probe). More bits, fewer false
+    /// positives, bigger bloom section.
+    pub bloom_bits_per_key: usize,
+    /// Sparse-index stride: every `sparse_index_interval`-th entry is indexed
+    /// (the first always is). Stride 1 indexes every entry — single-entry
+    /// buckets, largest index; larger strides trade bucket-read bytes for
+    /// index size.
+    pub sparse_index_interval: usize,
+}
+
+impl Default for TableOptions {
+    fn default() -> Self {
+        TableOptions {
+            bloom_bits_per_key: DEFAULT_BLOOM_BITS_PER_KEY,
+            sparse_index_interval: DEFAULT_SPARSE_INDEX_INTERVAL,
+        }
+    }
+}
 
 /// Entry flags in the data section.
 const FLAG_VALUE: u8 = 0;
@@ -44,10 +69,18 @@ pub struct BloomFilter {
 }
 
 impl BloomFilter {
-    /// A filter sized for `keys` keys at `BLOOM_BITS_PER_KEY` (10) bits each.
+    /// A filter sized for `keys` keys at the default 10 bits each.
     pub fn with_capacity(keys: usize) -> Self {
-        let bits = (keys * BLOOM_BITS_PER_KEY).max(64);
-        BloomFilter { words: vec![0; bits.div_ceil(64)], hashes: BLOOM_HASHES }
+        BloomFilter::with_bits_per_key(keys, DEFAULT_BLOOM_BITS_PER_KEY)
+    }
+
+    /// A filter sized for `keys` keys at `bits_per_key` bits each (floored at
+    /// 64 bits total), probing with the near-optimal `bits_per_key * ln 2`
+    /// hashes — at least one.
+    pub fn with_bits_per_key(keys: usize, bits_per_key: usize) -> Self {
+        let bits = (keys * bits_per_key).max(64);
+        let hashes = ((bits_per_key as u32 * 693) / 1000).max(1);
+        BloomFilter { words: vec![0; bits.div_ceil(64)], hashes }
     }
 
     fn bits(&self) -> u64 {
@@ -148,25 +181,28 @@ pub struct TableHandle {
 impl TableHandle {
     /// Builds a table from sorted, deduplicated entries, writing data + index +
     /// bloom through `store` as one bulk append (PPB's classifier sees a large
-    /// sequential write).
+    /// sequential write; at `io_depth > 1` the pages go out batched).
     ///
     /// # Errors
     ///
     /// Allocation and write errors pass through. `entries` must be non-empty
     /// and strictly sorted by key (a flush or merge output always is;
     /// violations are a logic error and panic via `debug_assert`).
+    /// `options.sparse_index_interval` must be at least 1.
     pub fn build<F: FlashTranslationLayer>(
         store: &mut FlashStore<F>,
         id: u64,
         entries: &[Entry],
+        options: TableOptions,
     ) -> Result<TableHandle, KvError> {
         assert!(!entries.is_empty(), "tables are never built empty");
+        assert!(options.sparse_index_interval >= 1, "the sparse-index stride is at least 1");
         debug_assert!(entries.windows(2).all(|pair| pair[0].0 < pair[1].0));
         let mut data = Vec::new();
         let mut index = Vec::new();
-        let mut bloom = BloomFilter::with_capacity(entries.len());
+        let mut bloom = BloomFilter::with_bits_per_key(entries.len(), options.bloom_bits_per_key);
         for (position, (key, value)) in entries.iter().enumerate() {
-            if position % SPARSE_INDEX_INTERVAL == 0 {
+            if position % options.sparse_index_interval == 0 {
                 index.push((key.clone(), data.len() as u64));
             }
             bloom.insert(key);
@@ -408,7 +444,7 @@ mod tests {
     fn build_get_covers_hits_tombstones_and_misses() {
         let mut store = store();
         let entries = sample_entries(100);
-        let table = TableHandle::build(&mut store, 1, &entries).unwrap();
+        let table = TableHandle::build(&mut store, 1, &entries, TableOptions::default()).unwrap();
         assert_eq!(table.meta.entries, 100);
         for (key, value) in &entries {
             let (found, probe) = table.get(&mut store, key).unwrap();
@@ -428,7 +464,7 @@ mod tests {
     #[test]
     fn bloom_skips_most_absent_keys() {
         let mut store = store();
-        let table = TableHandle::build(&mut store, 1, &sample_entries(200)).unwrap();
+        let table = TableHandle::build(&mut store, 1, &sample_entries(200), TableOptions::default()).unwrap();
         let skipped = (0..200)
             .filter(|i| {
                 let probe = table
@@ -445,17 +481,87 @@ mod tests {
     fn recover_rebuilds_an_identical_handle() {
         let mut store = store();
         let entries = sample_entries(64);
-        let table = TableHandle::build(&mut store, 9, &entries).unwrap();
+        let table = TableHandle::build(&mut store, 9, &entries, TableOptions::default()).unwrap();
         let recovered = TableHandle::recover(&mut store, table.meta.clone()).unwrap();
         assert_eq!(recovered, table, "index + bloom must round-trip through flash");
         assert_eq!(recovered.entries(&mut store).unwrap(), entries);
     }
 
     #[test]
+    fn stride_one_indexes_every_entry_and_still_answers_correctly() {
+        let mut store = store();
+        let entries = sample_entries(50);
+        let options = TableOptions { sparse_index_interval: 1, ..TableOptions::default() };
+        let table = TableHandle::build(&mut store, 3, &entries, options).unwrap();
+        assert_eq!(table.index.len(), 50, "stride 1 puts every entry in the index");
+        for (key, value) in &entries {
+            assert_eq!(table.get(&mut store, key).unwrap().0.as_ref(), Some(value));
+        }
+        assert_eq!(table.get(&mut store, b"key00000a").unwrap().0, None);
+        // Stride-1 single-entry buckets round-trip through recovery too.
+        let recovered = TableHandle::recover(&mut store, table.meta.clone()).unwrap();
+        assert_eq!(recovered, table);
+        assert_eq!(recovered.entries(&mut store).unwrap(), entries);
+        assert_eq!(
+            recovered.scan_range(&mut store, b"key00010", b"key00020").unwrap(),
+            entries[10..20]
+        );
+    }
+
+    #[test]
+    fn single_entry_table_round_trips_at_every_stride() {
+        for stride in [1usize, 2, 16, 1000] {
+            let mut store = store();
+            let entries = sample_entries(1);
+            let options = TableOptions { sparse_index_interval: stride, ..TableOptions::default() };
+            let table = TableHandle::build(&mut store, 1, &entries, options).unwrap();
+            assert_eq!(table.index.len(), 1, "the first entry is always indexed");
+            let (found, probe) = table.get(&mut store, &entries[0].0).unwrap();
+            assert_eq!(found.as_ref(), Some(&entries[0].1));
+            assert_eq!(probe, TableProbe::Read);
+            let recovered = TableHandle::recover(&mut store, table.meta.clone()).unwrap();
+            assert_eq!(recovered.entries(&mut store).unwrap(), entries);
+        }
+    }
+
+    #[test]
+    fn tiny_tables_and_tiny_bloom_budgets_stay_correct() {
+        // A very small table at a very small bloom budget: the 64-bit filter
+        // floor and the >= 1 hash floor keep it functional (no false
+        // negatives), whatever the bits/key.
+        for bits in [1usize, 2, 10, 24] {
+            let mut store = store();
+            let entries = sample_entries(3);
+            let options = TableOptions { bloom_bits_per_key: bits, ..TableOptions::default() };
+            let table = TableHandle::build(&mut store, 1, &entries, options).unwrap();
+            for (key, value) in &entries {
+                assert_eq!(
+                    table.get(&mut store, key).unwrap().0.as_ref(),
+                    Some(value),
+                    "bloom filters must never produce false negatives (bits={bits})"
+                );
+            }
+            let recovered = TableHandle::recover(&mut store, table.meta.clone()).unwrap();
+            assert_eq!(recovered, table, "self-describing encoding recovers at any budget");
+        }
+    }
+
+    #[test]
+    fn higher_bloom_budgets_probe_with_more_hashes() {
+        let few = BloomFilter::with_bits_per_key(100, 1);
+        let default = BloomFilter::with_bits_per_key(100, 10);
+        let many = BloomFilter::with_bits_per_key(100, 24);
+        assert_eq!(few.hashes, 1, "the hash count never drops below one");
+        assert_eq!(default.hashes, 6, "10 bits/key keeps the historical 6 probes");
+        assert_eq!(many.hashes, 16);
+        assert_eq!(BloomFilter::with_capacity(100), default);
+    }
+
+    #[test]
     fn scan_range_matches_a_filtered_full_read() {
         let mut store = store();
         let entries = sample_entries(120);
-        let table = TableHandle::build(&mut store, 2, &entries).unwrap();
+        let table = TableHandle::build(&mut store, 2, &entries, TableOptions::default()).unwrap();
         let lo = b"key00017".to_vec();
         let hi = b"key00093".to_vec();
         let expected: Vec<Entry> = entries

@@ -183,15 +183,18 @@ impl Wal {
     ) -> Result<(Vec<WalOp>, u64), KvError> {
         // The post-crash logical length is unknown (the manifest predates the
         // tail), so read every written page of the region front to back; pages
-        // written under earlier epochs simply fail the epoch check below.
-        let mut bytes = Vec::new();
+        // written under earlier epochs simply fail the epoch check below. The
+        // written prefix is collected first and read as one batched sweep
+        // (chunked at the store's queue depth) instead of page-at-a-time.
+        let mut lpns = Vec::new();
         for page in 0..file.pages() {
             let lpn = file.lpn_at(page).expect("page index is below the region size");
             if !store.is_written(lpn) {
                 break;
             }
-            bytes.extend_from_slice(store.read_page(lpn)?);
+            lpns.push(lpn);
         }
+        let bytes = store.read_pages(&lpns)?;
         let mut ops = Vec::new();
         let mut at = 0usize;
         while let Some((op, consumed)) = decode(&bytes, at, epoch) {

@@ -43,8 +43,13 @@ pub struct KvWorkloadConfig {
     pub scan_width: u32,
     /// RNG seed; same seed + same FTL = bit-identical summary.
     pub seed: u64,
-    /// Device size in blocks (1 chip, 64 pages per block, 4 KB pages).
+    /// Device size in blocks, spread evenly across `device_chips` chips
+    /// (64 pages per block, 4 KB pages).
     pub device_blocks: usize,
+    /// Number of chips the device's blocks are spread across. Batched I/O
+    /// (`KvConfig::io_depth > 1`) only overlaps across chips, so the default
+    /// single-chip geometry gains nothing from batching — multi-chip runs do.
+    pub device_chips: usize,
 }
 
 impl Default for KvWorkloadConfig {
@@ -61,6 +66,7 @@ impl Default for KvWorkloadConfig {
             scan_width: 20,
             seed: 42,
             device_blocks: 128,
+            device_chips: 1,
         }
     }
 }
@@ -71,11 +77,18 @@ impl KvWorkloadConfig {
         KvWorkloadConfig { ops: 3_000, key_space: 2_000, device_blocks: 96, ..Self::default() }
     }
 
-    /// The device geometry the workload is sized for.
+    /// The device geometry the workload is sized for. `device_blocks` must be
+    /// divisible by `device_chips` so every chip gets the same block count.
     pub fn device_config(&self) -> NandConfig {
+        assert!(self.device_chips >= 1, "the device needs at least one chip");
+        assert_eq!(
+            self.device_blocks % self.device_chips,
+            0,
+            "device_blocks must divide evenly across device_chips"
+        );
         NandConfig::builder()
-            .chips(1)
-            .blocks_per_chip(self.device_blocks)
+            .chips(self.device_chips)
+            .blocks_per_chip(self.device_blocks / self.device_chips)
             .pages_per_block(64)
             .page_size_bytes(4 * 1024)
             .build()
@@ -127,6 +140,15 @@ pub struct KvRunSummary {
     pub write_amplification: WriteAmplification,
     /// Total simulated device time.
     pub device_time: Nanos,
+    /// Device time spent inside flushes, compaction included — the component
+    /// batching shrinks on multi-chip geometry.
+    pub flush_time: Nanos,
+    /// Device time spent inside compactions (a subset of `flush_time`).
+    pub compaction_time: Nanos,
+    /// Batched submissions the FTL served (zero at `io_depth` 1).
+    pub batched_submissions: u64,
+    /// Page requests that went through the batched path.
+    pub batched_pages: u64,
     /// True when the run stopped early because the device went read-only.
     pub read_only: bool,
     /// Final SSTable layout fingerprint (level, id, size, placement).
@@ -225,6 +247,7 @@ pub fn run_kv_workload<F: FlashTranslationLayer>(
     }
 
     let stats = *kv.stats();
+    let ftl_metrics = *kv.flash().ftl().metrics();
     Ok(KvRunSummary {
         ftl: ftl_name,
         ops_completed,
@@ -243,6 +266,10 @@ pub fn run_kv_workload<F: FlashTranslationLayer>(
         table_reads: stats.table_reads,
         write_amplification: kv.write_amplification(),
         device_time: kv.device_clock(),
+        flush_time: stats.flush_time,
+        compaction_time: stats.compaction_time,
+        batched_submissions: ftl_metrics.batched_submissions,
+        batched_pages: ftl_metrics.batched_pages,
         read_only,
         layout: kv.layout(),
     })
@@ -304,6 +331,60 @@ mod tests {
             run_kv_workload(FlashStore::new(ftl), KvConfig::default(), &workload).unwrap()
         };
         assert_eq!(run(), run(), "same seed + same FTL must be deterministic");
+    }
+
+    #[test]
+    fn batching_halves_flush_and_compaction_time_on_four_chips() {
+        let workload = KvWorkloadConfig { device_chips: 4, ..KvWorkloadConfig::smoke() };
+        let run = |io_depth: usize| {
+            let ftl = ConventionalFtl::new(
+                NandDevice::new(workload.device_config()),
+                FtlConfig::default(),
+            )
+            .unwrap();
+            let kv_config = KvConfig { io_depth, ..KvConfig::default() };
+            run_kv_workload(FlashStore::new(ftl), kv_config, &workload).unwrap()
+        };
+        let serial = run(1);
+        let batched = run(16);
+        // Placement, counts and amplification are untouched by batching.
+        assert_eq!(serial.layout, batched.layout, "batching must not move any table");
+        assert_eq!(serial.flushes, batched.flushes);
+        assert_eq!(serial.compactions, batched.compactions);
+        assert_eq!(serial.write_amplification, batched.write_amplification);
+        assert_eq!(serial.batched_pages, 0, "depth 1 is the scalar path");
+        assert!(batched.batched_pages > 0);
+        // The acceptance bar: flush+compaction device time at least halves.
+        assert!(
+            serial.flush_time >= batched.flush_time * 2,
+            "4 chips at depth 16 must cut flush+compaction device time >= 2x \
+             (serial {}, batched {})",
+            serial.flush_time,
+            batched.flush_time
+        );
+        assert!(batched.device_time < serial.device_time);
+    }
+
+    #[test]
+    fn io_depth_one_matches_the_pre_batching_summaries_bit_for_bit() {
+        // KvConfig::default() pins io_depth 1, so a default-config run takes
+        // exactly the scalar path the pre-batching store took: same clock,
+        // same layout, zero batched pages.
+        assert_eq!(KvConfig::default().io_depth, 1);
+        let workload = KvWorkloadConfig::smoke();
+        let run = |kv_config: KvConfig| {
+            let ftl = ConventionalFtl::new(
+                NandDevice::new(workload.device_config()),
+                FtlConfig::default(),
+            )
+            .unwrap();
+            run_kv_workload(FlashStore::new(ftl), kv_config, &workload).unwrap()
+        };
+        let default_run = run(KvConfig::default());
+        let explicit_depth_one = run(KvConfig { io_depth: 1, ..KvConfig::default() });
+        assert_eq!(default_run, explicit_depth_one);
+        assert_eq!(default_run.batched_pages, 0);
+        assert_eq!(default_run.batched_submissions, 0);
     }
 
     #[test]

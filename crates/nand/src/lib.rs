@@ -72,6 +72,7 @@ mod fault;
 mod latency;
 mod page;
 mod provenance;
+mod sched;
 mod stats;
 mod time;
 
@@ -85,5 +86,6 @@ pub use fault::{FaultConfig, ReadFaultInfo};
 pub use latency::{LatencyModel, SpeedClass, SpeedProfile};
 pub use page::{Page, PageState};
 pub use provenance::{OpKind, OpRecord, OpSpan};
+pub use sched::ChipClocks;
 pub use stats::{DeviceStats, OpCounts};
 pub use time::Nanos;

@@ -26,7 +26,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use vflash_nand::Nanos;
+use vflash_nand::{ChipClocks, Nanos};
 
 /// What a scheduled event is. Today the drive loop only schedules host-request
 /// completions; the enum exists so further event sources (device maintenance,
@@ -56,8 +56,9 @@ pub(crate) struct EventCalendar {
     /// Pending events, popped earliest-first.
     events: BinaryHeap<Reverse<Event>>,
     /// Per-chip busy-until clocks. Resource clocks, not events: ops ask for a
-    /// specific chip's availability by index.
-    chip_ready: Vec<Nanos>,
+    /// specific chip's availability by index. Shared with the FTL batch path
+    /// (`submit_batch`) so both schedule ops under the exact same rule.
+    chip_ready: ChipClocks,
     /// Largest number of host completions pending right after an arrival was
     /// scheduled — the peak backlog.
     peak_outstanding: usize,
@@ -71,7 +72,7 @@ impl EventCalendar {
     pub(crate) fn new(chips: usize, capacity: usize) -> Self {
         EventCalendar {
             events: BinaryHeap::with_capacity(capacity),
-            chip_ready: vec![Nanos::ZERO; chips],
+            chip_ready: ChipClocks::new(chips),
             peak_outstanding: 0,
             busy_arrivals: 0,
         }
@@ -105,11 +106,7 @@ impl EventCalendar {
     /// (`now`) and its chip are ready, and advances the chip's clock. Returns
     /// the op's end time (the new `now` of the request chain).
     pub(crate) fn play_op(&mut self, chip: usize, now: Nanos, latency: Nanos) -> Nanos {
-        let ready = self.chip_ready[chip];
-        let start = if ready > now { ready } else { now };
-        let end = start + latency;
-        self.chip_ready[chip] = end;
-        end
+        self.chip_ready.play_op(chip, now, latency)
     }
 
     /// Schedules a host completion at `at` and tracks the peak backlog.

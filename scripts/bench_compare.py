@@ -44,6 +44,9 @@ GROUP_THRESHOLDS = {
     # compaction merges) per sample, so its wall-clock variance is the highest
     # of any target; gate it looser than the replay hot paths.
     "kv": 20.0,
+    # Same full-stack variance as kv: each sample is a complete LSM run, three
+    # of them (serial, batched, batched-ppb).
+    "kv_batch": 20.0,
 }
 
 

@@ -1,0 +1,207 @@
+//! Property-based contracts of the batched submission path
+//! (`FlashTranslationLayer::submit_batch`), for both FTLs, with fault
+//! injection off and on:
+//!
+//! * the batch makespan never exceeds the serial sum of the per-request
+//!   latencies (chip overlap can only help),
+//! * the batch makespan is never below the busiest chip's serial time (a chip
+//!   can only do one op at a time),
+//! * a batch of one request is bit-identical to a scalar `submit` — same
+//!   completion, same device evolution, same metrics.
+
+use proptest::prelude::*;
+use vflash::ftl::{
+    ConventionalFtl, FlashTranslationLayer, FtlConfig, IoRequest, Lpn,
+};
+use vflash::nand::{FaultConfig, NandConfig, NandDevice, Nanos};
+use vflash::ppb::{PpbConfig, PpbFtl};
+
+/// A compact encoding of one batched host operation.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Write { lpn: u64, small: bool },
+    Read { lpn: u64 },
+}
+
+impl Op {
+    fn request(self, page_bytes: u32) -> IoRequest {
+        match self {
+            Op::Write { lpn, small } => {
+                let bytes = if small { 512 } else { 16 * page_bytes };
+                IoRequest::write(Lpn(lpn), bytes)
+            }
+            Op::Read { lpn } => IoRequest::read(Lpn(lpn)),
+        }
+    }
+}
+
+fn arb_ops(logical: u64) -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0..logical, any::<bool>()).prop_map(|(lpn, small)| Op::Write { lpn, small }),
+            (0..logical).prop_map(|lpn| Op::Read { lpn }),
+        ],
+        1..48,
+    )
+}
+
+const PAGE_BYTES: u32 = 4096;
+
+fn device(faults: Option<u64>) -> NandDevice {
+    let mut builder = NandConfig::builder()
+        .chips(4)
+        .blocks_per_chip(16)
+        .pages_per_block(8)
+        .page_size_bytes(PAGE_BYTES as usize)
+        .speed_ratio(4.0);
+    if let Some(seed) = faults {
+        builder = builder.faults(FaultConfig {
+            rber_scale: 3.0,
+            ..FaultConfig::enabled(seed)
+        });
+    }
+    NandDevice::new(builder.build().expect("valid test geometry"))
+}
+
+fn conventional(faults: Option<u64>) -> ConventionalFtl {
+    ConventionalFtl::new(device(faults), FtlConfig::default()).expect("ftl builds")
+}
+
+fn ppb(faults: Option<u64>) -> PpbFtl {
+    PpbFtl::new(device(faults), PpbConfig::default()).expect("ftl builds")
+}
+
+/// Writes every logical page once so subsequent reads are all valid. Returns
+/// `false` when fault injection wore the device into read-only mode first —
+/// the timing properties are vacuous on a dead device.
+fn prefill(ftl: &mut dyn FlashTranslationLayer) -> bool {
+    for lpn in 0..ftl.logical_pages() {
+        match ftl.submit(IoRequest::write(Lpn(lpn), 16 * PAGE_BYTES)) {
+            Ok(_) => {}
+            Err(vflash::ftl::FtlError::ReadOnly) => return false,
+            Err(err) => panic!("prefill write failed: {err:?}"),
+        }
+    }
+    true
+}
+
+/// Submits `ops` as one batch and checks the two makespan bounds.
+fn check_batch_bounds(ftl: &mut dyn FlashTranslationLayer, ops: &[Op]) {
+    if !prefill(ftl) {
+        return;
+    }
+    let chips = ftl.device().config().chips();
+    // Stripe the write stream like a depth>1 host would, so batches genuinely
+    // overlap and the bounds are exercised away from the degenerate
+    // makespan == serial case.
+    ftl.set_write_stripe(chips);
+    ftl.device_mut().set_op_tracing(true);
+    let batch: Vec<IoRequest> = ops.iter().map(|op| op.request(PAGE_BYTES)).collect();
+    let result = match ftl.submit_batch(&batch) {
+        Ok(result) => result,
+        Err(vflash::ftl::FtlError::ReadOnly) => return,
+        Err(err) => panic!("batch failed: {err:?}"),
+    };
+    assert_eq!(result.len(), batch.len());
+
+    let serial = result.serial_time();
+    assert!(
+        result.makespan <= serial,
+        "makespan {:?} exceeds the serial sum {:?}",
+        result.makespan,
+        serial
+    );
+
+    let mut per_chip = vec![Nanos::ZERO; chips];
+    for completion in &result.completions {
+        for op in ftl.device().ops(completion.ops) {
+            per_chip[op.chip.0] += op.latency;
+        }
+    }
+    let busiest = per_chip.into_iter().max().unwrap_or(Nanos::ZERO);
+    assert!(
+        result.makespan >= busiest,
+        "makespan {:?} undercuts the busiest chip's serial time {:?}",
+        result.makespan,
+        busiest
+    );
+
+    // Every per-request finish time is within the makespan.
+    for finish in &result.finish_times {
+        assert!(*finish <= result.makespan);
+    }
+}
+
+/// Replays `ops` through a scalar FTL and a size-1-batch FTL and demands
+/// bit-identical completions, metrics and device evolution.
+fn check_single_request_identity(
+    mut scalar: Box<dyn FlashTranslationLayer>,
+    mut batched: Box<dyn FlashTranslationLayer>,
+    ops: &[Op],
+) {
+    let alive = prefill(scalar.as_mut());
+    assert_eq!(alive, prefill(batched.as_mut()), "prefill evolution diverged");
+    if !alive {
+        return;
+    }
+    let mut batches = 0;
+    for op in ops {
+        let request = op.request(PAGE_BYTES);
+        let expected = scalar.submit(request);
+        let batch = batched.submit_batch(std::slice::from_ref(&request));
+        match (expected, batch) {
+            (Ok(expected), Ok(batch)) => {
+                batches += 1;
+                assert_eq!(batch.completions[0], expected, "completion diverged on {op:?}");
+                assert_eq!(batch.makespan, expected.latency);
+                assert_eq!(batch.finish_times, vec![expected.latency]);
+            }
+            // Identical errors (e.g. the device going read-only) are identity
+            // too; stop there — the scalar side has applied the request's
+            // partial effects in submit order, same as the batch.
+            (Err(a), Err(b)) => {
+                assert_eq!(format!("{a:?}"), format!("{b:?}"), "errors diverged on {op:?}");
+                break;
+            }
+            (expected, batch) => {
+                panic!("one side failed on {op:?}: scalar {expected:?}, batch {batch:?}");
+            }
+        }
+    }
+    // The batched side only differs in its batching counters.
+    let mut batched_metrics = *batched.metrics();
+    assert_eq!(batched_metrics.batched_submissions, batches);
+    assert_eq!(batched_metrics.batched_pages, batches);
+    batched_metrics.batched_submissions = 0;
+    batched_metrics.batched_pages = 0;
+    assert_eq!(batched_metrics, *scalar.metrics());
+    assert_eq!(batched.device().makespan(), scalar.device().makespan());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn batch_makespan_is_bounded_on_both_ftls(ops in arb_ops(96), seed in any::<u64>()) {
+        for faults in [None, Some(seed)] {
+            check_batch_bounds(&mut conventional(faults), &ops);
+            check_batch_bounds(&mut ppb(faults), &ops);
+        }
+    }
+
+    #[test]
+    fn single_request_batches_match_scalar_submission(ops in arb_ops(96), seed in any::<u64>()) {
+        for faults in [None, Some(seed)] {
+            check_single_request_identity(
+                Box::new(conventional(faults)),
+                Box::new(conventional(faults)),
+                &ops,
+            );
+            check_single_request_identity(
+                Box::new(ppb(faults)),
+                Box::new(ppb(faults)),
+                &ops,
+            );
+        }
+    }
+}

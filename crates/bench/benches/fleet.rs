@@ -1,0 +1,30 @@
+//! Host tier: the fleet sweep (striped keyspace over 1–8 devices, open loop)
+//! through the same grid path the `experiments` binary's fleet section uses.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vflash_fleet::run_fleet_cell;
+use vflash_sim::experiments::ExperimentScale;
+use vflash_sim::{ExperimentGrid, ParallelRunner};
+
+fn fleet(c: &mut Criterion) {
+    let scale = ExperimentScale { requests: 800, ..ExperimentScale::quick() };
+    let grid = ExperimentGrid::fleet_sweep(scale);
+    let mut group = c.benchmark_group("fleet");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    group.bench_function("sweep", |b| {
+        b.iter(|| {
+            let rows =
+                ParallelRunner::run_serial_map(&grid, run_fleet_cell).expect("fleet sweep runs");
+            std::hint::black_box(rows.iter().map(|row| row.summary.host_requests).sum::<u64>())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fleet);
+criterion_main!(benches);

@@ -7,6 +7,8 @@
 //! cargo run --release -p vflash-bench --bin experiments -- openloop    # offered-load sweep
 //! cargo run --release -p vflash-bench --bin experiments -- burst       # burstiness sweep
 //! cargo run --release -p vflash-bench --bin experiments -- faults      # fault/reliability sweep
+//! cargo run --release -p vflash-bench --bin experiments -- fleet       # multi-device host tier
+//! cargo run --release -p vflash-bench --bin experiments -- ppb_sensitivity  # warm-up/threshold sweep
 //! cargo run --release -p vflash-bench --bin experiments -- lsm         # KV/LSM store comparison
 //! cargo run --release -p vflash-bench --bin experiments -- --quick     # smaller scale
 //! cargo run --release -p vflash-bench --bin experiments -- --trace mds_0.csv
@@ -17,22 +19,23 @@ use std::error::Error;
 
 use vflash_bench::{
     format_burst_rows, format_enhancement_rows, format_erase_rows, format_fault_rows,
-    format_kv_activity, format_kv_batching_rows, format_kv_rows, format_latency_sweep,
-    format_lifetime_rows, format_policy_erase_rows, format_queue_depth_rows,
-    format_rate_scale_rows,
+    format_fleet_rows, format_kv_activity, format_kv_batching_rows, format_kv_rows,
+    format_latency_sweep, format_lifetime_rows, format_policy_erase_rows,
+    format_ppb_sensitivity_rows, format_queue_depth_rows, format_rate_scale_rows,
 };
+use vflash_fleet::run_fleet_grid;
 use vflash_ftl::{ConventionalFtl, FtlConfig};
 use vflash_kv::workload::{compare_conventional_vs_ppb, run_kv_workload, KvWorkloadConfig};
 use vflash_kv::{FlashStore, KvConfig};
 use vflash_nand::{NandConfig, NandDevice};
 use vflash_sim::experiments::{
     ablation_classifier, ablation_virtual_blocks, burst_sweep_at, burst_sweep_mean_iops,
-    enhancement_rows, erase_count_by_policy, fault_lifetime, fault_sweep, queue_depth_sweep,
-    rate_scale_sweep, rate_scale_sweep_for_trace, read_latency_sweep,
+    enhancement_rows, erase_count_by_policy, fault_lifetime, fault_sweep, ppb_sensitivity_sweep,
+    queue_depth_sweep, rate_scale_sweep, rate_scale_sweep_for_trace, read_latency_sweep,
     read_latency_sweep_for_trace, write_latency_sweep, write_latency_sweep_for_trace,
-    EraseCountRow, ExperimentScale, GcPolicy, Workload,
+    EraseCountRow, ExperimentScale, GcPolicy, Workload, FLEET_SIZES,
 };
-use vflash_sim::Comparison;
+use vflash_sim::{Comparison, ExperimentGrid, ParallelRunner};
 use vflash_trace::msr::{self, SubsetOptions};
 use vflash_trace::Trace;
 
@@ -179,6 +182,46 @@ fn burst(scale: &ExperimentScale) -> Result<(), Box<dyn Error>> {
          peak backlog and the p99/p99.9 tail grow down the table — that growth is pure\n\
          queueing, and the conventional-vs-ppb gap in the bottom rows is the tail-latency\n\
          win of speed-aware placement under realistic bursty load.\n"
+    );
+    Ok(())
+}
+
+fn fleet(scale: &ExperimentScale) -> Result<(), Box<dyn Error>> {
+    // The host tier stripes one keyspace over 1–8 identical devices; every
+    // width replays the same open-loop request stream at the same seed, so the
+    // only thing changing down the width axis is the striping.
+    println!(
+        "== Fleet sweep: stripe widths {FLEET_SIZES:?}, open-loop x1, cache off, \
+         both FTLs =="
+    );
+    let grid = ExperimentGrid::fleet_sweep(*scale);
+    let rows = run_fleet_grid(&ParallelRunner::with_available_parallelism(), &grid)?;
+    print!("{}", format_fleet_rows(&rows));
+    println!();
+    println!(
+        "A striped request completes at the max of its per-device stripes, so the\n\
+         fan-out p99.9 grows with the width while the per-stripe distribution stays\n\
+         put — the tail-amp column is that ratio, 1.0 by construction at width 1.\n"
+    );
+    Ok(())
+}
+
+fn ppb_sensitivity(scale: &ExperimentScale) -> Result<(), Box<dyn Error>> {
+    println!(
+        "== PPB sensitivity: warm-up length and promotion thresholds \
+         (16 KB pages, 2x, QD 1) =="
+    );
+    let mut rows = Vec::new();
+    for workload in Workload::ALL {
+        rows.extend(ppb_sensitivity_sweep(workload, scale)?);
+    }
+    print!("{}", format_ppb_sensitivity_rows(&rows));
+    println!();
+    println!(
+        "Each row measures the trace suffix left after replaying the warm-up prefix\n\
+         un-measured on a fully prefilled device. The default-knob rows down the\n\
+         warm-up axis show whether aging widens the PPB win; the promote/hot rows\n\
+         vary one threshold each on a fresh device.\n"
     );
     Ok(())
 }
@@ -403,6 +446,14 @@ fn main() -> Result<(), Box<dyn Error>> {
         faults(&scale)?;
         matched = true;
     }
+    if run_all || figures.contains(&"fleet") {
+        fleet(&scale)?;
+        matched = true;
+    }
+    if run_all || figures.contains(&"ppb_sensitivity") {
+        ppb_sensitivity(&scale)?;
+        matched = true;
+    }
     if run_all || figures.contains(&"lsm") {
         lsm(quick)?;
         matched = true;
@@ -410,7 +461,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     if !matched {
         eprintln!(
             "unknown experiment selection {figures:?}; expected fig12..fig18, ablation, qd, \
-             openloop, burst, faults, lsm or all"
+             openloop, burst, faults, fleet, ppb_sensitivity, lsm or all"
         );
         std::process::exit(2);
     }

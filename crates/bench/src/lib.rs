@@ -9,11 +9,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use vflash_fleet::FleetCellResult;
 use vflash_kv::workload::{KvComparison, KvRunSummary};
 use vflash_nand::Nanos;
 use vflash_sim::experiments::{
     BurstRow, EnhancementRow, EraseCountRow, FaultRow, LatencySweepRow, LifetimeRow,
-    PolicyEraseRow, QueueDepthRow, RateScaleRow,
+    PolicyEraseRow, PpbSensitivityRow, QueueDepthRow, RateScaleRow,
 };
 use vflash_sim::{Comparison, LatencyPercentiles, RunSummary};
 
@@ -310,6 +311,61 @@ pub fn format_lifetime_rows(rows: &[LifetimeRow]) -> String {
     out
 }
 
+/// Renders fleet-sweep rows: for each workload × FTL × stripe width, the
+/// achieved (and, open loop, offered) IOPS, the per-request **fan-out**
+/// read-latency tail (max over the request's stripes) next to the per-stripe
+/// p99.9 it is compared against, and their ratio — the fan-out tail
+/// amplification. Reading the table: the width-1 row is the single-device
+/// reference (amplification 1.0 by construction); down the width axis the
+/// stripe distribution barely moves while the fan-out p99.9 grows, because a
+/// striped request completes at the *max* of ever more stripes.
+pub fn format_fleet_rows(rows: &[FleetCellResult]) -> String {
+    let mut out = String::from(
+        "workload          ftl            width    offered   achieved   \
+         fanout p50/p99/p99.9 (us)   stripe p99.9   tail-amp\n",
+    );
+    for row in rows {
+        let summary = &row.summary;
+        out.push_str(&format!(
+            "{:<17} {:<12} {:>6} {:>10.0} {:>10.0}   {:>6.0}/{:>7.0}/{:>8.0}   {:>12.0}   {:>7.2}x\n",
+            row.cell.workload.label(),
+            summary.ftl,
+            summary.width,
+            summary.offered_iops(),
+            summary.request_iops(),
+            summary.fanout_read_latency.p50.as_micros_f64(),
+            summary.fanout_read_latency.p99.as_micros_f64(),
+            summary.fanout_read_latency.p999.as_micros_f64(),
+            summary.stripe_read_latency.p999.as_micros_f64(),
+            summary.read_tail_amplification(),
+        ));
+    }
+    out
+}
+
+/// Renders the PPB sensitivity rows (ROADMAP carry-over): the warm-up length
+/// and promotion knobs each row ran with and the read/write enhancement over
+/// the measured suffix. The default-knob rows down the warm-up axis answer
+/// whether aging the device widens the win; the threshold rows answer whether
+/// promotion tuning does.
+pub fn format_ppb_sensitivity_rows(rows: &[PpbSensitivityRow]) -> String {
+    let mut out = String::from(
+        "workload          warmup   promote-reads   hot-fraction   read-enh   write-enh\n",
+    );
+    for row in rows {
+        out.push_str(&format!(
+            "{:<17} {:>5.0}% {:>15} {:>14.2} {:>9.2}% {:>10.2}%\n",
+            row.workload.label(),
+            row.warmup_fraction * 100.0,
+            row.cold_promote_reads,
+            row.hot_list_fraction,
+            row.comparison.read_enhancement_pct(),
+            row.comparison.write_enhancement_pct(),
+        ));
+    }
+    out
+}
+
 /// Renders Figure 18 rows (erased block counts).
 pub fn format_erase_rows(rows: &[EraseCountRow]) -> String {
     let mut out = String::from("workload          conventional-ftl   ftl-with-ppb\n");
@@ -471,6 +527,71 @@ mod tests {
         assert!(text.contains("1234"), "{text}");
         assert!(text.contains("40"), "{text}");
         assert!(text.contains("1.500s"), "{text}");
+    }
+
+    #[test]
+    fn fleet_formatting_reports_width_and_amplification() {
+        use vflash_fleet::{CacheStats, FleetCellResult, FleetSummary};
+        use vflash_sim::experiments::ExperimentScale;
+        use vflash_sim::{ArrivalDiscipline, FtlKind, GridCell, ReplayMode};
+        use vflash_trace::synthetic::ArrivalModel;
+
+        let mut fanout = LatencyPercentiles::default();
+        fanout.p999 = Nanos::from_micros(900);
+        let mut stripe = LatencyPercentiles::default();
+        stripe.p999 = Nanos::from_micros(300);
+        let rows = vec![FleetCellResult {
+            cell: GridCell {
+                index: 0,
+                ftl: FtlKind::Ppb,
+                workload: Workload::WebSqlServer,
+                discipline: ArrivalDiscipline::OpenLoop { rate_scale: 1.0 },
+                arrival: ArrivalModel::default(),
+                fleet_size: 4,
+                scale: ExperimentScale::quick(),
+            },
+            summary: FleetSummary {
+                ftl: "ppb".into(),
+                trace: "web-sql-server".into(),
+                width: 4,
+                lanes: Vec::new(),
+                mode: ReplayMode::OpenLoop { rate_scale: 1.0 },
+                queue_depth: 0,
+                host_requests: 1_000,
+                host_elapsed: Nanos::from_millis(100),
+                offered_duration: Nanos::from_millis(50),
+                peak_queue_depth: 3,
+                busy_arrivals: 10,
+                fanout_read_latency: fanout,
+                fanout_write_latency: LatencyPercentiles::default(),
+                stripe_read_latency: stripe,
+                stripe_write_latency: LatencyPercentiles::default(),
+                cache: CacheStats::default(),
+                tenants: Vec::new(),
+            },
+        }];
+        let text = format_fleet_rows(&rows);
+        assert!(text.contains("web-sql-server"), "{text}");
+        assert!(text.contains("10000"), "1000 reqs / 0.1 s achieved: {text}");
+        assert!(text.contains("20000"), "1000 reqs / 0.05 s offered: {text}");
+        assert!(text.contains("3.00x"), "900us / 300us tail amplification: {text}");
+    }
+
+    #[test]
+    fn ppb_sensitivity_formatting_reports_knobs_and_enhancements() {
+        use vflash_sim::experiments::PpbSensitivityRow;
+        let rows = vec![PpbSensitivityRow {
+            workload: Workload::WebSqlServer,
+            warmup_fraction: 0.5,
+            cold_promote_reads: 4,
+            hot_list_fraction: 0.25,
+            comparison: Comparison::new(summary("conventional", 100), summary("ppb", 80)),
+        }];
+        let text = format_ppb_sensitivity_rows(&rows);
+        assert!(text.contains("web-sql-server"), "{text}");
+        assert!(text.contains("50%"), "{text}");
+        assert!(text.contains("0.25"), "{text}");
+        assert!(text.contains("20.00%"), "read enhancement: {text}");
     }
 
     #[test]

@@ -1,0 +1,404 @@
+//! The host-side DRAM writeback cache in front of the striped keyspace.
+//!
+//! The cache absorbs small (hot-stream) writes in host DRAM and defers the
+//! flash program until the page is evicted or a dirty-ratio flush fires, so a
+//! rewrite-heavy stream costs one flash write per *eviction* instead of one
+//! per host write. Cold streams — requests at or above the configured
+//! write-around size — bypass the cache entirely (write-around), so one large
+//! sequential pass cannot evict the whole hot set.
+//!
+//! Policy summary, all of it pinned by the fleet property suite:
+//!
+//! * **Write-allocate, write-back.** Small writes insert the page and mark it
+//!   dirty; the flash write happens later. Reads never allocate: a read miss
+//!   goes to the devices and leaves the cache untouched, so read scans cannot
+//!   thrash the dirty set.
+//! * **LRU residency.** Inserting into a full cache evicts the least-recently
+//!   used page; evicting a dirty page returns it for writeback.
+//! * **Dirty-ratio flush.** When the dirty count exceeds
+//!   `dirty_flush_threshold × capacity`, the cache drains dirty pages
+//!   (least-recently-used first) down to the threshold. Flushed pages stay
+//!   resident but clean.
+//! * **Coherence on write-around.** A write-around of a resident page drops
+//!   the cached copy (its data is superseded by the device write), keeping
+//!   read-your-writes exact.
+//!
+//! The cache stores no data bytes — the simulator models time, not contents —
+//! but it tracks residency and dirtiness exactly, which is all the timing
+//! model needs.
+
+use std::collections::{BTreeMap, HashMap};
+
+use vflash_nand::Nanos;
+
+/// Tunables of the [`WritebackCache`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheConfig {
+    /// Resident capacity in pages (at least 1).
+    pub capacity_pages: usize,
+    /// Fraction of the capacity that may be dirty before a flush drains the
+    /// dirty set back down to the threshold, in `(0, 1]`.
+    pub dirty_flush_threshold: f64,
+    /// Host requests of at least this many bytes are treated as a cold stream
+    /// and written around the cache straight to the devices.
+    pub write_around_bytes: u32,
+    /// Latency charged for a DRAM hit (read hit or absorbed write) — orders of
+    /// magnitude below a flash access.
+    pub hit_latency: Nanos,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            capacity_pages: 4096,
+            dirty_flush_threshold: 0.5,
+            write_around_bytes: 256 * 1024,
+            hit_latency: Nanos::from_micros(1),
+        }
+    }
+}
+
+impl CacheConfig {
+    /// The largest dirty count the cache tolerates before (and right after) a
+    /// flush: `⌊dirty_flush_threshold × capacity_pages⌋`.
+    pub fn dirty_limit(&self) -> usize {
+        (self.dirty_flush_threshold * self.capacity_pages as f64).floor() as usize
+    }
+
+    fn validate(&self) {
+        assert!(self.capacity_pages > 0, "cache capacity must be at least one page");
+        assert!(
+            self.dirty_flush_threshold > 0.0 && self.dirty_flush_threshold <= 1.0,
+            "dirty flush threshold must be within (0, 1]"
+        );
+    }
+}
+
+/// Counters the cache accumulates over a run, reported in the fleet summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Page reads served from DRAM.
+    pub read_hits: u64,
+    /// Page reads that missed and went to the devices.
+    pub read_misses: u64,
+    /// Page writes absorbed into the cache (deferred flash programs).
+    pub writes_absorbed: u64,
+    /// Page writes sent around the cache to the devices (cold streams).
+    pub write_arounds: u64,
+    /// Dirty pages written back to the devices (evictions and flushes).
+    pub writebacks: u64,
+    /// Dirty-ratio flush events.
+    pub flushes: u64,
+}
+
+impl CacheStats {
+    /// Fraction of page reads served from DRAM, in `[0, 1]`.
+    pub fn read_hit_rate(&self) -> f64 {
+        let total = self.read_hits + self.read_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.read_hits as f64 / total as f64
+        }
+    }
+
+    /// Flash page writes saved by absorption: absorbed writes minus the
+    /// writebacks that eventually materialised, saturating at zero.
+    pub fn absorbed_net(&self) -> u64 {
+        self.writes_absorbed.saturating_sub(self.writebacks)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    stamp: u64,
+    dirty: bool,
+}
+
+/// An LRU write-back, write-allocate page cache over fleet LPNs.
+///
+/// Recency is tracked with monotonically increasing touch stamps (a
+/// `BTreeMap` keyed by stamp gives deterministic LRU order with no unordered
+/// iteration anywhere), so every run is bit-reproducible.
+///
+/// # Example
+///
+/// ```
+/// use vflash_fleet::{CacheConfig, WritebackCache};
+///
+/// let mut cache = WritebackCache::new(CacheConfig {
+///     capacity_pages: 2,
+///     ..CacheConfig::default()
+/// });
+/// assert!(cache.write(7).is_empty(), "absorbing into a cold cache evicts nothing");
+/// cache.write(8);
+/// assert!(cache.read(7), "read-your-writes: the absorbed page hits");
+/// // Inserting a third page evicts the LRU page (8 — the read refreshed 7),
+/// // and the evicted page is dirty, so it comes back for writeback.
+/// assert_eq!(cache.write(9), vec![8]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WritebackCache {
+    config: CacheConfig,
+    entries: HashMap<u64, Entry>,
+    lru: BTreeMap<u64, u64>,
+    dirty: usize,
+    next_stamp: u64,
+    stats: CacheStats,
+}
+
+impl WritebackCache {
+    /// An empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero capacity or a dirty threshold outside `(0, 1]`.
+    pub fn new(config: CacheConfig) -> Self {
+        config.validate();
+        WritebackCache {
+            config,
+            entries: HashMap::new(),
+            lru: BTreeMap::new(),
+            dirty: 0,
+            next_stamp: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configuration the cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resident pages.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Resident dirty pages.
+    pub fn dirty_len(&self) -> usize {
+        self.dirty
+    }
+
+    /// Whether `lpn` is resident (dirty or clean).
+    pub fn is_resident(&self, lpn: u64) -> bool {
+        self.entries.contains_key(&lpn)
+    }
+
+    /// Whether `lpn` is resident and dirty.
+    pub fn is_dirty(&self, lpn: u64) -> bool {
+        self.entries.get(&lpn).is_some_and(|entry| entry.dirty)
+    }
+
+    /// Whether the dirty set exceeds the flush threshold.
+    pub fn over_threshold(&self) -> bool {
+        self.dirty > self.config.dirty_limit()
+    }
+
+    fn touch(&mut self, lpn: u64) {
+        let entry = self.entries.get_mut(&lpn).expect("touching a non-resident page");
+        self.lru.remove(&entry.stamp);
+        entry.stamp = self.next_stamp;
+        self.lru.insert(self.next_stamp, lpn);
+        self.next_stamp += 1;
+    }
+
+    /// Looks `lpn` up for a host read. A hit refreshes recency and returns
+    /// `true`; a miss returns `false` and does **not** allocate.
+    pub fn read(&mut self, lpn: u64) -> bool {
+        if self.entries.contains_key(&lpn) {
+            self.touch(lpn);
+            self.stats.read_hits += 1;
+            true
+        } else {
+            self.stats.read_misses += 1;
+            false
+        }
+    }
+
+    /// Absorbs a host write of `lpn`: the page becomes resident and dirty, and
+    /// the returned LPNs (at most one) are dirty pages evicted to make room —
+    /// the caller must write them back to the devices.
+    pub fn write(&mut self, lpn: u64) -> Vec<u64> {
+        self.stats.writes_absorbed += 1;
+        if let Some(entry) = self.entries.get_mut(&lpn) {
+            if !entry.dirty {
+                entry.dirty = true;
+                self.dirty += 1;
+            }
+            self.touch(lpn);
+            return Vec::new();
+        }
+        let mut writeback = Vec::new();
+        if self.entries.len() == self.config.capacity_pages {
+            let (_, victim) = self.lru.pop_first().expect("a full cache has an LRU entry");
+            let entry = self.entries.remove(&victim).expect("LRU entry is resident");
+            if entry.dirty {
+                self.dirty -= 1;
+                self.stats.writebacks += 1;
+                writeback.push(victim);
+            }
+        }
+        self.entries.insert(lpn, Entry { stamp: self.next_stamp, dirty: true });
+        self.lru.insert(self.next_stamp, lpn);
+        self.next_stamp += 1;
+        self.dirty += 1;
+        writeback
+    }
+
+    /// Notes a write-around of `lpn` (a cold-stream write going straight to
+    /// the devices) and drops any resident copy — the cached data is
+    /// superseded, and dropping it (dirty or not) keeps read-your-writes
+    /// exact without a spurious writeback.
+    pub fn write_around(&mut self, lpn: u64) {
+        self.stats.write_arounds += 1;
+        if let Some(entry) = self.entries.remove(&lpn) {
+            self.lru.remove(&entry.stamp);
+            if entry.dirty {
+                self.dirty -= 1;
+            }
+        }
+    }
+
+    /// Drains dirty pages, least-recently-used first, until the dirty count is
+    /// back at or below the threshold. The returned LPNs stay resident but
+    /// clean; the caller must write them back to the devices. Returns an empty
+    /// list when the cache is already at or below the threshold.
+    pub fn flush_to_threshold(&mut self) -> Vec<u64> {
+        if !self.over_threshold() {
+            return Vec::new();
+        }
+        self.stats.flushes += 1;
+        let limit = self.config.dirty_limit();
+        let mut flushed = Vec::new();
+        // BTreeMap iteration is stamp order — oldest (LRU) first.
+        let stamps: Vec<u64> = self.lru.keys().copied().collect();
+        for stamp in stamps {
+            if self.dirty <= limit {
+                break;
+            }
+            let lpn = self.lru[&stamp];
+            let entry = self.entries.get_mut(&lpn).expect("LRU entry is resident");
+            if entry.dirty {
+                entry.dirty = false;
+                self.dirty -= 1;
+                self.stats.writebacks += 1;
+                flushed.push(lpn);
+            }
+        }
+        flushed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(capacity: usize, threshold: f64) -> WritebackCache {
+        WritebackCache::new(CacheConfig {
+            capacity_pages: capacity,
+            dirty_flush_threshold: threshold,
+            ..CacheConfig::default()
+        })
+    }
+
+    #[test]
+    fn read_misses_do_not_allocate() {
+        let mut c = cache(4, 1.0);
+        assert!(!c.read(3));
+        assert!(c.is_empty());
+        assert_eq!(c.stats().read_misses, 1);
+    }
+
+    #[test]
+    fn absorbed_writes_are_dirty_and_hit_on_readback() {
+        let mut c = cache(4, 1.0);
+        assert!(c.write(9).is_empty());
+        assert!(c.is_resident(9));
+        assert!(c.is_dirty(9));
+        assert!(c.read(9));
+        assert_eq!(c.stats().read_hits, 1);
+        assert_eq!(c.stats().writes_absorbed, 1);
+    }
+
+    #[test]
+    fn rewrites_do_not_double_count_dirtiness() {
+        let mut c = cache(4, 1.0);
+        c.write(1);
+        c.write(1);
+        assert_eq!(c.dirty_len(), 1);
+        assert_eq!(c.stats().writes_absorbed, 2);
+    }
+
+    #[test]
+    fn lru_eviction_returns_dirty_victims() {
+        let mut c = cache(2, 1.0);
+        c.write(1);
+        c.write(2);
+        // Touch 1 so 2 becomes LRU.
+        assert!(c.read(1));
+        assert_eq!(c.write(3), vec![2]);
+        assert!(c.is_resident(1) && c.is_resident(3) && !c.is_resident(2));
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn flush_drains_to_the_threshold_oldest_first() {
+        let mut c = cache(4, 0.5); // dirty limit = 2
+        for lpn in [10, 11, 12] {
+            c.write(lpn);
+        }
+        assert!(c.over_threshold());
+        let flushed = c.flush_to_threshold();
+        assert_eq!(flushed, vec![10], "the least-recently-used dirty page flushes first");
+        assert_eq!(c.dirty_len(), 2);
+        assert!(!c.over_threshold());
+        assert!(c.is_resident(10) && !c.is_dirty(10), "flushed pages stay resident, clean");
+        assert!(c.flush_to_threshold().is_empty(), "at the threshold nothing more drains");
+        assert_eq!(c.stats().flushes, 1);
+    }
+
+    #[test]
+    fn write_around_drops_stale_copies_without_writeback() {
+        let mut c = cache(4, 1.0);
+        c.write(5);
+        let before = c.stats().writebacks;
+        c.write_around(5);
+        assert!(!c.is_resident(5));
+        assert_eq!(c.dirty_len(), 0);
+        assert_eq!(c.stats().writebacks, before, "superseded data is dropped, not written back");
+        assert_eq!(c.stats().write_arounds, 1);
+        // Write-around of a non-resident page is just a counter bump.
+        c.write_around(6);
+        assert_eq!(c.stats().write_arounds, 2);
+    }
+
+    #[test]
+    fn hit_rate_and_net_absorption() {
+        let mut c = cache(4, 1.0);
+        c.write(1);
+        c.read(1);
+        c.read(2);
+        let stats = c.stats();
+        assert!((stats.read_hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(stats.absorbed_net(), 1);
+        assert_eq!(CacheStats::default().read_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(std::panic::catch_unwind(|| cache(0, 0.5)).is_err());
+        assert!(std::panic::catch_unwind(|| cache(4, 0.0)).is_err());
+        assert!(std::panic::catch_unwind(|| cache(4, 1.5)).is_err());
+    }
+}

@@ -1,0 +1,958 @@
+//! The fleet and its driver: one drive loop replaying a trace against N
+//! devices on a shared virtual clock.
+//!
+//! # Clock sharing
+//!
+//! The fleet reuses the single-device engine's event model wholesale. One
+//! fleet-level completion calendar (a binary heap of host-completion instants)
+//! carries the arrival discipline — closed-loop slot waits and open-loop
+//! arrival retirement work exactly as in `vflash-sim`'s `EventCalendar` — while
+//! each lane keeps its own per-chip ready clocks
+//! ([`ChipClocks`](vflash_nand::ChipClocks), the same type the engine's
+//! calendar wraps). A multi-page host request splits into per-lane stripe
+//! chains: pages on the same lane serialise (a dependent chain against that
+//! lane's chips), stripes on different lanes run in parallel, and the request
+//! completes at the **max over its stripes** — which is where fan-out tail
+//! amplification comes from.
+//!
+//! # The fleet-of-1 guarantee
+//!
+//! A 1-wide fleet with the cache disabled and a single tenant reproduces the
+//! single-device [`WorkloadDriver`](vflash_sim::WorkloadDriver) **bit-for-bit** — same per-lane
+//! [`RunSummary`], same device state — on both FTLs and every discipline. The
+//! stripe map at width 1 is the identity, the per-request stripe chain is then
+//! the engine's single dependent chain, and the fleet calendar sees exactly
+//! the issue/completion instants the engine's calendar would (at closed-loop
+//! depth 1 the calendar degenerates to the engine's scalar clock: it drains
+//! fully at every arrival, so peak backlog 1 and zero busy arrivals fall out
+//! by construction). `tests/fleet_equivalence.rs` pins this down.
+//!
+//! # Cache and writebacks
+//!
+//! With a [`CacheConfig`], page reads and small page writes consult the host
+//! DRAM cache first: hits cost [`CacheConfig::hit_latency`] and never touch a
+//! device; absorbed writes defer the flash program until eviction or a
+//! dirty-ratio flush. Writeback traffic is **background**: it does not extend
+//! the completing request's latency, but it does occupy the owning lane's
+//! chips (or, at closed-loop depth 1 where op tracing is off, a lane-level
+//! ready clock), so heavy writeback backlogs surface as queueing delay on
+//! later requests — the classic destaging effect.
+
+use vflash_ftl::{FlashTranslationLayer, FtlError, IoRequest as FtlRequest, Lpn};
+use vflash_nand::{ChipClocks, ChipId, Nanos};
+use vflash_sim::{ArrivalDiscipline, LatencyHistogram, ReplayMode, RunOptions, RunSummary};
+use vflash_trace::{IoOp, Trace};
+
+use crate::cache::{CacheConfig, WritebackCache};
+use crate::qos::{dispatch_order, TenantWeight};
+use crate::stripe::StripeMap;
+use crate::summary::{FleetSummary, TenantSummary};
+
+/// Host-tier configuration: the writeback cache (if any) and the tenant set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetConfig {
+    /// Writeback-cache configuration; `None` disables the cache entirely (every
+    /// page goes straight to its lane, required for the fleet-of-1 bit-identity
+    /// guarantee).
+    pub cache: Option<CacheConfig>,
+    /// The tenant set. Request `i` of the trace belongs to tenant
+    /// `i % tenants.len()`; under closed loop the per-tenant FIFO queues are
+    /// served by weighted-share QoS, under open loop requests issue at their
+    /// arrival times and the weights only label the accounting.
+    pub tenants: Vec<TenantWeight>,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig { cache: None, tenants: vec![TenantWeight::default()] }
+    }
+}
+
+/// N homogeneous simulated devices behind one striped keyspace.
+///
+/// # Example
+///
+/// ```
+/// use vflash_ftl::{ConventionalFtl, FtlConfig};
+/// use vflash_nand::{NandConfig, NandDevice};
+/// use vflash_fleet::{Fleet, FleetConfig, FleetDriver};
+/// use vflash_sim::RunOptions;
+/// use vflash_trace::synthetic::{self, SyntheticConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let lanes: Vec<ConventionalFtl> = (0..2)
+///     .map(|_| {
+///         let device = NandDevice::new(
+///             NandConfig::builder()
+///                 .chips(2)
+///                 .blocks_per_chip(32)
+///                 .pages_per_block(16)
+///                 .page_size_bytes(8192)
+///                 .build()
+///                 .unwrap(),
+///         );
+///         ConventionalFtl::new(device, FtlConfig::default()).unwrap()
+///     })
+///     .collect();
+/// let mut fleet = Fleet::new(lanes, FleetConfig::default());
+/// let trace = synthetic::web_sql_server(SyntheticConfig {
+///     requests: 300,
+///     working_set_bytes: 2 * 1024 * 1024,
+///     ..Default::default()
+/// });
+/// let summary = FleetDriver::closed_loop(RunOptions::default(), 4)
+///     .run_mut(&mut fleet, &trace)?;
+/// assert_eq!(summary.width, 2);
+/// assert_eq!(summary.host_requests, 300);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Fleet<F: FlashTranslationLayer> {
+    lanes: Vec<F>,
+    config: FleetConfig,
+    stripe: StripeMap,
+}
+
+impl<F: FlashTranslationLayer> Fleet<F> {
+    /// Assembles a fleet from homogeneous lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty lane set, heterogeneous page sizes or logical
+    /// capacities (the stripe map needs identical lanes), an empty tenant set,
+    /// or an invalid cache configuration.
+    pub fn new(lanes: Vec<F>, config: FleetConfig) -> Self {
+        assert!(!lanes.is_empty(), "a fleet needs at least one device");
+        assert!(!config.tenants.is_empty(), "a fleet needs at least one tenant");
+        let page_size = lanes[0].device().config().page_size_bytes();
+        let lane_pages = lanes[0].logical_pages();
+        for lane in &lanes[1..] {
+            assert_eq!(
+                lane.device().config().page_size_bytes(),
+                page_size,
+                "fleet lanes must share one page size"
+            );
+            assert_eq!(
+                lane.logical_pages(),
+                lane_pages,
+                "fleet lanes must share one logical capacity"
+            );
+        }
+        if let Some(cache) = &config.cache {
+            // Validate eagerly so a bad config fails at assembly, not mid-run.
+            let _ = WritebackCache::new(*cache);
+        }
+        let stripe = StripeMap::new(lanes.len(), lane_pages);
+        Fleet { lanes, config, stripe }
+    }
+
+    /// Number of lanes.
+    pub fn width(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The stripe map over the fleet keyspace.
+    pub fn stripe(&self) -> StripeMap {
+        self.stripe
+    }
+
+    /// The host-tier configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// The lanes, in stripe order.
+    pub fn lanes(&self) -> &[F] {
+        &self.lanes
+    }
+
+    /// Consumes the fleet, returning the lanes (e.g. to inspect device state
+    /// after a run).
+    pub fn into_lanes(self) -> Vec<F> {
+        self.lanes
+    }
+}
+
+/// Replicates `ArrivalDiscipline::needs_op_tracing` (private to the engine):
+/// closed-loop depth 1 degenerates to serial accumulation where per-op
+/// provenance is pure overhead.
+fn needs_op_tracing(discipline: ArrivalDiscipline) -> bool {
+    match discipline {
+        ArrivalDiscipline::ClosedLoop { queue_depth } => queue_depth > 1,
+        ArrivalDiscipline::OpenLoop { .. } => true,
+    }
+}
+
+/// Replicates the engine's arrival scaling: exact at unit rate, rounded
+/// otherwise.
+fn scale_arrival(at_nanos: u64, rate_scale: f64) -> Nanos {
+    if rate_scale == 1.0 {
+        Nanos(at_nanos)
+    } else {
+        Nanos((at_nanos as f64 / rate_scale).round() as u64)
+    }
+}
+
+/// A word-packed page bitmap for the per-lane prefill pass (one bit per
+/// device-local page, iterated in ascending order — the engine's warm-up
+/// order).
+struct PageBitmap {
+    words: Vec<u64>,
+}
+
+impl PageBitmap {
+    fn new(pages: u64) -> Self {
+        PageBitmap { words: vec![0; (pages as usize).div_ceil(64)] }
+    }
+
+    fn set(&mut self, page: u64) {
+        self.words[(page / 64) as usize] |= 1 << (page % 64);
+    }
+
+    fn iter_set(&self) -> impl Iterator<Item = u64> + '_ {
+        self.words.iter().enumerate().flat_map(|(word_index, &word)| {
+            let base = word_index as u64 * 64;
+            (0..64).filter(move |bit| word & (1u64 << bit) != 0).map(move |bit| base + bit)
+        })
+    }
+}
+
+/// The fleet-level completion calendar: a faithful replica of the engine's
+/// `EventCalendar` host-completion heap (that type is crate-private to
+/// `vflash-sim`), minus the per-chip clocks, which live per lane here.
+struct CompletionCalendar {
+    events: std::collections::BinaryHeap<std::cmp::Reverse<Nanos>>,
+    peak_outstanding: usize,
+    busy_arrivals: u64,
+}
+
+impl CompletionCalendar {
+    fn new(capacity: usize) -> Self {
+        CompletionCalendar {
+            events: std::collections::BinaryHeap::with_capacity(capacity),
+            peak_outstanding: 0,
+            busy_arrivals: 0,
+        }
+    }
+
+    fn outstanding(&self) -> usize {
+        self.events.len()
+    }
+
+    fn pop_earliest(&mut self) -> Option<Nanos> {
+        self.events.pop().map(|std::cmp::Reverse(at)| at)
+    }
+
+    fn observe_arrival(&mut self, issue: Nanos) {
+        while self.events.peek().is_some_and(|&std::cmp::Reverse(at)| at <= issue) {
+            self.events.pop();
+        }
+        if !self.events.is_empty() {
+            self.busy_arrivals += 1;
+        }
+    }
+
+    fn schedule_completion(&mut self, at: Nanos) {
+        self.events.push(std::cmp::Reverse(at));
+        if self.events.len() > self.peak_outstanding {
+            self.peak_outstanding = self.events.len();
+        }
+    }
+}
+
+/// Per-lane accumulators of the drive loop.
+struct LaneState {
+    chips: ChipClocks,
+    /// Untraced (closed-loop depth 1) device-level ready clock: carries the
+    /// writeback backlog when op tracing is off.
+    ready: Nanos,
+    read_latencies: LatencyHistogram,
+    write_latencies: LatencyHistogram,
+    queue_delays: LatencyHistogram,
+    service_times: LatencyHistogram,
+    requests: u64,
+    last_completion: Nanos,
+    first_arrival: Option<Nanos>,
+    last_arrival: Nanos,
+}
+
+/// Per-request scratch for one lane's stripe chain.
+#[derive(Clone, Copy)]
+struct StripeChain {
+    start: Nanos,
+    now: Nanos,
+    service: Nanos,
+}
+
+/// The fleet workload driver: replays a [`Trace`] against a [`Fleet`] under
+/// the engine's [`ArrivalDiscipline`]s and reports a [`FleetSummary`].
+///
+/// Construction mirrors [`WorkloadDriver`](vflash_sim::WorkloadDriver) exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetDriver {
+    options: RunOptions,
+    discipline: ArrivalDiscipline,
+}
+
+impl FleetDriver {
+    /// A driver with explicit options and discipline.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero queue depth or a non-positive/non-finite rate scale
+    /// (via [`WorkloadDriver::new`](vflash_sim::WorkloadDriver::new)'s validation, which this reuses).
+    pub fn new(options: RunOptions, discipline: ArrivalDiscipline) -> Self {
+        // Reuse the engine's validation so both drivers reject the same inputs.
+        let _ = vflash_sim::WorkloadDriver::new(options, discipline);
+        FleetDriver { options, discipline }
+    }
+
+    /// A closed-loop (saturation) driver at the given queue depth.
+    pub fn closed_loop(options: RunOptions, queue_depth: usize) -> Self {
+        FleetDriver::new(options, ArrivalDiscipline::ClosedLoop { queue_depth })
+    }
+
+    /// An open-loop (arrival-time) driver at the given rate scale.
+    pub fn open_loop(options: RunOptions, rate_scale: f64) -> Self {
+        FleetDriver::new(options, ArrivalDiscipline::OpenLoop { rate_scale })
+    }
+
+    /// The replay options.
+    pub fn options(&self) -> &RunOptions {
+        &self.options
+    }
+
+    /// The arrival discipline.
+    pub fn discipline(&self) -> ArrivalDiscipline {
+        self.discipline
+    }
+
+    /// Replays `trace` against `fleet`, consuming it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates FTL errors from any lane; see [`WorkloadDriver::run`](vflash_sim::WorkloadDriver::run).
+    pub fn run<F: FlashTranslationLayer>(
+        &self,
+        mut fleet: Fleet<F>,
+        trace: &Trace,
+    ) -> Result<FleetSummary, FtlError> {
+        self.run_mut(&mut fleet, trace)
+    }
+
+    /// Like [`FleetDriver::run`] but borrows the fleet, so callers can inspect
+    /// or reuse the lanes afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates FTL errors from any lane.
+    pub fn run_mut<F: FlashTranslationLayer>(
+        &self,
+        fleet: &mut Fleet<F>,
+        trace: &Trace,
+    ) -> Result<FleetSummary, FtlError> {
+        let page_size = fleet.lanes[0].device().config().page_size_bytes();
+        let stripe = fleet.stripe;
+
+        // The warm-up mirrors the engine's: serial, tracing off, skipped for
+        // read-free traces, ascending device-page order per lane.
+        if self.options.prefill && trace.iter().any(|request| request.op == IoOp::Read) {
+            let mut touched: Vec<PageBitmap> =
+                (0..stripe.width()).map(|_| PageBitmap::new(stripe.lane_pages())).collect();
+            for request in trace {
+                for page in request.logical_pages(page_size) {
+                    let (lane, offset) = stripe.locate(page % stripe.fleet_pages());
+                    touched[lane].set(offset);
+                }
+            }
+            for (lane, bitmap) in fleet.lanes.iter_mut().zip(&touched) {
+                for offset in bitmap.iter_set() {
+                    lane.write(Lpn(offset), self.options.prefill_request_bytes)?;
+                }
+            }
+        }
+
+        let trace_ops = needs_op_tracing(self.discipline);
+        if trace_ops {
+            for lane in &mut fleet.lanes {
+                lane.device_mut().set_op_tracing(true);
+            }
+        }
+        let outcome = self.drive(fleet, trace, page_size);
+        if trace_ops {
+            for lane in &mut fleet.lanes {
+                lane.device_mut().set_op_tracing(false);
+            }
+        }
+        outcome
+    }
+
+    /// Submits one logical page to its lane and advances that lane's stripe
+    /// chain. Returns `Ok(false)` when the page was skipped (unmapped read with
+    /// prefill off — the engine's rule).
+    #[allow(clippy::too_many_arguments)]
+    fn play_page<F: FlashTranslationLayer>(
+        &self,
+        lane: &mut F,
+        state: &mut LaneState,
+        chain: &mut StripeChain,
+        op: IoOp,
+        offset: u64,
+        request_bytes: u32,
+        trace_ops: bool,
+    ) -> Result<bool, FtlError> {
+        let completion = match op {
+            IoOp::Write => lane.submit(FtlRequest::write(Lpn(offset), request_bytes))?,
+            IoOp::Read => match lane.submit(FtlRequest::read(Lpn(offset))) {
+                Ok(completion) => completion,
+                Err(FtlError::UnmappedRead { .. }) if !self.options.prefill => return Ok(false),
+                Err(err) => return Err(err),
+            },
+        };
+        let span = completion.ops;
+        if !trace_ops || span.is_empty() {
+            chain.now += completion.latency;
+            chain.service += completion.latency;
+        } else {
+            for op in lane.device().ops(span) {
+                chain.now = state.chips.play_op(op.chip.0, chain.now, op.latency);
+                chain.service += op.latency;
+            }
+            lane.device_mut().clear_ops();
+        }
+        Ok(true)
+    }
+
+    /// Plays one background writeback on its owner lane: the write chains from
+    /// `issue` against the lane's chips (traced) or bumps the lane-level ready
+    /// clock (untraced). Never extends the triggering request's latency.
+    fn play_writeback<F: FlashTranslationLayer>(
+        lane: &mut F,
+        state: &mut LaneState,
+        issue: Nanos,
+        offset: u64,
+        page_size: usize,
+        trace_ops: bool,
+    ) -> Result<(), FtlError> {
+        let completion = lane.submit(FtlRequest::write(Lpn(offset), page_size as u32))?;
+        let span = completion.ops;
+        if !trace_ops || span.is_empty() {
+            state.ready = state.ready.max(issue) + completion.latency;
+        } else {
+            let mut now = issue;
+            for op in lane.device().ops(span) {
+                now = state.chips.play_op(op.chip.0, now, op.latency);
+            }
+            lane.device_mut().clear_ops();
+        }
+        Ok(())
+    }
+
+    /// The drive loop: issue → retire → fan out over stripe chains → schedule,
+    /// against one fleet-level completion calendar.
+    fn drive<F: FlashTranslationLayer>(
+        &self,
+        fleet: &mut Fleet<F>,
+        trace: &Trace,
+        page_size: usize,
+    ) -> Result<FleetSummary, FtlError> {
+        let stripe = fleet.stripe;
+        let width = stripe.width();
+        let fleet_pages = stripe.fleet_pages();
+        let trace_ops = needs_op_tracing(self.discipline);
+        let tenants = fleet.config.tenants.clone();
+        let tenant_count = tenants.len();
+
+        let start_metrics: Vec<_> = fleet.lanes.iter().map(|lane| *lane.metrics()).collect();
+        let busy_start: Vec<Vec<Nanos>> =
+            fleet.lanes.iter().map(|lane| chip_busy_times(lane)).collect();
+
+        let mut lanes: Vec<LaneState> = fleet
+            .lanes
+            .iter()
+            .map(|lane| LaneState {
+                chips: ChipClocks::new(lane.device().config().chips()),
+                ready: Nanos::ZERO,
+                read_latencies: LatencyHistogram::new(),
+                write_latencies: LatencyHistogram::new(),
+                queue_delays: LatencyHistogram::new(),
+                service_times: LatencyHistogram::new(),
+                requests: 0,
+                last_completion: Nanos::ZERO,
+                first_arrival: None,
+                last_arrival: Nanos::ZERO,
+            })
+            .collect();
+
+        let mut cache = fleet.config.cache.map(WritebackCache::new);
+        let write_around_bytes =
+            fleet.config.cache.map(|config| config.write_around_bytes).unwrap_or(u32::MAX);
+        let hit_latency =
+            fleet.config.cache.map(|config| config.hit_latency).unwrap_or(Nanos::ZERO);
+
+        let heap_capacity = match self.discipline {
+            ArrivalDiscipline::ClosedLoop { queue_depth } => queue_depth,
+            ArrivalDiscipline::OpenLoop { .. } => 64,
+        };
+        let mut calendar = CompletionCalendar::new(heap_capacity);
+        let mut clock = Nanos::ZERO;
+
+        let mut fanout_read = LatencyHistogram::new();
+        let mut fanout_write = LatencyHistogram::new();
+        let mut stripe_read = LatencyHistogram::new();
+        let mut stripe_write = LatencyHistogram::new();
+        let mut tenant_latencies: Vec<LatencyHistogram> =
+            (0..tenant_count).map(|_| LatencyHistogram::new()).collect();
+        let mut tenant_requests = vec![0u64; tenant_count];
+        let mut tenant_last = vec![Nanos::ZERO; tenant_count];
+
+        let mut last_completion = Nanos::ZERO;
+        let mut first_arrival: Option<Nanos> = None;
+        let mut last_arrival = Nanos::ZERO;
+        let mut requests = 0u64;
+
+        // Per-request scratch, allocated once.
+        let mut chains: Vec<Option<StripeChain>> = vec![None; width];
+        let mut touched: Vec<usize> = Vec::with_capacity(width);
+
+        // Closed loop with several tenants dispatches via weighted-share QoS
+        // over per-tenant FIFOs; one tenant (or open loop, where arrivals set
+        // the order) replays the trace in order.
+        let order = match self.discipline {
+            ArrivalDiscipline::ClosedLoop { .. } => dispatch_order(&tenants, trace.len()),
+            ArrivalDiscipline::OpenLoop { .. } => (0..trace.len()).collect(),
+        };
+        let all_requests = trace.requests();
+
+        for &request_index in &order {
+            let request = &all_requests[request_index];
+            let tenant = request_index % tenant_count;
+
+            let issue = match self.discipline {
+                ArrivalDiscipline::ClosedLoop { queue_depth } => {
+                    if calendar.outstanding() >= queue_depth {
+                        let freed = calendar.pop_earliest().expect("queue depth is at least 1");
+                        if freed > clock {
+                            clock = freed;
+                        }
+                    }
+                    clock
+                }
+                ArrivalDiscipline::OpenLoop { rate_scale } => {
+                    let arrival = scale_arrival(request.at_nanos, rate_scale);
+                    let base = *first_arrival.get_or_insert(arrival);
+                    if arrival > last_arrival {
+                        last_arrival = arrival;
+                    }
+                    arrival.saturating_sub(base)
+                }
+            };
+            calendar.observe_arrival(issue);
+
+            let mut cache_now = issue;
+            let mut cache_touched = false;
+
+            for page in request.logical_pages(page_size) {
+                let fleet_lpn = page % fleet_pages;
+                let (lane_index, offset) = stripe.locate(fleet_lpn);
+
+                // Host cache first: read hits and absorbed writes never reach
+                // a device; write-arounds invalidate and fall through.
+                if let Some(cache) = cache.as_mut() {
+                    match request.op {
+                        IoOp::Read => {
+                            if cache.read(fleet_lpn) {
+                                cache_now += hit_latency;
+                                cache_touched = true;
+                                continue;
+                            }
+                        }
+                        IoOp::Write => {
+                            if request.length < write_around_bytes {
+                                let evicted = cache.write(fleet_lpn);
+                                cache_now += hit_latency;
+                                cache_touched = true;
+                                for victim in evicted {
+                                    let (wb_lane, wb_offset) = stripe.locate(victim);
+                                    Self::play_writeback(
+                                        &mut fleet.lanes[wb_lane],
+                                        &mut lanes[wb_lane],
+                                        issue,
+                                        wb_offset,
+                                        page_size,
+                                        trace_ops,
+                                    )?;
+                                }
+                                for victim in cache.flush_to_threshold() {
+                                    let (wb_lane, wb_offset) = stripe.locate(victim);
+                                    Self::play_writeback(
+                                        &mut fleet.lanes[wb_lane],
+                                        &mut lanes[wb_lane],
+                                        issue,
+                                        wb_offset,
+                                        page_size,
+                                        trace_ops,
+                                    )?;
+                                }
+                                continue;
+                            }
+                            cache.write_around(fleet_lpn);
+                        }
+                    }
+                }
+
+                // Touch the lane before submitting, so requests whose every
+                // page is skipped (unmapped reads with prefill off) still
+                // record a zero-latency stripe — the engine counts them too.
+                if chains[lane_index].is_none() {
+                    let start = if trace_ops {
+                        issue
+                    } else {
+                        // Untraced: serialise behind the lane's writeback
+                        // backlog (a no-op with the cache off, where `ready`
+                        // never advances past the previous completion).
+                        issue.max(lanes[lane_index].ready)
+                    };
+                    chains[lane_index] = Some(StripeChain { start, now: start, service: Nanos::ZERO });
+                    touched.push(lane_index);
+                }
+                let mut chain = chains[lane_index].expect("chain initialised above");
+                self.play_page(
+                    &mut fleet.lanes[lane_index],
+                    &mut lanes[lane_index],
+                    &mut chain,
+                    request.op,
+                    offset,
+                    request.length,
+                    trace_ops,
+                )?;
+                chains[lane_index] = Some(chain);
+            }
+
+            // A request that produced neither cache traffic nor device pages
+            // (an empty byte range) still completes: park it on lane 0 with a
+            // zero-length chain so the accounting matches the engine's.
+            if touched.is_empty() && !cache_touched {
+                let start = if trace_ops { issue } else { issue.max(lanes[0].ready) };
+                chains[0] = Some(StripeChain { start, now: start, service: Nanos::ZERO });
+                touched.push(0);
+            }
+
+            let mut completion = cache_now;
+            for &lane_index in &touched {
+                let chain = chains[lane_index].expect("touched lanes have chains");
+                let sub_latency = chain.now.saturating_sub(issue);
+                let service = if trace_ops {
+                    chain.service
+                } else {
+                    chain.now.saturating_sub(chain.start)
+                };
+                let state = &mut lanes[lane_index];
+                match request.op {
+                    IoOp::Read => {
+                        state.read_latencies.record(sub_latency);
+                        stripe_read.record(sub_latency);
+                    }
+                    IoOp::Write => {
+                        state.write_latencies.record(sub_latency);
+                        stripe_write.record(sub_latency);
+                    }
+                }
+                state.queue_delays.record(sub_latency.saturating_sub(service));
+                state.service_times.record(service);
+                state.requests += 1;
+                if chain.now > state.last_completion {
+                    state.last_completion = chain.now;
+                }
+                if !trace_ops {
+                    state.ready = chain.now.max(state.ready);
+                }
+                if let ArrivalDiscipline::OpenLoop { rate_scale } = self.discipline {
+                    let arrival = scale_arrival(request.at_nanos, rate_scale);
+                    state.first_arrival.get_or_insert(arrival);
+                    if arrival > state.last_arrival {
+                        state.last_arrival = arrival;
+                    }
+                }
+                if chain.now > completion {
+                    completion = chain.now;
+                }
+                chains[lane_index] = None;
+            }
+            touched.clear();
+
+            let latency = completion.saturating_sub(issue);
+            match request.op {
+                IoOp::Read => fanout_read.record(latency),
+                IoOp::Write => fanout_write.record(latency),
+            }
+            tenant_latencies[tenant].record(latency);
+            tenant_requests[tenant] += 1;
+            if completion > tenant_last[tenant] {
+                tenant_last[tenant] = completion;
+            }
+            if completion > last_completion {
+                last_completion = completion;
+            }
+            calendar.schedule_completion(completion);
+            requests += 1;
+        }
+
+        // Assemble per-lane summaries exactly as the engine does.
+        let (mode, queue_depth, offered_duration) = match self.discipline {
+            ArrivalDiscipline::ClosedLoop { queue_depth } => {
+                (ReplayMode::ClosedLoop, queue_depth, Nanos::ZERO)
+            }
+            ArrivalDiscipline::OpenLoop { rate_scale } => (
+                ReplayMode::OpenLoop { rate_scale },
+                0,
+                last_arrival.saturating_sub(first_arrival.unwrap_or(Nanos::ZERO)),
+            ),
+        };
+        let lane_summaries: Vec<RunSummary> = fleet
+            .lanes
+            .iter()
+            .zip(lanes.iter())
+            .enumerate()
+            .map(|(index, (lane, state))| {
+                let end = *lane.metrics();
+                let mut summary = RunSummary::from_metrics_delta(
+                    lane.name(),
+                    trace.name(),
+                    &start_metrics[index],
+                    &end,
+                );
+                summary.device_makespan = makespan_delta(lane, &busy_start[index]);
+                summary.host_requests = state.requests;
+                summary.host_elapsed = state.last_completion;
+                summary.read_latency = state.read_latencies.percentiles();
+                summary.write_latency = state.write_latencies.percentiles();
+                summary.queue_delay = state.queue_delays.percentiles();
+                summary.service_time = state.service_times.percentiles();
+                summary.peak_queue_depth = calendar.peak_outstanding;
+                summary.busy_arrivals = calendar.busy_arrivals;
+                summary.queue_depth = queue_depth;
+                summary.mode = mode;
+                if let ArrivalDiscipline::OpenLoop { .. } = self.discipline {
+                    summary.offered_duration = state
+                        .last_arrival
+                        .saturating_sub(state.first_arrival.unwrap_or(Nanos::ZERO));
+                }
+                summary
+            })
+            .collect();
+
+        let tenant_summaries: Vec<TenantSummary> = tenants
+            .iter()
+            .enumerate()
+            .map(|(index, tenant)| TenantSummary {
+                name: tenant.name.clone(),
+                weight: tenant.weight,
+                requests: tenant_requests[index],
+                latency: tenant_latencies[index].percentiles(),
+                last_completion: tenant_last[index],
+            })
+            .collect();
+
+        Ok(FleetSummary {
+            ftl: fleet.lanes[0].name().to_string(),
+            trace: trace.name().to_string(),
+            width,
+            lanes: lane_summaries,
+            mode,
+            queue_depth,
+            host_requests: requests,
+            host_elapsed: last_completion,
+            offered_duration,
+            peak_queue_depth: calendar.peak_outstanding,
+            busy_arrivals: calendar.busy_arrivals,
+            fanout_read_latency: fanout_read.percentiles(),
+            fanout_write_latency: fanout_write.percentiles(),
+            stripe_read_latency: stripe_read.percentiles(),
+            stripe_write_latency: stripe_write.percentiles(),
+            cache: cache.map(|cache| cache.stats()).unwrap_or_default(),
+            tenants: tenant_summaries,
+        })
+    }
+}
+
+/// Snapshot of every chip's busy time on one lane (the engine's helper,
+/// replicated — it is crate-private to `vflash-sim`).
+fn chip_busy_times<F: FlashTranslationLayer>(lane: &F) -> Vec<Nanos> {
+    let device = lane.device();
+    (0..device.config().chips())
+        .map(|chip| device.chip_busy_time(ChipId(chip)).expect("chip ids come from the config"))
+        .collect()
+}
+
+/// The measured-phase makespan of one lane: largest per-chip busy-time delta.
+fn makespan_delta<F: FlashTranslationLayer>(lane: &F, start: &[Nanos]) -> Nanos {
+    chip_busy_times(lane)
+        .iter()
+        .zip(start)
+        .map(|(&end, &begin)| end.saturating_sub(begin))
+        .max()
+        .unwrap_or(Nanos::ZERO)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vflash_ftl::{ConventionalFtl, FtlConfig};
+    use vflash_nand::{NandConfig, NandDevice};
+    use vflash_sim::WorkloadDriver;
+    use vflash_trace::synthetic::{self, SyntheticConfig};
+    use vflash_trace::IoRequest;
+
+    fn lane() -> ConventionalFtl {
+        let device = NandDevice::new(
+            NandConfig::builder()
+                .chips(2)
+                .blocks_per_chip(32)
+                .pages_per_block(16)
+                .page_size_bytes(8192)
+                .build()
+                .unwrap(),
+        );
+        ConventionalFtl::new(device, FtlConfig::default()).unwrap()
+    }
+
+    fn web_trace(requests: usize) -> Trace {
+        synthetic::web_sql_server(SyntheticConfig {
+            requests,
+            working_set_bytes: 2 * 1024 * 1024,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn fleet_of_one_matches_the_engine_bit_for_bit() {
+        let trace = web_trace(400);
+        let single = WorkloadDriver::closed_loop(RunOptions::default(), 1)
+            .run(lane(), &trace)
+            .unwrap();
+        let mut fleet = Fleet::new(vec![lane()], FleetConfig::default());
+        let summary = FleetDriver::closed_loop(RunOptions::default(), 1)
+            .run_mut(&mut fleet, &trace)
+            .unwrap();
+        assert_eq!(summary.lanes[0], single);
+        assert_eq!(summary.host_requests, single.host_requests);
+        assert_eq!(summary.host_elapsed, single.host_elapsed);
+        // At width 1 the fan-out and stripe distributions are the same thing.
+        assert_eq!(summary.fanout_read_latency, summary.stripe_read_latency);
+    }
+
+    #[test]
+    fn wider_fleets_serve_every_request_and_fan_out() {
+        let trace = web_trace(400);
+        let mut fleet = Fleet::new(vec![lane(), lane(), lane()], FleetConfig::default());
+        let summary =
+            FleetDriver::open_loop(RunOptions::default(), 1.0).run_mut(&mut fleet, &trace).unwrap();
+        assert_eq!(summary.width, 3);
+        assert_eq!(summary.host_requests, 400);
+        let lane_requests: u64 = summary.lanes.iter().map(|lane| lane.host_requests).sum();
+        assert!(lane_requests >= 400, "multi-page requests touch several lanes");
+        // Fan-out latency dominates any single stripe.
+        assert!(summary.fanout_read_latency.p999 >= summary.stripe_read_latency.p999);
+        assert!(summary.read_tail_amplification() >= 1.0);
+    }
+
+    #[test]
+    fn the_cache_absorbs_hot_rewrites() {
+        // A write-only hammer on few pages: with a cache most programs are
+        // absorbed in DRAM and the devices see far fewer writes.
+        let requests: Vec<IoRequest> = (0..300)
+            .map(|i| IoRequest::new(i * 1_000, IoOp::Write, (i % 4) * 8192, 8192))
+            .collect();
+        let trace = Trace::new("hammer", requests);
+        let driver = FleetDriver::closed_loop(RunOptions::default(), 1);
+
+        let mut plain = Fleet::new(vec![lane(), lane()], FleetConfig::default());
+        let without = driver.run_mut(&mut plain, &trace).unwrap();
+        let mut cached = Fleet::new(
+            vec![lane(), lane()],
+            FleetConfig {
+                cache: Some(CacheConfig { capacity_pages: 64, ..CacheConfig::default() }),
+                ..FleetConfig::default()
+            },
+        );
+        let with = driver.run_mut(&mut cached, &trace).unwrap();
+
+        let device_writes = |summary: &FleetSummary| {
+            summary.lanes.iter().map(|lane| lane.host_writes).sum::<u64>()
+        };
+        assert_eq!(with.cache.writes_absorbed, 300);
+        assert_eq!(device_writes(&with), 0, "everything fits in 64 cache pages");
+        assert_eq!(device_writes(&without), 300);
+        assert!(with.host_elapsed < without.host_elapsed, "DRAM hits are cheap");
+    }
+
+    #[test]
+    fn write_around_bypasses_the_cache() {
+        let requests: Vec<IoRequest> =
+            (0..50).map(|i| IoRequest::new(i * 1_000, IoOp::Write, i * 8192, 8192)).collect();
+        let trace = Trace::new("cold", requests);
+        let mut fleet = Fleet::new(
+            vec![lane(), lane()],
+            FleetConfig {
+                cache: Some(CacheConfig {
+                    capacity_pages: 64,
+                    write_around_bytes: 4096, // every 8 KiB request is "cold"
+                    ..CacheConfig::default()
+                }),
+                ..FleetConfig::default()
+            },
+        );
+        let summary = FleetDriver::closed_loop(RunOptions::default(), 1)
+            .run_mut(&mut fleet, &trace)
+            .unwrap();
+        assert_eq!(summary.cache.write_arounds, 50);
+        assert_eq!(summary.cache.writes_absorbed, 0);
+        assert_eq!(summary.lanes.iter().map(|lane| lane.host_writes).sum::<u64>(), 50);
+    }
+
+    #[test]
+    fn tenants_split_the_request_stream() {
+        let trace = web_trace(90);
+        let mut fleet = Fleet::new(
+            vec![lane()],
+            FleetConfig {
+                tenants: vec![
+                    TenantWeight::new("gold", 2),
+                    TenantWeight::new("bronze", 1),
+                    TenantWeight::new("iron", 1),
+                ],
+                ..FleetConfig::default()
+            },
+        );
+        let summary = FleetDriver::closed_loop(RunOptions::default(), 4)
+            .run_mut(&mut fleet, &trace)
+            .unwrap();
+        assert_eq!(summary.tenants.len(), 3);
+        assert_eq!(summary.tenants.iter().map(|tenant| tenant.requests).sum::<u64>(), 90);
+        assert_eq!(summary.tenants[0].requests, 30, "round-robin tenant assignment");
+        assert!(summary.tenants[0].achieved_iops() > 0.0);
+    }
+
+    #[test]
+    fn heterogeneous_lanes_are_rejected() {
+        let small = lane();
+        let big = {
+            let device = NandDevice::new(
+                NandConfig::builder()
+                    .chips(2)
+                    .blocks_per_chip(64)
+                    .pages_per_block(16)
+                    .page_size_bytes(8192)
+                    .build()
+                    .unwrap(),
+            );
+            ConventionalFtl::new(device, FtlConfig::default()).unwrap()
+        };
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Fleet::new(vec![small, big], FleetConfig::default())
+        }))
+        .is_err());
+    }
+}

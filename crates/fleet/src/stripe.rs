@@ -1,0 +1,131 @@
+//! The striped keyspace: fleet LPNs interleaved round-robin across devices.
+//!
+//! The fleet exports one flat logical address space of `width × lane_pages`
+//! pages. Consecutive fleet LPNs land on consecutive devices (RAID-0-style
+//! page interleaving), so a multi-page host request fans out across the fleet
+//! and completes at the *max* of its per-device stripes — which is exactly the
+//! tail-amplification effect the host tier exists to measure. The map is a
+//! bijection: every fleet LPN names exactly one `(lane, offset)` pair and
+//! every in-range pair names exactly one fleet LPN, a property the fleet
+//! test suite pins down exhaustively.
+
+/// Round-robin page interleaving of a flat fleet keyspace over `width` devices.
+///
+/// # Example
+///
+/// ```
+/// use vflash_fleet::StripeMap;
+///
+/// let map = StripeMap::new(4, 1000);
+/// assert_eq!(map.fleet_pages(), 4000);
+/// // Consecutive fleet pages rotate across the lanes...
+/// assert_eq!(map.locate(0), (0, 0));
+/// assert_eq!(map.locate(1), (1, 0));
+/// assert_eq!(map.locate(5), (1, 1));
+/// // ...and the map inverts exactly.
+/// assert_eq!(map.fleet_lpn(1, 1), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StripeMap {
+    width: usize,
+    lane_pages: u64,
+}
+
+impl StripeMap {
+    /// A stripe map over `width` devices of `lane_pages` logical pages each.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero width or zero per-lane capacity — an empty fleet maps
+    /// nothing.
+    pub fn new(width: usize, lane_pages: u64) -> Self {
+        assert!(width > 0, "a fleet needs at least one device");
+        assert!(lane_pages > 0, "a device must export at least one page");
+        StripeMap { width, lane_pages }
+    }
+
+    /// Number of devices the keyspace is striped over.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Logical pages exported by each device.
+    pub fn lane_pages(&self) -> u64 {
+        self.lane_pages
+    }
+
+    /// Total logical pages the fleet exports.
+    pub fn fleet_pages(&self) -> u64 {
+        self.width as u64 * self.lane_pages
+    }
+
+    /// Maps a fleet LPN to its `(lane, device-local LPN)` home.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `fleet_lpn` is beyond the fleet capacity; callers wrap
+    /// trace pages modulo [`StripeMap::fleet_pages`] first, exactly like the
+    /// single-device engine wraps modulo the device capacity.
+    pub fn locate(&self, fleet_lpn: u64) -> (usize, u64) {
+        assert!(fleet_lpn < self.fleet_pages(), "fleet LPN out of range");
+        ((fleet_lpn % self.width as u64) as usize, fleet_lpn / self.width as u64)
+    }
+
+    /// The inverse of [`StripeMap::locate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lane` or `offset` is out of range.
+    pub fn fleet_lpn(&self, lane: usize, offset: u64) -> u64 {
+        assert!(lane < self.width, "lane out of range");
+        assert!(offset < self.lane_pages, "device offset out of range");
+        offset * self.width as u64 + lane as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_one_is_the_identity_map() {
+        let map = StripeMap::new(1, 64);
+        for lpn in 0..64 {
+            assert_eq!(map.locate(lpn), (0, lpn));
+            assert_eq!(map.fleet_lpn(0, lpn), lpn);
+        }
+    }
+
+    #[test]
+    fn consecutive_pages_rotate_across_lanes() {
+        let map = StripeMap::new(3, 10);
+        assert_eq!(map.locate(0), (0, 0));
+        assert_eq!(map.locate(1), (1, 0));
+        assert_eq!(map.locate(2), (2, 0));
+        assert_eq!(map.locate(3), (0, 1));
+        assert_eq!(map.fleet_pages(), 30);
+    }
+
+    #[test]
+    fn round_trips_exhaustively() {
+        let map = StripeMap::new(5, 17);
+        for lpn in 0..map.fleet_pages() {
+            let (lane, offset) = map.locate(lpn);
+            assert_eq!(map.fleet_lpn(lane, offset), lpn);
+        }
+        for lane in 0..5 {
+            for offset in 0..17 {
+                let (l, o) = map.locate(map.fleet_lpn(lane, offset));
+                assert_eq!((l, o), (lane, offset));
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_lookups_panic() {
+        let map = StripeMap::new(2, 8);
+        assert!(std::panic::catch_unwind(|| map.locate(16)).is_err());
+        assert!(std::panic::catch_unwind(|| map.fleet_lpn(2, 0)).is_err());
+        assert!(std::panic::catch_unwind(|| map.fleet_lpn(0, 8)).is_err());
+    }
+}

@@ -19,7 +19,7 @@ use vflash_ppb::{PpbConfig, PpbFtl};
 use vflash_trace::synthetic::{self, ArrivalModel, SyntheticConfig};
 use vflash_trace::Trace;
 
-use crate::engine::{ArrivalDiscipline, RunOptions, WorkloadDriver};
+use crate::engine::{prefill_ftl, ArrivalDiscipline, RunOptions, WorkloadDriver};
 use crate::replay::Replayer;
 use crate::report::{Comparison, RunSummary};
 
@@ -37,6 +37,11 @@ pub const QUEUE_DEPTHS: [usize; 4] = [1, 4, 16, 64];
 /// devices) to 4x (well past saturation), so the latency-vs-offered-load curve
 /// shows both regimes and its knee.
 pub const RATE_SCALES: [f64; 6] = [0.1, 0.25, 0.5, 1.0, 2.0, 4.0];
+
+/// The host-tier fleet widths the fleet sweep stripes the keyspace over
+/// ([`ExperimentGrid::fleet_sweep`](crate::ExperimentGrid::fleet_sweep)): 1
+/// device (the single-drive reference) through 8-wide striping.
+pub const FLEET_SIZES: [usize; 4] = [1, 2, 4, 8];
 
 /// The burstiness axis of the [`burst_sweep`]: arrival models of *identical mean
 /// rate* ordered from smooth to extremely bursty. The first entry is the
@@ -1066,6 +1071,124 @@ pub fn ablation_classifier(
     Ok(rows)
 }
 
+/// The warm-up prefix lengths of the [`ppb_sensitivity_sweep`], as fractions
+/// of the trace replayed un-measured (after the usual prefill) to age the
+/// device before the measured suffix starts.
+pub const PPB_WARMUP_FRACTIONS: [f64; 3] = [0.0, 0.25, 0.5];
+
+/// The [`PpbConfig::cold_promote_reads`] promotion thresholds the sensitivity
+/// sweep tries on top of the default configuration (whose threshold is 1).
+pub const PPB_COLD_PROMOTE_READS: [u32; 2] = [2, 4];
+
+/// The [`PpbConfig::hot_list_fraction`] capacities the sensitivity sweep tries
+/// on top of the default configuration (whose fraction is 0.15).
+pub const PPB_HOT_LIST_FRACTIONS: [f64; 2] = [0.10, 0.25];
+
+/// One row of the PPB sensitivity sweep: the warm-up length and the two
+/// promotion knobs the row ran with, plus the conventional-vs-PPB comparison
+/// on the measured (post-warm-up) suffix of the trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PpbSensitivityRow {
+    /// Workload the row belongs to.
+    pub workload: Workload,
+    /// Fraction of the trace replayed un-measured before measurement.
+    pub warmup_fraction: f64,
+    /// The `cold_promote_reads` threshold the PPB variant ran with.
+    pub cold_promote_reads: u32,
+    /// The `hot_list_fraction` capacity the PPB variant ran with.
+    pub hot_list_fraction: f64,
+    /// The baseline/variant comparison over the measured suffix.
+    pub comparison: Comparison,
+}
+
+/// Sensitivity of the PPB win to warm-up length and promotion thresholds
+/// (ROADMAP carry-over: the quick-scale win is ~1% on web/SQL vs the paper's
+/// ~10%+; this sweep answers whether aging the device or retuning promotion
+/// widens it). One-at-a-time axes around the default configuration: the
+/// [`PPB_WARMUP_FRACTIONS`] at default knobs, then the
+/// [`PPB_COLD_PROMOTE_READS`] and [`PPB_HOT_LIST_FRACTIONS`] variations on an
+/// un-warmed device. Baselines are shared between rows with the same warm-up
+/// split (the conventional FTL has no PPB knobs to vary).
+///
+/// Each row prefills the *full* trace's pages first, replays the warm-up
+/// prefix serially without measuring it, and measures the remaining suffix —
+/// so longer warm-ups measure a genuinely aged device rather than a shorter
+/// trace on a fresh one.
+///
+/// # Errors
+///
+/// Propagates FTL construction and replay errors.
+pub fn ppb_sensitivity_sweep(
+    workload: Workload,
+    scale: &ExperimentScale,
+) -> Result<Vec<PpbSensitivityRow>, FtlError> {
+    let trace = workload.trace(scale);
+    let config = scale.device_config(16 * 1024, 2.0);
+    let mut cells: Vec<(f64, PpbConfig)> = PPB_WARMUP_FRACTIONS
+        .iter()
+        .map(|&warmup| (warmup, PpbConfig::default()))
+        .collect();
+    cells.extend(PPB_COLD_PROMOTE_READS.iter().map(|&promote| {
+        (0.0, PpbConfig { cold_promote_reads: promote, ..PpbConfig::default() })
+    }));
+    cells.extend(PPB_HOT_LIST_FRACTIONS.iter().map(|&fraction| {
+        (0.0, PpbConfig { hot_list_fraction: fraction, ..PpbConfig::default() })
+    }));
+
+    let mut baselines: Vec<(usize, RunSummary)> = Vec::new();
+    let mut rows = Vec::new();
+    for (warmup_fraction, ppb) in cells {
+        let split = warmup_split(trace.len(), warmup_fraction);
+        let baseline = match baselines.iter().find(|(cached, _)| *cached == split) {
+            Some((_, summary)) => summary.clone(),
+            None => {
+                let ftl = ConventionalFtl::new(NandDevice::new(config.clone()), FtlConfig::default())?;
+                let summary = sensitivity_run(ftl, &trace, split)?;
+                baselines.push((split, summary.clone()));
+                summary
+            }
+        };
+        let cold_promote_reads = ppb.cold_promote_reads;
+        let hot_list_fraction = ppb.hot_list_fraction;
+        let variant = sensitivity_run(PpbFtl::new(NandDevice::new(config.clone()), ppb)?, &trace, split)?;
+        rows.push(PpbSensitivityRow {
+            workload,
+            warmup_fraction,
+            cold_promote_reads,
+            hot_list_fraction,
+            comparison: Comparison::new(baseline, variant),
+        });
+    }
+    Ok(rows)
+}
+
+/// Number of leading requests the sensitivity sweep treats as warm-up.
+fn warmup_split(total: usize, fraction: f64) -> usize {
+    ((total as f64 * fraction).round() as usize).min(total)
+}
+
+/// One sensitivity measurement: prefill the full trace's pages, replay the
+/// first `split` requests serially without measuring, then measure the rest.
+fn sensitivity_run<F: FlashTranslationLayer>(
+    mut ftl: F,
+    trace: &Trace,
+    split: usize,
+) -> Result<RunSummary, FtlError> {
+    let page_size = ftl.device().config().page_size_bytes();
+    let logical_pages = ftl.logical_pages();
+    let options = RunOptions::default();
+    prefill_ftl(&mut ftl, trace, page_size, logical_pages, options.prefill_request_bytes)?;
+    let driver =
+        WorkloadDriver::closed_loop(RunOptions { prefill: false, ..options }, 1);
+    if split > 0 {
+        let warmup =
+            Trace::new(format!("{}+warmup", trace.name()), trace.requests()[..split].to_vec());
+        driver.run_mut(&mut ftl, &warmup)?;
+    }
+    let measured = Trace::new(trace.name().to_string(), trace.requests()[split..].to_vec());
+    driver.run_mut(&mut ftl, &measured)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1375,4 +1498,43 @@ mod tests {
             assert!(row(GcPolicy::HotColdBonus(6)).ppb > 0);
         }
     }
+
+    #[test]
+    fn ppb_sensitivity_win_widens_with_warmup_on_web_sql() {
+        let rows = ppb_sensitivity_sweep(Workload::WebSqlServer, &ExperimentScale::quick()).unwrap();
+        assert_eq!(
+            rows.len(),
+            PPB_WARMUP_FRACTIONS.len()
+                + PPB_COLD_PROMOTE_READS.len()
+                + PPB_HOT_LIST_FRACTIONS.len()
+        );
+        let at_warmup = |fraction: f64| {
+            rows.iter()
+                .find(|row| {
+                    row.warmup_fraction == fraction
+                        && row.cold_promote_reads == PpbConfig::default().cold_promote_reads
+                        && row.hot_list_fraction == PpbConfig::default().hot_list_fraction
+                })
+                .unwrap()
+        };
+        // Direction, pinned from the measured quick-scale sweep: the PPB *write*
+        // win on web/SQL widens as the device ages (≈2.1% fresh → ≈4.3% after a
+        // 50% warm-up), while the read win stays modest (≈0.8%) and positive at
+        // every warm-up length. The promotion knobs are near-neutral at this
+        // scale — the aging axis, not the thresholds, is what moves the number.
+        let fresh = at_warmup(0.0).comparison.write_enhancement_pct();
+        let aged = at_warmup(0.5).comparison.write_enhancement_pct();
+        assert!(aged > fresh, "write win should widen with warm-up: {fresh:.3}% -> {aged:.3}%");
+        assert!(aged > 1.5 * fresh, "the widening is substantial, not noise");
+        for row in &rows {
+            assert!(
+                row.comparison.read_enhancement_pct() > 0.0,
+                "read win stays positive on web/SQL (warmup {}, promote {}, hot {})",
+                row.warmup_fraction,
+                row.cold_promote_reads,
+                row.hot_list_fraction
+            );
+        }
+    }
 }
+

@@ -27,7 +27,7 @@ use vflash_trace::synthetic::ArrivalModel;
 use crate::engine::ArrivalDiscipline;
 use crate::experiments::{
     burst_axis, grid_burst_mean_iops, run_conventional_driven, run_ppb_driven, ExperimentScale,
-    Workload, QUEUE_DEPTHS, RATE_SCALES,
+    Workload, FLEET_SIZES, QUEUE_DEPTHS, RATE_SCALES,
 };
 use crate::report::RunSummary;
 
@@ -85,6 +85,13 @@ pub struct ExperimentGrid {
     /// every cell sees the same fault universe and the grid stays bit-identical
     /// across worker counts — the per-cell workload seeds only vary the traffic.
     pub faults: Option<FaultConfig>,
+    /// Host-tier fleet widths to replay each cell at (`vec![1]` for the classic
+    /// single-device grids; an empty vector is treated as `[1]`). The width is
+    /// carried in [`GridCell::fleet_size`]: the single-device [`run_cell`]
+    /// ignores it, while the fleet crate's `run_fleet_cell` stripes the
+    /// keyspace over that many devices. Widths share the per-cell seed, so
+    /// differences down this axis are attributable to striping alone.
+    pub fleet_sizes: Vec<usize>,
 }
 
 impl ExperimentGrid {
@@ -116,6 +123,7 @@ impl ExperimentGrid {
             page_size_bytes: 16 * 1024,
             speed_ratio: 2.0,
             faults: None,
+            fleet_sizes: vec![1],
         }
     }
 
@@ -175,9 +183,25 @@ impl ExperimentGrid {
         }
     }
 
+    /// The full grid swept over the host-tier fleet-size axis ([`FLEET_SIZES`]:
+    /// 1, 2, 4, 8 devices), open-loop at the trace's own rate (rate scale 1) so
+    /// offered vs achieved IOPS is meaningful per width. The closed-loop depths
+    /// are cleared — fan-out tail amplification is a latency-under-load
+    /// question. Every width of one FTL × workload shares a seed (the width is
+    /// not part of the seed position), so the widths replay the *same* trace
+    /// and differ only in striping.
+    pub fn fleet_sweep(scale: ExperimentScale) -> Self {
+        ExperimentGrid {
+            queue_depths: Vec::new(),
+            rate_scales: vec![1.0],
+            fleet_sizes: FLEET_SIZES.to_vec(),
+            ..ExperimentGrid::full(scale)
+        }
+    }
+
     /// Enumerates the cells in deterministic order: scales outermost, then the
     /// arrival disciplines (queue depths first, then rate scales), then arrival
-    /// models, then workloads, then FTLs.
+    /// models, then fleet sizes, then workloads, then FTLs.
     ///
     /// The per-cell workload seed is derived from the cell's **discipline- and
     /// arrival-independent** position (scale, workload, FTL): every queue-depth,
@@ -197,27 +221,32 @@ impl ExperimentGrid {
                     .map(|&rate_scale| ArrivalDiscipline::OpenLoop { rate_scale }),
             )
             .collect();
+        let fleet_sizes: &[usize] =
+            if self.fleet_sizes.is_empty() { &[1] } else { &self.fleet_sizes };
         let mut cells = Vec::new();
         for (scale_index, &scale) in self.scales.iter().enumerate() {
             for &discipline in &disciplines {
                 for &arrival in &self.arrival_models {
-                    for (workload_index, &workload) in self.workloads.iter().enumerate() {
-                        for (ftl_index, &ftl) in self.ftls.iter().enumerate() {
-                            let seed_index = (scale_index * self.workloads.len()
-                                + workload_index)
-                                * self.ftls.len()
-                                + ftl_index;
-                            cells.push(GridCell {
-                                index: cells.len(),
-                                ftl,
-                                workload,
-                                discipline,
-                                arrival,
-                                scale: ExperimentScale {
-                                    seed: cell_seed(scale.seed, seed_index as u64),
-                                    ..scale
-                                },
-                            });
+                    for &fleet_size in fleet_sizes {
+                        for (workload_index, &workload) in self.workloads.iter().enumerate() {
+                            for (ftl_index, &ftl) in self.ftls.iter().enumerate() {
+                                let seed_index = (scale_index * self.workloads.len()
+                                    + workload_index)
+                                    * self.ftls.len()
+                                    + ftl_index;
+                                cells.push(GridCell {
+                                    index: cells.len(),
+                                    ftl,
+                                    workload,
+                                    discipline,
+                                    arrival,
+                                    fleet_size,
+                                    scale: ExperimentScale {
+                                        seed: cell_seed(scale.seed, seed_index as u64),
+                                        ..scale
+                                    },
+                                });
+                            }
                         }
                     }
                 }
@@ -240,6 +269,10 @@ pub struct GridCell {
     pub discipline: ArrivalDiscipline,
     /// Arrival model the cell's trace is generated with (the burstiness axis).
     pub arrival: ArrivalModel,
+    /// Host-tier fleet width for this cell (1 on the classic grids). The
+    /// single-device [`run_cell`] ignores it; the fleet crate's
+    /// `run_fleet_cell` stripes the keyspace over this many devices.
+    pub fleet_size: usize,
     /// Scale for this cell, with the per-cell seed already substituted.
     pub scale: ExperimentScale,
 }
@@ -264,7 +297,9 @@ fn cell_seed(base: u64, index: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Runs one cell: generates the trace at the cell's seed and replays it.
+/// Runs one cell: generates the trace at the cell's seed and replays it against
+/// a **single device** ([`GridCell::fleet_size`] is ignored here — the fleet
+/// crate's `run_fleet_cell` is the width-aware counterpart).
 ///
 /// # Errors
 ///
@@ -337,13 +372,32 @@ impl ParallelRunner {
     /// workers from claiming further cells (in-flight cells still finish), so a
     /// misconfigured grid does not burn through the remaining work.
     pub fn run(&self, grid: &ExperimentGrid) -> Result<Vec<CellResult>, FtlError> {
+        self.run_map(grid, run_cell)
+    }
+
+    /// Fans an arbitrary per-cell function out over the work-stealing pool:
+    /// `run(cell, grid)` is invoked once per grid cell and the results are
+    /// returned in cell-index order, bit-identical to
+    /// [`ParallelRunner::run_serial_map`] regardless of worker count. This is
+    /// how downstream crates (the fleet host tier, notably) reuse the pool and
+    /// the grid enumeration with their own cell semantics.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the lowest-indexed failing cell; a failure stops
+    /// workers from claiming further cells (in-flight cells still finish).
+    pub fn run_map<R, G>(&self, grid: &ExperimentGrid, run: G) -> Result<Vec<R>, FtlError>
+    where
+        R: Send,
+        G: Fn(&GridCell, &ExperimentGrid) -> Result<R, FtlError> + Sync,
+    {
         let cells = grid.cells();
         if cells.is_empty() {
             return Ok(Vec::new());
         }
         let workers = self.threads.min(cells.len());
         if workers == 1 {
-            return Self::run_serial(grid);
+            return Self::run_serial_map(grid, run);
         }
         // The shared injector holds every cell index; workers pull batches from
         // its front into their own deque, so the common case touches only the
@@ -353,18 +407,18 @@ impl ParallelRunner {
             (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
         let batch = (cells.len() / (workers * 4)).max(1);
         let failed = AtomicBool::new(false);
-        let slots: Vec<Mutex<Option<Result<CellResult, FtlError>>>> =
+        let slots: Vec<Mutex<Option<Result<R, FtlError>>>> =
             cells.iter().map(|_| Mutex::new(None)).collect();
         thread::scope(|scope| {
             for me in 0..workers {
-                let (injector, locals, failed, slots, cells) =
-                    (&injector, &locals, &failed, &slots, &cells);
+                let (injector, locals, failed, slots, cells, run) =
+                    (&injector, &locals, &failed, &slots, &cells, &run);
                 scope.spawn(move || {
                     while !failed.load(Ordering::Relaxed) {
                         let Some(index) = claim_cell(me, injector, locals, batch) else {
                             break;
                         };
-                        let result = run_cell(&cells[index], grid);
+                        let result = run(&cells[index], grid);
                         if result.is_err() {
                             failed.store(true, Ordering::Relaxed);
                         }
@@ -373,7 +427,7 @@ impl ParallelRunner {
                 });
             }
         });
-        let outcomes: Vec<Option<Result<CellResult, FtlError>>> = slots
+        let outcomes: Vec<Option<Result<R, FtlError>>> = slots
             .into_iter()
             .map(|slot| slot.into_inner().expect("result slot poisoned"))
             .collect();
@@ -409,7 +463,20 @@ impl ParallelRunner {
     ///
     /// Returns the error of the first failing cell.
     pub fn run_serial(grid: &ExperimentGrid) -> Result<Vec<CellResult>, FtlError> {
-        grid.cells().iter().map(|cell| run_cell(cell, grid)).collect()
+        Self::run_serial_map(grid, run_cell)
+    }
+
+    /// The serial reference of [`ParallelRunner::run_map`]: invokes `run` on
+    /// every cell in cell-index order on the calling thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the first failing cell.
+    pub fn run_serial_map<R, G>(grid: &ExperimentGrid, run: G) -> Result<Vec<R>, FtlError>
+    where
+        G: Fn(&GridCell, &ExperimentGrid) -> Result<R, FtlError>,
+    {
+        grid.cells().iter().map(|cell| run(cell, grid)).collect()
     }
 }
 
@@ -541,8 +608,62 @@ mod tests {
             page_size_bytes: 16 * 1024,
             speed_ratio: 2.0,
             faults: None,
+            fleet_sizes: vec![1],
         };
         assert!(ParallelRunner::new(8).run(&grid).unwrap().is_empty());
+    }
+
+    #[test]
+    fn fleet_sweep_grid_enumerates_widths_with_shared_seeds() {
+        let grid = ExperimentGrid::fleet_sweep(tiny_scale());
+        let cells = grid.cells();
+        // 2 FTLs x 2 workloads x 4 widths x 1 open-loop discipline x 1 scale.
+        assert_eq!(cells.len(), 16);
+        for (index, cell) in cells.iter().enumerate() {
+            assert_eq!(cell.discipline, ArrivalDiscipline::OpenLoop { rate_scale: 1.0 });
+            assert_eq!(cell.fleet_size, FLEET_SIZES[index / 4]);
+        }
+        // Every width of one FTL x workload replays the same trace: the seed is
+        // width-independent, so striping is the only difference down the axis.
+        for offset in 0..4 {
+            let seeds: std::collections::HashSet<u64> = cells
+                .iter()
+                .skip(offset)
+                .step_by(4)
+                .map(|cell| cell.scale.seed)
+                .collect();
+            assert_eq!(seeds.len(), 1, "cell {offset} seeds vary across fleet widths");
+        }
+        // The classic grids carry width 1 on every cell, and an empty axis
+        // behaves like [1].
+        assert!(ExperimentGrid::full(tiny_scale()).cells().iter().all(|c| c.fleet_size == 1));
+        let unset = ExperimentGrid { fleet_sizes: Vec::new(), ..ExperimentGrid::full(tiny_scale()) };
+        assert!(unset.cells().iter().all(|cell| cell.fleet_size == 1));
+        assert_eq!(unset.cells().len(), 4);
+    }
+
+    #[test]
+    fn run_map_fans_custom_cell_functions_deterministically() {
+        let grid = ExperimentGrid::full(tiny_scale());
+        let label = |cell: &GridCell, _: &ExperimentGrid| {
+            Ok(format!("{}:{}x{}", cell.index, cell.ftl.label(), cell.fleet_size))
+        };
+        let serial = ParallelRunner::run_serial_map(&grid, label).unwrap();
+        let parallel = ParallelRunner::new(4).run_map(&grid, label).unwrap();
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[0], "0:conventionalx1");
+        // Errors surface exactly as in the CellResult path.
+        let failing = |cell: &GridCell, _: &ExperimentGrid| -> Result<(), FtlError> {
+            if cell.index == 2 {
+                Err(FtlError::OutOfSpace)
+            } else {
+                Ok(())
+            }
+        };
+        assert!(matches!(
+            ParallelRunner::new(4).run_map(&grid, failing),
+            Err(FtlError::OutOfSpace)
+        ));
     }
 
     #[test]

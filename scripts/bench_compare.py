@@ -47,6 +47,9 @@ GROUP_THRESHOLDS = {
     # Same full-stack variance as kv: each sample is a complete LSM run, three
     # of them (serial, batched, batched-ppb).
     "kv_batch": 20.0,
+    # Each fleet sample replays the whole stripe-width sweep (1-8 devices per
+    # cell), so one sample aggregates many runs; new group, no history yet.
+    "fleet": 20.0,
 }
 
 

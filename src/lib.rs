@@ -15,7 +15,10 @@
 //!   every figure of the paper's evaluation,
 //! * [`kv`] — an LSM key-value store running on the simulated device, turning
 //!   application operations (WAL appends, flushes, compactions) into real FTL
-//!   traffic.
+//!   traffic,
+//! * [`fleet`] — the host tier: N simulated devices behind a striped keyspace,
+//!   a host DRAM writeback cache and weighted-share tenant queues, reporting
+//!   fan-out tail amplification.
 //!
 //! The crate-dependency diagram, the replay-engine internals and the data flow
 //! from trace to run summary are documented in `docs/ARCHITECTURE.md` at the
@@ -41,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use vflash_fleet as fleet;
 pub use vflash_ftl as ftl;
 pub use vflash_kv as kv;
 pub use vflash_nand as nand;
